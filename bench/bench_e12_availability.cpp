@@ -1,0 +1,64 @@
+// Experiment E12 (systems view of objective (2)): routing availability under
+// a continuous failure/repair process. Four overlays route from the source on
+// the same fault trace: the plain BFS tree (f=0), the single-failure FT-BFS
+// (f=1, [10]), the dual-failure FT-BFS (f=2, this paper), and the full graph.
+// The FT guarantee shows up as a hard zero in the "non-exact within budget"
+// column; the exactness rate shows what the extra edges buy.
+#include "bench_util.h"
+#include "core/cons2ftbfs.h"
+#include "core/kfail_ftbfs.h"
+#include "core/single_ftbfs.h"
+#include "sim/failure_sim.h"
+
+#include <numeric>
+
+int main() {
+  using namespace ftbfs;
+  using namespace ftbfs::bench;
+
+  Table table("E12: routing availability under failure/repair process "
+              "(cap 2 concurrent faults, 600 ticks)");
+  table.set_header({"family", "overlay", "edges", "exact%", "stretch%",
+                    "disc%", "viol.in-budget"});
+
+  for (const Family& family : standard_families()) {
+    const Vertex n = 200;
+    const Graph g = family.make(n, 47);
+    Cons2Options copt;
+    copt.classify_paths = false;
+    const FtStructure dual = build_cons2ftbfs(g, 0, copt);
+    const FtStructure single = build_single_ftbfs(g, 0);
+    const KFailResult tree = build_kfail_ftbfs(g, 0, 0);
+    std::vector<EdgeId> full(g.num_edges());
+    std::iota(full.begin(), full.end(), 0);
+
+    SimConfig cfg;
+    cfg.ticks = 600;
+    cfg.failure_probability = 0.004;
+    cfg.repair_probability = 0.15;
+    cfg.max_concurrent_faults = 2;
+    cfg.seed = 5;
+    FailureSimulator sim(g, 0, cfg);
+    sim.add_overlay("BFS tree (f=0)", tree.structure.edges, 0);
+    sim.add_overlay("single FT-BFS (f=1)", single.edges, 1);
+    sim.add_overlay("dual FT-BFS (f=2)", dual.edges, 2);
+    sim.add_overlay("full graph", full, 2);
+    const auto metrics = sim.run();
+
+    for (const OverlayMetrics& m : metrics) {
+      const double routed = static_cast<double>(m.routed);
+      table.add_row({family.name, m.name, fmt_u64(m.edges),
+                     fmt_double(100.0 * m.exact / routed, 3),
+                     fmt_double(100.0 * m.stretched / routed, 3),
+                     fmt_double(100.0 * m.disconnected / routed, 3),
+                     fmt_u64(m.non_exact_in_budget)});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "Reading: within its fault budget every FT overlay is perfect (the\n"
+      "violation column is identically 0 — that is the theorem). The dual\n"
+      "structure's exactness matches the full graph at a fraction of the\n"
+      "edges; the BFS tree visibly degrades the moment anything fails.\n");
+  return 0;
+}

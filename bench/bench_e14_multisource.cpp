@@ -1,0 +1,69 @@
+// Experiment E14 (the σ-source axis, §1/§4): multi-source FT-MBFS by union
+// of per-source structures, against the Ω(σ^{1/(f+1)} n^{2-1/(f+1)}) lower
+// bound. Shows (a) union sharing on benign graphs (size grows sublinearly in
+// σ) and (b) the multi-source worst case certified by G*_{1,σ}.
+#include "bench_util.h"
+#include "core/ftmbfs.h"
+#include "lowerbound/gstar.h"
+#include "lowerbound/necessity.h"
+
+#include <numeric>
+
+int main() {
+  using namespace ftbfs;
+  using namespace ftbfs::bench;
+
+  {
+    Table table("E14.1: union FT-MBFS size vs sigma (sparse-ER n=256)");
+    table.set_header({"f", "sigma", "sum per-source", "union", "sharing",
+                      "union/n"});
+    const Graph g = make_sparse_er(256, 59);
+    for (const unsigned f : {1u, 2u}) {
+      for (const Vertex sigma : {1u, 2u, 4u, 8u}) {
+        std::vector<Vertex> sources;
+        for (Vertex k = 0; k < sigma; ++k) {
+          sources.push_back(k * (256 / sigma));
+        }
+        const FtMbfsResult r = f == 2 ? build_cons2ftmbfs(g, sources)
+                                      : build_single_ftmbfs(g, sources);
+        const std::uint64_t sum = std::accumulate(
+            r.per_source_size.begin(), r.per_source_size.end(), 0ull);
+        table.add_row(
+            {fmt_u64(f), fmt_u64(sigma), fmt_u64(sum),
+             fmt_u64(r.structure.edges.size()),
+             fmt_double(static_cast<double>(r.structure.edges.size()) / sum,
+                        3),
+             fmt_double(r.structure.edges.size() / 256.0, 2)});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  {
+    Table table("E14.2: multi-source worst case G*_{1,sigma} (n=900, f=1)");
+    table.set_header({"sigma", "certified core", "union |H|", "core kept",
+                      "formula"});
+    for (const Vertex sigma : {1u, 2u, 3u}) {
+      const GStarGraph gs = build_gstar(1, 900, sigma);
+      const NecessityReport rep = check_bipartite_necessity(gs, 1);
+      const FtMbfsResult r = build_single_ftmbfs(gs.graph, gs.sources);
+      std::vector<bool> in_h(gs.graph.num_edges(), false);
+      for (const EdgeId e : r.structure.edges) in_h[e] = true;
+      std::uint64_t kept = 0;
+      for (const EdgeId e : gs.bipartite_edges) kept += in_h[e] ? 1 : 0;
+      table.add_row({fmt_u64(sigma), fmt_u64(gs.bipartite_edges.size()),
+                     fmt_u64(r.structure.edges.size()),
+                     kept == gs.bipartite_edges.size()
+                         ? std::string("ALL")
+                         : fmt_u64(kept) + "!",
+                     fmt_double(gstar_bound(1, 900, sigma), 0)});
+      (void)rep;
+    }
+    table.print(std::cout);
+  }
+  std::printf(
+      "Reading: on benign inputs the union shares heavily (sharing well\n"
+      "below 1 and shrinking with sigma); on G*_{1,sigma} the union must\n"
+      "keep every certified core edge — the sigma-axis of Theorem 1.2.\n");
+  return 0;
+}

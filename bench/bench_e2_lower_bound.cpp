@@ -1,0 +1,92 @@
+// Experiment E2 (Theorem 1.2, Figs. 10-12): the lower-bound family G*_{f,σ}.
+//
+// Table 1: the bipartite core size versus the paper's Ω(σ^{1/(f+1)} ·
+//          n^{2-1/(f+1)}) formula, for f ∈ {1,2,3}, with necessity certified
+//          by witness fault injection; fitted exponents per f.
+// Table 2: σ-sweep at fixed n (multi-source bound).
+// Table 3: Cons2FTBFS runs on G*_2 and must retain the full core — measured
+//          |E(H)| against the certified minimum.
+#include "bench_util.h"
+#include "core/cons2ftbfs.h"
+#include "lowerbound/necessity.h"
+
+int main() {
+  using namespace ftbfs;
+  using namespace ftbfs::bench;
+
+  {
+    Table t1("E2.1: G*_f core size vs Omega(n^{2-1/(f+1)}) (sigma=1)");
+    t1.set_header({"f", "n", "d", "|X|", "leaves", "core", "formula",
+                   "core/formula", "necessity"});
+    std::vector<std::vector<double>> xs(4), ys(4);
+    for (unsigned f = 1; f <= 3; ++f) {
+      const std::vector<Vertex> sizes =
+          f == 3 ? std::vector<Vertex>{800, 1600, 3200}
+                 : std::vector<Vertex>{200, 400, 800, 1600, 3200};
+      for (const Vertex n : sizes) {
+        const GStarGraph gs = build_gstar(f, n);
+        std::uint64_t leaves = 0;
+        for (const auto& copy : gs.copies) leaves += copy.leaves.size();
+        const NecessityReport rep = check_bipartite_necessity(gs, 2);
+        const double formula = gstar_bound(f, n, 1);
+        t1.add_row({fmt_u64(f), fmt_u64(n), fmt_u64(gs.d),
+                    fmt_u64(gs.x_set.size()), fmt_u64(leaves),
+                    fmt_u64(gs.bipartite_edges.size()), fmt_double(formula, 0),
+                    fmt_double(gs.bipartite_edges.size() / formula, 4),
+                    rep.all_essential ? "ALL-ESSENTIAL" : "FAILED"});
+        xs[f].push_back(n);
+        ys[f].push_back(static_cast<double>(gs.bipartite_edges.size()));
+      }
+    }
+    t1.print(std::cout);
+    for (unsigned f = 1; f <= 3; ++f) {
+      print_fit("G*_" + std::to_string(f) + " core", xs[f], ys[f],
+                2.0 - 1.0 / (f + 1));
+    }
+    std::printf("\n");
+  }
+
+  {
+    Table t2("E2.2: multi-source sweep at n=1200, f=1 "
+             "(Omega(sigma^{1/2} n^{3/2}))");
+    t2.set_header({"sigma", "d", "core", "formula", "core/formula",
+                   "necessity"});
+    for (const Vertex sigma : {1u, 2u, 4u, 8u}) {
+      const GStarGraph gs = build_gstar(1, 1200, sigma);
+      const NecessityReport rep = check_bipartite_necessity(gs, 1);
+      const double formula = gstar_bound(1, 1200, sigma);
+      t2.add_row({fmt_u64(sigma), fmt_u64(gs.d),
+                  fmt_u64(gs.bipartite_edges.size()), fmt_double(formula, 0),
+                  fmt_double(gs.bipartite_edges.size() / formula, 4),
+                  rep.all_essential ? "ALL-ESSENTIAL" : "FAILED"});
+    }
+    t2.print(std::cout);
+  }
+
+  {
+    Table t3("E2.3: Cons2FTBFS on G*_2 retains the certified core");
+    t3.set_header({"n", "m", "core", "|E(H)|", "core kept", "seconds"});
+    for (const Vertex n : {200u, 400u, 800u}) {
+      const GStarGraph gs = build_gstar(2, n);
+      Timer t;
+      Cons2Options opt;
+      opt.classify_paths = false;
+      const FtStructure h = build_cons2ftbfs(gs.graph, gs.sources[0], opt);
+      std::vector<bool> in_h(gs.graph.num_edges(), false);
+      for (const EdgeId e : h.edges) in_h[e] = true;
+      std::uint64_t kept = 0;
+      for (const EdgeId e : gs.bipartite_edges) kept += in_h[e] ? 1 : 0;
+      t3.add_row({fmt_u64(n), fmt_u64(gs.graph.num_edges()),
+                  fmt_u64(gs.bipartite_edges.size()), fmt_u64(h.edges.size()),
+                  kept == gs.bipartite_edges.size() ? "ALL" : "MISSING!",
+                  fmt_double(t.seconds(), 2)});
+    }
+    t3.print(std::cout);
+  }
+
+  std::printf("Reading: the core follows the paper's formula shape (fitted\n"
+              "exponents near 2-1/(f+1)); every core edge is certified\n"
+              "essential, so any dual FT-BFS on G*_2 — including ours — must\n"
+              "pay Omega(n^{5/3}).\n");
+  return 0;
+}

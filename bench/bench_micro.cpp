@@ -1,0 +1,163 @@
+// Micro-benchmarks (google-benchmark): throughput of the substrate operations
+// the constructions are built from, plus end-to-end construction costs.
+#include <benchmark/benchmark.h>
+
+#include "core/cons2ftbfs.h"
+#include "core/oracle.h"
+#include "core/sensitivity_oracle.h"
+#include "core/single_ftbfs.h"
+#include "core/swap_ftbfs.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+#include "graph/mask.h"
+#include "spath/bfs.h"
+#include "spath/dijkstra.h"
+#include "spath/replacement.h"
+
+namespace {
+
+using namespace ftbfs;
+
+void BM_Bfs(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = random_connected(n, 3 * n, 1);
+  Bfs bfs(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs.run(0).hops.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_Bfs)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BfsMasked(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = random_connected(n, 3 * n, 1);
+  Bfs bfs(g);
+  GraphMask mask(g);
+  mask.block_edge(0);
+  mask.block_edge(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs.run(0, &mask).hops.data());
+  }
+}
+BENCHMARK(BM_BfsMasked)->Arg(1024);
+
+void BM_TieBrokenDijkstra(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = random_connected(n, 3 * n, 1);
+  const WeightAssignment w(g, 1);
+  Dijkstra dij(g, w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dij.run(0).dist.data());
+  }
+}
+BENCHMARK(BM_TieBrokenDijkstra)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ReplacementPath(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = random_connected(n, 3 * n, 1);
+  const WeightAssignment w(g, 1);
+  ReplacementOracle oracle(g, w);
+  const std::vector<EdgeId> faults = {0, 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        oracle.replacement_path(0, n - 1, faults));
+  }
+}
+BENCHMARK(BM_ReplacementPath)->Arg(256)->Arg(1024);
+
+void BM_SingleFtbfs(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = random_connected(n, 3 * n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_single_ftbfs(g, 0).edges.size());
+  }
+}
+BENCHMARK(BM_SingleFtbfs)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_Cons2Ftbfs(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = random_connected(n, 3 * n, 1);
+  Cons2Options opt;
+  opt.classify_paths = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_cons2ftbfs(g, 0, opt).edges.size());
+  }
+}
+BENCHMARK(BM_Cons2Ftbfs)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Cons2FtbfsClassified(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = random_connected(n, 3 * n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_cons2ftbfs(g, 0).edges.size());
+  }
+}
+BENCHMARK(BM_Cons2FtbfsClassified)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_SensitivityOracleBuild(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = random_connected(n, 3 * n, 1);
+  for (auto _ : state) {
+    const SingleFaultOracle oracle(g, 0);
+    benchmark::DoNotOptimize(oracle.table_entries());
+  }
+}
+BENCHMARK(BM_SensitivityOracleBuild)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SensitivityOracleQuery(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = random_connected(n, 3 * n, 1);
+  const SingleFaultOracle oracle(g, 0);
+  Vertex v = 1;
+  EdgeId e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.distance_avoiding(v, e));
+    v = (v + 97) % n;
+    if (v == 0) v = 1;
+    e = (e + 61) % g.num_edges();
+  }
+}
+BENCHMARK(BM_SensitivityOracleQuery)->Arg(1024);
+
+void BM_SwapFtbfs(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = random_connected(n, 3 * n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_swap_ftbfs(g, 0).structure.edges.size());
+  }
+}
+BENCHMARK(BM_SwapFtbfs)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_FtBfsOracleBatch(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = random_connected(n, 3 * n, 1);
+  FtBfsOracle oracle = FtBfsOracle::build(g, 0, 2);
+  const std::vector<EdgeId> faults = {1, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.all_distances(faults).data());
+  }
+}
+BENCHMARK(BM_FtBfsOracleBatch)->Arg(1024);
+
+void BM_VerifySampled(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = random_connected(n, 3 * n, 1);
+  Cons2Options opt;
+  opt.classify_paths = false;
+  const FtStructure h = build_cons2ftbfs(g, 0, opt);
+  const std::vector<Vertex> sources = {0};
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verify_sampled(g, h.edges, sources, 2, 50, ++seed));
+  }
+  state.SetLabel("50 fault sets / iteration");
+}
+BENCHMARK(BM_VerifySampled)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

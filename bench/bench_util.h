@@ -1,0 +1,57 @@
+// Shared helpers for the experiment harnesses (E1-E9). Each bench binary
+// regenerates one table/figure of EXPERIMENTS.md and prints it in a stable,
+// diff-friendly format via util/table.h.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "util/powerfit.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace ftbfs::bench {
+
+// A named graph family: deterministic generator keyed by (n, seed).
+struct Family {
+  std::string name;
+  Graph (*make)(Vertex n, std::uint64_t seed);
+};
+
+inline Graph make_sparse_er(Vertex n, std::uint64_t seed) {
+  // Average degree ~6 (m ~ 3n), connected.
+  return random_connected(n, 3 * n, seed);
+}
+
+inline Graph make_dense_er(Vertex n, std::uint64_t seed) {
+  return erdos_renyi(n, 0.1, seed);
+}
+
+inline Graph make_chorded_path(Vertex n, std::uint64_t seed) {
+  return path_with_chords(n, n / 2, seed);
+}
+
+inline const std::vector<Family>& standard_families() {
+  static const std::vector<Family> families = {
+      {"sparse-ER(m=3n)", &make_sparse_er},
+      {"dense-ER(p=0.1)", &make_dense_er},
+      {"path+chords", &make_chorded_path},
+  };
+  return families;
+}
+
+// Prints a fitted exponent line under a table.
+inline void print_fit(const std::string& label, const std::vector<double>& x,
+                      const std::vector<double>& y, double reference) {
+  if (x.size() < 2) return;
+  const PowerFit fit = fit_power_law(x, y);
+  std::printf("fit[%s]: y ~ %.3g * n^%.3f (R^2=%.4f), paper exponent %.3f\n",
+              label.c_str(), fit.coefficient, fit.exponent, fit.r_squared,
+              reference);
+}
+
+}  // namespace ftbfs::bench

@@ -1,0 +1,58 @@
+// Network provisioning: the paper's motivating scenario (§1). Graph edges are
+// leasable channels; the operator wants the *cheapest* subset that still
+// routes on exact shortest paths from a control center even when up to two
+// channels fail.
+//
+// The example compares three purchase plans on a two-datacenter backbone:
+//   plan A — lease everything (trivially resilient, expensive),
+//   plan B — Cons2FTBFS            (worst-case optimal Θ(n^{5/3}) guarantee),
+//   plan C — greedy set cover      (O(log n)-approximation of the optimum,
+//                                   single failure here to keep it fast).
+#include <cstdio>
+
+#include "core/approx_ftmbfs.h"
+#include "core/cons2ftbfs.h"
+#include "core/single_ftbfs.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace ftbfs;
+
+  // Backbone: two dense sites (cliques) joined by a handful of long-haul
+  // links, plus an access ring.
+  const Graph g = barbell_graph(/*n=*/40, /*bridges=*/4);
+  const Vertex control_center = 0;
+  const std::vector<Vertex> sources = {control_center};
+  std::printf("backbone: %s\n", describe(g).c_str());
+  std::printf("%-34s %8s %10s\n", "plan", "channels", "vs full");
+
+  auto report = [&](const char* name, std::size_t edges) {
+    std::printf("%-34s %8zu %9.1f%%\n", name, edges,
+                100.0 * static_cast<double>(edges) / g.num_edges());
+  };
+  report("A: lease everything", g.num_edges());
+
+  // Plan B: exact dual-failure resilience.
+  const FtStructure dual = build_cons2ftbfs(g, control_center);
+  report("B: Cons2FTBFS (2 faults, exact)", dual.edges.size());
+
+  // Plan C: greedy approximation, single-failure budget.
+  const ApproxResult greedy = build_approx_ftmbfs(g, sources, 1);
+  report("C: greedy set cover (1 fault)", greedy.structure.edges.size());
+
+  // And the single-failure exact baseline from [Parter-Peleg ESA'13].
+  const FtStructure single = build_single_ftbfs(g, control_center);
+  report("D: single-failure FT-BFS", single.edges.size());
+
+  // Certify plans B and C before signing the lease.
+  const auto viol_b = verify_exhaustive(g, dual.edges, sources, 2);
+  const auto viol_c = verify_exhaustive(g, greedy.structure.edges, sources, 1);
+  std::printf("\ncertification: plan B (2 faults) %s, plan C (1 fault) %s\n",
+              viol_b ? "FAIL" : "PASS", viol_c ? "FAIL" : "PASS");
+  std::printf(
+      "savings with plan B: %.1f%% of the full lease, with exact shortest-\n"
+      "path routing guaranteed under any double channel failure.\n",
+      100.0 * (1.0 - static_cast<double>(dual.edges.size()) / g.num_edges()));
+  return (viol_b || viol_c) ? 1 : 0;
+}

@@ -1,0 +1,80 @@
+// Sensitivity queries: the two oracle interfaces side by side.
+//
+// A monitoring dashboard wants, for every (target, possibly-failed-link)
+// pair, the exact distance the network would have — the classic distance-
+// sensitivity workload ([5,2] in the paper's related work). Two tools:
+//   * SingleFaultOracle — O(n·m) preprocessing, then O(1) per point query;
+//   * FtBfsOracle       — near-zero extra preprocessing beyond the FT-BFS
+//                         structure, O(|H|) per *batch* of targets.
+// The example runs both over the same what-if matrix and cross-checks them.
+#include <cstdio>
+
+#include "core/oracle.h"
+#include "core/sensitivity_oracle.h"
+#include "graph/generators.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace ftbfs;
+
+  const Graph g = random_connected(/*n=*/300, /*m=*/900, /*seed=*/11);
+  const Vertex noc = 0;  // network operations center
+  std::printf("network: %s\n", describe(g).c_str());
+
+  Timer prep1;
+  const SingleFaultOracle point_oracle(g, noc);
+  std::printf("SingleFaultOracle: %.2fs preprocessing, %llu table entries\n",
+              prep1.seconds(),
+              static_cast<unsigned long long>(point_oracle.table_entries()));
+
+  Timer prep2;
+  FtBfsOracle batch_oracle = FtBfsOracle::build(g, noc, /*f=*/1);
+  std::printf("FtBfsOracle: %.2fs preprocessing, structure %llu edges\n",
+              prep2.seconds(),
+              static_cast<unsigned long long>(batch_oracle.structure_size()));
+
+  // The what-if matrix: every link against a sample of targets.
+  Timer q1;
+  std::uint64_t checks = 0, agree = 0;
+  std::uint64_t worst_increase = 0;
+  EdgeId worst_edge = kInvalidEdge;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (Vertex v = 1; v < g.num_vertices(); v += 29) {
+      const std::uint32_t base = point_oracle.distance(v);
+      const std::uint32_t with_fault = point_oracle.distance_avoiding(v, e);
+      ++checks;
+      if (with_fault != kInfHops && base != kInfHops &&
+          with_fault - base > worst_increase) {
+        worst_increase = with_fault - base;
+        worst_edge = e;
+      }
+    }
+  }
+  const double point_time = q1.seconds();
+
+  Timer q2;
+  for (EdgeId e = 0; e < g.num_edges(); e += 17) {  // batches are heavier
+    const std::vector<EdgeId> faults = {e};
+    const auto& dists = batch_oracle.all_distances(faults);
+    for (Vertex v = 1; v < g.num_vertices(); v += 29) {
+      if (dists[v] == point_oracle.distance_avoiding(v, e)) ++agree;
+    }
+  }
+  const double batch_time = q2.seconds();
+
+  std::printf("\npoint oracle: %llu what-if queries in %.3fs (%.0f ns each)\n",
+              static_cast<unsigned long long>(checks), point_time,
+              1e9 * point_time / static_cast<double>(checks));
+  std::printf("batch oracle spot-check: %llu/%llu answers agree (%.3fs)\n",
+              static_cast<unsigned long long>(agree),
+              static_cast<unsigned long long>((g.num_edges() / 17 + 1) *
+                                              ((g.num_vertices() - 2) / 29 + 1)),
+              batch_time);
+  if (worst_edge != kInvalidEdge) {
+    const Edge& e = g.edge(worst_edge);
+    std::printf("most critical link: (%u,%u) — failing it adds %llu hops to "
+                "some route\n",
+                e.u, e.v, static_cast<unsigned long long>(worst_increase));
+  }
+  return 0;
+}

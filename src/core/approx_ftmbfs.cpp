@@ -1,0 +1,163 @@
+#include "core/approx_ftmbfs.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "graph/mask.h"
+#include "spath/bfs.h"
+
+namespace ftbfs {
+namespace {
+
+// Minimal dynamic bitset used for the per-neighbor cover sets.
+class BitVec {
+ public:
+  explicit BitVec(std::size_t bits) : words_((bits + 63) / 64, 0) {}
+
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+
+  void or_with(const BitVec& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+  }
+
+  void and_not(const BitVec& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= ~other.words_[i];
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count_and(const BitVec& other) const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      total += static_cast<std::uint64_t>(
+          __builtin_popcountll(words_[i] & other.words_[i]));
+    }
+    return total;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+using Dist16 = std::uint16_t;
+inline constexpr Dist16 kInf16 = 0xFFFF;
+
+}  // namespace
+
+ApproxResult build_approx_ftmbfs(const Graph& g,
+                                 std::span<const Vertex> sources, unsigned f,
+                                 const ApproxOptions& opt) {
+  FTBFS_EXPECTS(!sources.empty());
+  for (const Vertex s : sources) FTBFS_EXPECTS(s < g.num_vertices());
+  const Vertex n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+
+  // Enumerate the fault sets UF = { F ⊆ E : |F| <= f } (∅ included).
+  std::vector<std::vector<EdgeId>> fault_sets;
+  fault_sets.push_back({});
+  if (f >= 1) {
+    for (EdgeId e = 0; e < m; ++e) fault_sets.push_back({e});
+  }
+  if (f >= 2) {
+    for (EdgeId e1 = 0; e1 < m; ++e1) {
+      for (EdgeId e2 = e1 + 1; e2 < m; ++e2) fault_sets.push_back({e1, e2});
+    }
+  }
+  FTBFS_EXPECTS(f <= 2);  // higher f: fault-set enumeration would explode
+
+  const std::uint64_t universe =
+      static_cast<std::uint64_t>(sources.size()) * fault_sets.size();
+  FTBFS_EXPECTS(universe <= opt.max_universe);
+
+  ApproxResult out;
+  out.astats.universe_size = universe;
+
+  // Distance tables: dist[k * |UF| + fi][v] = dist(s_k, v, G∖F). 16-bit with
+  // saturation (paths in simple graphs are < 2^16 long for our sizes).
+  std::vector<Dist16> dist(universe * n, kInf16);
+  {
+    Bfs bfs(g);
+    GraphMask mask(g);
+    std::size_t row = 0;
+    for (const Vertex s : sources) {
+      for (const auto& faults : fault_sets) {
+        mask.clear();
+        block_edges(mask, faults);
+        const BfsResult& r = bfs.run(s, &mask);
+        ++out.astats.bfs_runs;
+        Dist16* out_row = &dist[row * n];
+        for (Vertex v = 0; v < n; ++v) {
+          out_row[v] = r.hops[v] == kInfHops
+                           ? kInf16
+                           : static_cast<Dist16>(std::min<std::uint32_t>(
+                                 r.hops[v], kInf16 - 1));
+        }
+        ++row;
+      }
+    }
+  }
+
+  // Per-vertex greedy set cover over the incident edges.
+  std::vector<bool> in_h(m, false);
+  for (Vertex vi = 0; vi < n; ++vi) {
+    const auto nbrs = g.neighbors(vi);
+    if (nbrs.empty()) continue;
+    std::vector<BitVec> cover_sets(nbrs.size(), BitVec(universe));
+    BitVec remaining(universe);
+    for (std::size_t row = 0; row < universe; ++row) {
+      const Dist16* d = &dist[row * n];
+      if (d[vi] == kInf16 || d[vi] == 0) continue;  // unreachable or source
+      const auto& faults = fault_sets[row % fault_sets.size()];
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        // u_j covers ⟨s_k, F⟩ iff a shortest path may enter v_i through the
+        // *edge* (u_j, v_i): the edge must survive F and u_j must sit one hop
+        // above v_i in G∖F (Eq. 16).
+        if (std::find(faults.begin(), faults.end(), nbrs[j].id) !=
+            faults.end()) {
+          continue;
+        }
+        if (d[nbrs[j].to] != kInf16 && d[nbrs[j].to] + 1 == d[vi]) {
+          cover_sets[j].set(row);
+          remaining.set(row);
+        }
+      }
+    }
+    while (remaining.any()) {
+      std::size_t best = 0;
+      std::uint64_t best_gain = 0;
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        const std::uint64_t gain = cover_sets[j].count_and(remaining);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = j;
+        }
+      }
+      // Every remaining element has a BFS parent among the neighbors, so the
+      // greedy step always makes progress.
+      FTBFS_ENSURES(best_gain > 0);
+      remaining.and_not(cover_sets[best]);
+      ++out.astats.greedy_picks;
+      if (!in_h[nbrs[best].id]) {
+        in_h[nbrs[best].id] = true;
+        ++out.structure.stats.new_edges;
+      }
+    }
+  }
+
+  for (EdgeId e = 0; e < m; ++e) {
+    if (in_h[e]) out.structure.edges.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace ftbfs

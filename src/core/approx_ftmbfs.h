@@ -1,0 +1,50 @@
+// O(log n)-approximation for the Minimum f-failure FT-MBFS problem (§5,
+// Theorem 1.3).
+//
+// For every vertex v_i the incident edges to keep are chosen by greedy set
+// cover: the universe U is the set of pairs ⟨s_k, F⟩ (source, fault set with
+// |F| <= f, including F = ∅), and the set S_{i,j} of neighbor u_j covers
+// ⟨s_k, F⟩ iff dist(s_k, u_j, G∖F) = dist(s_k, v_i, G∖F) − 1 (Eq. 16) — i.e.
+// some shortest s_k→v_i path in G∖F enters v_i through u_j. Greedy cover is
+// the classical (1 + ln N)-approximation, and per Lemma 5.3 the union of the
+// covers is an O(log n) approximation of the optimal structure.
+//
+// Complexity is dominated by one BFS per (source, fault set): O(σ·m^f) BFS
+// runs. Practical for f ∈ {1, 2} on graphs of a few hundred edges — the regime
+// where the approximation question is interesting (the paper motivates it for
+// instances whose optimum is far below the worst-case Θ(n^{2-1/(f+1)})).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/ftbfs_common.h"
+#include "graph/graph.h"
+
+namespace ftbfs {
+
+struct ApproxOptions {
+  // Safety valve on universe size (σ · #fault-sets); construction is a
+  // precondition violation beyond it.
+  std::uint64_t max_universe = 1u << 24;
+};
+
+struct ApproxStats {
+  std::uint64_t universe_size = 0;  // σ · |UF|
+  std::uint64_t bfs_runs = 0;
+  std::uint64_t greedy_picks = 0;  // total sets picked over all vertices
+};
+
+struct ApproxResult {
+  FtStructure structure;
+  ApproxStats astats;
+};
+
+// Builds an f-failure FT-MBFS structure for the given sources whose size is
+// within O(log n) of optimal. f >= 0.
+[[nodiscard]] ApproxResult build_approx_ftmbfs(const Graph& g,
+                                               std::span<const Vertex> sources,
+                                               unsigned f,
+                                               const ApproxOptions& opt = {});
+
+}  // namespace ftbfs

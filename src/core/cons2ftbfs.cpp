@@ -1,0 +1,385 @@
+#include "core/cons2ftbfs.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/selector.h"
+#include "structure/newending.h"
+
+namespace ftbfs {
+namespace {
+
+// All state for constructing H(v) for one target vertex v.
+class PerVertexRun {
+ public:
+  PerVertexRun(const Graph& g, PathSelector& sel, VertexIndexMap& pi_pos,
+               VertexIndexMap& aux_pos, Vertex s, Vertex v, Path pi,
+               std::vector<bool>& in_h, FtBfsStats& stats,
+               const Cons2Options& opt)
+      : g_(g),
+        sel_(sel),
+        pi_pos_(pi_pos),
+        aux_pos_(aux_pos),
+        s_(s),
+        v_(v),
+        pi_(std::move(pi)),
+        in_h_(in_h),
+        stats_(stats),
+        classify_(opt.classify_paths),
+        record_sink_(opt.record_sink ? &opt.record_sink : nullptr) {
+    pi_pos_.bind(pi_);
+    // E_0(v) starts as every v-incident edge already in H (= E(v,T0) here,
+    // since steps run before any other edge of v can exist).
+    for (const Arc& arc : g_.neighbors(v_)) {
+      if (in_h_[arc.id]) allowed_v_edges_.push_back(arc.id);
+    }
+  }
+
+  std::uint64_t run() {
+    step1();
+    step2();
+    step3();
+    if (classify_) {
+      const PathClassCounts c = classify_new_ending(g_, pi_, records_);
+      stats_.classes.single += c.single;
+      stats_.classes.a_pi_pi += c.a_pi_pi;
+      stats_.classes.b_nodet += c.b_nodet;
+      stats_.classes.c_indep += c.c_indep;
+      stats_.classes.d_pi_interf += c.d_pi_interf;
+      stats_.classes.e_d_interf += c.e_d_interf;
+      PathClassCounts& m = stats_.max_classes_per_vertex;
+      m.single = std::max(m.single, c.single);
+      m.a_pi_pi = std::max(m.a_pi_pi, c.a_pi_pi);
+      m.b_nodet = std::max(m.b_nodet, c.b_nodet);
+      m.c_indep = std::max(m.c_indep, c.c_indep);
+      m.d_pi_interf = std::max(m.d_pi_interf, c.d_pi_interf);
+      m.e_d_interf = std::max(m.e_d_interf, c.e_d_interf);
+      if (record_sink_ != nullptr) (*record_sink_)(v_, pi_, records_);
+    }
+    return new_edges_here_;
+  }
+
+ private:
+  // ---- helpers ------------------------------------------------------------
+
+  [[nodiscard]] EdgeId pi_edge(std::size_t i) const {
+    const EdgeId e = g_.find_edge(pi_[i], pi_[i + 1]);
+    FTBFS_ENSURES(e != kInvalidEdge);
+    return e;
+  }
+
+  // Adds the last edge of a selected replacement path to H(v); returns true
+  // if the edge was new. Bookkeeps E_τ(v) (v-incident whitelist).
+  bool keep_last_edge(const Path& p, NewEndingRecord::Kind kind, EdgeId f1,
+                      EdgeId f2, const SingleFaultSelection* det) {
+    const EdgeId le = last_edge(g_, p);
+    if (in_h_[le]) return false;
+    in_h_[le] = true;
+    allowed_v_edges_.push_back(le);
+    ++stats_.new_edges;
+    ++new_edges_here_;
+    if (classify_) {
+      NewEndingRecord rec;
+      rec.kind = kind;
+      rec.path = p;
+      rec.f1 = f1;
+      rec.f2 = f2;
+      if (det != nullptr) {
+        rec.detour = det->detour;
+        rec.detour_y_pi_index = det->y_pi_index;
+      }
+      records_.push_back(std::move(rec));
+    }
+    return true;
+  }
+
+  // Hop distance s→v in G ∖ faults.
+  std::uint32_t target_distance(std::initializer_list<EdgeId> faults) {
+    GraphMask& m = sel_.mask();
+    m.clear();
+    for (const EdgeId e : faults) m.block_edge(e);
+    return sel_.hop_distance(s_, v_);
+  }
+
+  // ---- step (1): single faults on π ---------------------------------------
+
+  void step1() {
+    const std::size_t len = pi_.size() - 1;
+    selections_.assign(len, std::nullopt);
+    for (std::size_t i = 0; i < len; ++i) {
+      ++stats_.fault_pairs_considered;
+      selections_[i] = select_single_fault(sel_, pi_, pi_pos_, i);
+      if (selections_[i]) {
+        keep_last_edge(selections_[i]->path, NewEndingRecord::Kind::kSingle,
+                       pi_edge(i), kInvalidEdge, nullptr);
+      }
+    }
+  }
+
+  // ---- step (2): two faults on π ------------------------------------------
+
+  // True if e_j (π edge at position j > i) lies on the selected path P_i:
+  // P_i = π(s,x_i) ∘ D_i ∘ π(y_i,v) contains π edges at positions
+  // [0, x_idx) and [y_idx, len). For j > i >= x_idx this reduces to
+  // j >= y_idx.
+  [[nodiscard]] bool pi_edge_on_selection(const SingleFaultSelection& si,
+                                          std::size_t j) const {
+    return j + 1 <= si.x_pi_index || j >= si.y_pi_index;
+  }
+
+  void step2() {
+    const std::size_t len = pi_.size() - 1;
+    for (std::size_t i = 0; i < len; ++i) {
+      for (std::size_t j = i + 1; j < len; ++j) {
+        ++stats_.fault_pairs_considered;
+        // Cheap satisfiability: if one single-fault path avoids the other
+        // fault, it is itself an optimal replacement path for the pair and
+        // its last edge is already in H(v).
+        if (selections_[i] && !pi_edge_on_selection(*selections_[i], j)) {
+          continue;
+        }
+        if (selections_[j] && !pi_edge_on_selection(*selections_[j], i)) {
+          continue;
+        }
+        handle_pi_pi_pair(i, j);
+      }
+    }
+  }
+
+  void handle_pi_pi_pair(std::size_t i, std::size_t j) {
+    const EdgeId ei = pi_edge(i), ej = pi_edge(j);
+    const std::uint32_t target = target_distance({ei, ej});
+    if (target == kInfHops) return;  // pair disconnects v: nothing to keep
+
+    // Preferred candidate: compose the two detours through their last shared
+    // vertex (the paper tries this path first).
+    if (selections_[i] && selections_[j]) {
+      if (const std::optional<Path> composed = compose_detours(i, j);
+          composed && composed->size() - 1 == target) {
+        keep_last_edge(*composed, NewEndingRecord::Kind::kPiPi, ei, ej,
+                       nullptr);
+        return;
+      }
+    }
+    GraphMask& m = sel_.mask();
+    m.clear();
+    m.block_edge(ei);
+    m.block_edge(ej);
+    const std::optional<RPath> rp = sel_.w_path(s_, v_);
+    FTBFS_ENSURES(rp.has_value() && rp->key.hops == target);
+    keep_last_edge(rp->verts, NewEndingRecord::Kind::kPiPi, ei, ej, nullptr);
+  }
+
+  // π(s,x_i) ∘ D_i[x_i,w] ∘ D_j[w,y_j] ∘ π(y_j,v) where w is the last vertex
+  // on D_j common to D_i; nullopt if the detours are disjoint or the
+  // composition is not a simple path.
+  [[nodiscard]] std::optional<Path> compose_detours(std::size_t i,
+                                                    std::size_t j) {
+    const SingleFaultSelection& si = *selections_[i];
+    const SingleFaultSelection& sj = *selections_[j];
+    aux_pos_.bind(si.detour);
+    std::size_t w_on_j = kNpos;
+    for (std::size_t t = sj.detour.size(); t-- > 0;) {
+      if (aux_pos_.on_path(sj.detour[t])) {
+        w_on_j = t;
+        break;
+      }
+    }
+    if (w_on_j == kNpos) return std::nullopt;
+    const Vertex w = sj.detour[w_on_j];
+    const std::size_t w_on_i = aux_pos_.pos(w);
+
+    Path p = subpath(pi_, 0, si.x_pi_index);
+    p = concat(p, subpath(si.detour, 0, w_on_i));
+    p = concat(p, subpath(sj.detour, w_on_j, sj.detour.size() - 1));
+    p = concat(p, subpath(pi_, sj.y_pi_index, pi_.size() - 1));
+    if (!is_simple_path_in(g_, p)) return std::nullopt;
+    return p;
+  }
+
+  // ---- step (3): one fault on π, one on the detour ------------------------
+
+  void step3() {
+    const std::size_t len = pi_.size() - 1;
+    // Decreasing (e, t) order: deeper π edge first; within one detour, deeper
+    // detour edge first.
+    for (std::size_t i = len; i-- > 0;) {
+      if (!selections_[i]) continue;
+      const Path& detour = selections_[i]->detour;
+      for (std::size_t r = detour.size() - 1; r-- > 0;) {
+        ++stats_.fault_pairs_considered;
+        handle_pi_d_pair(i, r);
+      }
+    }
+  }
+
+  void handle_pi_d_pair(std::size_t i, std::size_t r) {
+    const SingleFaultSelection& si = *selections_[i];
+    const EdgeId e = pi_edge(i);
+    const EdgeId t = g_.find_edge(si.detour[r], si.detour[r + 1]);
+    FTBFS_ENSURES(t != kInvalidEdge);
+
+    const std::uint32_t target = target_distance({e, t});
+    if (target == kInfHops) return;
+
+    // Satisfiability in G_{τ−1}(v): v's incident edges restricted to E_{τ−1}(v).
+    GraphMask& m = sel_.mask();
+    m.clear();
+    m.block_edge(e);
+    m.block_edge(t);
+    m.restrict_incident_edges(v_);
+    for (const EdgeId allowed : allowed_v_edges_) m.allow_edge(allowed);
+    if (sel_.hop_distance(s_, v_) == target) return;  // not new-ending
+
+    const Path p = select_new_ending(i, r, e, t, target);
+    const bool added =
+        keep_last_edge(p, NewEndingRecord::Kind::kPiD, e, t, &si);
+    // A new-ending path must end with an edge not yet in E_{τ−1}(v); anything
+    // else would contradict the satisfiability test above.
+    FTBFS_ENSURES(added);
+  }
+
+  // Selects the new-ending replacement path for F = {e, t}: earliest
+  // π-divergence; if that divergence equals x_τ, also earliest D-divergence.
+  [[nodiscard]] Path select_new_ending(std::size_t i, std::size_t r, EdgeId e,
+                                       EdgeId t, std::uint32_t target) {
+    const SingleFaultSelection& si = *selections_[i];
+    GraphMask& m = sel_.mask();
+
+    // Masks G(u_k, v) ∖ F: π positions [k+1 .. |π|-2] removed.
+    auto apply_gk = [&](std::size_t k) {
+      m.clear();
+      m.block_edge(e);
+      m.block_edge(t);
+      if (pi_.size() >= 2) block_pi_segment(m, pi_, k, pi_.size() - 2);
+    };
+    auto feasible_k = [&](std::size_t k) {
+      apply_gk(k);
+      return sel_.hop_distance(s_, v_) == target;
+    };
+
+    // Minimal divergence index k ∈ [0..i]; feasible at k == i by Cl. 3.5
+    // (the optimal path diverges above e and rejoins π only at v). Keep a
+    // defensive fallback for the (theoretically impossible) infeasible case.
+    if (!feasible_k(i)) {
+      ++stats_.divergence_fallbacks;
+      m.clear();
+      m.block_edge(e);
+      m.block_edge(t);
+      const std::optional<RPath> rp = sel_.w_path(s_, v_);
+      FTBFS_ENSURES(rp.has_value() && rp->key.hops == target);
+      return rp->verts;
+    }
+    std::size_t lo = 0, hi = i;
+    if (!feasible_k(0)) {
+      while (lo + 1 < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        (feasible_k(mid) ? hi : lo) = mid;
+      }
+    } else {
+      hi = 0;
+    }
+    const std::size_t k0 = hi;
+
+    apply_gk(k0);
+    std::optional<RPath> rp = sel_.w_path(s_, v_);
+    FTBFS_ENSURES(rp.has_value() && rp->key.hops == target);
+    const std::size_t b_idx = first_divergence(rp->verts, pi_);
+    const Vertex b = rp->verts[b_idx];
+    if (b != si.x) return rp->verts;
+
+    // b == x_τ: refine the divergence from the detour D_τ. G_D(w_l) removes
+    // the detour tail V(D[l+1 .. end]) (v itself is never blocked).
+    const Path& d = si.detour;
+    auto apply_gd = [&](std::size_t l) {
+      apply_gk(si.x_pi_index);
+      for (std::size_t pos = l + 1; pos < d.size(); ++pos) {
+        if (d[pos] != v_) m.block_vertex(d[pos]);
+      }
+    };
+    auto feasible_l = [&](std::size_t l) {
+      apply_gd(l);
+      return sel_.hop_distance(s_, v_) == target;
+    };
+    if (!feasible_l(r)) {
+      // Theoretically impossible (Lemma 3.1); fall back to the G(u_k0,v) path.
+      ++stats_.divergence_fallbacks;
+      return rp->verts;
+    }
+    std::size_t dlo = 0, dhi = r;
+    if (!feasible_l(0)) {
+      while (dlo + 1 < dhi) {
+        const std::size_t mid = dlo + (dhi - dlo) / 2;
+        (feasible_l(mid) ? dhi : dlo) = mid;
+      }
+    } else {
+      dhi = 0;
+    }
+    apply_gd(dhi);
+    rp = sel_.w_path(s_, v_);
+    FTBFS_ENSURES(rp.has_value() && rp->key.hops == target);
+    return rp->verts;
+  }
+
+  // ---- data ---------------------------------------------------------------
+
+  const Graph& g_;
+  PathSelector& sel_;
+  VertexIndexMap& pi_pos_;
+  VertexIndexMap& aux_pos_;
+  Vertex s_;
+  Vertex v_;
+  Path pi_;
+  std::vector<bool>& in_h_;
+  FtBfsStats& stats_;
+  bool classify_;
+  const std::function<void(Vertex, const Path&,
+                           const std::vector<NewEndingRecord>&)>* record_sink_ =
+      nullptr;
+
+  std::vector<std::optional<SingleFaultSelection>> selections_;
+  std::vector<EdgeId> allowed_v_edges_;  // E_τ(v)
+  std::vector<NewEndingRecord> records_;
+  std::uint64_t new_edges_here_ = 0;
+};
+
+}  // namespace
+
+FtStructure build_cons2ftbfs(const Graph& g, Vertex s,
+                             const Cons2Options& opt) {
+  FTBFS_EXPECTS(s < g.num_vertices());
+  const WeightAssignment w(g, opt.weight_seed);
+  PathSelector sel(g, w);
+
+  sel.mask().clear();
+  const SpResult tree = sel.w_sssp(s);  // copy: buffers are reused later
+
+  FtStructure h;
+  std::vector<bool> in_h(g.num_edges(), false);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (v != s && tree.reached(v) && !in_h[tree.parent_edge[v]]) {
+      in_h[tree.parent_edge[v]] = true;
+      ++h.stats.tree_edges;
+    }
+  }
+
+  VertexIndexMap pi_pos(g.num_vertices());
+  VertexIndexMap aux_pos(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (v == s || !tree.reached(v)) continue;
+    PerVertexRun run(g, sel, pi_pos, aux_pos, s, v, extract_path(tree, v),
+                     in_h, h.stats, opt);
+    const std::uint64_t new_here = run.run();
+    h.stats.max_new_per_vertex =
+        std::max(h.stats.max_new_per_vertex, new_here);
+  }
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (in_h[e]) h.edges.push_back(e);
+  }
+  h.stats.dijkstra_runs = sel.dijkstra_runs();
+  return h;
+}
+
+}  // namespace ftbfs

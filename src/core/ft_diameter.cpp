@@ -1,0 +1,54 @@
+#include "core/ft_diameter.h"
+
+#include <algorithm>
+
+#include "graph/mask.h"
+#include "spath/bfs.h"
+
+namespace ftbfs {
+namespace {
+
+std::uint32_t max_dist_under(const Graph& g, Bfs& bfs, GraphMask& mask,
+                             Vertex s, std::vector<EdgeId>& faults,
+                             EdgeId next, unsigned remaining) {
+  mask.clear();
+  block_edges(mask, faults);
+  const BfsResult& r = bfs.run(s, &mask);
+  std::uint32_t worst = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (r.hops[v] == kInfHops) return kInfHops;
+    worst = std::max(worst, r.hops[v]);
+  }
+  if (remaining == 0) return worst;
+  for (EdgeId e = next; e < g.num_edges(); ++e) {
+    faults.push_back(e);
+    const std::uint32_t sub =
+        max_dist_under(g, bfs, mask, s, faults, e + 1, remaining - 1);
+    faults.pop_back();
+    if (sub == kInfHops) return kInfHops;
+    worst = std::max(worst, sub);
+  }
+  return worst;
+}
+
+}  // namespace
+
+std::uint32_t ft_eccentricity(const Graph& g, Vertex s, unsigned k) {
+  FTBFS_EXPECTS(s < g.num_vertices());
+  Bfs bfs(g);
+  GraphMask mask(g);
+  std::vector<EdgeId> faults;
+  return max_dist_under(g, bfs, mask, s, faults, 0, k);
+}
+
+std::uint32_t ft_diameter(const Graph& g, unsigned k) {
+  std::uint32_t worst = 0;
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    const std::uint32_t ecc = ft_eccentricity(g, s, k);
+    if (ecc == kInfHops) return kInfHops;
+    worst = std::max(worst, ecc);
+  }
+  return worst;
+}
+
+}  // namespace ftbfs

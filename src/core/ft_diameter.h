@@ -1,0 +1,22 @@
+// f-FT-diameter (§1, "Easy case (2)"): D_f(G) is the maximum shortest-path
+// distance under any fault set of size <= f-1. Observation 1.6 bounds the
+// generic last-edge structure by O(D_f(G)^f · n) edges; the E4 experiment
+// measures exactly that.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ftbfs {
+
+// max_v dist(s, v, G∖F) over all |F| <= k. Returns kInfHops (from spath/bfs.h)
+// if some fault set disconnects a vertex from s.
+[[nodiscard]] std::uint32_t ft_eccentricity(const Graph& g, Vertex s,
+                                            unsigned k);
+
+// max over all sources (the paper's D_{k+1}(G)). O(n · m^k) BFS runs — meant
+// for small graphs and benchmarks.
+[[nodiscard]] std::uint32_t ft_diameter(const Graph& g, unsigned k);
+
+}  // namespace ftbfs

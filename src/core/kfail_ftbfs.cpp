@@ -1,0 +1,224 @@
+#include "core/kfail_ftbfs.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "spath/path.h"
+#include "spath/replacement.h"
+#include "spath/weights.h"
+
+namespace ftbfs {
+namespace {
+
+// Order-insensitive hash of a small sorted fault set.
+struct FaultSetHash {
+  std::size_t operator()(const std::vector<EdgeId>& f) const {
+    std::size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const EdgeId e : f) {
+      h ^= (h << 13);
+      h += 0x100000001b3ULL * (e + 1);
+    }
+    return h;
+  }
+};
+
+class ChainEnumerator {
+ public:
+  ChainEnumerator(const Graph& g, ReplacementOracle& oracle, Vertex s,
+                  Vertex v, unsigned f, std::uint64_t cap,
+                  std::vector<bool>& in_h, FtBfsStats& stats,
+                  KFailStats& kstats)
+      : g_(g),
+        oracle_(oracle),
+        s_(s),
+        v_(v),
+        f_(f),
+        cap_(cap),
+        in_h_(in_h),
+        stats_(stats),
+        kstats_(kstats) {}
+
+  std::uint64_t run() {
+    std::vector<EdgeId> empty;
+    recurse(empty, 0);
+    if (truncated_) ++kstats_.chain_cap_hits;
+    return new_edges_;
+  }
+
+ private:
+  void recurse(std::vector<EdgeId>& faults, unsigned depth) {
+    if (truncated_) return;
+    if (budget_used_ >= cap_) {
+      truncated_ = true;
+      return;
+    }
+    ++budget_used_;
+    ++kstats_.chains_enumerated;
+    ++stats_.fault_pairs_considered;
+
+    // Deduplicate fault sets reachable through different chain orders.
+    std::vector<EdgeId> key = faults;
+    std::sort(key.begin(), key.end());
+    if (!seen_.insert(std::move(key)).second) return;
+
+    const auto rp = oracle_.replacement_path(s_, v_, faults);
+    if (!rp) return;  // v disconnected under these faults: nothing to keep
+    const EdgeId le = last_edge(g_, rp->verts);
+    if (!in_h_[le]) {
+      in_h_[le] = true;
+      ++stats_.new_edges;
+      ++new_edges_;
+    }
+    if (depth == f_) return;
+
+    const std::vector<EdgeId> path_edges = edges_of(g_, rp->verts);
+    for (const EdgeId e : path_edges) {
+      faults.push_back(e);
+      recurse(faults, depth + 1);
+      faults.pop_back();
+    }
+  }
+
+  const Graph& g_;
+  ReplacementOracle& oracle_;
+  Vertex s_;
+  Vertex v_;
+  unsigned f_;
+  std::uint64_t cap_;
+  std::vector<bool>& in_h_;
+  FtBfsStats& stats_;
+  KFailStats& kstats_;
+
+  std::unordered_set<std::vector<EdgeId>, FaultSetHash> seen_;
+  std::uint64_t budget_used_ = 0;
+  std::uint64_t new_edges_ = 0;
+  bool truncated_ = false;
+};
+
+// Vertex-fault chain enumeration: each successive fault is an *interior*
+// vertex of the current replacement path (s and the target are never faulted
+// — the FT property is vacuous when the target itself fails).
+class VertexChainEnumerator {
+ public:
+  VertexChainEnumerator(const Graph& g, ReplacementOracle& oracle, Vertex s,
+                        Vertex v, unsigned f, std::uint64_t cap,
+                        std::vector<bool>& in_h, FtBfsStats& stats,
+                        KFailStats& kstats)
+      : g_(g),
+        oracle_(oracle),
+        s_(s),
+        v_(v),
+        f_(f),
+        cap_(cap),
+        in_h_(in_h),
+        stats_(stats),
+        kstats_(kstats) {}
+
+  std::uint64_t run() {
+    std::vector<Vertex> empty;
+    recurse(empty, 0);
+    if (truncated_) ++kstats_.chain_cap_hits;
+    return new_edges_;
+  }
+
+ private:
+  void recurse(std::vector<Vertex>& faults, unsigned depth) {
+    if (truncated_) return;
+    if (budget_used_ >= cap_) {
+      truncated_ = true;
+      return;
+    }
+    ++budget_used_;
+    ++kstats_.chains_enumerated;
+    ++stats_.fault_pairs_considered;
+
+    std::vector<Vertex> key = faults;
+    std::sort(key.begin(), key.end());
+    if (!seen_.insert(std::move(key)).second) return;
+
+    GraphMask& mask = oracle_.mask();
+    mask.clear();
+    for (const Vertex u : faults) mask.block_vertex(u);
+    const auto rp = oracle_.query(s_, v_);
+    if (!rp) return;
+    const EdgeId le = last_edge(g_, rp->verts);
+    if (!in_h_[le]) {
+      in_h_[le] = true;
+      ++stats_.new_edges;
+      ++new_edges_;
+    }
+    if (depth == f_) return;
+
+    const Path path = rp->verts;
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      faults.push_back(path[i]);
+      recurse(faults, depth + 1);
+      faults.pop_back();
+    }
+  }
+
+  const Graph& g_;
+  ReplacementOracle& oracle_;
+  Vertex s_;
+  Vertex v_;
+  unsigned f_;
+  std::uint64_t cap_;
+  std::vector<bool>& in_h_;
+  FtBfsStats& stats_;
+  KFailStats& kstats_;
+
+  std::unordered_set<std::vector<Vertex>, FaultSetHash> seen_;
+  std::uint64_t budget_used_ = 0;
+  std::uint64_t new_edges_ = 0;
+  bool truncated_ = false;
+};
+
+template <typename Enumerator>
+KFailResult build_kfail_generic(const Graph& g, Vertex s, unsigned f,
+                                const KFailOptions& opt) {
+  FTBFS_EXPECTS(s < g.num_vertices());
+  const WeightAssignment w(g, opt.weight_seed);
+  ReplacementOracle oracle(g, w);
+
+  KFailResult out;
+  std::vector<bool> in_h(g.num_edges(), false);
+
+  oracle.mask().clear();
+  const SpResult tree = oracle.query_sssp(s);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (v != s && tree.reached(v) && !in_h[tree.parent_edge[v]]) {
+      in_h[tree.parent_edge[v]] = true;
+      ++out.structure.stats.tree_edges;
+    }
+  }
+
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (v == s || !tree.reached(v)) continue;
+    Enumerator chain(g, oracle, s, v, f, opt.max_chains_per_vertex, in_h,
+                     out.structure.stats, out.kstats);
+    const std::uint64_t new_here = chain.run();
+    out.structure.stats.max_new_per_vertex =
+        std::max(out.structure.stats.max_new_per_vertex, new_here);
+  }
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (in_h[e]) out.structure.edges.push_back(e);
+  }
+  out.structure.stats.dijkstra_runs = oracle.queries_issued();
+  return out;
+}
+
+}  // namespace
+
+KFailResult build_kfail_ftbfs_vertex(const Graph& g, Vertex s, unsigned f,
+                                     const KFailOptions& opt) {
+  return build_kfail_generic<VertexChainEnumerator>(g, s, f, opt);
+}
+
+KFailResult build_kfail_ftbfs(const Graph& g, Vertex s, unsigned f,
+                              const KFailOptions& opt) {
+  return build_kfail_generic<ChainEnumerator>(g, s, f, opt);
+}
+
+}  // namespace ftbfs

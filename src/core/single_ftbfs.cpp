@@ -1,0 +1,61 @@
+#include "core/single_ftbfs.h"
+
+#include <algorithm>
+
+#include "core/selector.h"
+#include "spath/dijkstra.h"
+#include "spath/path.h"
+#include "spath/weights.h"
+
+namespace ftbfs {
+
+FtStructure build_single_ftbfs(const Graph& g, Vertex s,
+                               const SingleFtbfsOptions& opt) {
+  FTBFS_EXPECTS(s < g.num_vertices());
+  const WeightAssignment w(g, opt.weight_seed);
+  PathSelector sel(g, w);
+
+  // T0(s): the W-unique shortest-path tree.
+  sel.mask().clear();
+  const SpResult tree = sel.w_sssp(s);  // copy: later runs reuse the buffers
+
+  FtStructure h;
+  std::vector<bool> in_h(g.num_edges(), false);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (v != s && tree.reached(v)) {
+      if (!in_h[tree.parent_edge[v]]) {
+        in_h[tree.parent_edge[v]] = true;
+        ++h.stats.tree_edges;
+      }
+    }
+  }
+
+  VertexIndexMap pi_pos(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (v == s || !tree.reached(v)) continue;
+    const Path pi = extract_path(tree, v);
+    pi_pos.bind(pi);
+    std::uint64_t new_here = 0;
+    for (std::size_t i = 0; i + 1 < pi.size(); ++i) {
+      ++h.stats.fault_pairs_considered;
+      const auto selection = select_single_fault(sel, pi, pi_pos, i);
+      if (!selection) continue;  // e_i disconnects v: nothing to preserve
+      const EdgeId le = last_edge(g, selection->path);
+      if (!in_h[le]) {
+        in_h[le] = true;
+        ++h.stats.new_edges;
+        ++h.stats.classes.single;
+        ++new_here;
+      }
+    }
+    h.stats.max_new_per_vertex = std::max(h.stats.max_new_per_vertex, new_here);
+  }
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (in_h[e]) h.edges.push_back(e);
+  }
+  h.stats.dijkstra_runs = sel.dijkstra_runs();
+  return h;
+}
+
+}  // namespace ftbfs

@@ -1,0 +1,128 @@
+#include "core/swap_ftbfs.h"
+
+#include <algorithm>
+
+#include "graph/mask.h"
+#include "spath/bfs.h"
+#include "spath/dijkstra.h"
+#include "spath/tree_index.h"
+#include "spath/weights.h"
+
+namespace ftbfs {
+
+SwapResult build_swap_ftbfs(const Graph& g, Vertex s,
+                            const SwapFtbfsOptions& opt) {
+  FTBFS_EXPECTS(s < g.num_vertices());
+  const WeightAssignment w(g, opt.weight_seed);
+  Dijkstra dij(g, w);
+  const SpResult tree = dij.run(s);
+  const TreeIndex index(g, tree, s);
+
+  SwapResult out;
+  std::vector<bool> in_h(g.num_edges(), false);
+  std::vector<bool> is_tree(g.num_edges(), false);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (v != s && tree.reached(v)) {
+      is_tree[tree.parent_edge[v]] = true;
+      if (!in_h[tree.parent_edge[v]]) {
+        in_h[tree.parent_edge[v]] = true;
+        ++out.swap.tree_edges;
+      }
+    }
+  }
+
+  // Best swap per tree edge, keyed by the child endpoint c of (parent(c), c):
+  // candidate cost = dist(s, outside-endpoint) + 1 + dist_T(inside-endpoint, c)
+  // where dist_T within the subtree is depth(a) - depth(c).
+  std::vector<std::uint64_t> best_cost(g.num_vertices(),
+                                       std::numeric_limits<std::uint64_t>::max());
+  std::vector<EdgeId> best_edge(g.num_vertices(), kInvalidEdge);
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (is_tree[e]) continue;
+    const Edge& ed = g.edge(e);
+    if (!index.reached(ed.u) || !index.reached(ed.v)) continue;
+    // The non-tree edge (u,v) crosses the cut of every tree edge on the
+    // u→LCA and v→LCA chains. Walk both chains to the LCA.
+    Vertex a = ed.u, b = ed.v;
+    auto offer = [&](Vertex inside, Vertex outside_endpoint, Vertex cut_child) {
+      const std::uint64_t cost =
+          static_cast<std::uint64_t>(index.depth(outside_endpoint)) + 1 +
+          (index.depth(inside) - index.depth(cut_child));
+      if (cost < best_cost[cut_child]) {
+        best_cost[cut_child] = cost;
+        best_edge[cut_child] = e;
+      }
+    };
+    // Climb the deeper side until both meet (LCA), offering the edge as a
+    // swap for every tree edge passed.
+    Vertex ca = a, cb = b;
+    while (ca != cb) {
+      if (index.depth(ca) >= index.depth(cb)) {
+        offer(a, b, ca);
+        ca = index.parent(ca);
+      } else {
+        offer(b, a, cb);
+        cb = index.parent(cb);
+      }
+    }
+  }
+
+  for (Vertex c = 0; c < g.num_vertices(); ++c) {
+    if (c == s || !index.reached(c)) continue;
+    if (best_edge[c] == kInvalidEdge) {
+      ++out.swap.uncovered_cuts;  // bridge edge: no swap exists
+      continue;
+    }
+    if (!in_h[best_edge[c]]) {
+      in_h[best_edge[c]] = true;
+      ++out.swap.swap_edges;
+    }
+  }
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (in_h[e]) out.structure.edges.push_back(e);
+  }
+  out.structure.stats.tree_edges = out.swap.tree_edges;
+  out.structure.stats.new_edges = out.swap.swap_edges;
+  return out;
+}
+
+StretchReport measure_single_fault_stretch(const Graph& g, Vertex s,
+                                           const FtStructure& h) {
+  const Graph hg = materialize(g, h);
+  Bfs g_bfs(g), h_bfs(hg);
+  GraphMask g_mask(g), h_mask(hg);
+  StretchReport report;
+  double stretch_sum = 0.0;
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    g_mask.clear();
+    g_mask.block_edge(e);
+    const BfsResult& truth = g_bfs.run(s, &g_mask);
+    h_mask.clear();
+    const EdgeId he = hg.find_edge(g.edge(e).u, g.edge(e).v);
+    if (he != kInvalidEdge) h_mask.block_edge(he);
+    const BfsResult& got = h_bfs.run(s, &h_mask);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (v == s || truth.hops[v] == kInfHops) continue;
+      ++report.comparisons;
+      if (got.hops[v] == kInfHops) {
+        ++report.disconnections;
+        continue;
+      }
+      const double stretch = truth.hops[v] == 0
+                                 ? 1.0
+                                 : static_cast<double>(got.hops[v]) /
+                                       static_cast<double>(truth.hops[v]);
+      stretch_sum += stretch;
+      report.max_stretch = std::max(report.max_stretch, stretch);
+    }
+  }
+  const std::uint64_t finite = report.comparisons - report.disconnections;
+  report.avg_stretch = finite > 0 ? stretch_sum / static_cast<double>(finite)
+                                  : 1.0;
+  return report;
+}
+
+}  // namespace ftbfs

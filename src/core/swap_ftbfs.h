@@ -1,0 +1,57 @@
+// Swap-edge structure: the O(n)-edge approximate counterpart the paper
+// contrasts exact FT-BFS structures with (§1, discussing [12, 3]: "exact
+// FT-BFS structures may be rather expensive — approximate structures with
+// O(n) edges exist").
+//
+// Construction: the BFS tree T0(s) plus, for every tree edge e = (p, c), one
+// *swap edge* — a non-tree edge (a, b) crossing the cut between subtree(c)
+// and the rest, chosen to minimize dist(s,b) + 1 + dist_T(a,c) (the resulting
+// route length to the subtree root c). Size <= 2(n-1) edges.
+//
+// Guarantees (tested):
+//   * connectivity: if G ∖ {e} is connected for a tree edge e, so is H ∖ {e};
+//   * exactness is NOT guaranteed — the stretch is measured empirically
+//     (bench E15), which is exactly how this library positions approximate
+//     structures against the paper's exact ones: a size/stretch trade-off.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ftbfs_common.h"
+#include "graph/graph.h"
+
+namespace ftbfs {
+
+struct SwapFtbfsOptions {
+  std::uint64_t weight_seed = 1;
+};
+
+struct SwapStats {
+  std::uint64_t tree_edges = 0;
+  std::uint64_t swap_edges = 0;      // distinct swap edges added
+  std::uint64_t uncovered_cuts = 0;  // tree edges with no crossing edge
+};
+
+struct SwapResult {
+  FtStructure structure;
+  SwapStats swap;
+};
+
+// Builds the swap-edge structure rooted at s.
+[[nodiscard]] SwapResult build_swap_ftbfs(const Graph& g, Vertex s,
+                                          const SwapFtbfsOptions& opt = {});
+
+// Measures the worst and average multiplicative stretch of `h` over all
+// single-edge faults e and all targets v reachable in G∖{e}:
+//   stretch(v, e) = dist(s,v,H∖e) / dist(s,v,G∖e)   (infinity if H loses v).
+struct StretchReport {
+  double max_stretch = 1.0;
+  double avg_stretch = 1.0;
+  std::uint64_t comparisons = 0;
+  std::uint64_t disconnections = 0;  // H∖e loses a vertex G∖e keeps
+};
+
+[[nodiscard]] StretchReport measure_single_fault_stretch(
+    const Graph& g, Vertex s, const FtStructure& h);
+
+}  // namespace ftbfs

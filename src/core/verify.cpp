@@ -1,0 +1,236 @@
+#include "core/verify.h"
+
+#include <algorithm>
+
+#include "graph/mask.h"
+#include "spath/bfs.h"
+#include "util/rng.h"
+
+namespace ftbfs {
+namespace {
+
+// Shared machinery: compares dist(s,·) in G∖F vs H∖F for one fault set.
+class Comparator {
+ public:
+  Comparator(const Graph& g, std::span<const EdgeId> h_edges)
+      : g_(g),
+        h_(subgraph_from_edges(g, h_edges)),
+        g_mask_(g),
+        h_mask_(h_),
+        g_bfs_(g),
+        h_bfs_(h_) {}
+
+  // Returns a violation for fault set `faults` (edge ids of g), if any.
+  std::optional<Violation> check(std::span<const Vertex> sources,
+                                 std::span<const EdgeId> faults) {
+    g_mask_.clear();
+    h_mask_.clear();
+    for (const EdgeId e : faults) {
+      g_mask_.block_edge(e);
+      const Edge& ed = g_.edge(e);
+      const EdgeId he = h_.find_edge(ed.u, ed.v);
+      if (he != kInvalidEdge) h_mask_.block_edge(he);
+    }
+    for (const Vertex s : sources) {
+      const BfsResult& rg = g_bfs_.run(s, &g_mask_);
+      const BfsResult& rh = h_bfs_.run(s, &h_mask_);
+      for (Vertex v = 0; v < g_.num_vertices(); ++v) {
+        if (rg.hops[v] != rh.hops[v]) {
+          Violation viol;
+          viol.source = s;
+          viol.v = v;
+          viol.faults.assign(faults.begin(), faults.end());
+          viol.dist_g = rg.hops[v];
+          viol.dist_h = rh.hops[v];
+          return viol;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] const Graph& g() const { return g_; }
+
+ private:
+  const Graph& g_;
+  Graph h_;
+  GraphMask g_mask_;
+  GraphMask h_mask_;
+  Bfs g_bfs_;
+  Bfs h_bfs_;
+};
+
+std::optional<Violation> enumerate_faults(Comparator& cmp,
+                                          std::span<const Vertex> sources,
+                                          std::vector<EdgeId>& faults,
+                                          EdgeId next, unsigned remaining) {
+  if (auto v = cmp.check(sources, faults)) return v;
+  if (remaining == 0) return std::nullopt;
+  for (EdgeId e = next; e < cmp.g().num_edges(); ++e) {
+    faults.push_back(e);
+    if (auto v = enumerate_faults(cmp, sources, faults, e + 1, remaining - 1)) {
+      return v;
+    }
+    faults.pop_back();
+  }
+  return std::nullopt;
+}
+
+// Vertex-fault comparator: blocks the same vertex ids on both graphs (vertex
+// ids are shared between g and materialized subgraphs).
+class VertexComparator {
+ public:
+  VertexComparator(const Graph& g, std::span<const EdgeId> h_edges)
+      : g_(g),
+        h_(subgraph_from_edges(g, h_edges)),
+        g_mask_(g),
+        h_mask_(h_),
+        g_bfs_(g),
+        h_bfs_(h_) {}
+
+  std::optional<Violation> check(std::span<const Vertex> sources,
+                                 std::span<const Vertex> faults) {
+    g_mask_.clear();
+    h_mask_.clear();
+    for (const Vertex u : faults) {
+      g_mask_.block_vertex(u);
+      h_mask_.block_vertex(u);
+    }
+    for (const Vertex s : sources) {
+      const BfsResult& rg = g_bfs_.run(s, &g_mask_);
+      const BfsResult& rh = h_bfs_.run(s, &h_mask_);
+      for (Vertex v = 0; v < g_.num_vertices(); ++v) {
+        if (rg.hops[v] != rh.hops[v]) {
+          Violation viol;
+          viol.source = s;
+          viol.v = v;
+          viol.faults.assign(faults.begin(), faults.end());
+          viol.dist_g = rg.hops[v];
+          viol.dist_h = rh.hops[v];
+          return viol;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] const Graph& g() const { return g_; }
+
+ private:
+  const Graph& g_;
+  Graph h_;
+  GraphMask g_mask_;
+  GraphMask h_mask_;
+  Bfs g_bfs_;
+  Bfs h_bfs_;
+};
+
+std::optional<Violation> enumerate_vertex_faults(
+    VertexComparator& cmp, std::span<const Vertex> sources,
+    std::vector<Vertex>& faults, Vertex next, unsigned remaining) {
+  if (auto v = cmp.check(sources, faults)) return v;
+  if (remaining == 0) return std::nullopt;
+  for (Vertex u = next; u < cmp.g().num_vertices(); ++u) {
+    faults.push_back(u);
+    if (auto v = enumerate_vertex_faults(cmp, sources, faults, u + 1,
+                                         remaining - 1)) {
+      return v;
+    }
+    faults.pop_back();
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Violation> verify_exhaustive_vertex(
+    const Graph& g, std::span<const EdgeId> h_edges,
+    std::span<const Vertex> sources, unsigned f) {
+  FTBFS_EXPECTS(f <= 3);
+  VertexComparator cmp(g, h_edges);
+  std::vector<Vertex> faults;
+  return enumerate_vertex_faults(cmp, sources, faults, 0, f);
+}
+
+std::string Violation::describe(const Graph& g) const {
+  std::string out = "FT-MBFS violation: source " + std::to_string(source) +
+                    " -> " + std::to_string(v) + " faults {";
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Edge& e = g.edge(faults[i]);
+    if (i > 0) out += ", ";
+    out += "(" + std::to_string(e.u) + "," + std::to_string(e.v) + ")";
+  }
+  out += "} dist_G=" +
+         (dist_g == kInfHops ? std::string("inf") : std::to_string(dist_g)) +
+         " dist_H=" +
+         (dist_h == kInfHops ? std::string("inf") : std::to_string(dist_h));
+  return out;
+}
+
+std::optional<Violation> verify_exhaustive(const Graph& g,
+                                           std::span<const EdgeId> h_edges,
+                                           std::span<const Vertex> sources,
+                                           unsigned f) {
+  FTBFS_EXPECTS(f <= 3);
+  Comparator cmp(g, h_edges);
+  std::vector<EdgeId> faults;
+  return enumerate_faults(cmp, sources, faults, 0, f);
+}
+
+std::optional<Violation> verify_sampled(const Graph& g,
+                                        std::span<const EdgeId> h_edges,
+                                        std::span<const Vertex> sources,
+                                        unsigned f, std::uint64_t samples,
+                                        std::uint64_t seed) {
+  FTBFS_EXPECTS(f >= 1);
+  Comparator cmp(g, h_edges);
+  Rng rng(derive_seed(seed, 0x7E51F1));
+  Bfs bfs(g);
+  GraphMask mask(g);
+
+  // The fault-free case is always checked.
+  if (auto v = cmp.check(sources, {})) return v;
+
+  for (std::uint64_t it = 0; it < samples; ++it) {
+    std::vector<EdgeId> faults;
+    if (it % 2 == 0) {
+      // Uniform distinct edges.
+      while (faults.size() < f) {
+        const EdgeId e = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+        if (std::find(faults.begin(), faults.end(), e) == faults.end()) {
+          faults.push_back(e);
+        }
+      }
+    } else {
+      // Adversarial chain: each successive fault lies on the replacement path
+      // of the previous ones.
+      const Vertex s =
+          sources[static_cast<std::size_t>(rng.next_below(sources.size()))];
+      const Vertex v = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+      for (unsigned step = 0; step < f; ++step) {
+        mask.clear();
+        block_edges(mask, faults);
+        const BfsResult& r = bfs.run(s, &mask);
+        if (r.hops[v] == kInfHops || r.hops[v] == 0) break;
+        // Walk parent pointers; pick a uniformly random edge of the path.
+        std::vector<EdgeId> path_edges;
+        for (Vertex cur = v; r.parent[cur] != kInvalidVertex;
+             cur = r.parent[cur]) {
+          path_edges.push_back(r.parent_edge[cur]);
+        }
+        faults.push_back(path_edges[static_cast<std::size_t>(
+            rng.next_below(path_edges.size()))]);
+      }
+      while (faults.size() < f) {  // pad with uniform edges if chain ended
+        const EdgeId e = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+        if (std::find(faults.begin(), faults.end(), e) == faults.end()) {
+          faults.push_back(e);
+        }
+      }
+    }
+    if (auto viol = cmp.check(sources, faults)) return viol;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ftbfs

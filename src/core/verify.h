@@ -1,0 +1,54 @@
+// Verification oracles for the FT-MBFS property:
+//   dist(s, v, H∖F) = dist(s, v, G∖F)  for all (s, v) ∈ S×V, |F| <= f.
+//
+// The exhaustive verifier enumerates every fault set (O(m^f) BFS pairs) and is
+// the test suite's ground truth on small graphs. The sampled verifier handles
+// larger instances by mixing uniform fault sets with *adversarial* ones placed
+// on shortest paths and on replacement paths — the only places a fault can
+// matter — which empirically finds planted bugs orders of magnitude faster
+// than uniform sampling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ftbfs {
+
+struct Violation {
+  Vertex source = kInvalidVertex;
+  Vertex v = kInvalidVertex;
+  std::vector<EdgeId> faults;
+  std::uint32_t dist_g = 0;  // kInfHops means unreachable
+  std::uint32_t dist_h = 0;
+
+  [[nodiscard]] std::string describe(const Graph& g) const;
+};
+
+// Exhaustively checks every fault set of size <= f (f <= 3 supported).
+// Returns the first violation found, or nullopt if H is a valid structure.
+[[nodiscard]] std::optional<Violation> verify_exhaustive(
+    const Graph& g, std::span<const EdgeId> h_edges,
+    std::span<const Vertex> sources, unsigned f);
+
+// Randomized check: `samples` fault sets of size exactly f (half uniform,
+// half adversarially placed along shortest/replacement paths).
+[[nodiscard]] std::optional<Violation> verify_sampled(
+    const Graph& g, std::span<const EdgeId> h_edges,
+    std::span<const Vertex> sources, unsigned f, std::uint64_t samples,
+    std::uint64_t seed);
+
+// Vertex-fault variant of the exhaustive verifier:
+//   dist(s, v, H∖F) = dist(s, v, G∖F) for all vertex sets F, |F| <= f.
+// (Fault sets containing s or v make both sides infinite/undefined and are
+// vacuously satisfied; they are still enumerated and compared.) The
+// `faults` field of a returned violation holds *vertex* ids.
+[[nodiscard]] std::optional<Violation> verify_exhaustive_vertex(
+    const Graph& g, std::span<const EdgeId> h_edges,
+    std::span<const Vertex> sources, unsigned f);
+
+}  // namespace ftbfs

@@ -1,0 +1,154 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ftbfs {
+
+Graph erdos_renyi(Vertex n, double p, std::uint64_t seed, bool connect_spine) {
+  FTBFS_EXPECTS(n >= 1);
+  FTBFS_EXPECTS(p >= 0.0 && p <= 1.0);
+  Rng rng(derive_seed(seed, 0xE12D05));
+  GraphBuilder b(n);
+
+  std::vector<Vertex> order(n);
+  for (Vertex v = 0; v < n; ++v) order[v] = v;
+  if (connect_spine) {
+    rng.shuffle(order);
+    for (Vertex i = 0; i + 1 < n; ++i) b.add_edge(order[i], order[i + 1]);
+  }
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (rng.next_bool(p) && !b.has_edge(u, v)) b.add_edge(u, v);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph random_connected(Vertex n, EdgeId m, std::uint64_t seed) {
+  FTBFS_EXPECTS(n >= 1);
+  FTBFS_EXPECTS(m + 1 >= n);
+  FTBFS_EXPECTS(static_cast<std::uint64_t>(m) * 2 <=
+                static_cast<std::uint64_t>(n) * (n - 1));
+  Rng rng(derive_seed(seed, 0x5EED5));
+  GraphBuilder b(n);
+
+  // Random spanning tree: attach each vertex (in random order) to a uniformly
+  // random already-attached vertex. (Random attachment tree; not uniform over
+  // all spanning trees, but unbiased enough for workload generation.)
+  std::vector<Vertex> order(n);
+  for (Vertex v = 0; v < n; ++v) order[v] = v;
+  rng.shuffle(order);
+  for (Vertex i = 1; i < n; ++i) {
+    const Vertex parent = order[rng.next_below(i)];
+    b.add_edge(order[i], parent);
+  }
+  // Random distinct chords until edge budget reached.
+  while (b.num_edges() < m) {
+    const Vertex u = static_cast<Vertex>(rng.next_below(n));
+    const Vertex v = static_cast<Vertex>(rng.next_below(n));
+    if (u == v || b.has_edge(u, v)) continue;
+    b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+Graph path_graph(Vertex n) {
+  FTBFS_EXPECTS(n >= 1);
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return std::move(b).build();
+}
+
+Graph cycle_graph(Vertex n) {
+  FTBFS_EXPECTS(n >= 3);
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(n - 1, 0);
+  return std::move(b).build();
+}
+
+Graph complete_graph(Vertex n) {
+  FTBFS_EXPECTS(n >= 1);
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+Graph complete_bipartite(Vertex a, Vertex b_count) {
+  FTBFS_EXPECTS(a >= 1 && b_count >= 1);
+  GraphBuilder b(a + b_count);
+  for (Vertex u = 0; u < a; ++u) {
+    for (Vertex v = 0; v < b_count; ++v) b.add_edge(u, a + v);
+  }
+  return std::move(b).build();
+}
+
+Graph grid_graph(Vertex rows, Vertex cols) {
+  FTBFS_EXPECTS(rows >= 1 && cols >= 1);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph hypercube_graph(unsigned dim) {
+  FTBFS_EXPECTS(dim >= 1 && dim < 20);
+  const Vertex n = Vertex{1} << dim;
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (unsigned bit = 0; bit < dim; ++bit) {
+      const Vertex w = v ^ (Vertex{1} << bit);
+      if (v < w) b.add_edge(v, w);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph path_with_chords(Vertex n, EdgeId chords, std::uint64_t seed) {
+  FTBFS_EXPECTS(n >= 2);
+  Rng rng(derive_seed(seed, 0xC0D5));
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  EdgeId added = 0;
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 64ULL * (chords + 1);
+  while (added < chords && attempts < max_attempts) {
+    ++attempts;
+    const Vertex u = static_cast<Vertex>(rng.next_below(n));
+    const Vertex v = static_cast<Vertex>(rng.next_below(n));
+    const Vertex lo = std::min(u, v), hi = std::max(u, v);
+    if (hi - lo < 2) continue;  // path edges / self loops excluded
+    if (b.has_edge(lo, hi)) continue;
+    b.add_edge(lo, hi);
+    ++added;
+  }
+  return std::move(b).build();
+}
+
+Graph barbell_graph(Vertex n, Vertex bridges) {
+  FTBFS_EXPECTS(n >= 4);
+  const Vertex half = n / 2;
+  FTBFS_EXPECTS(bridges >= 1 && bridges <= half);
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < half; ++u) {
+    for (Vertex v = u + 1; v < half; ++v) b.add_edge(u, v);
+  }
+  for (Vertex u = half; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  for (Vertex i = 0; i < bridges; ++i) b.add_edge(i, half + i);
+  return std::move(b).build();
+}
+
+}  // namespace ftbfs

@@ -1,0 +1,54 @@
+// Synthetic graph families used by the tests and the evaluation harness.
+//
+// The paper reports purely worst-case bounds, so the evaluation workload is
+// ours to define (documented in EXPERIMENTS.md): standard random families to
+// measure typical structure sizes, plus deterministic topologies exercising
+// extreme depth/width, plus the paper's own lower-bound constructions (in
+// src/lowerbound). All generators are deterministic in (parameters, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ftbfs {
+
+// Erdős–Rényi G(n, p). If connect_spine is true, a random Hamiltonian path is
+// added first so the sample is always connected (standard trick for
+// experiments that need connectivity at small n·p).
+[[nodiscard]] Graph erdos_renyi(Vertex n, double p, std::uint64_t seed,
+                                bool connect_spine = true);
+
+// Connected graph with exactly m edges (m >= n-1): a uniform random spanning
+// tree (Wilson-ish random walk insertion) plus m-(n-1) distinct random chords.
+// Requires m <= n(n-1)/2.
+[[nodiscard]] Graph random_connected(Vertex n, EdgeId m, std::uint64_t seed);
+
+// Simple path 0-1-...-n-1. Worst case for BFS-tree depth.
+[[nodiscard]] Graph path_graph(Vertex n);
+
+// Cycle 0-1-...-n-1-0. The smallest 2-edge-connected graph.
+[[nodiscard]] Graph cycle_graph(Vertex n);
+
+// Complete graph K_n.
+[[nodiscard]] Graph complete_graph(Vertex n);
+
+// Complete bipartite graph K_{a,b}; vertices 0..a-1 on the left side.
+[[nodiscard]] Graph complete_bipartite(Vertex a, Vertex b);
+
+// rows x cols grid, vertex (r,c) = r*cols + c.
+[[nodiscard]] Graph grid_graph(Vertex rows, Vertex cols);
+
+// d-dimensional hypercube, n = 2^dim vertices.
+[[nodiscard]] Graph hypercube_graph(unsigned dim);
+
+// Path 0..n-1 plus `chords` random non-adjacent chords: deep BFS trees with
+// nontrivial replacement-path structure (many long detours).
+[[nodiscard]] Graph path_with_chords(Vertex n, EdgeId chords,
+                                     std::uint64_t seed);
+
+// Two cliques of size n/2 joined by `bridges` disjoint edges: stresses fault
+// tolerance across a sparse cut.
+[[nodiscard]] Graph barbell_graph(Vertex n, Vertex bridges);
+
+}  // namespace ftbfs

@@ -1,0 +1,99 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace ftbfs {
+
+EdgeId GraphBuilder::add_edge(Vertex u, Vertex v) {
+  FTBFS_EXPECTS(u < num_vertices_ && v < num_vertices_);
+  FTBFS_EXPECTS(u != v);  // no self-loops
+  if (u > v) std::swap(u, v);
+  FTBFS_EXPECTS(!has_edge(u, v));  // no parallel edges
+  if (staged_.empty()) staged_.resize(num_vertices_);
+  staged_[u].push_back(v);
+  edges_.push_back(Edge{u, v});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+bool GraphBuilder::has_edge(Vertex u, Vertex v) const {
+  if (u > v) std::swap(u, v);
+  if (staged_.empty()) return false;
+  const auto& list = staged_[u];
+  return std::find(list.begin(), list.end(), v) != list.end();
+}
+
+Graph GraphBuilder::build() && {
+  Graph g;
+  g.num_vertices_ = num_vertices_;
+  g.edges_ = std::move(edges_);
+  g.offsets_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    g.offsets_[v + 1] += g.offsets_[v];
+  }
+  g.arcs_.resize(2 * g.edges_.size());
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(),
+                                    g.offsets_.end() - 1);
+  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
+    const Edge& e = g.edges_[id];
+    g.arcs_[cursor[e.u]++] = Arc{e.v, id};
+    g.arcs_[cursor[e.v]++] = Arc{e.u, id};
+  }
+  // Sort each adjacency list by neighbor id so iteration is deterministic and
+  // find_edge can binary-search.
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    std::sort(g.arcs_.begin() + g.offsets_[v],
+              g.arcs_.begin() + g.offsets_[v + 1],
+              [](const Arc& a, const Arc& b) { return a.to < b.to; });
+  }
+  return g;
+}
+
+EdgeId Graph::find_edge(Vertex u, Vertex v) const {
+  FTBFS_EXPECTS(u < num_vertices_ && v < num_vertices_);
+  const auto nbrs = neighbors(u);
+  const auto it =
+      std::lower_bound(nbrs.begin(), nbrs.end(), v,
+                       [](const Arc& a, Vertex target) { return a.to < target; });
+  if (it != nbrs.end() && it->to == v) return it->id;
+  return kInvalidEdge;
+}
+
+Graph subgraph_from_edges(const Graph& g, std::span<const EdgeId> kept_edges) {
+  GraphBuilder b(g.num_vertices());
+  for (const EdgeId e : kept_edges) {
+    const Edge& ed = g.edge(e);
+    b.add_edge(ed.u, ed.v);
+  }
+  return std::move(b).build();
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::vector<Vertex> stack = {0};
+  seen[0] = true;
+  Vertex count = 1;
+  while (!stack.empty()) {
+    const Vertex v = stack.back();
+    stack.pop_back();
+    for (const Arc& arc : g.neighbors(v)) {
+      if (!seen[arc.to]) {
+        seen[arc.to] = true;
+        ++count;
+        stack.push_back(arc.to);
+      }
+    }
+  }
+  return count == g.num_vertices();
+}
+
+std::string describe(const Graph& g) {
+  return "Graph(n=" + std::to_string(g.num_vertices()) +
+         ", m=" + std::to_string(g.num_edges()) + ")";
+}
+
+}  // namespace ftbfs

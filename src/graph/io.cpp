@@ -1,0 +1,76 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+namespace ftbfs {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "# ftbfs edge list\n";
+  os << "n " << g.num_vertices() << "\n";
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    os << "e " << g.edge(e).u << " " << g.edge(e).v << "\n";
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::optional<GraphBuilder> builder;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string tag;
+    if (!(tokens >> tag)) continue;  // blank
+    if (tag == "n") {
+      if (builder.has_value()) {
+        throw GraphIoError(line_no, "duplicate 'n' header");
+      }
+      long long n = -1;
+      if (!(tokens >> n) || n < 0) {
+        throw GraphIoError(line_no, "expected 'n <count>'");
+      }
+      builder.emplace(static_cast<Vertex>(n));
+    } else if (tag == "e") {
+      if (!builder.has_value()) {
+        throw GraphIoError(line_no, "'e' before 'n' header");
+      }
+      long long u = -1, v = -1;
+      if (!(tokens >> u >> v) || u < 0 || v < 0) {
+        throw GraphIoError(line_no, "expected 'e <u> <v>'");
+      }
+      if (u >= builder->num_vertices() || v >= builder->num_vertices()) {
+        throw GraphIoError(line_no, "endpoint out of range");
+      }
+      if (u == v) throw GraphIoError(line_no, "self-loop");
+      if (builder->has_edge(static_cast<Vertex>(u), static_cast<Vertex>(v))) {
+        throw GraphIoError(line_no, "duplicate edge");
+      }
+      builder->add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    } else {
+      throw GraphIoError(line_no, "unknown record '" + tag + "'");
+    }
+  }
+  if (!builder.has_value()) {
+    throw GraphIoError(line_no, "missing 'n' header");
+  }
+  return std::move(*builder).build();
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw GraphIoError(0, "cannot open for writing: " + path);
+  write_edge_list(out, g);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw GraphIoError(0, "cannot open for reading: " + path);
+  return read_edge_list(in);
+}
+
+}  // namespace ftbfs

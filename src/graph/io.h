@@ -1,0 +1,44 @@
+// Plain-text graph serialization: a minimal edge-list format so structures
+// can be exchanged with external tools and the CLI.
+//
+// Format ("ftbfs edge list"):
+//   # comment lines and blank lines are ignored
+//   n <num_vertices>
+//   e <u> <v>          (0-based endpoints, one per line, no duplicates)
+//
+// Parsing errors throw GraphIoError with a line number — malformed input is
+// an expected runtime condition, not a programming error, so exceptions (not
+// contract aborts) are the right tool here.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace ftbfs {
+
+class GraphIoError : public std::runtime_error {
+ public:
+  GraphIoError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+// Writes the edge-list representation.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+// Parses an edge list; throws GraphIoError on malformed input.
+[[nodiscard]] Graph read_edge_list(std::istream& is);
+
+// File convenience wrappers; throw GraphIoError if the file cannot be opened.
+void save_graph(const std::string& path, const Graph& g);
+[[nodiscard]] Graph load_graph(const std::string& path);
+
+}  // namespace ftbfs

@@ -1,0 +1,9 @@
+#include "graph/mask.h"
+
+namespace ftbfs {
+
+void block_edges(GraphMask& mask, std::span<const EdgeId> faults) {
+  for (const EdgeId e : faults) mask.block_edge(e);
+}
+
+}  // namespace ftbfs

@@ -1,0 +1,162 @@
+#include "lowerbound/gf_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace ftbfs {
+namespace {
+
+// Edge accumulator with a vertex allocator; frozen into a Graph at the end.
+struct Ctx {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  Vertex next = 0;
+
+  Vertex alloc() { return next++; }
+
+  void edge(Vertex a, Vertex b) { edges.emplace_back(a, b); }
+
+  // Fresh path of `len` edges between existing vertices a and b; allocates
+  // len-1 interior vertices. Returns the full vertex sequence a..b.
+  Path connect(Vertex a, Vertex b, std::uint32_t len) {
+    FTBFS_EXPECTS(len >= 1);
+    Path p = {a};
+    Vertex prev = a;
+    for (std::uint32_t i = 0; i + 1 < len; ++i) {
+      const Vertex mid = alloc();
+      edge(prev, mid);
+      p.push_back(mid);
+      prev = mid;
+    }
+    edge(prev, b);
+    p.push_back(b);
+    return p;
+  }
+};
+
+using LabelByEndpoints = std::vector<std::pair<Vertex, Vertex>>;
+
+struct Sub {
+  Vertex root = kInvalidVertex;
+  std::vector<Vertex> leaves;                 // left-to-right
+  std::vector<LabelByEndpoints> labels;
+  std::vector<Path> leaf_paths;               // root -> leaf
+  std::vector<Vertex> spine;
+  std::uint32_t depth = 0;                    // max |leaf_path|
+};
+
+// Connector length at level f >= 2 for spine position i (1-based):
+// (d - i) * depth(f-1, d) + 1. (The paper's (d-i)*depth would make the last
+// connector empty; the +1 keeps every connector a real path. See gf_graph.h.)
+std::uint32_t connector_len(Vertex d, Vertex i, std::uint32_t sub_depth) {
+  return (d - i) * sub_depth + 1;
+}
+
+Sub build_rec(unsigned f, Vertex d, Ctx& ctx) {
+  Sub out;
+  out.spine.resize(d);
+  for (Vertex i = 0; i < d; ++i) {
+    out.spine[i] = ctx.alloc();
+    if (i > 0) ctx.edge(out.spine[i - 1], out.spine[i]);
+  }
+  out.root = out.spine[0];
+
+  if (f == 1) {
+    for (Vertex i = 1; i <= d; ++i) {
+      const Vertex z = ctx.alloc();
+      const std::uint32_t qlen = 6 + 2 * (d - i);
+      const Path q = ctx.connect(out.spine[i - 1], z, qlen);
+      Path leaf_path(out.spine.begin(),
+                     out.spine.begin() + static_cast<std::ptrdiff_t>(i));
+      leaf_path.pop_back();  // spine prefix up to (excluding) u_i ...
+      leaf_path.insert(leaf_path.end(), q.begin(), q.end());  // ... then Q_i
+      out.leaves.push_back(z);
+      out.leaf_paths.push_back(std::move(leaf_path));
+      LabelByEndpoints label;
+      if (i < d) label.emplace_back(out.spine[i - 1], out.spine[i]);
+      out.labels.push_back(std::move(label));
+    }
+  } else {
+    std::uint32_t sub_depth = 0;
+    for (Vertex i = 1; i <= d; ++i) {
+      Sub copy = build_rec(f - 1, d, ctx);
+      sub_depth = copy.depth;  // identical across copies
+      const Path q = ctx.connect(out.spine[i - 1], copy.root,
+                                 connector_len(d, i, sub_depth));
+      Path to_copy(out.spine.begin(),
+                   out.spine.begin() + static_cast<std::ptrdiff_t>(i));
+      to_copy.pop_back();
+      to_copy.insert(to_copy.end(), q.begin(), q.end());
+      for (std::size_t leaf = 0; leaf < copy.leaves.size(); ++leaf) {
+        Path leaf_path = to_copy;
+        leaf_path.insert(leaf_path.end(), copy.leaf_paths[leaf].begin() + 1,
+                         copy.leaf_paths[leaf].end());
+        LabelByEndpoints label;
+        if (i < d) label.emplace_back(out.spine[i - 1], out.spine[i]);
+        label.insert(label.end(), copy.labels[leaf].begin(),
+                     copy.labels[leaf].end());
+        out.leaves.push_back(copy.leaves[leaf]);
+        out.leaf_paths.push_back(std::move(leaf_path));
+        out.labels.push_back(std::move(label));
+      }
+    }
+  }
+  for (const Path& p : out.leaf_paths) {
+    out.depth = std::max(out.depth, static_cast<std::uint32_t>(p.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+GfGraph build_gf(unsigned f, Vertex d) {
+  FTBFS_EXPECTS(f >= 1 && d >= 1);
+  Ctx ctx;
+  Sub sub = build_rec(f, d, ctx);
+
+  GraphBuilder b(ctx.next);
+  for (const auto& [u, v] : ctx.edges) b.add_edge(u, v);
+
+  GfGraph out;
+  out.graph = std::move(b).build();
+  out.f = f;
+  out.d = d;
+  out.root = sub.root;
+  out.leaves = std::move(sub.leaves);
+  out.leaf_paths = std::move(sub.leaf_paths);
+  out.spine = std::move(sub.spine);
+  out.depth = sub.depth;
+  out.labels.reserve(sub.labels.size());
+  for (const LabelByEndpoints& label : sub.labels) {
+    std::vector<EdgeId> ids;
+    ids.reserve(label.size());
+    for (const auto& [u, v] : label) {
+      const EdgeId e = out.graph.find_edge(u, v);
+      FTBFS_ENSURES(e != kInvalidEdge);
+      ids.push_back(e);
+    }
+    out.labels.push_back(std::move(ids));
+  }
+  return out;
+}
+
+std::uint64_t gf_num_vertices(unsigned f, Vertex d) {
+  FTBFS_EXPECTS(f >= 1 && d >= 1);
+  // depth(1,d) = 2d+4; depth(f,d) = d*depth(f-1,d) + 1.
+  // N(1,d) = d^2 + 6d;
+  // N(f,d) = d + d*N(f-1,d) + sum_i (connector_len(d,i,depth(f-1,d)) - 1).
+  std::uint64_t n = static_cast<std::uint64_t>(d) * d + 6ull * d;
+  std::uint64_t depth = 2ull * d + 4;
+  for (unsigned level = 2; level <= f; ++level) {
+    std::uint64_t interior = 0;
+    for (Vertex i = 1; i <= d; ++i) {
+      interior += static_cast<std::uint64_t>(d - i) * depth;  // len-1
+    }
+    n = d + d * n + interior;
+    depth = d * depth + 1;
+  }
+  return n;
+}
+
+}  // namespace ftbfs

@@ -1,0 +1,42 @@
+// The recursive lower-bound gadget G_f(d) of §4 (Figs. 10 and 12).
+//
+// G_1(d): a spine path u_1..u_d, d terminal leaves z_1..z_d, and vertex-
+// disjoint connector paths Q_i of length 6 + 2(d-i) from u_i to z_i; the root
+// is u_1. G_f(d): a fresh spine u^f_1..u^f_d (root u^f_1), d copies of
+// G_{f-1}(d), and connector paths Q^f_i of length (d-i)·depth(f-1,d) + 1 from
+// u^f_i to the root of copy i. (The paper's Q^f_d would have length 0; we use
+// +1 so every connector is a real path — all of Lemma 4.3's monotonicity
+// properties survive, as the tests check.)
+//
+// Each leaf z carries a label Label_f(z): <= f edges whose joint failure cuts
+// off every leaf to the right of z while the canonical root→z path P(z)
+// survives (Lemma 4.3). The label of the rightmost leaf is empty.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "spath/path.h"
+
+namespace ftbfs {
+
+struct GfGraph {
+  Graph graph;
+  unsigned f = 0;
+  Vertex d = 0;
+  Vertex root = kInvalidVertex;
+  std::vector<Vertex> leaves;                  // left-to-right order
+  std::vector<std::vector<EdgeId>> labels;     // Label_f per leaf, |.| <= f
+  std::vector<Path> leaf_paths;                // P(z): unique root→z path
+  std::vector<Vertex> spine;                   // u^f_1..u^f_d (top level)
+  std::uint32_t depth = 0;                     // eccentricity of the root
+};
+
+// Builds G_f(d). Requires f >= 1, d >= 1.
+[[nodiscard]] GfGraph build_gf(unsigned f, Vertex d);
+
+// Number of vertices of G_f(d) without building it (used to size G*_f).
+[[nodiscard]] std::uint64_t gf_num_vertices(unsigned f, Vertex d);
+
+}  // namespace ftbfs

@@ -1,0 +1,108 @@
+#include "lowerbound/gstar.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace ftbfs {
+
+GStarGraph build_gstar(unsigned f, Vertex n_target, Vertex sigma) {
+  FTBFS_EXPECTS(f >= 1 && sigma >= 1);
+  // Largest d whose σ copies fit in 5/8 of the budget.
+  Vertex d = 1;
+  while (sigma * gf_num_vertices(f, d + 1) + 1 <=
+         5ull * n_target / 8) {
+    ++d;
+  }
+  const std::uint64_t gadget_n = gf_num_vertices(f, d);
+  FTBFS_EXPECTS(sigma * gadget_n + 2 <= n_target);  // at least one X vertex
+
+  // Build σ gadget copies into one vertex space.
+  std::vector<GfGraph> gadgets;
+  gadgets.reserve(sigma);
+  for (Vertex c = 0; c < sigma; ++c) gadgets.push_back(build_gf(f, d));
+
+  const Vertex chi =
+      static_cast<Vertex>(n_target - sigma * gadget_n - 1);  // |X|
+  GraphBuilder b(n_target);
+  std::vector<Vertex> offset(sigma);
+  Vertex next = 0;
+  for (Vertex c = 0; c < sigma; ++c) {
+    offset[c] = next;
+    const Graph& gg = gadgets[c].graph;
+    for (EdgeId e = 0; e < gg.num_edges(); ++e) {
+      b.add_edge(offset[c] + gg.edge(e).u, offset[c] + gg.edge(e).v);
+    }
+    next += gg.num_vertices();
+  }
+  const Vertex vstar = next++;
+  std::vector<Vertex> x_set(chi);
+  for (Vertex i = 0; i < chi; ++i) x_set[i] = next++;
+  FTBFS_ENSURES(next == n_target);
+
+  for (Vertex c = 0; c < sigma; ++c) {
+    b.add_edge(offset[c] + gadgets[c].spine.back(), vstar);
+  }
+  for (const Vertex x : x_set) b.add_edge(vstar, x);
+  std::vector<std::pair<Vertex, Vertex>> bipartite;
+  for (Vertex c = 0; c < sigma; ++c) {
+    for (const Vertex z : gadgets[c].leaves) {
+      for (const Vertex x : x_set) bipartite.emplace_back(x, offset[c] + z);
+    }
+  }
+  for (const auto& [x, z] : bipartite) b.add_edge(x, z);
+
+  GStarGraph out;
+  out.graph = std::move(b).build();
+  out.f = f;
+  out.d = d;
+  out.vstar = vstar;
+  out.x_set = std::move(x_set);
+  for (Vertex c = 0; c < sigma; ++c) {
+    const GfGraph& gg = gadgets[c];
+    GStarCopy copy;
+    copy.root = offset[c] + gg.root;
+    copy.y = offset[c] + gg.spine.back();
+    copy.hub_edge = out.graph.find_edge(copy.y, vstar);
+    FTBFS_ENSURES(copy.hub_edge != kInvalidEdge);
+    for (std::size_t leaf = 0; leaf < gg.leaves.size(); ++leaf) {
+      copy.leaves.push_back(offset[c] + gg.leaves[leaf]);
+      copy.leaf_path_len.push_back(
+          static_cast<std::uint32_t>(gg.leaf_paths[leaf].size() - 1));
+      std::vector<EdgeId> label;
+      for (const EdgeId e : gg.labels[leaf]) {
+        const Edge& ed = gg.graph.edge(e);
+        const EdgeId mapped =
+            out.graph.find_edge(offset[c] + ed.u, offset[c] + ed.v);
+        FTBFS_ENSURES(mapped != kInvalidEdge);
+        label.push_back(mapped);
+      }
+      copy.labels.push_back(std::move(label));
+    }
+    // Witness fault sets (see GStarCopy): leaves of the last top-level block
+    // need the hub edge because their labels never touch the top spine.
+    const std::size_t per_block = copy.leaves.size() / d;
+    const std::size_t last_block_start = (d - 1) * per_block;
+    for (std::size_t leaf = 0; leaf < copy.leaves.size(); ++leaf) {
+      std::vector<EdgeId> witness = copy.labels[leaf];
+      if (leaf >= last_block_start) witness.push_back(copy.hub_edge);
+      FTBFS_ENSURES(witness.size() <= f);
+      copy.witnesses.push_back(std::move(witness));
+    }
+    out.sources.push_back(copy.root);
+    out.copies.push_back(std::move(copy));
+  }
+  for (const auto& [x, z] : bipartite) {
+    const EdgeId e = out.graph.find_edge(x, z);
+    FTBFS_ENSURES(e != kInvalidEdge);
+    out.bipartite_edges.push_back(e);
+  }
+  return out;
+}
+
+double gstar_bound(unsigned f, double n, double sigma) {
+  const double inv = 1.0 / (f + 1.0);
+  return std::pow(sigma, inv) * std::pow(n, 2.0 - inv);
+}
+
+}  // namespace ftbfs

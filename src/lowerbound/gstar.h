@@ -1,0 +1,57 @@
+// The lower-bound graphs G*_f (single source, Fig. 11/12) and their
+// multi-source generalization G*_{f,σ} (Theorem 4.1).
+//
+// σ disjoint copies of G_f(d) (sources = copy roots), a hub v* adjacent to
+// the bottom spine vertex y_i = u^f_d of every copy and to every vertex of a
+// filler set X, and a complete bipartite graph between X and the union of all
+// copies' leaf sets. Every bipartite edge (x, z) is *essential*: failing
+// Label_f(z) (or the hub edge (y_i, v*) for a copy's rightmost leaf) makes z
+// the unique endpoint of the shortest surviving source→x paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "lowerbound/gf_graph.h"
+
+namespace ftbfs {
+
+struct GStarCopy {
+  Vertex root = kInvalidVertex;  // the source of this copy
+  Vertex y = kInvalidVertex;     // u^f_d: the hub attachment
+  std::vector<Vertex> leaves;    // left-to-right
+  std::vector<std::vector<EdgeId>> labels;     // edge ids in the final graph
+  std::vector<std::uint32_t> leaf_path_len;    // |P(z)| per leaf
+  EdgeId hub_edge = kInvalidEdge;              // (y, v*)
+  // Witness fault set per leaf: the <= f edges whose failure makes (x, z_j)
+  // the unique optimal last hop to every x ∈ X. Equals Label_f(z_j) for
+  // leaves in top-level blocks 1..d-1 (the label's top spine edge cuts the
+  // hub route); for leaves of the *last* top-level block the label has <= f-1
+  // edges and the hub edge (y, v*) is added to cut the v* route.
+  std::vector<std::vector<EdgeId>> witnesses;
+};
+
+struct GStarGraph {
+  Graph graph;
+  unsigned f = 0;
+  Vertex d = 0;
+  Vertex vstar = kInvalidVertex;
+  std::vector<Vertex> sources;  // copy roots, |sources| = σ
+  std::vector<Vertex> x_set;
+  std::vector<GStarCopy> copies;
+  std::vector<EdgeId> bipartite_edges;  // the Ω(σ^{1/(f+1)} n^{2-1/(f+1)}) core
+};
+
+// Builds G*_{f,σ} with exactly `n_target` vertices. Picks the largest d such
+// that the σ gadget copies occupy at most 5/8 of the vertices (the paper's
+// sizing) and pads with X. Requires n_target large enough for d >= 1 and a
+// nonempty X; violations are contract errors.
+[[nodiscard]] GStarGraph build_gstar(unsigned f, Vertex n_target,
+                                     Vertex sigma = 1);
+
+// The paper's lower-bound formula Ω(σ^{1/(f+1)} · n^{2-1/(f+1)}) evaluated
+// without the Ω: σ^{1/(f+1)} · n^{2-1/(f+1)}.
+[[nodiscard]] double gstar_bound(unsigned f, double n, double sigma);
+
+}  // namespace ftbfs

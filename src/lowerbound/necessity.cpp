@@ -1,0 +1,58 @@
+#include "lowerbound/necessity.h"
+
+#include <algorithm>
+
+#include "graph/mask.h"
+#include "spath/bfs.h"
+
+namespace ftbfs {
+
+NecessityReport check_bipartite_necessity(const GStarGraph& gs,
+                                          std::uint64_t edge_probes_per_leaf) {
+  const Graph& g = gs.graph;
+  Bfs bfs(g);
+  GraphMask mask(g);
+  NecessityReport report;
+  report.total_bipartite = gs.bipartite_edges.size();
+  bool all_ok = true;
+
+  for (const GStarCopy& copy : gs.copies) {
+    for (std::size_t j = 0; j < copy.leaves.size(); ++j) {
+      ++report.leaves_checked;
+      const std::vector<EdgeId>& faults = copy.witnesses[j];
+
+      mask.clear();
+      block_edges(mask, faults);
+      const BfsResult& base = bfs.run(copy.root, &mask);
+      const std::uint32_t expect = copy.leaf_path_len[j] + 1;
+      // Every x is at distance |P(z_j)| + 1 via the bipartite edge.
+      for (const Vertex x : gs.x_set) {
+        if (base.hops[x] != expect) all_ok = false;
+      }
+      // Remove individual bipartite edges and confirm the distance rises.
+      const std::uint64_t probes =
+          std::min<std::uint64_t>(edge_probes_per_leaf, gs.x_set.size());
+      for (std::uint64_t p = 0; p < probes; ++p) {
+        // Spread representatives across X deterministically.
+        const Vertex x =
+            gs.x_set[(p * gs.x_set.size()) / std::max<std::uint64_t>(probes, 1)];
+        const EdgeId bip = g.find_edge(x, copy.leaves[j]);
+        FTBFS_EXPECTS(bip != kInvalidEdge);
+        mask.clear();
+        block_edges(mask, faults);
+        mask.block_edge(bip);
+        const BfsResult& cut = bfs.run(copy.root, &mask);
+        ++report.edges_checked;
+        if (cut.hops[x] > expect) {
+          ++report.essential;
+        } else {
+          all_ok = false;
+        }
+      }
+    }
+  }
+  report.all_essential = all_ok && report.essential == report.edges_checked;
+  return report;
+}
+
+}  // namespace ftbfs

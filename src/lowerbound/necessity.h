@@ -1,0 +1,33 @@
+// Necessity checking for the lower-bound graphs: demonstrates, by explicit
+// fault injection, that every bipartite edge of G*_{f,σ} must appear in any
+// f-failure FT-MBFS structure (the constructive content of Theorem 4.1).
+//
+// For the bipartite edge (x, z_j) of copy c the witness fault set is the
+// per-leaf set recorded in GStarCopy::witnesses (Label_f(z_j), plus the hub
+// edge (y_c, v*) for leaves of the last top-level block). Under those faults
+// the unique shortest s_c→x paths end with (z_j, x); removing the edge
+// strictly increases dist(s_c, x).
+#pragma once
+
+#include <cstdint>
+
+#include "lowerbound/gstar.h"
+
+namespace ftbfs {
+
+struct NecessityReport {
+  std::uint64_t leaves_checked = 0;    // (copy, leaf) pairs probed by BFS
+  std::uint64_t edges_checked = 0;     // individual bipartite edges re-probed
+  std::uint64_t essential = 0;         // edges whose removal raised the dist
+  bool all_essential = false;
+  std::uint64_t total_bipartite = 0;
+};
+
+// Verifies necessity by BFS fault injection. For every (copy, leaf) pair it
+// checks the witness distance; then for up to `edge_probes_per_leaf`
+// representative x-partners per leaf it removes the edge and re-runs BFS
+// (pass a huge value to probe every edge — O(|X|) BFS per leaf).
+[[nodiscard]] NecessityReport check_bipartite_necessity(
+    const GStarGraph& gs, std::uint64_t edge_probes_per_leaf = 4);
+
+}  // namespace ftbfs

@@ -1,0 +1,76 @@
+// Discrete-time failure/repair simulation.
+//
+// The systems-side companion to the theory: edges fail and recover over time
+// (independent per-tick probabilities, optionally capped at a maximum number
+// of concurrent faults), and one or more *overlays* (sub-structures of the
+// graph, e.g. a BFS tree, a single-failure FT-BFS, a dual-failure FT-BFS)
+// route from the source every tick. Metrics separate ticks inside the
+// overlay's fault budget from ticks beyond it, making the FT guarantee
+// ("exact whenever |F| <= f") directly observable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ftbfs {
+
+struct SimConfig {
+  double failure_probability = 0.002;  // per alive edge, per tick
+  double repair_probability = 0.2;     // per failed edge, per tick
+  std::uint32_t ticks = 500;
+  std::uint64_t seed = 1;
+  // Hard cap on concurrent faults (simulates a maintenance policy); no new
+  // failures start while the cap is reached. 0 = no failures at all.
+  std::size_t max_concurrent_faults = 2;
+};
+
+struct OverlayMetrics {
+  std::string name;
+  std::uint64_t edges = 0;             // overlay size
+  std::uint64_t routed = 0;            // (tick, target) pairs evaluated
+  std::uint64_t exact = 0;             // overlay distance == graph distance
+  std::uint64_t stretched = 0;         // finite but longer
+  std::uint64_t disconnected = 0;      // overlay lost a reachable target
+  std::uint64_t extra_hops = 0;        // total stretch in hops
+  // Same counters restricted to ticks whose concurrent fault count is within
+  // the overlay's declared budget (where the FT guarantee applies).
+  std::uint64_t routed_in_budget = 0;
+  std::uint64_t non_exact_in_budget = 0;  // MUST be 0 for a valid FT overlay
+};
+
+class FailureSimulator {
+ public:
+  FailureSimulator(const Graph& g, Vertex source, SimConfig config);
+
+  // Registers an overlay (edge ids of g) with a declared fault budget f.
+  void add_overlay(std::string name, std::span<const EdgeId> edges,
+                   unsigned fault_budget);
+
+  // Runs the process and returns one metrics row per overlay.
+  [[nodiscard]] std::vector<OverlayMetrics> run();
+
+  // Fault-count histogram of the last run (index = #concurrent faults).
+  [[nodiscard]] const std::vector<std::uint64_t>& fault_histogram() const {
+    return fault_histogram_;
+  }
+
+ private:
+  struct Overlay {
+    std::string name;
+    Graph graph;
+    std::vector<EdgeId> g_to_overlay;  // host edge id -> overlay edge id
+    unsigned budget;
+  };
+
+  const Graph* g_;
+  Vertex source_;
+  SimConfig config_;
+  std::vector<Overlay> overlays_;
+  std::vector<std::uint64_t> fault_histogram_;
+};
+
+}  // namespace ftbfs

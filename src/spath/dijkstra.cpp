@@ -1,0 +1,72 @@
+#include "spath/dijkstra.h"
+
+#include <algorithm>
+
+namespace ftbfs {
+
+Dijkstra::Dijkstra(const Graph& g, const WeightAssignment& w)
+    : graph_(&g), weights_(&w) {
+  result_.dist.resize(g.num_vertices());
+  result_.parent.resize(g.num_vertices());
+  result_.parent_edge.resize(g.num_vertices());
+}
+
+const SpResult& Dijkstra::run(Vertex source, const GraphMask* mask,
+                              Vertex target) {
+  const Graph& g = *graph_;
+  FTBFS_EXPECTS(source < g.num_vertices());
+  std::fill(result_.dist.begin(), result_.dist.end(), kUnreachable);
+  std::fill(result_.parent.begin(), result_.parent.end(), kInvalidVertex);
+  std::fill(result_.parent_edge.begin(), result_.parent_edge.end(),
+            kInvalidEdge);
+  heap_.clear();
+
+  if (mask != nullptr && mask->vertex_blocked(source)) return result_;
+
+  auto push = [this](DistKey key, Vertex v) {
+    heap_.push_back(HeapEntry{key, v});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  };
+  auto pop = [this]() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const HeapEntry top = heap_.back();
+    heap_.pop_back();
+    return top;
+  };
+
+  result_.dist[source] = DistKey{0, 0};
+  push(DistKey{0, 0}, source);
+  while (!heap_.empty()) {
+    const HeapEntry top = pop();
+    if (top.key != result_.dist[top.v]) continue;  // stale entry
+    if (top.v == target) break;
+    for (const Arc& arc : g.neighbors(top.v)) {
+      if (mask != nullptr && !mask->edge_usable(arc.id, top.v, arc.to)) {
+        continue;
+      }
+      const DistKey cand = weights_->extend(top.key, arc.id);
+      if (cand < result_.dist[arc.to]) {
+        result_.dist[arc.to] = cand;
+        result_.parent[arc.to] = top.v;
+        result_.parent_edge[arc.to] = arc.id;
+        push(cand, arc.to);
+      }
+    }
+  }
+  return result_;
+}
+
+std::vector<Vertex> extract_path(const SpResult& r, Vertex t) {
+  if (!r.reached(t)) return {};
+  std::vector<Vertex> path;
+  Vertex cur = t;
+  path.push_back(cur);
+  while (r.parent[cur] != kInvalidVertex) {
+    cur = r.parent[cur];
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace ftbfs

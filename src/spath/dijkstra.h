@@ -1,0 +1,63 @@
+// Tie-broken single-source shortest paths under the weight assignment W.
+//
+// This is Dijkstra over lexicographic (hops, perturbation) keys. Because every
+// edge has hop-weight exactly 1, the hop component behaves like BFS layers and
+// the perturbation component selects the W-unique representative among
+// equal-hop paths — exactly SP(s, ·, G', W) of the paper for any masked
+// subgraph G'.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/mask.h"
+#include "spath/weights.h"
+
+namespace ftbfs {
+
+struct SpResult {
+  std::vector<DistKey> dist;        // kUnreachable if not reached
+  std::vector<Vertex> parent;       // kInvalidVertex for source/unreached
+  std::vector<EdgeId> parent_edge;  // kInvalidEdge likewise
+
+  [[nodiscard]] bool reached(Vertex v) const {
+    return dist[v] != kUnreachable;
+  }
+  [[nodiscard]] std::uint32_t hops(Vertex v) const { return dist[v].hops; }
+};
+
+// Reusable engine; all buffers persist between runs.
+class Dijkstra {
+ public:
+  Dijkstra(const Graph& g, const WeightAssignment& w);
+
+  // Full SSSP from `source` under `mask` (may be null). If `target` is a valid
+  // vertex, stops early once the target is settled (all other entries are
+  // valid lower bounds only — callers wanting full SSSP pass kInvalidVertex).
+  const SpResult& run(Vertex source, const GraphMask* mask = nullptr,
+                      Vertex target = kInvalidVertex);
+
+  [[nodiscard]] const SpResult& result() const { return result_; }
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+  [[nodiscard]] const WeightAssignment& weights() const { return *weights_; }
+
+ private:
+  const Graph* graph_;
+  const WeightAssignment* weights_;
+  SpResult result_;
+
+  struct HeapEntry {
+    DistKey key;
+    Vertex v;
+    friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+      return a.key > b.key;
+    }
+  };
+  std::vector<HeapEntry> heap_;  // binary heap storage, reused across runs
+};
+
+// Extracts the s→t vertex path from an SSSP result (s implied by the run).
+// Returns empty vector if t was not reached.
+[[nodiscard]] std::vector<Vertex> extract_path(const SpResult& r, Vertex t);
+
+}  // namespace ftbfs

@@ -1,0 +1,37 @@
+#include "spath/replacement.h"
+
+namespace ftbfs {
+
+std::optional<RPath> ReplacementOracle::replacement_path(
+    Vertex s, Vertex t, std::span<const EdgeId> faults) {
+  mask_.clear();
+  block_edges(mask_, faults);
+  return query(s, t);
+}
+
+DistKey ReplacementOracle::replacement_distance(
+    Vertex s, Vertex t, std::span<const EdgeId> faults) {
+  mask_.clear();
+  block_edges(mask_, faults);
+  return query_distance(s, t);
+}
+
+std::optional<RPath> ReplacementOracle::query(Vertex s, Vertex t) {
+  ++queries_;
+  const SpResult& r = dijkstra_.run(s, &mask_, t);
+  if (!r.reached(t)) return std::nullopt;
+  return RPath{extract_path(r, t), r.dist[t]};
+}
+
+DistKey ReplacementOracle::query_distance(Vertex s, Vertex t) {
+  ++queries_;
+  const SpResult& r = dijkstra_.run(s, &mask_, t);
+  return r.dist[t];
+}
+
+const SpResult& ReplacementOracle::query_sssp(Vertex s) {
+  ++queries_;
+  return dijkstra_.run(s, &mask_, kInvalidVertex);
+}
+
+}  // namespace ftbfs

@@ -1,0 +1,65 @@
+// Replacement-path oracle: P_{s,v,F} = SP(s, v, G∖F, W) for small fault sets.
+//
+// This is the shared building block of every construction in the paper: the
+// generic f-failure structure (Obs. 1.6) calls it directly, Cons2FTBFS calls
+// the lower-level query() with hand-built masks (Eqs. 3 and 4), and the
+// verifiers/tests use it as ground truth.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/mask.h"
+#include "spath/dijkstra.h"
+#include "spath/path.h"
+#include "spath/weights.h"
+
+namespace ftbfs {
+
+struct RPath {
+  Path verts;
+  DistKey key;  // W-key of the path
+};
+
+class ReplacementOracle {
+ public:
+  ReplacementOracle(const Graph& g, const WeightAssignment& w)
+      : dijkstra_(g, w), mask_(g) {}
+
+  // The W-unique shortest s→t path avoiding the fault edges, or nullopt if t
+  // is unreachable in G∖F.
+  [[nodiscard]] std::optional<RPath> replacement_path(
+      Vertex s, Vertex t, std::span<const EdgeId> faults);
+
+  // Distance-only variant (kUnreachable if disconnected).
+  [[nodiscard]] DistKey replacement_distance(Vertex s, Vertex t,
+                                             std::span<const EdgeId> faults);
+
+  // Scratch mask for callers composing richer restrictions. clear() before
+  // use; then call query()/query_distance() which run under this mask.
+  [[nodiscard]] GraphMask& mask() { return mask_; }
+
+  // Runs s→t under the current scratch mask.
+  [[nodiscard]] std::optional<RPath> query(Vertex s, Vertex t);
+  [[nodiscard]] DistKey query_distance(Vertex s, Vertex t);
+
+  // Full SSSP from s under the current scratch mask; result borrowed.
+  [[nodiscard]] const SpResult& query_sssp(Vertex s);
+
+  [[nodiscard]] const Graph& graph() const { return dijkstra_.graph(); }
+  [[nodiscard]] const WeightAssignment& weights() const {
+    return dijkstra_.weights();
+  }
+
+  // Number of Dijkstra runs issued so far (construction-cost instrumentation).
+  [[nodiscard]] std::uint64_t queries_issued() const { return queries_; }
+
+ private:
+  Dijkstra dijkstra_;
+  GraphMask mask_;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace ftbfs

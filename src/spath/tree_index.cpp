@@ -1,0 +1,48 @@
+#include "spath/tree_index.h"
+
+namespace ftbfs {
+
+TreeIndex::TreeIndex(const Graph& g, const SpResult& tree, Vertex root)
+    : root_(root),
+      depth_(g.num_vertices(), kUnreachedDepth),
+      parent_(g.num_vertices(), kInvalidVertex),
+      parent_edge_(g.num_vertices(), kInvalidEdge),
+      tin_(g.num_vertices(), 0),
+      tout_(g.num_vertices(), 0),
+      children_(g.num_vertices()) {
+  FTBFS_EXPECTS(root < g.num_vertices());
+  FTBFS_EXPECTS(tree.reached(root));
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (!tree.reached(v)) continue;
+    parent_[v] = tree.parent[v];
+    parent_edge_[v] = tree.parent_edge[v];
+    if (v != root) {
+      FTBFS_EXPECTS(parent_[v] != kInvalidVertex);
+      children_[parent_[v]].push_back(v);
+    }
+  }
+  // Iterative DFS for Euler intervals and preorder.
+  std::uint32_t clock = 0;
+  std::vector<std::pair<Vertex, std::size_t>> stack;  // (vertex, child cursor)
+  stack.emplace_back(root, 0);
+  tin_[root] = clock++;
+  depth_[root] = 0;
+  preorder_.push_back(root);
+  while (!stack.empty()) {
+    const Vertex v = stack.back().first;
+    if (stack.back().second < children_[v].size()) {
+      // Advance the cursor *before* pushing: emplace_back may reallocate and
+      // would invalidate any reference held into the stack.
+      const Vertex c = children_[v][stack.back().second++];
+      tin_[c] = clock++;
+      depth_[c] = depth_[v] + 1;
+      preorder_.push_back(c);
+      stack.emplace_back(c, 0);
+    } else {
+      tout_[v] = clock++;
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace ftbfs

@@ -1,0 +1,69 @@
+// Rooted-tree indexing over a shortest-path tree: depths, parent edges, and
+// O(1) ancestor tests via Euler-tour intervals. Substrate for the constant-
+// time sensitivity oracle (an edge e = (x, parent-of-x) lies on π(s,v) iff x
+// is an ancestor of v).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "spath/dijkstra.h"
+
+namespace ftbfs {
+
+class TreeIndex {
+ public:
+  // Builds from an SSSP result (parent pointers rooted at `root`).
+  // Unreached vertices get depth kUnreachedDepth and are ancestors of nothing.
+  TreeIndex(const Graph& g, const SpResult& tree, Vertex root);
+
+  static constexpr std::uint32_t kUnreachedDepth =
+      static_cast<std::uint32_t>(-1);
+
+  [[nodiscard]] Vertex root() const { return root_; }
+
+  [[nodiscard]] bool reached(Vertex v) const {
+    return depth_[v] != kUnreachedDepth;
+  }
+
+  // Hop depth below the root.
+  [[nodiscard]] std::uint32_t depth(Vertex v) const { return depth_[v]; }
+
+  [[nodiscard]] Vertex parent(Vertex v) const { return parent_[v]; }
+
+  // The tree edge from v to its parent; kInvalidEdge for the root/unreached.
+  [[nodiscard]] EdgeId parent_edge(Vertex v) const { return parent_edge_[v]; }
+
+  // True iff a is an ancestor of b (inclusive: ancestor_of(v, v) is true).
+  [[nodiscard]] bool ancestor_of(Vertex a, Vertex b) const {
+    if (!reached(a) || !reached(b)) return false;
+    return tin_[a] <= tin_[b] && tout_[b] <= tout_[a];
+  }
+
+  // True iff the tree edge (child c, parent(c)) lies on the root→v tree path.
+  [[nodiscard]] bool edge_on_path_to(Vertex child, Vertex v) const {
+    return ancestor_of(child, v);
+  }
+
+  // Children of v in the tree.
+  [[nodiscard]] const std::vector<Vertex>& children(Vertex v) const {
+    return children_[v];
+  }
+
+  // Vertices in preorder (root first); unreached vertices excluded.
+  [[nodiscard]] const std::vector<Vertex>& preorder() const {
+    return preorder_;
+  }
+
+ private:
+  Vertex root_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<Vertex> parent_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<std::uint32_t> tin_, tout_;
+  std::vector<std::vector<Vertex>> children_;
+  std::vector<Vertex> preorder_;
+};
+
+}  // namespace ftbfs

@@ -1,0 +1,13 @@
+#include "spath/weights.h"
+
+namespace ftbfs {
+
+WeightAssignment::WeightAssignment(const Graph& g, std::uint64_t seed) {
+  Rng rng(derive_seed(seed, 0x3E163875));
+  pert_.resize(g.num_edges());
+  for (auto& p : pert_) {
+    p = 1 + rng.next_below(std::uint64_t{1} << 40);
+  }
+}
+
+}  // namespace ftbfs

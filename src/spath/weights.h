@@ -1,0 +1,65 @@
+// The weight assignment W of the paper (§2, footnote 3).
+//
+// The analysis of Cons2FTBFS assumes shortest paths are *unique* and
+// tie-broken consistently: W(e) = 1 + ε·r_e with tiny fractional perturbations
+// r_e. We realize this exactly (no floating point) as lexicographic keys
+// (hops, perturbation-sum): hop counts dominate, and among equal-hop paths the
+// one with smaller perturbation sum wins. Perturbations are 40-bit values, so
+// sums over paths of < 2^23 edges cannot overflow or cross a hop boundary —
+// i.e. W never changes which paths are shortest, only which shortest path is
+// chosen, exactly as the paper requires ("the fractional weights of W only
+// break the unweighted shortest-path ties in a consistent manner").
+//
+// Uniqueness holds with high probability by the isolation lemma; the test
+// suite asserts it on every instance it touches. Consistency (subpaths of the
+// unique minimum are unique minima) holds unconditionally for sums.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ftbfs {
+
+// Lexicographic distance key: hops first, perturbation sum second.
+struct DistKey {
+  std::uint32_t hops = 0;
+  std::uint64_t pert = 0;
+
+  friend auto operator<=>(const DistKey&, const DistKey&) = default;
+};
+
+inline constexpr DistKey kUnreachable{
+    std::numeric_limits<std::uint32_t>::max(),
+    std::numeric_limits<std::uint64_t>::max()};
+
+class WeightAssignment {
+ public:
+  WeightAssignment(const Graph& g, std::uint64_t seed);
+
+  // Perturbation of edge e, in [1, 2^40].
+  [[nodiscard]] std::uint64_t perturbation(EdgeId e) const {
+    FTBFS_EXPECTS(e < pert_.size());
+    return pert_[e];
+  }
+
+  // dist-key obtained by extending `base` along edge e.
+  [[nodiscard]] DistKey extend(DistKey base, EdgeId e) const {
+    return DistKey{base.hops + 1, base.pert + perturbation(e)};
+  }
+
+  // Total W-weight (perturbation part) of a sequence of edges.
+  [[nodiscard]] std::uint64_t path_pert(std::span<const EdgeId> edges) const {
+    std::uint64_t total = 0;
+    for (const EdgeId e : edges) total += perturbation(e);
+    return total;
+  }
+
+ private:
+  std::vector<std::uint64_t> pert_;
+};
+
+}  // namespace ftbfs

@@ -1,0 +1,85 @@
+#include "structure/configuration.h"
+
+namespace ftbfs {
+
+const char* to_string(DetourConfig c) {
+  switch (c) {
+    case DetourConfig::kNonNested:
+      return "non-nested";
+    case DetourConfig::kNested:
+      return "nested";
+    case DetourConfig::kInterleaved:
+      return "interleaved";
+    case DetourConfig::kXInterleaved:
+      return "x-interleaved";
+    case DetourConfig::kYInterleaved:
+      return "y-interleaved";
+    case DetourConfig::kXYInterleaved:
+      return "(x,y)-interleaved";
+    case DetourConfig::kIdentical:
+      return "identical";
+  }
+  return "?";
+}
+
+PairClassification classify_detours(const Detour& a, const Detour& b) {
+  PairClassification out;
+  // Normalize roles: D1 has the smaller x (smaller y breaks ties so that
+  // x1 = x2 implies y1 < y2, matching the x-interleaved definition).
+  const Detour* d1 = &a;
+  const Detour* d2 = &b;
+  if (a.x_pi_index > b.x_pi_index ||
+      (a.x_pi_index == b.x_pi_index && a.y_pi_index > b.y_pi_index)) {
+    std::swap(d1, d2);
+    out.swapped = true;
+  }
+  const std::size_t x1 = d1->x_pi_index, y1 = d1->y_pi_index;
+  const std::size_t x2 = d2->x_pi_index, y2 = d2->y_pi_index;
+
+  if (x1 == x2 && y1 == y2) {
+    out.config = DetourConfig::kIdentical;
+  } else if (y1 < x2) {
+    out.config = DetourConfig::kNonNested;
+  } else if (y1 == x2) {
+    out.config = DetourConfig::kXYInterleaved;
+  } else if (x1 == x2) {
+    out.config = DetourConfig::kXInterleaved;  // then y1 < y2 by normalization
+  } else if (y2 < y1) {
+    out.config = DetourConfig::kNested;
+  } else if (y1 == y2) {
+    out.config = DetourConfig::kYInterleaved;
+  } else {
+    out.config = DetourConfig::kInterleaved;
+  }
+
+  out.dependent = detours_dependent(*d1, *d2);
+  if (out.dependent) {
+    // Same direction iff First(D1,D2) == First(D2,D1) (Claim 3.11(b)).
+    out.same_direction =
+        first_common(d1->verts, d2->verts) == first_common(d2->verts, d1->verts);
+  }
+  return out;
+}
+
+std::optional<ExcludedSegment> excluded_suffix(const Detour& d1,
+                                               const Detour& d2) {
+  const PairClassification c = classify_detours(d1, d2);
+  if (c.config != DetourConfig::kInterleaved &&
+      c.config != DetourConfig::kXInterleaved &&
+      c.config != DetourConfig::kXYInterleaved) {
+    return std::nullopt;
+  }
+  const Detour& lower = c.swapped ? d2 : d1;   // plays the D1 role
+  const Detour& upper = c.swapped ? d1 : d2;   // plays the D2 role
+  const Vertex w = last_common(upper.verts, lower.verts);
+  if (w == kInvalidVertex) return std::nullopt;  // independent pair
+  const std::size_t w_pos = index_of(lower.verts, w);
+  FTBFS_ENSURES(w_pos != kNpos);
+  if (w_pos + 1 >= lower.verts.size()) return std::nullopt;  // no edges
+  ExcludedSegment out;
+  out.segment = subpath(lower.verts, w_pos, lower.verts.size() - 1);
+  out.excluded_of_first = !c.swapped;
+  return out;
+}
+
+}  // namespace ftbfs

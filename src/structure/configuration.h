@@ -1,0 +1,65 @@
+// Pairwise detour configurations (Definition 3.7 and Fig. 3), plus the
+// fw/rev direction refinement of §3.2.1 (Fig. 4).
+//
+// For two detours with x(D1) <= x(D2) (roles swapped if needed):
+//   Non-nested:        y1 <  x2
+//   Nested:            x1 <  x2 <  y2 <  y1
+//   Interleaved:       x1 <  x2 <  y1 <  y2   (fw or rev by shared-segment direction)
+//   x-Interleaved:     x1 == x2 <  y1 <  y2
+//   y-Interleaved:     x1 <  x2 <  y1 == y2
+//   (x,y)-Interleaved: x1 <  y1 == x2 <  y2
+// plus Identical (same endpoints; by Claim 3.6 then the whole detours agree).
+#pragma once
+
+#include <optional>
+
+#include "structure/detour.h"
+
+namespace ftbfs {
+
+enum class DetourConfig {
+  kNonNested,
+  kNested,
+  kInterleaved,
+  kXInterleaved,
+  kYInterleaved,
+  kXYInterleaved,
+  kIdentical,
+};
+
+[[nodiscard]] const char* to_string(DetourConfig c);
+
+struct PairClassification {
+  DetourConfig config = DetourConfig::kNonNested;
+  // True if the inputs were swapped to establish x(D1) <= x(D2) (with y as
+  // tie-break for equal x).
+  bool swapped = false;
+  // Share at least one vertex.
+  bool dependent = false;
+  // For dependent pairs: whether the common segment is traversed in the same
+  // direction by both detours (fw-interleaved) or opposite (rev-interleaved,
+  // always the case for (x,y)-interleaved). Meaningless when independent.
+  bool same_direction = false;
+};
+
+// Classifies the pair; both detours must come from the same DetourSet (same
+// π). Positions on π are taken from the Detour records.
+[[nodiscard]] PairClassification classify_detours(const Detour& d1,
+                                                  const Detour& d2);
+
+// The excluded suffix of Claim 3.12: for a dependent pair with
+// x(D1) <= x(D2) <= y(D1) < y(D2) (interleaved, x-interleaved or
+// (x,y)-interleaved after normalization), the segment L1 = D1[w, y(D1)] with
+// w = Last(D2, D1) is D1-excluded — no new-ending path with detour D1 places
+// its second fault there. Returns nullopt when the preconditions do not hold
+// or the segment is a single vertex. The inputs may be passed in either
+// order; the suffix always belongs to the detour playing the D1 role, which
+// is reported via `excluded_of_first`.
+struct ExcludedSegment {
+  Path segment;            // L1, at least one edge
+  bool excluded_of_first;  // true: L1 ⊆ d1 (as passed); false: L1 ⊆ d2
+};
+[[nodiscard]] std::optional<ExcludedSegment> excluded_suffix(const Detour& d1,
+                                                             const Detour& d2);
+
+}  // namespace ftbfs

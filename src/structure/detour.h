@@ -1,0 +1,44 @@
+// Detour extraction (§3.2): the detour segment D_i = P_{s,v,{e_i}} ∖ π(s,v)
+// of each single-fault replacement path, with its endpoints x(D_i), y(D_i) on
+// π(s,v). These objects drive the entire structural theory of the paper —
+// configurations (Def. 3.7), the kernel subgraph (§3.2.2), and the exclusion
+// lemmas (Cl. 3.12) are all statements about them.
+#pragma once
+
+#include <vector>
+
+#include "core/selector.h"
+#include "graph/graph.h"
+#include "spath/path.h"
+#include "spath/weights.h"
+
+namespace ftbfs {
+
+struct Detour {
+  Path verts;  // x = verts.front() ... y = verts.back(); interior off π
+  Vertex x = kInvalidVertex;
+  Vertex y = kInvalidVertex;
+  std::size_t x_pi_index = 0;  // position of x on π(s,v)
+  std::size_t y_pi_index = 0;  // position of y on π(s,v)
+  std::size_t protected_edge_index = 0;  // i: the π edge e_i the detour covers
+};
+
+struct DetourSet {
+  Path pi;                     // π(s,v)
+  std::vector<Detour> detours;  // one per π edge whose failure keeps v reachable
+};
+
+// Computes π(s,v) and all single-fault detours for target v, using exactly the
+// selection rule of Cons2FTBFS step (1) (earliest π-divergence). The caller
+// provides the selector so the scratch state is shared across targets.
+[[nodiscard]] DetourSet compute_detours(PathSelector& sel, Vertex s, Vertex v);
+
+// First(A, B): the first vertex appearing on A that is also on B, or
+// kInvalidVertex if the paths are vertex-disjoint. Last(A, B) symmetric.
+[[nodiscard]] Vertex first_common(const Path& a, const Path& b);
+[[nodiscard]] Vertex last_common(const Path& a, const Path& b);
+
+// True if the detours share at least one vertex (the paper's "dependent").
+[[nodiscard]] bool detours_dependent(const Detour& d1, const Detour& d2);
+
+}  // namespace ftbfs

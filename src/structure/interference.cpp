@@ -1,0 +1,95 @@
+#include "structure/newending.h"
+
+#include "util/assert.h"
+
+namespace ftbfs {
+
+bool interferes(const Graph& g, const NewEndingRecord& p,
+                const NewEndingRecord& p_prime) {
+  if (p.kind != NewEndingRecord::Kind::kPiD ||
+      p_prime.kind != NewEndingRecord::Kind::kPiD) {
+    return false;
+  }
+  if (&p == &p_prime) return false;
+  const EdgeId f2 = p_prime.f2;
+  FTBFS_EXPECTS(f2 != kInvalidEdge);
+  return contains_edge(g, p.path, f2) && !contains_edge(g, p.detour, f2);
+}
+
+bool pi_interferes(const Graph& g, const Path& pi, const NewEndingRecord& p,
+                   const NewEndingRecord& p_prime) {
+  if (!interferes(g, p, p_prime)) return false;
+  // F1(P) = (pi[a], pi[a+1]); it lies on π(y', v) iff a >= index of y'.
+  const Edge& e = g.edge(p.f1);
+  const std::size_t a_pos = index_of(pi, e.u);
+  const std::size_t b_pos = index_of(pi, e.v);
+  FTBFS_EXPECTS(a_pos != kNpos && b_pos != kNpos);
+  const std::size_t edge_pos = std::min(a_pos, b_pos);
+  return edge_pos >= p_prime.detour_y_pi_index;
+}
+
+PathClassCounts classify_new_ending(const Graph& g, const Path& pi,
+                                    const std::vector<NewEndingRecord>& recs) {
+  PathClassCounts counts;
+  // Gather the (π,D) records; A and `single` are immediate.
+  std::vector<const NewEndingRecord*> pid;
+  for (const NewEndingRecord& r : recs) {
+    switch (r.kind) {
+      case NewEndingRecord::Kind::kSingle:
+        ++counts.single;
+        break;
+      case NewEndingRecord::Kind::kPiPi:
+        ++counts.a_pi_pi;
+        break;
+      case NewEndingRecord::Kind::kPiD:
+        pid.push_back(&r);
+        break;
+    }
+  }
+
+  for (const NewEndingRecord* p : pid) {
+    // Class B: P does not intersect the edges of its own detour.
+    bool intersects_detour = false;
+    for (std::size_t i = 0; i + 1 < p->detour.size() && !intersects_detour;
+         ++i) {
+      const EdgeId de = g.find_edge(p->detour[i], p->detour[i + 1]);
+      FTBFS_EXPECTS(de != kInvalidEdge);
+      if (contains_edge(g, p->path, de)) intersects_detour = true;
+    }
+    if (!intersects_detour) {
+      ++counts.b_nodet;
+      continue;
+    }
+    // Class C: independent of every other path (mutually non-interfering).
+    bool independent = true;
+    for (const NewEndingRecord* q : pid) {
+      if (q == p) continue;
+      if (interferes(g, *p, *q) || interferes(g, *q, *p)) {
+        independent = false;
+        break;
+      }
+    }
+    if (independent) {
+      ++counts.c_indep;
+      continue;
+    }
+    // Class D: P π-interferes with every path it interferes with (vacuously
+    // true when I(P) is empty but some other path interferes with P).
+    bool all_pi = true;
+    for (const NewEndingRecord* q : pid) {
+      if (q == p) continue;
+      if (interferes(g, *p, *q) && !pi_interferes(g, pi, *p, *q)) {
+        all_pi = false;
+        break;
+      }
+    }
+    if (all_pi) {
+      ++counts.d_pi_interf;
+    } else {
+      ++counts.e_d_interf;  // Class E: D-interfering
+    }
+  }
+  return counts;
+}
+
+}  // namespace ftbfs

@@ -1,0 +1,144 @@
+#include "structure/kernel.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ftbfs {
+
+bool KernelGraph::contains_vertex(Vertex v) const {
+  return std::binary_search(vertices.begin(), vertices.end(), v);
+}
+
+bool KernelGraph::contains_edge(EdgeId e) const {
+  return std::binary_search(edges.begin(), edges.end(), e);
+}
+
+KernelGraph build_kernel(const Graph& g, const std::vector<Detour>& detours) {
+  KernelGraph k;
+  k.order.resize(detours.size());
+  for (std::size_t i = 0; i < detours.size(); ++i) k.order[i] = i;
+  // (x,y)-order: decreasing x position; decreasing y position on ties
+  // (§3.2.1). Stable to keep determinism for fully tied detours.
+  std::stable_sort(k.order.begin(), k.order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (detours[a].x_pi_index != detours[b].x_pi_index) {
+                       return detours[a].x_pi_index > detours[b].x_pi_index;
+                     }
+                     return detours[a].y_pi_index > detours[b].y_pi_index;
+                   });
+
+  k.prefix.resize(detours.size());
+  k.w.assign(detours.size(), kInvalidVertex);
+  k.truncated.assign(detours.size(), false);
+  k.breaker.assign(detours.size(), kNpos);
+
+  std::unordered_set<Vertex> present;
+  std::unordered_map<Vertex, std::size_t> owner;  // vertex -> first adding detour
+
+  for (const std::size_t idx : k.order) {
+    const Path& d = detours[idx].verts;
+    std::size_t stop = d.size() - 1;  // default: whole detour, w = y
+    for (std::size_t p = 0; p < d.size(); ++p) {
+      if (present.contains(d[p])) {
+        stop = p;
+        break;
+      }
+    }
+    k.w[idx] = d[stop];
+    k.truncated[idx] = d[stop] != detours[idx].y;
+    k.prefix[idx] = subpath(d, 0, stop);
+    if (k.truncated[idx]) {
+      const auto it = owner.find(d[stop]);
+      FTBFS_ENSURES(it != owner.end());
+      k.breaker[idx] = it->second;
+    }
+    for (std::size_t p = 0; p <= stop; ++p) {
+      if (present.insert(d[p]).second) owner.emplace(d[p], idx);
+    }
+  }
+
+  k.vertices.assign(present.begin(), present.end());
+  std::sort(k.vertices.begin(), k.vertices.end());
+  for (std::size_t i = 0; i < detours.size(); ++i) {
+    const Path& pre = k.prefix[i];
+    for (std::size_t p = 0; p + 1 < pre.size(); ++p) {
+      const EdgeId e = g.find_edge(pre[p], pre[p + 1]);
+      FTBFS_ENSURES(e != kInvalidEdge);
+      k.edges.push_back(e);
+    }
+  }
+  std::sort(k.edges.begin(), k.edges.end());
+  k.edges.erase(std::unique(k.edges.begin(), k.edges.end()), k.edges.end());
+  return k;
+}
+
+std::vector<Path> kernel_regions(const Graph& g,
+                                 const std::vector<Detour>& detours,
+                                 const KernelGraph& kernel) {
+  // Kernel adjacency.
+  struct HalfEdge {
+    Vertex to;
+    EdgeId id;
+  };
+  std::unordered_map<Vertex, std::vector<HalfEdge>> adj;
+  for (const EdgeId e : kernel.edges) {
+    const Edge& ed = g.edge(e);
+    adj[ed.u].push_back({ed.v, e});
+    adj[ed.v].push_back({ed.u, e});
+  }
+
+  // Region delimiters: X1 ∪ W1 plus any vertex of kernel-degree != 2
+  // (branch points always lie in W1 for y-interleaved families; including
+  // them keeps the decomposition well-defined for arbitrary inputs).
+  std::unordered_set<Vertex> special;
+  for (std::size_t i = 0; i < detours.size(); ++i) {
+    if (!kernel.prefix[i].empty()) {
+      special.insert(detours[i].x);
+      special.insert(kernel.w[i]);
+    }
+  }
+  for (const auto& [v, list] : adj) {
+    if (list.size() != 2) special.insert(v);
+  }
+
+  std::unordered_set<EdgeId> visited;
+  std::vector<Path> regions;
+  auto walk = [&](Vertex start, const HalfEdge& first) {
+    Path region = {start};
+    Vertex prev = start;
+    HalfEdge step = first;
+    // The step bound guards against a (theoretically impossible) pure cycle
+    // with no delimiter vertex.
+    for (std::size_t steps = 0; steps <= kernel.edges.size(); ++steps) {
+      visited.insert(step.id);
+      region.push_back(step.to);
+      if (special.contains(step.to)) break;
+      const auto& nexts = adj[step.to];
+      FTBFS_ENSURES(nexts.size() == 2);
+      const HalfEdge& cont = nexts[0].to == prev ? nexts[1] : nexts[0];
+      prev = step.to;
+      step = cont;
+    }
+    regions.push_back(std::move(region));
+  };
+
+  for (const Vertex sp : special) {
+    const auto it = adj.find(sp);
+    if (it == adj.end()) continue;
+    for (const HalfEdge& he : it->second) {
+      if (!visited.contains(he.id)) walk(sp, he);
+    }
+  }
+  // Defensive: pure cycles without special vertices cannot arise from detour
+  // prefixes (each prefix starts at an X1 vertex), but sweep leftovers anyway.
+  for (const EdgeId e : kernel.edges) {
+    if (!visited.contains(e)) {
+      const Edge& ed = g.edge(e);
+      walk(ed.u, HalfEdge{ed.v, e});
+    }
+  }
+  return regions;
+}
+
+}  // namespace ftbfs

@@ -1,0 +1,51 @@
+// The kernel subgraph K(D) of a detour collection (§3.2.2).
+//
+// Detours are inserted in (x,y)-order (deepest x first; deeper y breaks ties);
+// each contributes only its prefix D_i[x_i, w_i] up to the first vertex w_i
+// already present. Truncated detours remember a *breaker* — an earlier detour
+// whose kept prefix contains w_i. Lemma 3.14 (tested, not assumed): the kernel
+// contains D[x, q2] for the second fault (q1,q2) of every new-ending (π,D)
+// path whose detour is in D, so analyses may work inside K(D) instead of the
+// full union.
+//
+// Regions: the kernel decomposes into maximal detour fragments delimited by
+// the endpoint set X1 ∪ W1; Claim 3.29 bounds their number by 2·|D|.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "structure/detour.h"
+
+namespace ftbfs {
+
+struct KernelGraph {
+  // Indices into the input detour vector, in insertion ((x,y)) order.
+  std::vector<std::size_t> order;
+  // Per input detour (parallel to the input vector):
+  std::vector<Path> prefix;          // D_i[x_i, w_i] kept in the kernel
+  std::vector<Vertex> w;             // w_i (== y_i for non-truncated detours)
+  std::vector<bool> truncated;       // w_i != y_i
+  std::vector<std::size_t> breaker;  // input index of Ψ(D_i); kNpos if none
+
+  // Flattened vertex/edge sets of the kernel (edges as vertex pairs of g).
+  std::vector<Vertex> vertices;        // sorted unique
+  std::vector<EdgeId> edges;           // sorted unique
+
+  [[nodiscard]] bool contains_vertex(Vertex v) const;
+  [[nodiscard]] bool contains_edge(EdgeId e) const;
+};
+
+// Builds K(D) over the given detours (all from the same DetourSet).
+[[nodiscard]] KernelGraph build_kernel(const Graph& g,
+                                       const std::vector<Detour>& detours);
+
+// Decomposes the kernel into regions: maximal kernel subpaths whose endpoints
+// lie in X1 ∪ W1 and whose interior avoids X1 ∪ W1 (and has kernel-degree 2).
+// Returns the number of regions (the E9/Claim 3.29 statistic) and optionally
+// the regions themselves.
+[[nodiscard]] std::vector<Path> kernel_regions(const Graph& g,
+                                               const std::vector<Detour>& detours,
+                                               const KernelGraph& kernel);
+
+}  // namespace ftbfs

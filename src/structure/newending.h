@@ -1,0 +1,45 @@
+// Records of new-ending replacement paths and their classification into the
+// paper's five classes (Fig. 7). Cons2FTBFS emits one record per new edge of
+// each vertex v; classify_new_ending() reproduces the partition
+//   A = (π,π),  B = P_nodet,  C = P_indep,  D = I_π,  E = I_D,
+// whose per-class O(√n)/O(n^{2/3}) bounds are the heart of the size analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ftbfs_common.h"
+#include "graph/graph.h"
+#include "spath/path.h"
+
+namespace ftbfs {
+
+struct NewEndingRecord {
+  enum class Kind { kSingle, kPiPi, kPiD };
+
+  Kind kind = Kind::kSingle;
+  Path path;            // the replacement path P
+  EdgeId f1 = kInvalidEdge;  // F1(P): first failing edge, on π(s,v)
+  EdgeId f2 = kInvalidEdge;  // F2(P): second failing edge (invalid for kSingle)
+  // For kPiD only: the detour D(P) of P_{s,v,{f1}} (including endpoints) and
+  // the position of its last vertex y(D(P)) on π(s,v).
+  Path detour;
+  std::size_t detour_y_pi_index = 0;
+};
+
+// Interference (§3.3.2): P interferes with P' iff F2(P') ∈ E(P) ∖ E(D(P)).
+// Defined between (π,D) records.
+[[nodiscard]] bool interferes(const Graph& g, const NewEndingRecord& p,
+                              const NewEndingRecord& p_prime);
+
+// π-interference: P interferes with P' and F1(P) lies on π(y(D(P')), v),
+// i.e. at π-position >= detour_y_pi_index of P'. `pi` is π(s,v).
+[[nodiscard]] bool pi_interferes(const Graph& g, const Path& pi,
+                                 const NewEndingRecord& p,
+                                 const NewEndingRecord& p_prime);
+
+// Partitions the records of one target vertex v into the five classes.
+[[nodiscard]] PathClassCounts classify_new_ending(
+    const Graph& g, const Path& pi, const std::vector<NewEndingRecord>& recs);
+
+}  // namespace ftbfs

@@ -1,0 +1,30 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (GSL). Violations abort with a source location; they are
+// programming errors, not recoverable conditions, so no exceptions are used.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ftbfs {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "ftbfs: %s violation: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace ftbfs
+
+// Precondition on function arguments / object state.
+#define FTBFS_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::ftbfs::contract_violation("precondition", #cond, __FILE__, \
+                                        __LINE__))
+
+// Postcondition / internal invariant.
+#define FTBFS_ENSURES(cond)                                             \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::ftbfs::contract_violation("invariant", #cond, __FILE__,   \
+                                        __LINE__))

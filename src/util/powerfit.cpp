@@ -1,0 +1,47 @@
+#include "util/powerfit.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace ftbfs {
+
+PowerFit fit_power_law(const std::vector<double>& x,
+                       const std::vector<double>& y) {
+  FTBFS_EXPECTS(x.size() == y.size());
+  FTBFS_EXPECTS(x.size() >= 2);
+
+  const std::size_t n = x.size();
+  double sum_lx = 0, sum_ly = 0, sum_lxlx = 0, sum_lxly = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    FTBFS_EXPECTS(x[i] > 0 && y[i] > 0);
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sum_lx += lx;
+    sum_ly += ly;
+    sum_lxlx += lx * lx;
+    sum_lxly += lx * ly;
+  }
+  const double denom = static_cast<double>(n) * sum_lxlx - sum_lx * sum_lx;
+  FTBFS_EXPECTS(denom > 0);  // needs at least two distinct x values
+
+  PowerFit fit;
+  fit.exponent = (static_cast<double>(n) * sum_lxly - sum_lx * sum_ly) / denom;
+  const double intercept =
+      (sum_ly - fit.exponent * sum_lx) / static_cast<double>(n);
+  fit.coefficient = std::exp(intercept);
+
+  // R^2 in log space.
+  const double mean_ly = sum_ly / static_cast<double>(n);
+  double ss_tot = 0, ss_res = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ly = std::log(y[i]);
+    const double pred = intercept + fit.exponent * std::log(x[i]);
+    ss_tot += (ly - mean_ly) * (ly - mean_ly);
+    ss_res += (ly - pred) * (ly - pred);
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace ftbfs

@@ -1,0 +1,22 @@
+// Least-squares power-law fitting on log-log data. The scaling experiments
+// report the fitted exponent of |E(H)| ~ c * n^alpha, which is the quantity a
+// reader compares against the paper's 5/3, 3/2, 2/3 and 1/2 bounds.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ftbfs {
+
+struct PowerFit {
+  double exponent = 0.0;   // alpha in y = c * x^alpha
+  double coefficient = 0.0;  // c
+  double r_squared = 0.0;  // goodness of fit in log-log space
+};
+
+// Fits y = c * x^alpha through (x_i, y_i) pairs with x_i, y_i > 0.
+// Requires at least two points with distinct x.
+[[nodiscard]] PowerFit fit_power_law(const std::vector<double>& x,
+                                     const std::vector<double>& y);
+
+}  // namespace ftbfs

@@ -1,0 +1,12 @@
+#include "util/rng.h"
+
+namespace ftbfs {
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t salt) {
+  std::uint64_t s = master ^ (0x9e3779b97f4a7c15ULL * (salt + 1));
+  // Two rounds of splitmix for avalanche.
+  (void)splitmix64(s);
+  return splitmix64(s);
+}
+
+}  // namespace ftbfs

@@ -1,0 +1,100 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in the library (graph generators, weight
+// perturbations, sampled verifiers) is seeded explicitly so that tests and
+// benchmarks reproduce bit-identically across runs and machines. We avoid
+// <random> distributions because their outputs are not portable across
+// standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace ftbfs {
+
+// SplitMix64: used to expand a single 64-bit seed into stream state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  [[nodiscard]] std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound) without modulo bias (bitmask rejection).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) {
+    FTBFS_EXPECTS(bound > 0);
+    std::uint64_t mask = bound - 1;
+    mask |= mask >> 1;
+    mask |= mask >> 2;
+    mask |= mask >> 4;
+    mask |= mask >> 8;
+    mask |= mask >> 16;
+    mask |= mask >> 32;
+    while (true) {
+      const std::uint64_t x = next_u64() & mask;
+      if (x < bound) return x;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    FTBFS_EXPECTS(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  [[nodiscard]] bool next_bool(double p_true) {
+    return next_double() < p_true;
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+// Derives a sub-seed for a named component from a master seed; used so one
+// instance seed yields independent streams for e.g. topology vs. weights.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master, std::uint64_t salt);
+
+}  // namespace ftbfs

@@ -1,0 +1,44 @@
+// Aligned-console / CSV table printer used by the benchmark harnesses to emit
+// paper-style result tables. Cells are strings; numeric helpers format with
+// fixed precision so tables diff cleanly between runs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftbfs {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  // Sets the header row; must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Renders with column alignment and a title banner.
+  void print(std::ostream& os) const;
+
+  // Renders as CSV (header + rows), no banner.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers.
+[[nodiscard]] std::string fmt_int(std::int64_t v);
+[[nodiscard]] std::string fmt_u64(std::uint64_t v);
+[[nodiscard]] std::string fmt_double(double v, int precision = 3);
+// Scientific-ish compact format for large counts, e.g. "1.23e6".
+[[nodiscard]] std::string fmt_compact(double v);
+
+}  // namespace ftbfs

@@ -1,0 +1,107 @@
+#include "core/approx_ftmbfs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/single_ftbfs.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+
+namespace ftbfs {
+namespace {
+
+void expect_valid(const Graph& g, std::span<const Vertex> sources,
+                  const FtStructure& h, unsigned f) {
+  const auto violation = verify_exhaustive(g, h.edges, sources, f);
+  EXPECT_FALSE(violation.has_value())
+      << (violation ? violation->describe(g) : "");
+}
+
+TEST(ApproxFtmbfs, FZeroSingleSourceIsNearBfsTree) {
+  const Graph g = erdos_renyi(20, 0.2, 1);
+  const std::vector<Vertex> sources = {0};
+  const ApproxResult r = build_approx_ftmbfs(g, sources, 0);
+  expect_valid(g, sources, r.structure, 0);
+  EXPECT_EQ(r.structure.edges.size(), g.num_vertices() - 1);
+}
+
+TEST(ApproxFtmbfs, SingleFaultSingleSource) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    const Graph g = erdos_renyi(18, 0.25, seed);
+    const std::vector<Vertex> sources = {0};
+    const ApproxResult r = build_approx_ftmbfs(g, sources, 1);
+    expect_valid(g, sources, r.structure, 1);
+  }
+}
+
+TEST(ApproxFtmbfs, DualFaultSingleSource) {
+  for (const std::uint64_t seed : {5ull, 6ull}) {
+    const Graph g = erdos_renyi(12, 0.3, seed);
+    const std::vector<Vertex> sources = {0};
+    const ApproxResult r = build_approx_ftmbfs(g, sources, 2);
+    expect_valid(g, sources, r.structure, 2);
+  }
+}
+
+TEST(ApproxFtmbfs, MultiSourceSingleFault) {
+  const Graph g = erdos_renyi(16, 0.25, 9);
+  const std::vector<Vertex> sources = {0, 5, 11};
+  const ApproxResult r = build_approx_ftmbfs(g, sources, 1);
+  expect_valid(g, sources, r.structure, 1);
+}
+
+TEST(ApproxFtmbfs, MultiSourceDualFault) {
+  const Graph g = erdos_renyi(11, 0.35, 13);
+  const std::vector<Vertex> sources = {0, 7};
+  const ApproxResult r = build_approx_ftmbfs(g, sources, 2);
+  expect_valid(g, sources, r.structure, 2);
+}
+
+TEST(ApproxFtmbfs, CycleNeedsAllEdges) {
+  const Graph g = cycle_graph(8);
+  const std::vector<Vertex> sources = {0};
+  const ApproxResult r = build_approx_ftmbfs(g, sources, 1);
+  expect_valid(g, sources, r.structure, 1);
+  EXPECT_EQ(r.structure.edges.size(), g.num_edges());
+}
+
+TEST(ApproxFtmbfs, CompleteGraphNearOptimal) {
+  // On K_n the optimal single-source 1-FT structure has ~2(n-1) edges; greedy
+  // must land within the log-factor of that, far below the full K_n.
+  const Graph g = complete_graph(12);
+  const std::vector<Vertex> sources = {0};
+  const ApproxResult r = build_approx_ftmbfs(g, sources, 1);
+  expect_valid(g, sources, r.structure, 1);
+  const double optimal_ish = 2.0 * (g.num_vertices() - 1);
+  const double log_factor = std::log2(static_cast<double>(g.num_vertices()));
+  EXPECT_LE(static_cast<double>(r.structure.edges.size()),
+            optimal_ish * log_factor);
+}
+
+TEST(ApproxFtmbfs, NeverLargerThanUniverseImpliesStats) {
+  const Graph g = erdos_renyi(14, 0.3, 21);
+  const std::vector<Vertex> sources = {0, 3};
+  const ApproxResult r = build_approx_ftmbfs(g, sources, 1);
+  EXPECT_EQ(r.astats.universe_size,
+            sources.size() * (1ull + g.num_edges()));
+  EXPECT_EQ(r.astats.bfs_runs, r.astats.universe_size);
+  EXPECT_GE(r.astats.greedy_picks, r.structure.edges.size());
+}
+
+TEST(ApproxFtmbfs, ComparableToExactSingleFtbfsOnSparseInputs) {
+  // The approximation's selling point: on instances with sparse optima it
+  // should not be much bigger than the exact specialized construction.
+  const Graph g = erdos_renyi(20, 0.15, 33);
+  const std::vector<Vertex> sources = {0};
+  const ApproxResult greedy = build_approx_ftmbfs(g, sources, 1);
+  const FtStructure exact = build_single_ftbfs(g, 0);
+  expect_valid(g, sources, greedy.structure, 1);
+  const double log_factor =
+      std::max(2.0, std::log2(static_cast<double>(g.num_vertices())));
+  EXPECT_LE(static_cast<double>(greedy.structure.edges.size()),
+            log_factor * static_cast<double>(exact.edges.size()));
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,98 @@
+#include "spath/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/mask.h"
+
+namespace ftbfs {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path_graph(6);
+  Bfs bfs(g);
+  const BfsResult& r = bfs.run(0);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(r.hops[v], v);
+}
+
+TEST(Bfs, ParentsFormShortestPathTree) {
+  const Graph g = erdos_renyi(50, 0.1, 5);
+  Bfs bfs(g);
+  const BfsResult& r = bfs.run(0);
+  for (Vertex v = 1; v < g.num_vertices(); ++v) {
+    ASSERT_NE(r.hops[v], kInfHops);
+    EXPECT_EQ(r.hops[r.parent[v]] + 1, r.hops[v]);
+    EXPECT_EQ(g.other_endpoint(r.parent_edge[v], r.parent[v]), v);
+  }
+}
+
+TEST(Bfs, UnreachableIsInf) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  Bfs bfs(g);
+  const BfsResult& r = bfs.run(0);
+  EXPECT_EQ(r.hops[1], 1u);
+  EXPECT_EQ(r.hops[2], kInfHops);
+  EXPECT_EQ(r.parent[2], kInvalidVertex);
+}
+
+TEST(Bfs, EdgeMaskReroutes) {
+  const Graph g = cycle_graph(6);
+  GraphMask mask(g);
+  mask.block_edge(g.find_edge(0, 1));
+  Bfs bfs(g);
+  const BfsResult& r = bfs.run(0, &mask);
+  EXPECT_EQ(r.hops[1], 5u);  // all the way around
+  EXPECT_EQ(r.hops[5], 1u);
+}
+
+TEST(Bfs, VertexMaskBlocks) {
+  const Graph g = path_graph(5);
+  GraphMask mask(g);
+  mask.block_vertex(2);
+  Bfs bfs(g);
+  const BfsResult& r = bfs.run(0, &mask);
+  EXPECT_EQ(r.hops[1], 1u);
+  EXPECT_EQ(r.hops[3], kInfHops);
+}
+
+TEST(Bfs, BlockedSourceReachesNothing) {
+  const Graph g = path_graph(3);
+  GraphMask mask(g);
+  mask.block_vertex(0);
+  Bfs bfs(g);
+  const BfsResult& r = bfs.run(0, &mask);
+  EXPECT_EQ(r.hops[0], kInfHops);
+  EXPECT_EQ(r.hops[1], kInfHops);
+}
+
+TEST(Bfs, ReusableAcrossRuns) {
+  const Graph g = cycle_graph(8);
+  Bfs bfs(g);
+  EXPECT_EQ(bfs.run(0).hops[4], 4u);
+  EXPECT_EQ(bfs.run(3).hops[4], 1u);  // buffers reset correctly
+}
+
+TEST(BfsDistance, MatchesManual) {
+  const Graph g = grid_graph(4, 4);
+  EXPECT_EQ(bfs_distance(g, 0, 15), 6u);  // manhattan distance in a grid
+  EXPECT_EQ(bfs_distance(g, 0, 5), 2u);
+}
+
+TEST(BfsEccentricity, PathEnds) {
+  const Graph g = path_graph(9);
+  EXPECT_EQ(bfs_eccentricity(g, 0), 8u);
+  EXPECT_EQ(bfs_eccentricity(g, 4), 4u);
+}
+
+TEST(BfsEccentricity, DisconnectedIsInf) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(bfs_eccentricity(g, 0), kInfHops);
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,202 @@
+#include "structure/configuration.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ftbfs {
+namespace {
+
+Detour make_detour(std::size_t x_idx, std::size_t y_idx, Path verts = {}) {
+  Detour d;
+  d.x_pi_index = x_idx;
+  d.y_pi_index = y_idx;
+  d.verts = std::move(verts);
+  if (!d.verts.empty()) {
+    d.x = d.verts.front();
+    d.y = d.verts.back();
+  }
+  return d;
+}
+
+TEST(ClassifyDetours, NonNested) {
+  const auto c = classify_detours(make_detour(0, 2, {0, 100, 2}),
+                                  make_detour(3, 5, {3, 101, 5}));
+  EXPECT_EQ(c.config, DetourConfig::kNonNested);
+  EXPECT_FALSE(c.swapped);
+  EXPECT_FALSE(c.dependent);
+}
+
+TEST(ClassifyDetours, Nested) {
+  const auto c = classify_detours(make_detour(0, 6, {0, 100, 6}),
+                                  make_detour(2, 4, {2, 101, 4}));
+  EXPECT_EQ(c.config, DetourConfig::kNested);
+}
+
+TEST(ClassifyDetours, Interleaved) {
+  const auto c = classify_detours(make_detour(0, 4, {0, 100, 4}),
+                                  make_detour(2, 6, {2, 101, 6}));
+  EXPECT_EQ(c.config, DetourConfig::kInterleaved);
+}
+
+TEST(ClassifyDetours, XInterleaved) {
+  const auto c = classify_detours(make_detour(1, 4, {1, 100, 4}),
+                                  make_detour(1, 6, {1, 101, 6}));
+  EXPECT_EQ(c.config, DetourConfig::kXInterleaved);
+  EXPECT_TRUE(c.dependent);  // share x
+}
+
+TEST(ClassifyDetours, YInterleaved) {
+  const auto c = classify_detours(make_detour(0, 5, {0, 100, 5}),
+                                  make_detour(2, 5, {2, 101, 5}));
+  EXPECT_EQ(c.config, DetourConfig::kYInterleaved);
+  EXPECT_TRUE(c.dependent);  // share y
+}
+
+TEST(ClassifyDetours, XYInterleaved) {
+  const auto c = classify_detours(make_detour(0, 3, {0, 100, 3}),
+                                  make_detour(3, 6, {3, 101, 6}));
+  EXPECT_EQ(c.config, DetourConfig::kXYInterleaved);
+}
+
+TEST(ClassifyDetours, Identical) {
+  const auto c = classify_detours(make_detour(0, 3, {0, 100, 3}),
+                                  make_detour(0, 3, {0, 100, 3}));
+  EXPECT_EQ(c.config, DetourConfig::kIdentical);
+}
+
+TEST(ClassifyDetours, SwapNormalization) {
+  const auto c = classify_detours(make_detour(3, 5, {3, 101, 5}),
+                                  make_detour(0, 2, {0, 100, 2}));
+  EXPECT_EQ(c.config, DetourConfig::kNonNested);
+  EXPECT_TRUE(c.swapped);
+}
+
+TEST(ClassifyDetours, DirectionDetection) {
+  // Shared middle segment 10-11 traversed in the same direction.
+  const auto fw = classify_detours(make_detour(0, 4, {0, 10, 11, 4}),
+                                   make_detour(2, 6, {2, 10, 11, 6}));
+  EXPECT_TRUE(fw.dependent);
+  EXPECT_TRUE(fw.same_direction);
+  // Opposite direction.
+  const auto rev = classify_detours(make_detour(0, 4, {0, 10, 11, 4}),
+                                    make_detour(2, 6, {2, 11, 10, 6}));
+  EXPECT_TRUE(rev.dependent);
+  EXPECT_FALSE(rev.same_direction);
+}
+
+TEST(ToString, AllNamesDistinct) {
+  EXPECT_STREQ(to_string(DetourConfig::kNonNested), "non-nested");
+  EXPECT_STREQ(to_string(DetourConfig::kXYInterleaved), "(x,y)-interleaved");
+  EXPECT_STREQ(to_string(DetourConfig::kIdentical), "identical");
+}
+
+TEST(ExcludedSuffix, InterleavedPairYieldsSuffix) {
+  // D1 = 0..4 via {10, 11}, D2 = 2..6 via the same shared middle: the last
+  // vertex of D2 common to D1 is 11, so L1 = D1[11, 4].
+  const auto excl =
+      excluded_suffix(make_detour(0, 4, {0, 10, 11, 4}),
+                      make_detour(2, 6, {2, 10, 11, 6}));
+  ASSERT_TRUE(excl.has_value());
+  EXPECT_TRUE(excl->excluded_of_first);
+  EXPECT_EQ(excl->segment, (Path{11, 4}));
+}
+
+TEST(ExcludedSuffix, SwappedArgumentsReportOwner) {
+  const auto excl =
+      excluded_suffix(make_detour(2, 6, {2, 10, 11, 6}),
+                      make_detour(0, 4, {0, 10, 11, 4}));
+  ASSERT_TRUE(excl.has_value());
+  EXPECT_FALSE(excl->excluded_of_first);  // the suffix belongs to the second
+  EXPECT_EQ(excl->segment, (Path{11, 4}));
+}
+
+TEST(ExcludedSuffix, NoneForNestedOrDisjointConfigs) {
+  EXPECT_FALSE(excluded_suffix(make_detour(0, 6, {0, 100, 6}),
+                               make_detour(2, 4, {2, 101, 4}))
+                   .has_value());  // nested
+  EXPECT_FALSE(excluded_suffix(make_detour(0, 2, {0, 100, 2}),
+                               make_detour(3, 5, {3, 101, 5}))
+                   .has_value());  // non-nested
+}
+
+TEST(ExcludedSuffix, IndependentInterleavedHasNone) {
+  // Interleaved by π positions but vertex-disjoint.
+  EXPECT_FALSE(excluded_suffix(make_detour(0, 4, {0, 100, 4}),
+                               make_detour(2, 6, {2, 101, 6}))
+                   .has_value());
+}
+
+TEST(ExcludedSuffix, XYInterleavedSharedEndpoint) {
+  // D1 ends where D2 starts: w = 3 (the shared π vertex), L1 = D1[3,3] has
+  // no edge -> nullopt; with an interior shared vertex the suffix is real.
+  EXPECT_FALSE(excluded_suffix(make_detour(0, 3, {0, 100, 3}),
+                               make_detour(3, 6, {3, 101, 6}))
+                   .has_value());
+  const auto excl =
+      excluded_suffix(make_detour(0, 3, {0, 100, 102, 3}),
+                      make_detour(3, 6, {3, 102, 101, 6}));
+  ASSERT_TRUE(excl.has_value());
+  EXPECT_EQ(excl->segment, (Path{102, 3}));
+}
+
+// Claims 3.8 and 3.9 as executable properties over random instances:
+// non-nested and nested detour pairs are always vertex-disjoint.
+TEST(DetourStructureProperties, NonNestedAndNestedAreIndependent) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull, 6ull}) {
+    const Graph g = erdos_renyi(40, 0.11, seed);
+    const WeightAssignment w(g, seed);
+    PathSelector sel(g, w);
+    for (const Vertex v : {13u, 27u, 39u}) {
+      const DetourSet ds = compute_detours(sel, 0, v);
+      for (std::size_t i = 0; i < ds.detours.size(); ++i) {
+        for (std::size_t j = i + 1; j < ds.detours.size(); ++j) {
+          const auto c = classify_detours(ds.detours[i], ds.detours[j]);
+          if (c.config == DetourConfig::kNonNested) {
+            EXPECT_FALSE(c.dependent)
+                << "Claim 3.8 violated at seed " << seed << " v " << v;
+          }
+          if (c.config == DetourConfig::kNested) {
+            EXPECT_FALSE(c.dependent)
+                << "Claim 3.9 violated at seed " << seed << " v " << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Claim 3.11(b): when the two detours traverse their shared segment in
+// opposite directions they must be rev- or (x,y)-interleaved — i.e. for
+// dependent x-interleaved and y-interleaved pairs the direction agrees.
+TEST(DetourStructureProperties, SharedDirectionForAlignedConfigs) {
+  for (const std::uint64_t seed : {7ull, 8ull, 9ull}) {
+    const Graph g = erdos_renyi(40, 0.12, seed);
+    const WeightAssignment w(g, seed);
+    PathSelector sel(g, w);
+    for (const Vertex v : {10u, 20u, 30u}) {
+      const DetourSet ds = compute_detours(sel, 0, v);
+      for (std::size_t i = 0; i < ds.detours.size(); ++i) {
+        for (std::size_t j = i + 1; j < ds.detours.size(); ++j) {
+          const auto c = classify_detours(ds.detours[i], ds.detours[j]);
+          if (!c.dependent) continue;
+          if (c.config == DetourConfig::kXInterleaved ||
+              c.config == DetourConfig::kYInterleaved ||
+              c.config == DetourConfig::kIdentical) {
+            EXPECT_TRUE(c.same_direction)
+                << to_string(c.config) << " at seed " << seed << " v " << v;
+          }
+          if (c.config == DetourConfig::kXYInterleaved) {
+            // Single shared vertex (y1 == x2) or reverse traversal.
+            EXPECT_TRUE(c.same_direction ||
+                        first_common(ds.detours[i].verts,
+                                     ds.detours[j].verts) != kInvalidVertex);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,152 @@
+// Deep properties of the Cons2FTBFS output, tying the implementation back to
+// the paper's analysis: per-vertex new-edge bounds (Thm 1.1's engine),
+// per-class √n / n^{2/3} bounds, behaviour on the lower-bound graphs, and the
+// relationship to the single-failure baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cons2ftbfs.h"
+#include "core/kfail_ftbfs.h"
+#include "core/single_ftbfs.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+#include "lowerbound/gstar.h"
+#include "spath/bfs.h"
+
+namespace ftbfs {
+namespace {
+
+TEST(Cons2Properties, MaxNewPerVertexWithinTwoThirdsBound) {
+  // |New(v)| = O(n^{2/3}) — the paper's per-vertex bound; constant 6 is
+  // generous on random instances.
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (const Vertex n : {30u, 60u, 90u}) {
+      const Graph g = erdos_renyi(n, 3.0 / n, seed);
+      const FtStructure h = build_cons2ftbfs(g, 0);
+      EXPECT_LE(static_cast<double>(h.stats.max_new_per_vertex),
+                6.0 * std::pow(static_cast<double>(n), 2.0 / 3.0))
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Cons2Properties, PerVertexSqrtClassesWithinBound) {
+  // Obs. 3.17 / Lemma 3.18: per-vertex 'single' and (π,π) new edges are
+  // O(√n).
+  for (const std::uint64_t seed : {4ull, 5ull}) {
+    const Vertex n = 80;
+    const Graph g = erdos_renyi(n, 0.08, seed);
+    const FtStructure h = build_cons2ftbfs(g, 0);
+    const double bound = 6.0 * std::sqrt(static_cast<double>(n));
+    EXPECT_LE(static_cast<double>(h.stats.max_classes_per_vertex.single),
+              bound);
+    EXPECT_LE(static_cast<double>(h.stats.max_classes_per_vertex.a_pi_pi),
+              bound);
+  }
+}
+
+TEST(Cons2Properties, ContainsSingleFailureGuarantee) {
+  // A dual structure is in particular a single-failure structure.
+  const Graph g = erdos_renyi(25, 0.2, 7);
+  const FtStructure h = build_cons2ftbfs(g, 0);
+  const std::vector<Vertex> sources = {0};
+  EXPECT_FALSE(verify_exhaustive(g, h.edges, sources, 1).has_value());
+}
+
+TEST(Cons2Properties, LowerBoundGraphRetainsBipartiteCore) {
+  // Theorem 4.1: on G*_2 every bipartite edge is essential, so Cons2FTBFS
+  // must keep all of them.
+  const GStarGraph gs = build_gstar(2, 120);
+  const FtStructure h = build_cons2ftbfs(gs.graph, gs.sources[0]);
+  std::vector<bool> in_h(gs.graph.num_edges(), false);
+  for (const EdgeId e : h.edges) in_h[e] = true;
+  for (const EdgeId e : gs.bipartite_edges) {
+    EXPECT_TRUE(in_h[e]) << "bipartite edge " << e << " missing from H";
+  }
+}
+
+TEST(Cons2Properties, LowerBoundGraphStructureIsValid) {
+  const GStarGraph gs = build_gstar(2, 90);
+  const FtStructure h = build_cons2ftbfs(gs.graph, gs.sources[0]);
+  const auto violation = verify_exhaustive(gs.graph, h.edges, gs.sources, 2);
+  EXPECT_FALSE(violation.has_value())
+      << (violation ? violation->describe(gs.graph) : "");
+}
+
+TEST(Cons2Properties, SingleFailureLowerBoundGraph) {
+  const GStarGraph gs = build_gstar(1, 90);
+  const FtStructure h1 = build_single_ftbfs(gs.graph, gs.sources[0]);
+  std::vector<bool> in_h(gs.graph.num_edges(), false);
+  for (const EdgeId e : h1.edges) in_h[e] = true;
+  for (const EdgeId e : gs.bipartite_edges) {
+    EXPECT_TRUE(in_h[e]);
+  }
+}
+
+TEST(Cons2Properties, DualAtLeastAsLargeAsSingleOnWorstCase) {
+  const GStarGraph gs2 = build_gstar(2, 150);
+  const FtStructure h2 = build_cons2ftbfs(gs2.graph, gs2.sources[0]);
+  const FtStructure h1 = build_single_ftbfs(gs2.graph, gs2.sources[0]);
+  EXPECT_GE(h2.edges.size(), h1.edges.size());
+}
+
+TEST(Cons2Properties, AgreesWithKfailGuaranteeButSmallerOrEqualCost) {
+  // Both are valid dual structures; Cons2FTBFS applies selection rules, the
+  // chain structure does not. Both must verify; sizes are reported by E-bench.
+  const Graph g = erdos_renyi(16, 0.3, 21);
+  const FtStructure h = build_cons2ftbfs(g, 0);
+  const KFailResult k = build_kfail_ftbfs(g, 0, 2);
+  const std::vector<Vertex> sources = {0};
+  EXPECT_FALSE(verify_exhaustive(g, h.edges, sources, 2).has_value());
+  EXPECT_FALSE(
+      verify_exhaustive(g, k.structure.edges, sources, 2).has_value());
+}
+
+TEST(Cons2Properties, DenseGraphsNearLinear) {
+  // FT-diameter 2 graphs (dense G(n,p)) have O(n) dual structures
+  // (Obs. 1.6 with D ~ 2-3); check the structure stays near-linear.
+  const Vertex n = 60;
+  const Graph g = erdos_renyi(n, 0.5, 3);
+  const FtStructure h = build_cons2ftbfs(g, 0);
+  EXPECT_LE(h.edges.size(), 12ull * n);
+}
+
+TEST(Cons2Properties, PathPlusChordsStress) {
+  // Deep BFS trees with long detours — the regime where step (3) works hard.
+  for (const std::uint64_t seed : {1ull, 2ull}) {
+    const Graph g = path_with_chords(28, 9, seed);
+    const FtStructure h = build_cons2ftbfs(g, 0);
+    const std::vector<Vertex> sources = {0};
+    const auto violation = verify_exhaustive(g, h.edges, sources, 2);
+    EXPECT_FALSE(violation.has_value())
+        << (violation ? violation->describe(g) : "");
+    EXPECT_EQ(h.stats.divergence_fallbacks, 0u);
+  }
+}
+
+TEST(Cons2Properties, FaultFreeDistancesExactInSubgraph) {
+  const Graph g = erdos_renyi(40, 0.12, 9);
+  const FtStructure h = build_cons2ftbfs(g, 0);
+  const Graph hg = materialize(g, h);
+  EXPECT_LE(hg.num_edges(), g.num_edges());
+  Bfs bg(g), bh(hg);
+  const auto& rg = bg.run(0);
+  const auto& rh = bh.run(0);
+  EXPECT_EQ(rg.hops, rh.hops);
+}
+
+TEST(Cons2Properties, NewEdgesAllIncidentToSomeTarget) {
+  // Every non-tree edge of H is the last edge of a replacement path, hence
+  // incident to the path's target; sanity-check H contains no stray edges:
+  // removing any single H edge must break verification (minimality is NOT
+  // guaranteed by the paper, so only check that H passes and is within the
+  // counted size).
+  const Graph g = erdos_renyi(20, 0.25, 13);
+  const FtStructure h = build_cons2ftbfs(g, 0);
+  EXPECT_EQ(h.edges.size(), h.stats.tree_edges + h.stats.new_edges);
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,56 @@
+// Contract-violation behavior: FTBFS_EXPECTS/ENSURES abort on programming
+// errors. Death tests pin the behavior so refactors cannot silently turn
+// contract violations into undefined behavior.
+#include <gtest/gtest.h>
+
+#include "core/approx_ftmbfs.h"
+#include "core/cons2ftbfs.h"
+#include "graph/generators.h"
+#include "spath/path.h"
+#include "util/assert.h"
+
+namespace ftbfs {
+namespace {
+
+TEST(Contracts, GraphBuilderRejectsSelfLoop) {
+  GraphBuilder b(3);
+  EXPECT_DEATH(b.add_edge(1, 1), "precondition");
+}
+
+TEST(Contracts, GraphBuilderRejectsParallelEdge) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_DEATH(b.add_edge(1, 0), "precondition");
+}
+
+TEST(Contracts, GraphBuilderRejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_DEATH(b.add_edge(0, 3), "precondition");
+}
+
+TEST(Contracts, Cons2RejectsBadSource) {
+  const Graph g = path_graph(4);
+  EXPECT_DEATH((void)build_cons2ftbfs(g, 9), "precondition");
+}
+
+TEST(Contracts, PathOpsRejectMalformedInput) {
+  const Graph g = path_graph(4);
+  EXPECT_DEATH((void)last_edge(g, Path{2}), "precondition");
+  EXPECT_DEATH((void)concat(Path{0, 1}, Path{2, 3}), "precondition");
+  EXPECT_DEATH((void)subpath(Path{0, 1, 2}, 2, 1), "precondition");
+}
+
+TEST(Contracts, ApproxRejectsUnsupportedFaultCount) {
+  const Graph g = path_graph(4);
+  const std::vector<Vertex> sources = {0};
+  EXPECT_DEATH((void)build_approx_ftmbfs(g, sources, 3), "precondition");
+}
+
+TEST(Contracts, ApproxRejectsEmptySources) {
+  const Graph g = path_graph(4);
+  const std::vector<Vertex> none;
+  EXPECT_DEATH((void)build_approx_ftmbfs(g, none, 1), "precondition");
+}
+
+}  // namespace
+}  // namespace ftbfs

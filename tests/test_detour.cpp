@@ -1,0 +1,114 @@
+#include "structure/detour.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ftbfs {
+namespace {
+
+class DetourTest : public ::testing::Test {
+ protected:
+  DetourSet detours_for(const Graph& g, Vertex s, Vertex v,
+                        std::uint64_t seed = 1) {
+    w_ = std::make_unique<WeightAssignment>(g, seed);
+    sel_ = std::make_unique<PathSelector>(g, *w_);
+    return compute_detours(*sel_, s, v);
+  }
+
+  std::unique_ptr<WeightAssignment> w_;
+  std::unique_ptr<PathSelector> sel_;
+};
+
+TEST_F(DetourTest, PathGraphHasNoDetours) {
+  const Graph g = path_graph(6);
+  const DetourSet ds = detours_for(g, 0, 5);
+  EXPECT_EQ(ds.pi.size(), 6u);
+  EXPECT_TRUE(ds.detours.empty());  // every fault disconnects
+}
+
+TEST_F(DetourTest, CycleHasOneDetourPerEdge) {
+  const Graph g = cycle_graph(7);
+  const DetourSet ds = detours_for(g, 0, 3);
+  // π has 3 edges; each failure forces the long way around.
+  EXPECT_EQ(ds.detours.size(), ds.pi.size() - 1);
+  for (const Detour& d : ds.detours) {
+    EXPECT_EQ(d.verts.front(), d.x);
+    EXPECT_EQ(d.verts.back(), d.y);
+    EXPECT_LT(d.x_pi_index, d.y_pi_index);
+  }
+}
+
+TEST_F(DetourTest, DetourSpansProtectedEdge) {
+  for (const std::uint64_t seed : {3ull, 4ull, 5ull}) {
+    const Graph g = erdos_renyi(40, 0.12, seed);
+    const DetourSet ds = detours_for(g, 0, 20, seed);
+    for (const Detour& d : ds.detours) {
+      EXPECT_LE(d.x_pi_index, d.protected_edge_index);
+      EXPECT_GT(d.y_pi_index, d.protected_edge_index);
+    }
+  }
+}
+
+TEST_F(DetourTest, DetourInteriorAvoidsPi) {
+  const Graph g = erdos_renyi(36, 0.15, 9);
+  const DetourSet ds = detours_for(g, 0, 18, 9);
+  for (const Detour& d : ds.detours) {
+    for (std::size_t i = 1; i + 1 < d.verts.size(); ++i) {
+      EXPECT_FALSE(contains_vertex(ds.pi, d.verts[i]));
+    }
+  }
+}
+
+TEST(FirstLastCommon, Basics) {
+  const Path a = {1, 2, 3, 4, 5};
+  const Path b = {9, 3, 5, 7};
+  EXPECT_EQ(first_common(a, b), 3u);
+  EXPECT_EQ(last_common(a, b), 5u);
+  EXPECT_EQ(first_common(b, a), 3u);
+  const Path c = {10, 11};
+  EXPECT_EQ(first_common(a, c), kInvalidVertex);
+  EXPECT_EQ(last_common(a, c), kInvalidVertex);
+}
+
+TEST(DetoursDependent, SharedVertexDetection) {
+  Detour d1, d2;
+  d1.verts = {0, 5, 6, 2};
+  d2.verts = {1, 7, 8, 3};
+  EXPECT_FALSE(detours_dependent(d1, d2));
+  d2.verts = {1, 6, 3};
+  EXPECT_TRUE(detours_dependent(d1, d2));
+}
+
+// Claim 3.6: two detours agree on the segment between any two common
+// vertices (as vertex sets; traversal direction may differ).
+TEST_F(DetourTest, CommonSegmentProperty) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    const Graph g = erdos_renyi(44, 0.1, seed);
+    for (const Vertex v : {11u, 33u}) {
+      const DetourSet ds = detours_for(g, 0, v, seed);
+      for (std::size_t i = 0; i < ds.detours.size(); ++i) {
+        for (std::size_t j = i + 1; j < ds.detours.size(); ++j) {
+          const Path& a = ds.detours[i].verts;
+          const Path& b = ds.detours[j].verts;
+          // Collect common vertices in a's order.
+          std::vector<std::size_t> common_pos;
+          for (std::size_t p = 0; p < a.size(); ++p) {
+            if (contains_vertex(b, a[p])) common_pos.push_back(p);
+          }
+          if (common_pos.size() < 2) continue;
+          // Claim 3.6: the whole a-segment between first and last common
+          // vertex lies on b as well.
+          for (std::size_t p = common_pos.front(); p <= common_pos.back();
+               ++p) {
+            EXPECT_TRUE(contains_vertex(b, a[p]))
+                << "Claim 3.6 violated: seed " << seed << " v " << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftbfs

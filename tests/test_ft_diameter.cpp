@@ -1,0 +1,62 @@
+#include "core/ft_diameter.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "spath/bfs.h"
+
+namespace ftbfs {
+namespace {
+
+TEST(FtEccentricity, ZeroFaultsIsEccentricity) {
+  const Graph g = path_graph(7);
+  EXPECT_EQ(ft_eccentricity(g, 0, 0), 6u);
+  EXPECT_EQ(ft_eccentricity(g, 3, 0), 3u);
+}
+
+TEST(FtEccentricity, PathDisconnectsUnderOneFault) {
+  const Graph g = path_graph(5);
+  EXPECT_EQ(ft_eccentricity(g, 0, 1), kInfHops);
+}
+
+TEST(FtEccentricity, CycleUnderOneFault) {
+  // C_n minus one edge is a path; worst case from any vertex is n-1.
+  const Graph g = cycle_graph(8);
+  EXPECT_EQ(ft_eccentricity(g, 0, 0), 4u);
+  EXPECT_EQ(ft_eccentricity(g, 0, 1), 7u);
+  EXPECT_EQ(ft_eccentricity(g, 0, 2), kInfHops);
+}
+
+TEST(FtEccentricity, CompleteGraphRobust) {
+  const Graph g = complete_graph(6);
+  EXPECT_EQ(ft_eccentricity(g, 0, 0), 1u);
+  EXPECT_EQ(ft_eccentricity(g, 0, 1), 2u);
+  EXPECT_EQ(ft_eccentricity(g, 0, 2), 2u);
+}
+
+TEST(FtDiameter, MatchesMaxEccentricity) {
+  const Graph g = erdos_renyi(18, 0.3, 5);
+  std::uint32_t expected = 0;
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    expected = std::max(expected, ft_eccentricity(g, s, 1));
+  }
+  EXPECT_EQ(ft_diameter(g, 1), expected);
+}
+
+TEST(FtDiameter, MonotoneInFaults) {
+  const Graph g = erdos_renyi(16, 0.4, 9);
+  const std::uint32_t d0 = ft_diameter(g, 0);
+  const std::uint32_t d1 = ft_diameter(g, 1);
+  ASSERT_NE(d1, kInfHops);
+  EXPECT_LE(d0, d1);
+}
+
+TEST(FtDiameter, HypercubeStaysSmall) {
+  const Graph g = hypercube_graph(3);
+  const std::uint32_t d1 = ft_diameter(g, 1);
+  ASSERT_NE(d1, kInfHops);
+  EXPECT_LE(d1, 5u);
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,74 @@
+#include "core/ftmbfs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cons2ftbfs.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+
+namespace ftbfs {
+namespace {
+
+TEST(FtMbfs, DualMultiSourceVerifies) {
+  const Graph g = erdos_renyi(16, 0.3, 3);
+  const std::vector<Vertex> sources = {0, 5, 11};
+  const FtMbfsResult r = build_cons2ftmbfs(g, sources);
+  const auto violation =
+      verify_exhaustive(g, r.structure.edges, sources, 2);
+  EXPECT_FALSE(violation.has_value())
+      << (violation ? violation->describe(g) : "");
+}
+
+TEST(FtMbfs, SingleMultiSourceVerifies) {
+  const Graph g = erdos_renyi(24, 0.2, 5);
+  const std::vector<Vertex> sources = {0, 12, 23};
+  const FtMbfsResult r = build_single_ftmbfs(g, sources);
+  const auto violation =
+      verify_exhaustive(g, r.structure.edges, sources, 1);
+  EXPECT_FALSE(violation.has_value())
+      << (violation ? violation->describe(g) : "");
+}
+
+TEST(FtMbfs, UnionNoLargerThanSum) {
+  const Graph g = erdos_renyi(30, 0.15, 7);
+  const std::vector<Vertex> sources = {0, 10, 20};
+  const FtMbfsResult r = build_cons2ftmbfs(g, sources);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t size : r.per_source_size) sum += size;
+  EXPECT_LE(r.structure.edges.size(), sum);
+  EXPECT_EQ(r.per_source_size.size(), sources.size());
+}
+
+TEST(FtMbfs, SingleSourceDegeneratesToCons2) {
+  const Graph g = erdos_renyi(20, 0.25, 9);
+  const std::vector<Vertex> sources = {4};
+  const FtMbfsResult r = build_cons2ftmbfs(g, sources);
+  Cons2Options opt;
+  opt.classify_paths = false;
+  const FtStructure direct = build_cons2ftbfs(g, 4, opt);
+  EXPECT_EQ(r.structure.edges, direct.edges);
+}
+
+TEST(FtMbfs, SharedEdgesCollapse) {
+  // Sources adjacent to each other on a dense graph share most structure.
+  const Graph g = erdos_renyi(30, 0.4, 11);
+  const std::vector<Vertex> two = {0, 1};
+  const FtMbfsResult r = build_cons2ftmbfs(g, two);
+  const double sum = static_cast<double>(r.per_source_size[0]) +
+                     static_cast<double>(r.per_source_size[1]);
+  EXPECT_LT(static_cast<double>(r.structure.edges.size()), 0.95 * sum);
+}
+
+TEST(FtMbfs, PerSourceSubsetsVerifyIndividually) {
+  const Graph g = erdos_renyi(14, 0.3, 13);
+  const std::vector<Vertex> sources = {0, 7};
+  const FtMbfsResult r = build_cons2ftmbfs(g, sources);
+  for (const Vertex s : sources) {
+    const std::vector<Vertex> one = {s};
+    EXPECT_FALSE(
+        verify_exhaustive(g, r.structure.edges, one, 2).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,125 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace ftbfs {
+namespace {
+
+TEST(ErdosRenyi, DeterministicAndConnected) {
+  const Graph a = erdos_renyi(50, 0.08, 123);
+  const Graph b = erdos_renyi(50, 0.08, 123);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(is_connected(a));
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e), b.edge(e));
+  }
+}
+
+TEST(ErdosRenyi, SeedChangesTopology) {
+  const Graph a = erdos_renyi(50, 0.2, 1);
+  const Graph b = erdos_renyi(50, 0.2, 2);
+  bool differ = a.num_edges() != b.num_edges();
+  if (!differ) {
+    for (EdgeId e = 0; e < a.num_edges(); ++e) {
+      if (!(a.edge(e) == b.edge(e))) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(ErdosRenyi, DensityScalesWithP) {
+  const Graph sparse = erdos_renyi(80, 0.02, 5);
+  const Graph dense = erdos_renyi(80, 0.5, 5);
+  EXPECT_LT(sparse.num_edges(), dense.num_edges());
+  // p = 0.5 on 80 vertices: expect ~1580 edges; allow generous slack.
+  EXPECT_GT(dense.num_edges(), 1200u);
+  EXPECT_LT(dense.num_edges(), 2000u);
+}
+
+TEST(ErdosRenyi, WithoutSpineCanBeSparse) {
+  const Graph g = erdos_renyi(30, 0.0, 9, /*connect_spine=*/false);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(RandomConnected, ExactEdgeBudgetAndConnectivity) {
+  for (const EdgeId m : {29u, 40u, 100u, 200u}) {
+    const Graph g = random_connected(30, m, 77);
+    EXPECT_EQ(g.num_edges(), m);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(RandomConnected, TreeCase) {
+  const Graph g = random_connected(25, 24, 3);
+  EXPECT_EQ(g.num_edges(), 24u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(PathGraph, Shape) {
+  const Graph g = path_graph(6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(3), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(CycleGraph, EveryDegreeTwo) {
+  const Graph g = cycle_graph(7);
+  EXPECT_EQ(g.num_edges(), 7u);
+  for (Vertex v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(CompleteGraph, AllPairs) {
+  const Graph g = complete_graph(8);
+  EXPECT_EQ(g.num_edges(), 28u);
+  for (Vertex v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 7u);
+}
+
+TEST(CompleteBipartite, Shape) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 4u);
+  for (Vertex v = 3; v < 7; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(GridGraph, CountsAndCorners) {
+  const Graph g = grid_graph(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  // 4*(5-1) horizontal + 5*(4-1) vertical = 31.
+  EXPECT_EQ(g.num_edges(), 31u);
+  EXPECT_EQ(g.degree(0), 2u);        // corner
+  EXPECT_EQ(g.degree(1), 3u);        // edge
+  EXPECT_EQ(g.degree(6), 4u);        // interior
+}
+
+TEST(HypercubeGraph, DegreesEqualDimension) {
+  const Graph g = hypercube_graph(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(PathWithChords, HasPathPlusChords) {
+  const Graph g = path_with_chords(40, 15, 11);
+  EXPECT_GE(g.num_edges(), 39u);
+  EXPECT_LE(g.num_edges(), 54u);
+  EXPECT_TRUE(is_connected(g));
+  for (Vertex v = 0; v + 1 < 40; ++v) EXPECT_TRUE(g.has_edge(v, v + 1));
+}
+
+TEST(BarbellGraph, CliquesAndBridges) {
+  const Graph g = barbell_graph(12, 2);
+  EXPECT_TRUE(is_connected(g));
+  // Two K_6 plus 2 bridges.
+  EXPECT_EQ(g.num_edges(), 15u + 15u + 2u);
+  EXPECT_TRUE(g.has_edge(0, 6));
+  EXPECT_TRUE(g.has_edge(1, 7));
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,148 @@
+#include "lowerbound/gf_graph.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "graph/mask.h"
+#include "spath/bfs.h"
+
+namespace ftbfs {
+namespace {
+
+TEST(GfGraph, G1CountsMatchFormula) {
+  for (const Vertex d : {1u, 2u, 4u, 7u, 10u}) {
+    const GfGraph g1 = build_gf(1, d);
+    // N(1,d) = d^2 + 6d (spine d, leaves d, interiors 5+2(d-i)).
+    EXPECT_EQ(g1.graph.num_vertices(), d * d + 6u * d);
+    EXPECT_EQ(g1.leaves.size(), d);
+    EXPECT_EQ(g1.depth, 2 * d + 4);  // |P(z_1)| = 6 + 2(d-1)
+    EXPECT_TRUE(is_connected(g1.graph));
+    // Trees: m = n - 1.
+    EXPECT_EQ(g1.graph.num_edges() + 1, g1.graph.num_vertices());
+  }
+}
+
+TEST(GfGraph, NumVerticesHelperMatchesConstruction) {
+  for (unsigned f = 1; f <= 3; ++f) {
+    for (const Vertex d : {1u, 2u, 3u, 4u}) {
+      const GfGraph g = build_gf(f, d);
+      EXPECT_EQ(g.graph.num_vertices(), gf_num_vertices(f, d))
+          << "f=" << f << " d=" << d;
+    }
+  }
+}
+
+TEST(GfGraph, LeafCountIsDToTheF) {
+  // Obs. 4.2(b): nLeaf(f,d) = d^f.
+  for (unsigned f = 1; f <= 3; ++f) {
+    for (const Vertex d : {2u, 3u}) {
+      const GfGraph g = build_gf(f, d);
+      std::uint64_t expect = 1;
+      for (unsigned i = 0; i < f; ++i) expect *= d;
+      EXPECT_EQ(g.leaves.size(), expect);
+    }
+  }
+}
+
+TEST(GfGraph, IsATree) {
+  for (unsigned f = 1; f <= 3; ++f) {
+    const GfGraph g = build_gf(f, 3);
+    EXPECT_TRUE(is_connected(g.graph));
+    EXPECT_EQ(g.graph.num_edges() + 1, g.graph.num_vertices());
+  }
+}
+
+TEST(GfGraph, DepthRecurrence) {
+  // depth(f,d) = d*depth(f-1,d) + 1 with depth(1,d) = 2d+4.
+  for (const Vertex d : {2u, 3u, 4u}) {
+    const GfGraph g1 = build_gf(1, d);
+    const GfGraph g2 = build_gf(2, d);
+    const GfGraph g3 = build_gf(3, d);
+    EXPECT_EQ(g2.depth, d * g1.depth + 1);
+    EXPECT_EQ(g3.depth, d * g2.depth + 1);
+  }
+}
+
+// Lemma 4.3(1): P(z) is the unique root-z path; in a tree BFS realizes it.
+TEST(GfGraph, LeafPathsAreShortestPaths) {
+  for (unsigned f = 1; f <= 3; ++f) {
+    const GfGraph g = build_gf(f, 3);
+    Bfs bfs(g.graph);
+    const BfsResult& r = bfs.run(g.root);
+    for (std::size_t i = 0; i < g.leaves.size(); ++i) {
+      EXPECT_EQ(r.hops[g.leaves[i]], g.leaf_paths[i].size() - 1);
+      EXPECT_EQ(g.leaf_paths[i].front(), g.root);
+      EXPECT_EQ(g.leaf_paths[i].back(), g.leaves[i]);
+      EXPECT_TRUE(is_simple_path_in(g.graph, g.leaf_paths[i]));
+    }
+  }
+}
+
+// Lemma 4.3(4): |P(z_i)| strictly decreasing left to right.
+TEST(GfGraph, LeafPathLengthsStrictlyDecreasing) {
+  for (unsigned f = 1; f <= 3; ++f) {
+    for (const Vertex d : {2u, 3u, 4u}) {
+      const GfGraph g = build_gf(f, d);
+      for (std::size_t i = 0; i + 1 < g.leaf_paths.size(); ++i) {
+        EXPECT_GT(g.leaf_paths[i].size(), g.leaf_paths[i + 1].size())
+            << "f=" << f << " d=" << d << " leaf " << i;
+      }
+    }
+  }
+}
+
+// Lemma 4.3(2): P(z_j) survives the fault set Label(z_j).
+TEST(GfGraph, LeafPathSurvivesOwnLabel) {
+  for (unsigned f = 1; f <= 3; ++f) {
+    const GfGraph g = build_gf(f, 3);
+    for (std::size_t j = 0; j < g.leaves.size(); ++j) {
+      EXPECT_LE(g.labels[j].size(), f);
+      for (const EdgeId e : g.labels[j]) {
+        EXPECT_FALSE(contains_edge(g.graph, g.leaf_paths[j], e));
+      }
+    }
+  }
+}
+
+// Lemma 4.3(3): every leaf to the right of z_j is unreachable from the root
+// under Label(z_j) (the graph is a tree, so cut = unreachable).
+TEST(GfGraph, LabelCutsRightwardLeaves) {
+  for (unsigned f = 1; f <= 2; ++f) {
+    const GfGraph g = build_gf(f, 3);
+    Bfs bfs(g.graph);
+    GraphMask mask(g.graph);
+    for (std::size_t j = 0; j < g.leaves.size(); ++j) {
+      mask.clear();
+      block_edges(mask, g.labels[j]);
+      const BfsResult& r = bfs.run(g.root, &mask);
+      EXPECT_EQ(r.hops[g.leaves[j]], g.leaf_paths[j].size() - 1);
+      for (std::size_t k = j + 1; k < g.leaves.size(); ++k) {
+        EXPECT_EQ(r.hops[g.leaves[k]], kInfHops)
+            << "leaf " << k << " survived label of leaf " << j;
+      }
+    }
+  }
+}
+
+TEST(GfGraph, RightmostLabelEmpty) {
+  for (unsigned f = 1; f <= 3; ++f) {
+    const GfGraph g = build_gf(f, 3);
+    EXPECT_TRUE(g.labels.back().empty());
+    EXPECT_FALSE(g.labels.front().empty());
+  }
+}
+
+TEST(GfGraph, VertexGrowthIsDToTheFPlusOne) {
+  // Obs. 4.2(c): N(f,d) = Θ(d^{f+1}).
+  for (unsigned f = 1; f <= 3; ++f) {
+    const double n8 = static_cast<double>(gf_num_vertices(f, 8));
+    const double n16 = static_cast<double>(gf_num_vertices(f, 16));
+    const double ratio = n16 / n8;
+    const double expect = std::pow(2.0, f + 1);
+    EXPECT_GT(ratio, expect * 0.6);
+    EXPECT_LT(ratio, expect * 1.7);
+  }
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,117 @@
+#include "lowerbound/gstar.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "graph/mask.h"
+#include "spath/bfs.h"
+
+namespace ftbfs {
+namespace {
+
+TEST(GStar, ExactVertexBudget) {
+  for (const Vertex n : {60u, 120u, 300u}) {
+    const GStarGraph gs = build_gstar(1, n);
+    EXPECT_EQ(gs.graph.num_vertices(), n);
+    EXPECT_TRUE(is_connected(gs.graph));
+  }
+}
+
+TEST(GStar, DualFailureVariant) {
+  const GStarGraph gs = build_gstar(2, 200);
+  EXPECT_EQ(gs.graph.num_vertices(), 200u);
+  EXPECT_EQ(gs.f, 2u);
+  EXPECT_EQ(gs.sources.size(), 1u);
+  EXPECT_FALSE(gs.bipartite_edges.empty());
+  EXPECT_FALSE(gs.x_set.empty());
+}
+
+TEST(GStar, MultiSource) {
+  const GStarGraph gs = build_gstar(1, 240, 3);
+  EXPECT_EQ(gs.sources.size(), 3u);
+  EXPECT_EQ(gs.copies.size(), 3u);
+  EXPECT_EQ(gs.graph.num_vertices(), 240u);
+  // Bipartite core: |X| * σ * d leaves for f=1.
+  EXPECT_EQ(gs.bipartite_edges.size(),
+            gs.x_set.size() * 3ull * gs.d);
+}
+
+TEST(GStar, HubDistances) {
+  // In the fault-free graph, dist(s, v*) = d and dist(s, x) = d + 1: the hub
+  // route dominates all leaf routes.
+  const GStarGraph gs = build_gstar(1, 100);
+  Bfs bfs(gs.graph);
+  const BfsResult& r = bfs.run(gs.sources[0]);
+  EXPECT_EQ(r.hops[gs.vstar], gs.d);
+  for (const Vertex x : gs.x_set) {
+    EXPECT_EQ(r.hops[x], gs.d + 1u);
+  }
+}
+
+TEST(GStar, LeafRoutesLongerThanHub) {
+  const GStarGraph gs = build_gstar(1, 100);
+  for (const auto& copy : gs.copies) {
+    for (const std::uint32_t len : copy.leaf_path_len) {
+      EXPECT_GT(len + 1u, gs.d + 1u);
+    }
+  }
+}
+
+TEST(GStar, LabelsWithinFaultBudget) {
+  for (unsigned f = 1; f <= 3; ++f) {
+    const GStarGraph gs = build_gstar(f, f == 3 ? 700 : 150);
+    for (const auto& copy : gs.copies) {
+      for (const auto& label : copy.labels) {
+        EXPECT_LE(label.size(), f);
+      }
+      EXPECT_TRUE(copy.labels.back().empty());  // rightmost leaf
+    }
+  }
+}
+
+TEST(GStar, CopiesDisjointAndRooted) {
+  const GStarGraph gs = build_gstar(1, 200, 2);
+  EXPECT_NE(gs.copies[0].root, gs.copies[1].root);
+  EXPECT_NE(gs.copies[0].y, gs.copies[1].y);
+  // Hub edges exist.
+  for (const auto& copy : gs.copies) {
+    EXPECT_NE(copy.hub_edge, kInvalidEdge);
+    const Edge& e = gs.graph.edge(copy.hub_edge);
+    EXPECT_TRUE(e.u == gs.vstar || e.v == gs.vstar);
+  }
+}
+
+TEST(GStar, BipartiteEdgeCountMatchesFormulaShape) {
+  // |E(B)| = χ * σ * d^f, and χ = Θ(n): the core dominates the edge count.
+  const GStarGraph gs = build_gstar(2, 400);
+  std::uint64_t leaves = 0;
+  for (const auto& copy : gs.copies) leaves += copy.leaves.size();
+  EXPECT_EQ(gs.bipartite_edges.size(), gs.x_set.size() * leaves);
+  EXPECT_GT(gs.x_set.size() * 8ull, 3ull * 400);  // χ >= 3n/8
+}
+
+TEST(GStarBound, FormulaValues) {
+  EXPECT_DOUBLE_EQ(gstar_bound(1, 100.0, 1.0), std::pow(100.0, 1.5));
+  EXPECT_DOUBLE_EQ(gstar_bound(2, 1000.0, 1.0), std::pow(1000.0, 5.0 / 3.0));
+  EXPECT_GT(gstar_bound(2, 1000.0, 8.0), gstar_bound(2, 1000.0, 1.0));
+}
+
+TEST(GStar, WitnessesWithinFaultBudget) {
+  for (unsigned f = 1; f <= 3; ++f) {
+    const GStarGraph gs = build_gstar(f, f == 3 ? 700 : 150);
+    for (const auto& copy : gs.copies) {
+      ASSERT_EQ(copy.witnesses.size(), copy.leaves.size());
+      for (const auto& witness : copy.witnesses) {
+        EXPECT_GE(witness.size(), 1u);
+        EXPECT_LE(witness.size(), f);
+      }
+    }
+  }
+}
+
+TEST(GStar, TooSmallBudgetIsRejected) {
+  EXPECT_DEATH((void)build_gstar(2, 8), "");
+}
+
+}  // namespace
+}  // namespace ftbfs

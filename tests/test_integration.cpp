@@ -1,0 +1,163 @@
+// End-to-end scenarios across modules: the workflows a downstream user of the
+// library would run, exercised as tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/approx_ftmbfs.h"
+#include "core/cons2ftbfs.h"
+#include "core/ft_diameter.h"
+#include "core/kfail_ftbfs.h"
+#include "core/single_ftbfs.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+#include "graph/mask.h"
+#include "lowerbound/necessity.h"
+#include "spath/bfs.h"
+#include "structure/configuration.h"
+#include "structure/kernel.h"
+#include "util/powerfit.h"
+
+namespace ftbfs {
+namespace {
+
+// The README quickstart scenario: build, fail two edges, query distances.
+TEST(Integration, QuickstartScenario) {
+  const Graph g = erdos_renyi(64, 0.08, 2024);
+  const Vertex s = 0;
+  const FtStructure h = build_cons2ftbfs(g, s);
+  const Graph hg = materialize(g, h);
+
+  // Fail two arbitrary edges; distances from s must agree everywhere.
+  GraphMask gm(g), hm(hg);
+  const Edge f1 = g.edge(3), f2 = g.edge(17);
+  gm.block_edge(3);
+  gm.block_edge(17);
+  const EdgeId h1 = hg.find_edge(f1.u, f1.v);
+  const EdgeId h2 = hg.find_edge(f2.u, f2.v);
+  if (h1 != kInvalidEdge) hm.block_edge(h1);
+  if (h2 != kInvalidEdge) hm.block_edge(h2);
+  Bfs bg(g), bh(hg);
+  EXPECT_EQ(bg.run(s, &gm).hops, bh.run(s, &hm).hops);
+}
+
+// The four constructions, side by side, on the same graph: all verify.
+TEST(Integration, AllConstructionsValid) {
+  const Graph g = erdos_renyi(15, 0.3, 5);
+  const std::vector<Vertex> sources = {0};
+  const FtStructure dual = build_cons2ftbfs(g, 0);
+  const FtStructure single = build_single_ftbfs(g, 0);
+  const KFailResult chain2 = build_kfail_ftbfs(g, 0, 2);
+  const ApproxResult greedy2 = build_approx_ftmbfs(g, sources, 2);
+  EXPECT_FALSE(verify_exhaustive(g, dual.edges, sources, 2).has_value());
+  EXPECT_FALSE(verify_exhaustive(g, single.edges, sources, 1).has_value());
+  EXPECT_FALSE(
+      verify_exhaustive(g, chain2.structure.edges, sources, 2).has_value());
+  EXPECT_FALSE(
+      verify_exhaustive(g, greedy2.structure.edges, sources, 2).has_value());
+}
+
+// Mini version of experiment E1: structure sizes across n follow a sub-5/3
+// exponent on sparse random graphs.
+TEST(Integration, MiniScalingExperiment) {
+  std::vector<double> xs, ys;
+  for (const Vertex n : {24u, 48u, 96u}) {
+    const Graph g = erdos_renyi(n, 3.0 / n, 99);
+    const FtStructure h = build_cons2ftbfs(g, 0);
+    xs.push_back(n);
+    ys.push_back(static_cast<double>(h.edges.size()));
+  }
+  const PowerFit fit = fit_power_law(xs, ys);
+  EXPECT_GT(fit.exponent, 0.5);
+  EXPECT_LT(fit.exponent, 5.0 / 3.0 + 0.15);
+}
+
+// Mini version of experiment E2: the lower-bound core is certified necessary
+// and the formula shape holds.
+TEST(Integration, MiniLowerBoundExperiment) {
+  const GStarGraph gs = build_gstar(2, 220);
+  const NecessityReport rep = check_bipartite_necessity(gs, 2);
+  EXPECT_TRUE(rep.all_essential);
+  const double bound = gstar_bound(2, 220.0, 1.0);
+  // The measured core is a constant fraction of the Ω-formula.
+  EXPECT_GT(static_cast<double>(gs.bipartite_edges.size()), bound / 300.0);
+}
+
+// Mini version of experiment E4: dense graphs have tiny FT-diameter and
+// near-linear generic structures.
+TEST(Integration, MiniFtDiameterExperiment) {
+  const Vertex n = 40;
+  const Graph g = erdos_renyi(n, 0.4, 11);
+  const std::uint32_t d2 = ft_eccentricity(g, 0, 1);
+  ASSERT_NE(d2, kInfHops);
+  const KFailResult r = build_kfail_ftbfs(g, 0, 2);
+  EXPECT_LE(r.structure.edges.size(),
+            static_cast<std::uint64_t>(d2) * d2 * n + n);
+}
+
+// Structural-theory pipeline: detours -> configurations -> kernel -> regions
+// on a nontrivial graph, with the paper's invariants en route.
+TEST(Integration, StructuralPipeline) {
+  const Graph g = path_with_chords(60, 30, 3);
+  const WeightAssignment w(g, 3);
+  PathSelector sel(g, w);
+  const DetourSet ds = compute_detours(sel, 0, 59);
+  if (ds.detours.size() >= 2) {
+    std::size_t dependent_pairs = 0;
+    for (std::size_t i = 0; i < ds.detours.size(); ++i) {
+      for (std::size_t j = i + 1; j < ds.detours.size(); ++j) {
+        const auto c = classify_detours(ds.detours[i], ds.detours[j]);
+        if (c.dependent) ++dependent_pairs;
+        if (c.config == DetourConfig::kNonNested ||
+            c.config == DetourConfig::kNested) {
+          EXPECT_FALSE(c.dependent);
+        }
+      }
+    }
+    const KernelGraph k = build_kernel(g, ds.detours);
+    EXPECT_LE(k.edges.size(), g.num_edges());
+    const auto regions = kernel_regions(g, ds.detours, k);
+    std::size_t region_edges = 0;
+    for (const Path& r : regions) region_edges += r.size() - 1;
+    EXPECT_EQ(region_edges, k.edges.size());
+  }
+}
+
+// Multi-source workflow: approximate FT-MBFS for several sources at once,
+// then verify each source individually and jointly.
+TEST(Integration, MultiSourceWorkflow) {
+  const Graph g = erdos_renyi(14, 0.3, 17);
+  const std::vector<Vertex> sources = {0, 6, 13};
+  const ApproxResult r = build_approx_ftmbfs(g, sources, 1);
+  EXPECT_FALSE(
+      verify_exhaustive(g, r.structure.edges, sources, 1).has_value());
+  for (const Vertex s : sources) {
+    const std::vector<Vertex> one = {s};
+    EXPECT_FALSE(
+        verify_exhaustive(g, r.structure.edges, one, 1).has_value());
+  }
+}
+
+// Size ordering on a fixed instance: BFS tree <= single-FT <= dual-FT <= m.
+TEST(Integration, SizeMonotonicity) {
+  const Graph g = erdos_renyi(36, 0.15, 23);
+  const KFailResult tree = build_kfail_ftbfs(g, 0, 0);
+  const FtStructure single = build_single_ftbfs(g, 0);
+  const FtStructure dual = build_cons2ftbfs(g, 0);
+  EXPECT_LE(tree.structure.edges.size(), single.edges.size());
+  EXPECT_LE(single.edges.size(), dual.edges.size());
+  EXPECT_LE(dual.edges.size(), static_cast<std::size_t>(g.num_edges()));
+}
+
+// Sampled verification agrees with exhaustive on a mid-size instance.
+TEST(Integration, SampledMatchesExhaustive) {
+  const Graph g = erdos_renyi(20, 0.2, 29);
+  const FtStructure h = build_cons2ftbfs(g, 0);
+  const std::vector<Vertex> sources = {0};
+  EXPECT_FALSE(verify_exhaustive(g, h.edges, sources, 2).has_value());
+  EXPECT_FALSE(verify_sampled(g, h.edges, sources, 2, 500, 7).has_value());
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,164 @@
+#include "structure/newending.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ftbfs {
+namespace {
+
+// Hand-built fixture: π = 0-1-2-3-4 in a graph with two detours.
+class InterferenceTest : public ::testing::Test {
+ protected:
+  InterferenceTest() {
+    GraphBuilder b(12);
+    // π
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.add_edge(2, 3);
+    b.add_edge(3, 4);
+    // Detour D1: 0-5-6-3 (protects edges on π(0,3)).
+    b.add_edge(0, 5);
+    b.add_edge(5, 6);
+    b.add_edge(6, 3);
+    // Detour D2: 1-7-8-4.
+    b.add_edge(1, 7);
+    b.add_edge(7, 8);
+    b.add_edge(8, 4);
+    // Extra path touching D2's edge (7,8): 0-9-7 and 8-10-4.
+    b.add_edge(0, 9);
+    b.add_edge(9, 7);
+    b.add_edge(8, 10);
+    b.add_edge(10, 4);
+    g_ = std::move(b).build();
+    pi_ = {0, 1, 2, 3, 4};
+  }
+
+  NewEndingRecord pid_record(Path path, EdgeId f1, EdgeId f2, Path detour,
+                             std::size_t y_idx) {
+    NewEndingRecord r;
+    r.kind = NewEndingRecord::Kind::kPiD;
+    r.path = std::move(path);
+    r.f1 = f1;
+    r.f2 = f2;
+    r.detour = std::move(detour);
+    r.detour_y_pi_index = y_idx;
+    return r;
+  }
+
+  Graph g_;
+  Path pi_;
+};
+
+TEST_F(InterferenceTest, InterferesWhenF2OnPathOffDetour) {
+  // P goes through D2's middle edge (7,8); P' has F2 = (7,8) on its own
+  // detour D2. P's own detour is D1, so (7,8) ∈ P ∖ D(P): interference.
+  const EdgeId e78 = g_.find_edge(7, 8);
+  const NewEndingRecord p =
+      pid_record({0, 9, 7, 8, 10, 4}, g_.find_edge(0, 1), g_.find_edge(5, 6),
+                 {0, 5, 6, 3}, 3);
+  const NewEndingRecord q = pid_record({0, 9, 7, 8, 4}, g_.find_edge(1, 2),
+                                       e78, {1, 7, 8, 4}, 4);
+  EXPECT_TRUE(interferes(g_, p, q));
+  EXPECT_FALSE(interferes(g_, q, p));  // q's path misses (5,6)
+}
+
+TEST_F(InterferenceTest, NoInterferenceWhenF2OnOwnDetour) {
+  // F2(P') sits on P's own detour: excluded by the ∖ D(P) part.
+  const NewEndingRecord p =
+      pid_record({0, 5, 6, 3, 4}, g_.find_edge(0, 1), g_.find_edge(5, 6),
+                 {0, 5, 6, 3}, 3);
+  const NewEndingRecord q =
+      pid_record({0, 5, 6, 3, 4}, g_.find_edge(1, 2), g_.find_edge(5, 6),
+                 {0, 5, 6, 3}, 3);
+  EXPECT_FALSE(interferes(g_, p, q));
+}
+
+TEST_F(InterferenceTest, SingleAndPiPiNeverInterfere) {
+  NewEndingRecord s;
+  s.kind = NewEndingRecord::Kind::kSingle;
+  s.path = {0, 5, 6, 3};
+  s.f1 = g_.find_edge(2, 3);
+  NewEndingRecord pp;
+  pp.kind = NewEndingRecord::Kind::kPiPi;
+  pp.path = {0, 5, 6, 3, 4};
+  pp.f1 = g_.find_edge(0, 1);
+  pp.f2 = g_.find_edge(2, 3);
+  EXPECT_FALSE(interferes(g_, s, pp));
+  EXPECT_FALSE(interferes(g_, pp, s));
+}
+
+TEST_F(InterferenceTest, PiInterferenceRequiresF1BelowY) {
+  const EdgeId e78 = g_.find_edge(7, 8);
+  // q's detour D2 ends at y = 4 (π index 4). p's F1 = (3,4) has position 3
+  // < 4: NOT π-interference. With F1 = (0,1) (position 0) also not. Make a
+  // detour ending at y=3 instead: then F1=(3,4) at position 3 >= 3: π-interf.
+  const NewEndingRecord p34 =
+      pid_record({0, 9, 7, 8, 10, 4}, g_.find_edge(3, 4), g_.find_edge(5, 6),
+                 {0, 5, 6, 3}, 3);
+  const NewEndingRecord q_y4 = pid_record({0, 9, 7, 8, 4}, g_.find_edge(1, 2),
+                                          e78, {1, 7, 8, 4}, 4);
+  const NewEndingRecord q_y3 = pid_record({0, 9, 7, 8, 4}, g_.find_edge(1, 2),
+                                          e78, {1, 7, 8, 4}, 3);
+  EXPECT_TRUE(interferes(g_, p34, q_y4));
+  EXPECT_FALSE(pi_interferes(g_, pi_, p34, q_y4));  // 3 < 4
+  EXPECT_TRUE(pi_interferes(g_, pi_, p34, q_y3));   // 3 >= 3
+}
+
+TEST_F(InterferenceTest, ClassifyCountsKinds) {
+  std::vector<NewEndingRecord> recs;
+  NewEndingRecord s;
+  s.kind = NewEndingRecord::Kind::kSingle;
+  s.path = {0, 5, 6, 3};
+  s.f1 = g_.find_edge(2, 3);
+  recs.push_back(s);
+  NewEndingRecord pp;
+  pp.kind = NewEndingRecord::Kind::kPiPi;
+  pp.path = {0, 5, 6, 3, 4};
+  pp.f1 = g_.find_edge(0, 1);
+  pp.f2 = g_.find_edge(2, 3);
+  recs.push_back(pp);
+  // A (π,D) record that does not touch its own detour edges: class B.
+  recs.push_back(pid_record({0, 9, 7, 8, 10, 4}, g_.find_edge(0, 1),
+                            g_.find_edge(5, 6), {0, 5, 6, 3}, 3));
+  const PathClassCounts c = classify_new_ending(g_, pi_, recs);
+  EXPECT_EQ(c.single, 1u);
+  EXPECT_EQ(c.a_pi_pi, 1u);
+  EXPECT_EQ(c.b_nodet, 1u);
+  EXPECT_EQ(c.total(), 3u);
+}
+
+TEST_F(InterferenceTest, ClassifyIndependent) {
+  // Two (π,D) records, each following its own detour, mutually disjoint
+  // second faults: both class C (they intersect their detours).
+  std::vector<NewEndingRecord> recs;
+  recs.push_back(pid_record({0, 5, 6, 3, 4}, g_.find_edge(0, 1),
+                            g_.find_edge(6, 3), {0, 5, 6, 3}, 3));
+  recs.push_back(pid_record({0, 1, 7, 8, 4}, g_.find_edge(1, 2),
+                            g_.find_edge(8, 4), {1, 7, 8, 4}, 4));
+  const PathClassCounts c = classify_new_ending(g_, pi_, recs);
+  EXPECT_EQ(c.b_nodet, 0u);
+  EXPECT_EQ(c.c_indep, 2u);
+}
+
+TEST_F(InterferenceTest, ClassifyDAndE) {
+  const EdgeId e78 = g_.find_edge(7, 8);
+  std::vector<NewEndingRecord> recs;
+  // q: detour D2 with second fault (7,8), y index 3 (for π-interference) —
+  // the interfered path.
+  recs.push_back(pid_record({0, 1, 7, 8, 4}, g_.find_edge(1, 2), e78,
+                            {1, 7, 8, 4}, 3));
+  // p: walks over (7,8) which is off its own detour D1; F1 at position 3
+  // >= 3: π-interferes with q -> class D. p intersects its own detour (uses
+  // (0,5) of D1) so it escapes class B; q interferes with nothing (its path
+  // avoids (5,6)... it contains its own f2 only), so p is not independent.
+  recs.push_back(pid_record({0, 5, 6, 3, 2, 1, 7, 8, 10, 4},  // synthetic walk
+                            g_.find_edge(3, 4), g_.find_edge(5, 6),
+                            {0, 5, 6, 3}, 3));
+  const PathClassCounts c = classify_new_ending(g_, pi_, recs);
+  EXPECT_EQ(c.d_pi_interf + c.e_d_interf + c.c_indep + c.b_nodet, 2u);
+  EXPECT_GE(c.d_pi_interf, 1u);
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,105 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/generators.h"
+
+namespace ftbfs {
+namespace {
+
+TEST(GraphIo, RoundTripThroughStream) {
+  const Graph g = erdos_renyi(30, 0.2, 5);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_TRUE(back.has_edge(g.edge(e).u, g.edge(e).v));
+  }
+}
+
+TEST(GraphIo, ParsesCommentsAndBlanks) {
+  std::stringstream in(
+      "# header comment\n"
+      "\n"
+      "n 4   # trailing comment\n"
+      "e 0 1\n"
+      "  \n"
+      "e 2 3 # another\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(GraphIo, EmptyGraph) {
+  std::stringstream in("n 0\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphIo, ErrorMissingHeader) {
+  std::stringstream in("e 0 1\n");
+  EXPECT_THROW((void)read_edge_list(in), GraphIoError);
+}
+
+TEST(GraphIo, ErrorDuplicateHeader) {
+  std::stringstream in("n 3\nn 4\n");
+  EXPECT_THROW((void)read_edge_list(in), GraphIoError);
+}
+
+TEST(GraphIo, ErrorOutOfRange) {
+  std::stringstream in("n 3\ne 0 3\n");
+  try {
+    (void)read_edge_list(in);
+    FAIL() << "expected GraphIoError";
+  } catch (const GraphIoError& err) {
+    EXPECT_EQ(err.line(), 2u);
+    EXPECT_NE(std::string(err.what()).find("out of range"),
+              std::string::npos);
+  }
+}
+
+TEST(GraphIo, ErrorSelfLoopAndDuplicate) {
+  std::stringstream loop("n 3\ne 1 1\n");
+  EXPECT_THROW((void)read_edge_list(loop), GraphIoError);
+  std::stringstream dup("n 3\ne 0 1\ne 1 0\n");
+  EXPECT_THROW((void)read_edge_list(dup), GraphIoError);
+}
+
+TEST(GraphIo, ErrorUnknownRecord) {
+  std::stringstream in("n 3\nq 1 2\n");
+  EXPECT_THROW((void)read_edge_list(in), GraphIoError);
+}
+
+TEST(GraphIo, ErrorMalformedCounts) {
+  std::stringstream bad_n("n banana\n");
+  EXPECT_THROW((void)read_edge_list(bad_n), GraphIoError);
+  std::stringstream bad_e("n 3\ne 0\n");
+  EXPECT_THROW((void)read_edge_list(bad_e), GraphIoError);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const Graph g = cycle_graph(12);
+  const std::string path = ::testing::TempDir() + "/ftbfs_io_test.graph";
+  save_graph(path, g);
+  const Graph back = load_graph(path);
+  EXPECT_EQ(back.num_vertices(), 12u);
+  EXPECT_EQ(back.num_edges(), 12u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_graph("/nonexistent/definitely/missing.graph"),
+               GraphIoError);
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,89 @@
+#include "graph/mask.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ftbfs {
+namespace {
+
+TEST(GraphMask, BlockAndClear) {
+  const Graph g = path_graph(4);
+  GraphMask m(g);
+  m.block_vertex(1);
+  m.block_edge(2);
+  EXPECT_TRUE(m.vertex_blocked(1));
+  EXPECT_TRUE(m.edge_blocked(2));
+  EXPECT_FALSE(m.vertex_blocked(0));
+  m.clear();
+  EXPECT_FALSE(m.vertex_blocked(1));
+  EXPECT_FALSE(m.edge_blocked(2));
+}
+
+TEST(GraphMask, ClearIsCheapAndRepeatable) {
+  const Graph g = path_graph(4);
+  GraphMask m(g);
+  for (int round = 0; round < 1000; ++round) {
+    m.clear();
+    m.block_vertex(static_cast<Vertex>(round % 4));
+    EXPECT_TRUE(m.vertex_blocked(round % 4));
+    EXPECT_FALSE(m.vertex_blocked((round + 1) % 4));
+  }
+}
+
+TEST(GraphMask, EdgeUsableRespectsEndpoints) {
+  const Graph g = path_graph(3);
+  const EdgeId e01 = g.find_edge(0, 1);
+  GraphMask m(g);
+  EXPECT_TRUE(m.edge_usable(e01, 0, 1));
+  m.block_vertex(1);
+  EXPECT_FALSE(m.edge_usable(e01, 0, 1));
+  EXPECT_FALSE(m.edge_usable(e01, 1, 0));
+}
+
+TEST(GraphMask, RestrictIncidentEdgesWhitelist) {
+  const Graph g = complete_graph(4);
+  GraphMask m(g);
+  const EdgeId keep = g.find_edge(0, 3);
+  const EdgeId drop = g.find_edge(1, 3);
+  const EdgeId unrelated = g.find_edge(1, 2);
+  m.restrict_incident_edges(3);
+  m.allow_edge(keep);
+  EXPECT_TRUE(m.edge_usable(keep, 0, 3));
+  EXPECT_FALSE(m.edge_usable(drop, 1, 3));
+  EXPECT_TRUE(m.edge_usable(unrelated, 1, 2));  // not incident to 3
+}
+
+TEST(GraphMask, RestrictionClearedByClear) {
+  const Graph g = complete_graph(3);
+  GraphMask m(g);
+  m.restrict_incident_edges(0);
+  EXPECT_FALSE(m.edge_usable(g.find_edge(0, 1), 0, 1));
+  m.clear();
+  EXPECT_TRUE(m.edge_usable(g.find_edge(0, 1), 0, 1));
+  EXPECT_EQ(m.restricted_vertex(), kInvalidVertex);
+}
+
+TEST(GraphMask, BlockedEdgeBeatsWhitelist) {
+  const Graph g = complete_graph(3);
+  GraphMask m(g);
+  const EdgeId e = g.find_edge(0, 1);
+  m.restrict_incident_edges(0);
+  m.allow_edge(e);
+  m.block_edge(e);
+  EXPECT_FALSE(m.edge_usable(e, 0, 1));
+}
+
+TEST(BlockEdges, BlocksAll) {
+  const Graph g = cycle_graph(5);
+  GraphMask m(g);
+  const std::vector<EdgeId> faults = {0, 2, 4};
+  block_edges(m, faults);
+  EXPECT_TRUE(m.edge_blocked(0));
+  EXPECT_FALSE(m.edge_blocked(1));
+  EXPECT_TRUE(m.edge_blocked(2));
+  EXPECT_TRUE(m.edge_blocked(4));
+}
+
+}  // namespace
+}  // namespace ftbfs

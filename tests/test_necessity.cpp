@@ -1,0 +1,72 @@
+#include "lowerbound/necessity.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/verify.h"
+
+namespace ftbfs {
+namespace {
+
+TEST(Necessity, SingleFailureAllEssential) {
+  const GStarGraph gs = build_gstar(1, 80);
+  const NecessityReport r = check_bipartite_necessity(gs, 1u << 30);
+  EXPECT_TRUE(r.all_essential);
+  EXPECT_EQ(r.edges_checked, r.total_bipartite);
+  EXPECT_EQ(r.essential, r.total_bipartite);
+}
+
+TEST(Necessity, DualFailureAllEssential) {
+  const GStarGraph gs = build_gstar(2, 160);
+  const NecessityReport r = check_bipartite_necessity(gs, 1u << 30);
+  EXPECT_TRUE(r.all_essential);
+  EXPECT_EQ(r.essential, r.total_bipartite);
+}
+
+TEST(Necessity, TripleFailureSampled) {
+  const GStarGraph gs = build_gstar(3, 700);
+  const NecessityReport r = check_bipartite_necessity(gs, 2);
+  EXPECT_TRUE(r.all_essential);
+  EXPECT_GT(r.edges_checked, 0u);
+}
+
+TEST(Necessity, MultiSourceAllEssential) {
+  const GStarGraph gs = build_gstar(1, 150, 2);
+  const NecessityReport r = check_bipartite_necessity(gs, 1u << 30);
+  EXPECT_TRUE(r.all_essential);
+}
+
+// The strongest form: removing any single bipartite edge from the FULL graph
+// makes it fail exhaustive verification as its own f-failure structure.
+TEST(Necessity, RemovalBreaksExhaustiveVerification) {
+  const GStarGraph gs = build_gstar(1, 60);
+  const Graph& g = gs.graph;
+  std::vector<EdgeId> all(g.num_edges());
+  std::iota(all.begin(), all.end(), 0);
+  // Sanity: the full graph verifies.
+  ASSERT_FALSE(verify_exhaustive(g, all, gs.sources, 1).has_value());
+  // Drop each of the first few bipartite edges in turn.
+  for (std::size_t k = 0; k < std::min<std::size_t>(gs.bipartite_edges.size(),
+                                                    6); ++k) {
+    std::vector<EdgeId> h;
+    for (const EdgeId e : all) {
+      if (e != gs.bipartite_edges[k]) h.push_back(e);
+    }
+    EXPECT_TRUE(verify_exhaustive(g, h, gs.sources, 1).has_value())
+        << "bipartite edge " << k << " was not essential";
+  }
+}
+
+TEST(Necessity, ReportCountsConsistent) {
+  const GStarGraph gs = build_gstar(1, 80);
+  const NecessityReport r = check_bipartite_necessity(gs, 3);
+  std::uint64_t leaves = 0;
+  for (const auto& copy : gs.copies) leaves += copy.leaves.size();
+  EXPECT_EQ(r.leaves_checked, leaves);
+  EXPECT_LE(r.edges_checked, leaves * 3);
+  EXPECT_LE(r.essential, r.edges_checked);
+}
+
+}  // namespace
+}  // namespace ftbfs

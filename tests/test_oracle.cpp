@@ -1,0 +1,128 @@
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/mask.h"
+#include "util/rng.h"
+
+namespace ftbfs {
+namespace {
+
+TEST(Oracle, FaultFreeMatchesBfs) {
+  const Graph g = erdos_renyi(60, 0.1, 3);
+  FtBfsOracle oracle = FtBfsOracle::build(g, 0, 2);
+  Bfs bfs(g);
+  const BfsResult& r = bfs.run(0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(oracle.distance(v, {}), r.hops[v]);
+  }
+}
+
+TEST(Oracle, SingleFaultMatchesGroundTruth) {
+  const Graph g = erdos_renyi(50, 0.12, 7);
+  FtBfsOracle oracle = FtBfsOracle::build(g, 0, 1);
+  Bfs bfs(g);
+  GraphMask mask(g);
+  for (EdgeId e = 0; e < g.num_edges(); e += 3) {
+    mask.clear();
+    mask.block_edge(e);
+    const BfsResult& truth = bfs.run(0, &mask);
+    const std::vector<EdgeId> faults = {e};
+    const auto& answer = oracle.all_distances(faults);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(answer[v], truth.hops[v])
+          << "edge " << e << " target " << v;
+    }
+  }
+}
+
+TEST(Oracle, DualFaultRandomProbes) {
+  const Graph g = erdos_renyi(40, 0.15, 11);
+  FtBfsOracle oracle = FtBfsOracle::build(g, 0, 2);
+  Bfs bfs(g);
+  GraphMask mask(g);
+  Rng rng(5);
+  for (int probe = 0; probe < 200; ++probe) {
+    const EdgeId e1 = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+    const EdgeId e2 = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+    if (e1 == e2) continue;
+    mask.clear();
+    mask.block_edge(e1);
+    mask.block_edge(e2);
+    const BfsResult& truth = bfs.run(0, &mask);
+    const std::vector<EdgeId> faults = {e1, e2};
+    const Vertex v = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    EXPECT_EQ(oracle.distance(v, faults), truth.hops[v]);
+  }
+}
+
+TEST(Oracle, ShortestPathValidAndOptimal) {
+  const Graph g = erdos_renyi(40, 0.15, 13);
+  FtBfsOracle oracle = FtBfsOracle::build(g, 0, 2);
+  const std::vector<EdgeId> faults = {2, 9};
+  for (Vertex v = 1; v < g.num_vertices(); v += 4) {
+    const auto p = oracle.shortest_path(v, faults);
+    const std::uint32_t d = oracle.distance(v, faults);
+    if (d == kInfHops) {
+      EXPECT_FALSE(p.has_value());
+      continue;
+    }
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->size() - 1, d);
+    EXPECT_EQ(p->front(), 0u);
+    EXPECT_EQ(p->back(), v);
+    EXPECT_TRUE(is_simple_path_in(g, *p));
+    for (const EdgeId f : faults) {
+      EXPECT_FALSE(contains_edge(g, *p, f));
+    }
+  }
+}
+
+TEST(Oracle, DisconnectionReported) {
+  const Graph g = path_graph(6);
+  FtBfsOracle oracle = FtBfsOracle::build(g, 0, 1);
+  const std::vector<EdgeId> faults = {g.find_edge(2, 3)};
+  EXPECT_EQ(oracle.distance(5, faults), kInfHops);
+  EXPECT_FALSE(oracle.shortest_path(5, faults).has_value());
+}
+
+TEST(Oracle, FZeroIsPlainTree) {
+  const Graph g = erdos_renyi(30, 0.2, 17);
+  FtBfsOracle oracle = FtBfsOracle::build(g, 0, 0);
+  EXPECT_EQ(oracle.structure_size(), g.num_vertices() - 1);
+  EXPECT_EQ(oracle.max_faults(), 0u);
+  EXPECT_EQ(oracle.distance(7, {}), bfs_distance(g, 0, 7));
+}
+
+TEST(Oracle, StructureSmallerThanGraph) {
+  const Graph g = erdos_renyi(60, 0.3, 19);
+  FtBfsOracle oracle = FtBfsOracle::build(g, 0, 2);
+  EXPECT_LT(oracle.structure_size(), g.num_edges());
+  EXPECT_EQ(oracle.source(), 0u);
+}
+
+TEST(Oracle, QueryCounter) {
+  const Graph g = cycle_graph(8);
+  FtBfsOracle oracle = FtBfsOracle::build(g, 0, 1);
+  EXPECT_EQ(oracle.queries_answered(), 0u);
+  (void)oracle.distance(3, {});
+  (void)oracle.shortest_path(4, {});
+  EXPECT_EQ(oracle.queries_answered(), 2u);
+}
+
+TEST(Oracle, WrapsExternallyBuiltStructure) {
+  const Graph g = cycle_graph(10);
+  // The whole graph is trivially a valid structure.
+  FtStructure h;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) h.edges.push_back(e);
+  FtBfsOracle oracle(g, 0, 2, std::move(h));
+  const std::vector<EdgeId> faults = {0};
+  Bfs bfs(g);
+  GraphMask mask(g);
+  mask.block_edge(0);
+  EXPECT_EQ(oracle.distance(5, faults), bfs.run(0, &mask).hops[5]);
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,320 @@
+// Executable versions of the paper's path-level lemmas, checked against the
+// new-ending paths Cons2FTBFS actually constructs (via the record sink).
+//
+//   Claim 3.5 / 3.15(1): every new-ending (π,D) path has a *unique*
+//                        π-divergence point, above its first failing edge.
+//   Claim 3.15(3.1):     paths intersecting their detour decompose as
+//                        π(s,x) ∘ D[x,c] ∘ tail, with the tail edge-disjoint
+//                        from D and π.
+//   Lemma 3.16:          D-divergence points of distinct new-ending paths are
+//                        distinct.
+//   Obs. 3.42:           suffixes P[c,v]∖{v} of *independent* paths are
+//                        vertex-disjoint.
+//   Obs. 3.19:           paths in P_nodet protect distinct first edges.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/cons2ftbfs.h"
+#include "graph/generators.h"
+#include "structure/configuration.h"
+#include "structure/kernel.h"
+#include "structure/newending.h"
+
+namespace ftbfs {
+namespace {
+
+struct RecordedVertex {
+  Vertex v;
+  Path pi;
+  std::vector<NewEndingRecord> records;
+};
+
+std::vector<RecordedVertex> run_with_records(const Graph& g, Vertex s,
+                                             std::uint64_t seed = 1) {
+  std::vector<RecordedVertex> out;
+  Cons2Options opt;
+  opt.weight_seed = seed;
+  opt.record_sink = [&out](Vertex v, const Path& pi,
+                           const std::vector<NewEndingRecord>& recs) {
+    out.push_back(RecordedVertex{v, pi, recs});
+  };
+  (void)build_cons2ftbfs(g, s, opt);
+  return out;
+}
+
+// The (π,D) records of one vertex.
+std::vector<const NewEndingRecord*> pid_records(const RecordedVertex& rv) {
+  std::vector<const NewEndingRecord*> out;
+  for (const NewEndingRecord& r : rv.records) {
+    if (r.kind == NewEndingRecord::Kind::kPiD) out.push_back(&r);
+  }
+  return out;
+}
+
+// First divergence index of path from pi; asserts the prefix matches.
+std::size_t pi_divergence(const Path& p, const Path& pi) {
+  return first_divergence(p, pi);
+}
+
+class PaperLemmas : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PaperLemmas, UniquePiDivergencePoint) {
+  const Graph g = erdos_renyi(40, 0.12, GetParam());
+  for (const RecordedVertex& rv : run_with_records(g, 0, GetParam())) {
+    for (const NewEndingRecord* r : pid_records(rv)) {
+      // Claim 3.5(1): exactly one divergence point from π.
+      const auto divs = divergence_points(r->path, rv.pi);
+      EXPECT_EQ(divs.size(), 1u)
+          << "non-unique π-divergence at v=" << rv.v;
+      // Claim 3.5(2): after the divergence the path shares no π edge.
+      const std::size_t b = pi_divergence(r->path, rv.pi);
+      for (std::size_t i = b; i + 1 < r->path.size(); ++i) {
+        const EdgeId e = g.find_edge(r->path[i], r->path[i + 1]);
+        EXPECT_FALSE(contains_edge(g, rv.pi, e));
+      }
+      // The divergence lies above F1(P) on π.
+      const Edge& f1 = g.edge(r->f1);
+      const std::size_t f1_pos =
+          std::min(index_of(rv.pi, f1.u), index_of(rv.pi, f1.v));
+      EXPECT_LE(b, f1_pos);
+    }
+  }
+}
+
+TEST_P(PaperLemmas, DecompositionOfDetourIntersectingPaths) {
+  const Graph g = erdos_renyi(36, 0.13, GetParam() + 100);
+  for (const RecordedVertex& rv : run_with_records(g, 0, GetParam() + 100)) {
+    for (const NewEndingRecord* r : pid_records(rv)) {
+      // Does the path share an edge with its detour?
+      bool intersects = false;
+      for (std::size_t i = 0; i + 1 < r->detour.size() && !intersects; ++i) {
+        intersects = contains_edge(
+            g, r->path, g.find_edge(r->detour[i], r->detour[i + 1]));
+      }
+      if (!intersects) continue;
+      // Claim 3.15(3.1): P = π(s,x) ∘ D[x,c] ∘ tail. The paths that
+      // intersect their detour diverge from π exactly at x(D).
+      const std::size_t b = pi_divergence(r->path, rv.pi);
+      EXPECT_EQ(r->path[b], r->detour.front());
+      // Find c: the last path position still on the detour prefix.
+      std::size_t c_path = b;
+      while (c_path + 1 < r->path.size() &&
+             c_path + 1 - b < r->detour.size() &&
+             r->path[c_path + 1] == r->detour[c_path + 1 - b]) {
+        ++c_path;
+      }
+      // Tail after c is edge-disjoint from the detour and from π.
+      for (std::size_t i = c_path; i + 1 < r->path.size(); ++i) {
+        const EdgeId e = g.find_edge(r->path[i], r->path[i + 1]);
+        EXPECT_FALSE(contains_edge(g, r->detour, e));
+        EXPECT_FALSE(contains_edge(g, rv.pi, e));
+      }
+    }
+  }
+}
+
+TEST_P(PaperLemmas, DistinctDDivergencePoints) {
+  const Graph g = erdos_renyi(40, 0.12, GetParam() + 200);
+  for (const RecordedVertex& rv : run_with_records(g, 0, GetParam() + 200)) {
+    // Lemma 3.16: among (π,D) paths that intersect their detours, the
+    // D-divergence points are pairwise distinct.
+    std::set<Vertex> seen;
+    for (const NewEndingRecord* r : pid_records(rv)) {
+      const std::size_t b = pi_divergence(r->path, rv.pi);
+      if (r->path[b] != r->detour.front()) continue;  // no D-divergence
+      std::size_t c = b;
+      while (c + 1 < r->path.size() && c + 1 - b < r->detour.size() &&
+             r->path[c + 1] == r->detour[c + 1 - b]) {
+        ++c;
+      }
+      if (c == b && r->detour.size() >= 2 &&
+          (r->path.size() <= b + 1 || r->path[b + 1] != r->detour[1])) {
+        // Path leaves the detour immediately: c = x itself.
+      }
+      const Vertex c_vertex = r->path[c];
+      if (c + 1 == r->path.size()) continue;  // path ends on the detour
+      EXPECT_TRUE(seen.insert(c_vertex).second)
+          << "duplicate D-divergence " << c_vertex << " at v=" << rv.v
+          << " (Lemma 3.16)";
+    }
+  }
+}
+
+TEST_P(PaperLemmas, IndependentSuffixesDisjoint) {
+  const Graph g = erdos_renyi(40, 0.12, GetParam() + 300);
+  for (const RecordedVertex& rv : run_with_records(g, 0, GetParam() + 300)) {
+    const auto pids = pid_records(rv);
+    for (std::size_t i = 0; i < pids.size(); ++i) {
+      for (std::size_t j = i + 1; j < pids.size(); ++j) {
+        // Only the independent pairs (Obs. 3.42).
+        if (interferes(g, *pids[i], *pids[j]) ||
+            interferes(g, *pids[j], *pids[i])) {
+          continue;
+        }
+        // Suffix after the last detour-prefix vertex; conservative version:
+        // suffix after the π-divergence, minus detour vertices, must be
+        // disjoint between the two paths (except v).
+        auto suffix_set = [&](const NewEndingRecord& r) {
+          std::set<Vertex> s;
+          const std::size_t b = pi_divergence(r.path, rv.pi);
+          for (std::size_t p = b; p + 1 < r.path.size(); ++p) {
+            if (!contains_vertex(r.detour, r.path[p])) s.insert(r.path[p]);
+          }
+          return s;
+        };
+        const std::set<Vertex> si = suffix_set(*pids[i]);
+        for (const Vertex w : suffix_set(*pids[j])) {
+          EXPECT_FALSE(si.contains(w))
+              << "independent suffixes intersect at " << w << " (Obs. 3.42)";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PaperLemmas, NodetPathsProtectDistinctFirstEdges) {
+  const Graph g = erdos_renyi(36, 0.14, GetParam() + 400);
+  for (const RecordedVertex& rv : run_with_records(g, 0, GetParam() + 400)) {
+    // Obs. 3.19 restricted to the class the observation is about.
+    std::set<EdgeId> first_edges;
+    for (const NewEndingRecord* r : pid_records(rv)) {
+      bool intersects = false;
+      for (std::size_t i = 0; i + 1 < r->detour.size() && !intersects; ++i) {
+        intersects = contains_edge(
+            g, r->path, g.find_edge(r->detour[i], r->detour[i + 1]));
+      }
+      if (intersects) continue;  // only P_nodet
+      EXPECT_TRUE(first_edges.insert(r->f1).second)
+          << "two P_nodet paths protect the same first edge (Obs. 3.19)";
+    }
+  }
+}
+
+TEST_P(PaperLemmas, RecordsMatchNewEdgeCount) {
+  const Graph g = erdos_renyi(30, 0.15, GetParam() + 500);
+  std::uint64_t record_count = 0;
+  Cons2Options opt;
+  opt.weight_seed = GetParam() + 500;
+  opt.record_sink = [&record_count](Vertex, const Path&,
+                                    const std::vector<NewEndingRecord>& recs) {
+    record_count += recs.size();
+  };
+  const FtStructure h = build_cons2ftbfs(g, 0, opt);
+  EXPECT_EQ(record_count, h.stats.new_edges);
+}
+
+// Claim 3.12 (the excluded-segment lemma): for detours D1, D2 with
+// x1 <= x2 <= y1 < y2 (interleaved / x-interleaved / (x,y)-interleaved), the
+// suffix D1[w, y1] with w = Last(D2, D1) is D1-*excluded*: no new-ending path
+// with detour D1 has its second fault there.
+TEST_P(PaperLemmas, ExcludedSegments) {
+  const std::uint64_t seed = GetParam() + 600;
+  const Graph g = erdos_renyi(44, 0.12, seed);
+  // Recompute the detours with the same machinery/seed Cons2FTBFS uses, so
+  // they are bit-identical to the D(P) of the records.
+  const WeightAssignment w(g, seed);
+  PathSelector sel(g, w);
+  for (const RecordedVertex& rv : run_with_records(g, 0, seed)) {
+    const DetourSet ds = compute_detours(sel, 0, rv.v);
+    for (std::size_t i = 0; i < ds.detours.size(); ++i) {
+      for (std::size_t j = i + 1; j < ds.detours.size(); ++j) {
+        const auto excl = excluded_suffix(ds.detours[i], ds.detours[j]);
+        if (!excl) continue;
+        const Detour& d1 =
+            excl->excluded_of_first ? ds.detours[i] : ds.detours[j];
+        // No new-ending record with detour D1 may place F2 in the excluded
+        // suffix.
+        for (const NewEndingRecord& r : rv.records) {
+          if (r.kind != NewEndingRecord::Kind::kPiD) continue;
+          if (r.detour != d1.verts) continue;
+          EXPECT_FALSE(contains_edge(g, excl->segment, r.f2))
+              << "Claim 3.12 violated at v=" << rv.v << " seed=" << seed;
+        }
+      }
+    }
+  }
+}
+
+// Corollary 3.13: for dependent rev- or (x,y)-interleaved pairs, the shared
+// segment D1 ∩ D2 itself is excluded for D1.
+TEST_P(PaperLemmas, SharedSegmentExcludedForReversedPairs) {
+  const std::uint64_t seed = GetParam() + 700;
+  const Graph g = path_with_chords(40, 30, seed);
+  const WeightAssignment w(g, seed);
+  PathSelector sel(g, w);
+  for (const RecordedVertex& rv : run_with_records(g, 0, seed)) {
+    const DetourSet ds = compute_detours(sel, 0, rv.v);
+    for (std::size_t i = 0; i < ds.detours.size(); ++i) {
+      for (std::size_t j = i + 1; j < ds.detours.size(); ++j) {
+        const PairClassification c =
+            classify_detours(ds.detours[i], ds.detours[j]);
+        if (!c.dependent || c.same_direction) continue;
+        if (c.config != DetourConfig::kInterleaved &&
+            c.config != DetourConfig::kXYInterleaved) {
+          continue;
+        }
+        const Detour& d1 = c.swapped ? ds.detours[j] : ds.detours[i];
+        const Detour& d2 = c.swapped ? ds.detours[i] : ds.detours[j];
+        for (const NewEndingRecord& r : rv.records) {
+          if (r.kind != NewEndingRecord::Kind::kPiD) continue;
+          if (r.detour != d1.verts) continue;
+          // F2 must not be an edge of both detours.
+          const bool on_both = contains_edge(g, d1.verts, r.f2) &&
+                               contains_edge(g, d2.verts, r.f2);
+          EXPECT_FALSE(on_both)
+              << "Corollary 3.13 violated at v=" << rv.v;
+        }
+      }
+    }
+  }
+}
+
+// Lemma 3.14: the kernel K(D) of the detour collection contains the detour
+// prefix D[x, q2] for the second fault (q1, q2) of every new-ending (π,D)
+// path — so all relevant second faults live inside the kernel.
+TEST_P(PaperLemmas, KernelContainsSecondFaults) {
+  const std::uint64_t seed = GetParam() + 800;
+  const Graph g = erdos_renyi(40, 0.13, seed);
+  const WeightAssignment w(g, seed);
+  PathSelector sel(g, w);
+  for (const RecordedVertex& rv : run_with_records(g, 0, seed)) {
+    const DetourSet ds = compute_detours(sel, 0, rv.v);
+    if (ds.detours.empty()) continue;
+    const KernelGraph kernel = build_kernel(g, ds.detours);
+    for (const NewEndingRecord* r : pid_records(rv)) {
+      // Locate the record's detour and its second fault's far endpoint q2.
+      const Detour* own = nullptr;
+      for (const Detour& d : ds.detours) {
+        if (d.verts == r->detour) {
+          own = &d;
+          break;
+        }
+      }
+      ASSERT_NE(own, nullptr) << "record detour not among computed detours";
+      const Edge& f2 = g.edge(r->f2);
+      const std::size_t pu = index_of(own->verts, f2.u);
+      const std::size_t pv = index_of(own->verts, f2.v);
+      ASSERT_TRUE(pu != kNpos && pv != kNpos);  // F2 lies on the detour
+      const std::size_t q2_pos = std::max(pu, pv);
+      // The whole prefix D[x .. q2] must be inside the kernel (vertices and
+      // edges).
+      for (std::size_t p = 0; p <= q2_pos; ++p) {
+        EXPECT_TRUE(kernel.contains_vertex(own->verts[p]))
+            << "Lemma 3.14 violated (vertex) at v=" << rv.v;
+        if (p > 0) {
+          const EdgeId e = g.find_edge(own->verts[p - 1], own->verts[p]);
+          EXPECT_TRUE(kernel.contains_edge(e))
+              << "Lemma 3.14 violated (edge) at v=" << rv.v;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaperLemmas,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ftbfs

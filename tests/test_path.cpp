@@ -1,0 +1,109 @@
+#include "spath/path.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ftbfs {
+namespace {
+
+class PathOps : public ::testing::Test {
+ protected:
+  Graph g_ = grid_graph(3, 3);  // vertices 0..8, (r,c) = 3r+c
+};
+
+TEST_F(PathOps, LengthAndLastEdge) {
+  const Path p = {0, 1, 2, 5};
+  EXPECT_EQ(path_length(p), 3u);
+  EXPECT_EQ(last_edge(g_, p), g_.find_edge(2, 5));
+}
+
+TEST_F(PathOps, SingleVertexPathLengthZero) {
+  EXPECT_EQ(path_length(Path{4}), 0u);
+}
+
+TEST_F(PathOps, IsSimplePath) {
+  EXPECT_TRUE(is_simple_path_in(g_, {0, 1, 2}));
+  EXPECT_FALSE(is_simple_path_in(g_, {0, 2}));        // not adjacent
+  EXPECT_FALSE(is_simple_path_in(g_, {0, 1, 0}));     // repeats
+  EXPECT_TRUE(is_simple_path_in(g_, {4}));
+  EXPECT_FALSE(is_simple_path_in(g_, {}));
+}
+
+TEST_F(PathOps, EdgesOf) {
+  const Path p = {0, 3, 4};
+  const auto edges = edges_of(g_, p);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], g_.find_edge(0, 3));
+  EXPECT_EQ(edges[1], g_.find_edge(3, 4));
+  EXPECT_TRUE(edges_of(g_, Path{7}).empty());
+}
+
+TEST_F(PathOps, IndexOfAndContains) {
+  const Path p = {0, 1, 4, 7};
+  EXPECT_EQ(index_of(p, 4), 2u);
+  EXPECT_EQ(index_of(p, 8), kNpos);
+  EXPECT_TRUE(contains_vertex(p, 7));
+  EXPECT_FALSE(contains_vertex(p, 3));
+}
+
+TEST_F(PathOps, ContainsEdgeEitherDirection) {
+  const Path p = {0, 1, 4};
+  EXPECT_TRUE(contains_edge(g_, p, g_.find_edge(1, 4)));
+  EXPECT_TRUE(contains_edge(g_, p, g_.find_edge(0, 1)));
+  EXPECT_FALSE(contains_edge(g_, p, g_.find_edge(4, 7)));
+}
+
+TEST_F(PathOps, SubpathByIndexAndVertex) {
+  const Path p = {0, 1, 4, 7, 8};
+  EXPECT_EQ(subpath(p, 1, 3), (Path{1, 4, 7}));
+  EXPECT_EQ(subpath(p, 2, 2), (Path{4}));
+  EXPECT_EQ(subpath_by_vertex(p, 1, 8), (Path{1, 4, 7, 8}));
+  EXPECT_EQ(subpath_by_vertex(p, 4, 4), (Path{4}));
+}
+
+TEST_F(PathOps, Concat) {
+  const Path a = {0, 1, 4};
+  const Path b = {4, 7, 8};
+  EXPECT_EQ(concat(a, b), (Path{0, 1, 4, 7, 8}));
+  EXPECT_EQ(concat(Path{3}, Path{3, 4}), (Path{3, 4}));
+}
+
+TEST_F(PathOps, FirstDivergence) {
+  const Path pi = {0, 1, 2, 5, 8};
+  EXPECT_EQ(first_divergence(Path{0, 1, 4, 5, 8}, pi), 1u);
+  EXPECT_EQ(first_divergence(Path{0, 3, 4}, pi), 0u);
+  EXPECT_EQ(first_divergence(pi, pi), pi.size() - 1);
+  // p a strict prefix of q.
+  EXPECT_EQ(first_divergence(Path{0, 1, 2}, pi), 2u);
+}
+
+TEST_F(PathOps, PathKeyMatchesManualSum) {
+  const WeightAssignment w(g_, 5);
+  const Path p = {0, 1, 2};
+  const DistKey k = path_key(g_, w, p);
+  EXPECT_EQ(k.hops, 2u);
+  EXPECT_EQ(k.pert, w.perturbation(g_.find_edge(0, 1)) +
+                        w.perturbation(g_.find_edge(1, 2)));
+}
+
+TEST_F(PathOps, DivergencePoints) {
+  const Path pi = {0, 1, 2, 5, 8};
+  const Path p = {0, 1, 4, 5, 8};  // diverges at 1, rejoins at 5
+  const auto divs = divergence_points(p, pi);
+  ASSERT_EQ(divs.size(), 1u);
+  EXPECT_EQ(divs[0], 1u);
+  // A path weaving off and back twice has two divergence points.
+  const Path weave = {0, 3, 4, 5, 8};
+  const auto divs2 = divergence_points(weave, pi);
+  ASSERT_EQ(divs2.size(), 1u);  // 0 is the only on-pi vertex it leaves from
+  EXPECT_EQ(divs2[0], 0u);
+  const Path weave2 = {0, 1, 4, 5, 4 + 3};  // 0-1 on pi, leaves, back at 5, leaves
+  const auto divs3 = divergence_points(weave2, pi);
+  ASSERT_EQ(divs3.size(), 2u);
+  EXPECT_EQ(divs3[0], 1u);
+  EXPECT_EQ(divs3[1], 5u);
+}
+
+}  // namespace
+}  // namespace ftbfs

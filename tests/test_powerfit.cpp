@@ -1,0 +1,59 @@
+#include "util/powerfit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftbfs {
+namespace {
+
+TEST(PowerFit, RecoversExactPowerLaw) {
+  std::vector<double> x, y;
+  for (double n = 10; n <= 1000; n *= 2) {
+    x.push_back(n);
+    y.push_back(3.5 * std::pow(n, 1.5));
+  }
+  const PowerFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 1.5, 1e-9);
+  EXPECT_NEAR(fit.coefficient, 3.5, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(PowerFit, FiveThirdsLaw) {
+  std::vector<double> x, y;
+  for (double n = 16; n <= 4096; n *= 4) {
+    x.push_back(n);
+    y.push_back(std::pow(n, 5.0 / 3.0));
+  }
+  const PowerFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 5.0 / 3.0, 1e-9);
+}
+
+TEST(PowerFit, ConstantDataExponentZero) {
+  const std::vector<double> x = {1, 2, 4, 8};
+  const std::vector<double> y = {7, 7, 7, 7};
+  const PowerFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 0.0, 1e-12);
+  EXPECT_NEAR(fit.coefficient, 7.0, 1e-9);
+}
+
+TEST(PowerFit, NoisyDataStillClose) {
+  std::vector<double> x, y;
+  const double noise[] = {1.05, 0.97, 1.02, 0.99, 1.03, 0.96};
+  int i = 0;
+  for (double n = 10; n <= 320; n *= 2) {
+    x.push_back(n);
+    y.push_back(noise[i++] * 2.0 * std::pow(n, 2.0));
+  }
+  const PowerFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 2.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(PowerFit, TwoPointsExact) {
+  const PowerFit fit = fit_power_law({2, 8}, {4, 64});
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ftbfs

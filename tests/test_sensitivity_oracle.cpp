@@ -1,0 +1,101 @@
+#include "core/sensitivity_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/mask.h"
+
+namespace ftbfs {
+namespace {
+
+// Ground truth by masked BFS.
+std::uint32_t truth(const Graph& g, Vertex s, Vertex v, EdgeId e) {
+  Bfs bfs(g);
+  GraphMask mask(g);
+  mask.block_edge(e);
+  return bfs.run(s, &mask).hops[v];
+}
+
+TEST(SensitivityOracle, MatchesBfsExhaustivelySmall) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Graph g = erdos_renyi(24, 0.2, seed);
+    const SingleFaultOracle oracle(g, 0, seed);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        ASSERT_EQ(oracle.distance_avoiding(v, e), truth(g, 0, v, e))
+            << "seed " << seed << " v " << v << " e " << e;
+      }
+    }
+  }
+}
+
+TEST(SensitivityOracle, MatchesBfsOnCycle) {
+  const Graph g = cycle_graph(9);
+  const SingleFaultOracle oracle(g, 0);
+  for (Vertex v = 0; v < 9; ++v) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      EXPECT_EQ(oracle.distance_avoiding(v, e), truth(g, 0, v, e));
+    }
+  }
+}
+
+TEST(SensitivityOracle, PathDisconnections) {
+  const Graph g = path_graph(7);
+  const SingleFaultOracle oracle(g, 0);
+  EXPECT_EQ(oracle.distance_avoiding(6, g.find_edge(2, 3)), kInfHops);
+  EXPECT_EQ(oracle.distance_avoiding(2, g.find_edge(2, 3)), 2u);
+  EXPECT_EQ(oracle.distance(6), 6u);
+}
+
+TEST(SensitivityOracle, NonTreeEdgeNoEffect) {
+  const Graph g = complete_graph(8);
+  const SingleFaultOracle oracle(g, 0);
+  // (1,2) is never on π(0,v) for the BFS tree of K8 (all depths <= 1).
+  const EdgeId e12 = g.find_edge(1, 2);
+  for (Vertex v = 0; v < 8; ++v) {
+    EXPECT_EQ(oracle.distance_avoiding(v, e12), oracle.distance(v));
+  }
+}
+
+TEST(SensitivityOracle, SourceAlwaysZero) {
+  const Graph g = erdos_renyi(20, 0.3, 5);
+  const SingleFaultOracle oracle(g, 3);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(oracle.distance_avoiding(3, e), 0u);
+  }
+}
+
+TEST(SensitivityOracle, UnreachableStaysUnreachable) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = std::move(b).build();
+  const SingleFaultOracle oracle(g, 0);
+  EXPECT_EQ(oracle.distance(3), kInfHops);
+  EXPECT_EQ(oracle.distance_avoiding(3, 0), kInfHops);
+}
+
+TEST(SensitivityOracle, TableSizeIsSumOfDepths) {
+  const Graph g = erdos_renyi(30, 0.15, 9);
+  const SingleFaultOracle oracle(g, 0);
+  std::uint64_t expect = 0;
+  for (Vertex v = 1; v < g.num_vertices(); ++v) {
+    if (oracle.tree().reached(v)) expect += oracle.tree().depth(v);
+  }
+  EXPECT_EQ(oracle.table_entries(), expect);
+}
+
+TEST(SensitivityOracle, RandomSpotChecksLarger) {
+  const Graph g = random_connected(120, 360, 17);
+  const SingleFaultOracle oracle(g, 0, 17);
+  Rng rng(4);
+  for (int probe = 0; probe < 400; ++probe) {
+    const Vertex v = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    const EdgeId e = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+    ASSERT_EQ(oracle.distance_avoiding(v, e), truth(g, 0, v, e));
+  }
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,97 @@
+#include "core/single_ftbfs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/verify.h"
+#include "graph/generators.h"
+
+namespace ftbfs {
+namespace {
+
+void expect_valid_single(const Graph& g, Vertex s, const FtStructure& h) {
+  const std::vector<Vertex> sources = {s};
+  const auto violation = verify_exhaustive(g, h.edges, sources, 1);
+  EXPECT_FALSE(violation.has_value())
+      << (violation ? violation->describe(g) : "");
+}
+
+TEST(SingleFtbfs, Cycle) {
+  const Graph g = cycle_graph(7);
+  const FtStructure h = build_single_ftbfs(g, 0);
+  expect_valid_single(g, 0, h);
+  EXPECT_EQ(h.edges.size(), g.num_edges());  // cycle: everything needed
+}
+
+TEST(SingleFtbfs, CompleteGraphNearLinear) {
+  const Graph g = complete_graph(12);
+  const FtStructure h = build_single_ftbfs(g, 0);
+  expect_valid_single(g, 0, h);
+  // Depth-1 BFS tree: per vertex at most 1 new edge -> <= 2(n-1) edges.
+  EXPECT_LE(h.edges.size(), 2u * (g.num_vertices() - 1));
+}
+
+TEST(SingleFtbfs, StatsConsistent) {
+  const Graph g = erdos_renyi(40, 0.1, 3);
+  const FtStructure h = build_single_ftbfs(g, 0);
+  EXPECT_EQ(h.edges.size(), h.stats.tree_edges + h.stats.new_edges);
+  EXPECT_EQ(h.stats.classes.single, h.stats.new_edges);
+}
+
+TEST(SingleFtbfs, SubsetOfDualStructureSizes) {
+  // Not literally a subset edge-wise, but never larger: the dual structure
+  // contains the single-failure last edges plus more.
+  const Graph g = erdos_renyi(30, 0.15, 11);
+  const FtStructure h1 = build_single_ftbfs(g, 0);
+  EXPECT_LE(h1.edges.size(), g.num_edges());
+}
+
+class SingleSweep
+    : public ::testing::TestWithParam<std::tuple<Vertex, double, std::uint64_t>> {
+};
+
+TEST_P(SingleSweep, ExhaustiveSingleFailure) {
+  const auto [n, p, seed] = GetParam();
+  const Graph g = erdos_renyi(n, p, seed);
+  const FtStructure h = build_single_ftbfs(g, 0);
+  expect_valid_single(g, 0, h);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, SingleSweep,
+    ::testing::Combine(::testing::Values<Vertex>(10, 25, 45, 70),
+                       ::testing::Values(0.08, 0.2, 0.4),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(SingleFtbfs, SizeWithinTheoremBound) {
+  // [10]: O(n^{3/2}); assert with a generous constant.
+  for (const Vertex n : {30u, 60u, 90u}) {
+    const Graph g = erdos_renyi(n, 0.15, 7);
+    const FtStructure h = build_single_ftbfs(g, 0);
+    EXPECT_LT(static_cast<double>(h.edges.size()),
+              4.0 * std::pow(n, 1.5));
+  }
+}
+
+TEST(SingleFtbfs, GridAndHypercube) {
+  {
+    const Graph g = grid_graph(5, 5);
+    expect_valid_single(g, 0, build_single_ftbfs(g, 0));
+  }
+  {
+    const Graph g = hypercube_graph(4);
+    expect_valid_single(g, 0, build_single_ftbfs(g, 0));
+  }
+}
+
+TEST(SingleFtbfs, NonzeroSource) {
+  const Graph g = erdos_renyi(25, 0.2, 17);
+  for (const Vertex s : {1u, 7u, 24u}) {
+    const FtStructure h = build_single_ftbfs(g, s);
+    expect_valid_single(g, s, h);
+  }
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,115 @@
+// Stress suite: larger instances than the exhaustive tests can afford,
+// checked with the adversarially-sampled verifier, across every generator
+// family. Catches integration-level bugs (mask reuse, memoization staleness,
+// stat bookkeeping) that small exhaustive instances may miss.
+#include <gtest/gtest.h>
+
+#include "core/cons2ftbfs.h"
+#include "core/kfail_ftbfs.h"
+#include "core/single_ftbfs.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+#include "lowerbound/gstar.h"
+
+namespace ftbfs {
+namespace {
+
+void check_sampled(const Graph& g, Vertex s, const FtStructure& h, unsigned f,
+                   std::uint64_t samples = 400) {
+  const std::vector<Vertex> sources = {s};
+  const auto violation = verify_sampled(g, h.edges, sources, f, samples, 99);
+  EXPECT_FALSE(violation.has_value())
+      << (violation ? violation->describe(g) : "");
+}
+
+struct StressCase {
+  const char* name;
+  Graph (*make)(std::uint64_t seed);
+};
+
+Graph stress_sparse(std::uint64_t seed) {
+  return random_connected(150, 450, seed);
+}
+Graph stress_dense(std::uint64_t seed) { return erdos_renyi(120, 0.15, seed); }
+Graph stress_chords(std::uint64_t seed) {
+  return path_with_chords(140, 70, seed);
+}
+Graph stress_grid(std::uint64_t) { return grid_graph(11, 11); }
+Graph stress_hypercube(std::uint64_t) { return hypercube_graph(7); }
+Graph stress_barbell(std::uint64_t) { return barbell_graph(60, 4); }
+Graph stress_gstar2(std::uint64_t) { return build_gstar(2, 150).graph; }
+
+class StressSweep
+    : public ::testing::TestWithParam<std::tuple<StressCase, std::uint64_t>> {
+};
+
+TEST_P(StressSweep, DualStructureSampledVerification) {
+  const auto& [c, seed] = GetParam();
+  const Graph g = c.make(seed);
+  Cons2Options opt;
+  opt.weight_seed = seed;
+  const FtStructure h = build_cons2ftbfs(g, 0, opt);
+  EXPECT_EQ(h.stats.divergence_fallbacks, 0u);
+  EXPECT_EQ(h.stats.classes.total(), h.stats.new_edges);
+  check_sampled(g, 0, h, 2);
+}
+
+TEST_P(StressSweep, SingleStructureSampledVerification) {
+  const auto& [c, seed] = GetParam();
+  const Graph g = c.make(seed);
+  SingleFtbfsOptions opt;
+  opt.weight_seed = seed;
+  const FtStructure h = build_single_ftbfs(g, 0, opt);
+  check_sampled(g, 0, h, 1);
+}
+
+TEST_P(StressSweep, ChainStructureSampledVerification) {
+  const auto& [c, seed] = GetParam();
+  const Graph g = c.make(seed);
+  const KFailResult r = build_kfail_ftbfs(g, 0, 2);
+  check_sampled(g, 0, r.structure, 2, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, StressSweep,
+    ::testing::Combine(
+        ::testing::Values(StressCase{"sparse", &stress_sparse},
+                          StressCase{"dense", &stress_dense},
+                          StressCase{"chords", &stress_chords},
+                          StressCase{"grid", &stress_grid},
+                          StressCase{"hypercube", &stress_hypercube},
+                          StressCase{"barbell", &stress_barbell},
+                          StressCase{"gstar2", &stress_gstar2}),
+        ::testing::Values<std::uint64_t>(1, 2)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Full exhaustive closure on mid-size structured graphs (slow-ish but
+// bounded): the strongest statement the test suite makes at this size.
+TEST(StressExhaustive, GridDual) {
+  const Graph g = grid_graph(5, 5);
+  const FtStructure h = build_cons2ftbfs(g, 0);
+  const std::vector<Vertex> sources = {0};
+  const auto violation = verify_exhaustive(g, h.edges, sources, 2);
+  EXPECT_FALSE(violation.has_value());
+}
+
+TEST(StressExhaustive, GStar2Dual) {
+  const GStarGraph gs = build_gstar(2, 70);
+  const FtStructure h = build_cons2ftbfs(gs.graph, gs.sources[0]);
+  const auto violation = verify_exhaustive(gs.graph, h.edges, gs.sources, 2);
+  EXPECT_FALSE(violation.has_value());
+}
+
+TEST(StressExhaustive, HypercubeDual) {
+  const Graph g = hypercube_graph(4);
+  const FtStructure h = build_cons2ftbfs(g, 0);
+  const std::vector<Vertex> sources = {0};
+  const auto violation = verify_exhaustive(g, h.edges, sources, 2);
+  EXPECT_FALSE(violation.has_value());
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,94 @@
+#include "core/swap_ftbfs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/single_ftbfs.h"
+#include "graph/generators.h"
+#include "graph/mask.h"
+#include "spath/bfs.h"
+
+namespace ftbfs {
+namespace {
+
+TEST(SwapFtbfs, SizeAtMostTwiceTree) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Graph g = erdos_renyi(80, 0.1, seed);
+    const SwapResult r = build_swap_ftbfs(g, 0);
+    EXPECT_LE(r.structure.edges.size(), 2ull * (g.num_vertices() - 1));
+    EXPECT_EQ(r.structure.edges.size(),
+              r.swap.tree_edges + r.swap.swap_edges);
+  }
+}
+
+TEST(SwapFtbfs, ConnectivityPreservedUnderTreeEdgeFaults) {
+  // Whenever G - e is connected, H - e must reach every vertex too.
+  for (const std::uint64_t seed : {4ull, 5ull, 6ull}) {
+    const Graph g = erdos_renyi(50, 0.12, seed);
+    const SwapResult r = build_swap_ftbfs(g, 0, {seed});
+    const Graph hg = materialize(g, r.structure);
+    Bfs g_bfs(g), h_bfs(hg);
+    GraphMask g_mask(g), h_mask(hg);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      g_mask.clear();
+      g_mask.block_edge(e);
+      const BfsResult& truth = g_bfs.run(0, &g_mask);
+      h_mask.clear();
+      const EdgeId he = hg.find_edge(g.edge(e).u, g.edge(e).v);
+      if (he != kInvalidEdge) h_mask.block_edge(he);
+      const BfsResult& got = h_bfs.run(0, &h_mask);
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        if (truth.hops[v] != kInfHops) {
+          EXPECT_NE(got.hops[v], kInfHops)
+              << "swap structure lost vertex " << v << " under edge " << e;
+        }
+      }
+    }
+  }
+}
+
+TEST(SwapFtbfs, BridgesAreUncoveredCuts) {
+  const Graph g = path_graph(8);  // every edge is a bridge
+  const SwapResult r = build_swap_ftbfs(g, 0);
+  EXPECT_EQ(r.swap.uncovered_cuts, 7u);
+  EXPECT_EQ(r.swap.swap_edges, 0u);
+}
+
+TEST(SwapFtbfs, CycleGetsOneSwapEdge) {
+  const Graph g = cycle_graph(9);
+  const SwapResult r = build_swap_ftbfs(g, 0);
+  // Tree = cycle minus one edge; that edge swaps every cut.
+  EXPECT_EQ(r.structure.edges.size(), g.num_edges());
+  EXPECT_EQ(r.swap.uncovered_cuts, 0u);
+}
+
+TEST(SwapFtbfs, StretchBoundedAndAboveOne) {
+  const Graph g = erdos_renyi(60, 0.1, 9);
+  const SwapResult r = build_swap_ftbfs(g, 0);
+  const StretchReport rep = measure_single_fault_stretch(g, 0, r.structure);
+  EXPECT_GE(rep.max_stretch, 1.0);
+  EXPECT_GE(rep.avg_stretch, 1.0);
+  EXPECT_LE(rep.avg_stretch, rep.max_stretch);
+  EXPECT_EQ(rep.disconnections, 0u);
+  EXPECT_GT(rep.comparisons, 0u);
+}
+
+TEST(SwapFtbfs, ExactStructureHasStretchOne) {
+  // Sanity of the measurement harness: the exact single-failure structure
+  // must measure stretch exactly 1.
+  const Graph g = erdos_renyi(40, 0.15, 11);
+  const FtStructure exact = build_single_ftbfs(g, 0);
+  const StretchReport rep = measure_single_fault_stretch(g, 0, exact);
+  EXPECT_DOUBLE_EQ(rep.max_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(rep.avg_stretch, 1.0);
+  EXPECT_EQ(rep.disconnections, 0u);
+}
+
+TEST(SwapFtbfs, SmallerThanExactStructure) {
+  const Graph g = erdos_renyi(100, 0.08, 13);
+  const SwapResult swap = build_swap_ftbfs(g, 0);
+  const FtStructure exact = build_single_ftbfs(g, 0);
+  EXPECT_LT(swap.structure.edges.size(), exact.edges.size());
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ftbfs {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t("demo");
+  t.set_header({"n", "edges"});
+  t.add_row({"10", "45"});
+  t.add_row({"100", "4950"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("n"), std::string::npos);
+  EXPECT_NE(s.find("4950"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t("csv");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t("align");
+  t.set_header({"x", "yyyy"});
+  t.add_row({"abcde", "z"});
+  std::ostringstream os;
+  t.print(os);
+  // Header 'yyyy' must start at the same column as value 'z'.
+  std::istringstream in(os.str());
+  std::string banner, header, rule, row;
+  std::getline(in, banner);
+  std::getline(in, header);
+  std::getline(in, rule);
+  std::getline(in, row);
+  EXPECT_EQ(header.find("yyyy"), row.find("z"));
+}
+
+TEST(FmtHelpers, Formats) {
+  EXPECT_EQ(fmt_int(-42), "-42");
+  EXPECT_EQ(fmt_u64(42), "42");
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_compact(12), "12");
+  // Large values compact to scientific-ish notation.
+  EXPECT_EQ(fmt_compact(1.23e7), "1.23e+07");
+}
+
+}  // namespace
+}  // namespace ftbfs

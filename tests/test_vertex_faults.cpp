@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/kfail_ftbfs.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+#include "spath/bfs.h"
+
+namespace ftbfs {
+namespace {
+
+void expect_valid_vertex(const Graph& g, Vertex s, const FtStructure& h,
+                         unsigned f) {
+  const std::vector<Vertex> sources = {s};
+  const auto violation = verify_exhaustive_vertex(g, h.edges, sources, f);
+  EXPECT_FALSE(violation.has_value())
+      << (violation ? violation->describe(g) : "");
+}
+
+TEST(VertexFaults, FZeroIsBfsTree) {
+  const Graph g = erdos_renyi(20, 0.2, 1);
+  const KFailResult r = build_kfail_ftbfs_vertex(g, 0, 0);
+  EXPECT_EQ(r.structure.edges.size(), g.num_vertices() - 1);
+  expect_valid_vertex(g, 0, r.structure, 0);
+}
+
+TEST(VertexFaults, SingleVertexFailure) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    const Graph g = erdos_renyi(20, 0.25, seed);
+    const KFailResult r = build_kfail_ftbfs_vertex(g, 0, 1);
+    expect_valid_vertex(g, 0, r.structure, 1);
+  }
+}
+
+TEST(VertexFaults, DualVertexFailure) {
+  for (const std::uint64_t seed : {5ull, 6ull}) {
+    const Graph g = erdos_renyi(13, 0.35, seed);
+    const KFailResult r = build_kfail_ftbfs_vertex(g, 0, 2);
+    expect_valid_vertex(g, 0, r.structure, 2);
+  }
+}
+
+TEST(VertexFaults, CycleNeedsEverything) {
+  const Graph g = cycle_graph(8);
+  const KFailResult r = build_kfail_ftbfs_vertex(g, 0, 1);
+  EXPECT_EQ(r.structure.edges.size(), g.num_edges());
+  expect_valid_vertex(g, 0, r.structure, 1);
+}
+
+TEST(VertexFaults, CompleteGraphSparse) {
+  const Graph g = complete_graph(10);
+  const KFailResult r = build_kfail_ftbfs_vertex(g, 0, 1);
+  expect_valid_vertex(g, 0, r.structure, 1);
+  EXPECT_LT(r.structure.edges.size(), g.num_edges());
+}
+
+TEST(VertexFaults, VertexStructureAlsoSurvivesEdgeFaults) {
+  // A vertex fault kills all incident edges, but single-edge tolerance is
+  // NOT implied in general; this documents the relationship on a graph where
+  // it happens to hold and cross-checks both verifiers run.
+  const Graph g = erdos_renyi(14, 0.4, 9);
+  const KFailResult rv = build_kfail_ftbfs_vertex(g, 0, 1);
+  const KFailResult re = build_kfail_ftbfs(g, 0, 1);
+  expect_valid_vertex(g, 0, rv.structure, 1);
+  const std::vector<Vertex> sources = {0};
+  EXPECT_FALSE(
+      verify_exhaustive(g, re.structure.edges, sources, 1).has_value());
+}
+
+TEST(VertexFaults, ExhaustiveVertexVerifierDetectsGap) {
+  // Theta graph: keep two of three routes; the middle vertex of one kept
+  // route failing leaves only the other; failing THAT vertex (f=2... f=1
+  // suffices): failing middle vertex 1 forces route via 2; dropping route 3
+  // entirely is fine for f=1 — so instead drop route 2 and fail vertex 1.
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 4);
+  b.add_edge(0, 2);
+  b.add_edge(2, 4);
+  b.add_edge(0, 3);
+  b.add_edge(3, 4);
+  const Graph g = std::move(b).build();
+  // H keeps routes via 1 and 3 plus the lone edge (0,2) for vertex 2's own
+  // distance... but then fault {1} still routes via 3. Fault {2}: fine.
+  // To create a violation keep only route via 1 (and stubs for 2, 3):
+  const std::vector<EdgeId> h = {g.find_edge(0, 1), g.find_edge(1, 4),
+                                 g.find_edge(0, 2), g.find_edge(0, 3)};
+  const std::vector<Vertex> sources = {0};
+  EXPECT_FALSE(verify_exhaustive_vertex(g, h, sources, 0).has_value());
+  const auto violation = verify_exhaustive_vertex(g, h, sources, 1);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->v, 4u);
+  EXPECT_EQ(violation->faults, (std::vector<Vertex>{1}));
+}
+
+TEST(VertexFaults, Statspopulated) {
+  const Graph g = erdos_renyi(16, 0.3, 21);
+  const KFailResult r = build_kfail_ftbfs_vertex(g, 0, 2);
+  EXPECT_GT(r.kstats.chains_enumerated, 0u);
+  EXPECT_EQ(r.structure.edges.size(),
+            r.structure.stats.tree_edges + r.structure.stats.new_edges);
+}
+
+TEST(VertexFaults, SourceNeighborhoodRobust) {
+  // Wheel-ish graph: hub 0 with a cycle around it; failing any rim vertex.
+  GraphBuilder b(7);
+  for (Vertex v = 1; v < 7; ++v) b.add_edge(0, v);
+  for (Vertex v = 1; v < 6; ++v) b.add_edge(v, v + 1);
+  b.add_edge(6, 1);
+  const Graph g = std::move(b).build();
+  const KFailResult r = build_kfail_ftbfs_vertex(g, 0, 2);
+  expect_valid_vertex(g, 0, r.structure, 2);
+}
+
+}  // namespace
+}  // namespace ftbfs

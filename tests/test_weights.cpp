@@ -1,0 +1,66 @@
+#include "spath/weights.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ftbfs {
+namespace {
+
+TEST(DistKey, LexicographicOrdering) {
+  EXPECT_LT((DistKey{1, 999}), (DistKey{2, 0}));  // hops dominate
+  EXPECT_LT((DistKey{2, 5}), (DistKey{2, 6}));    // perturbation breaks ties
+  EXPECT_EQ((DistKey{3, 7}), (DistKey{3, 7}));
+  EXPECT_LT(DistKey{}, kUnreachable);
+}
+
+TEST(WeightAssignment, DeterministicPerSeed) {
+  const Graph g = erdos_renyi(30, 0.2, 4);
+  const WeightAssignment w1(g, 99), w2(g, 99), w3(g, 100);
+  bool any_diff = false;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(w1.perturbation(e), w2.perturbation(e));
+    any_diff |= w1.perturbation(e) != w3.perturbation(e);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WeightAssignment, PerturbationsPositiveAndBounded) {
+  const Graph g = erdos_renyi(40, 0.3, 8);
+  const WeightAssignment w(g, 1);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GE(w.perturbation(e), 1u);
+    EXPECT_LE(w.perturbation(e), std::uint64_t{1} << 40);
+  }
+}
+
+TEST(WeightAssignment, PerturbationsDistinct) {
+  // 40-bit values: collisions among a few hundred edges are absurdly unlikely;
+  // a collision would indicate a seeding bug.
+  const Graph g = erdos_renyi(60, 0.2, 21);
+  const WeightAssignment w(g, 5);
+  std::vector<std::uint64_t> all;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) all.push_back(w.perturbation(e));
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST(WeightAssignment, ExtendAddsHopAndPert) {
+  const Graph g = path_graph(3);
+  const WeightAssignment w(g, 2);
+  const DistKey base{3, 100};
+  const DistKey ext = w.extend(base, 0);
+  EXPECT_EQ(ext.hops, 4u);
+  EXPECT_EQ(ext.pert, 100 + w.perturbation(0));
+}
+
+TEST(WeightAssignment, PathPertSumsEdges) {
+  const Graph g = path_graph(4);
+  const WeightAssignment w(g, 3);
+  const std::vector<EdgeId> edges = {0, 1, 2};
+  EXPECT_EQ(w.path_pert(edges),
+            w.perturbation(0) + w.perturbation(1) + w.perturbation(2));
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -1,0 +1,243 @@
+// ftbfs — command-line front end for the library.
+//
+// Subcommands:
+//   gen    --family <er|grid|cycle|path|hypercube|barbell|gstar1|gstar2>
+//          --n <int> [--seed <int>] [--p <float>] --out <file>
+//   build  --graph <file> --source <int> --faults <0|1|2>
+//          [--algo cons2|single|kfail|greedy] [--out <file>] [--stats]
+//   verify --graph <file> --structure <file> --source <int> --faults <int>
+//          [--mode exhaustive|sampled] [--samples <int>]
+//   query  --graph <file> --source <int> --faults <e1,e2> --target <int>
+//
+// Structures are exchanged as edge-list files of the kept subgraph.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <cmath>
+#include <sstream>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/approx_ftmbfs.h"
+#include "core/cons2ftbfs.h"
+#include "core/kfail_ftbfs.h"
+#include "core/oracle.h"
+#include "core/single_ftbfs.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "lowerbound/gstar.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace ftbfs;
+
+[[noreturn]] void usage(const char* why) {
+  std::fprintf(stderr, "ftbfs: %s\n", why);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ftbfs gen --family <name> --n <int> [--seed S] [--p P] "
+               "--out <file>\n"
+               "  ftbfs build --graph <file> --source <v> --faults <f> "
+               "[--algo cons2|single|kfail|greedy] [--out <file>]\n"
+               "  ftbfs verify --graph <file> --structure <file> --source <v> "
+               "--faults <f> [--mode exhaustive|sampled] [--samples N]\n"
+               "  ftbfs query --graph <file> --source <v> --target <v> "
+               "[--fault-edges u-v,u-v]\n");
+  std::exit(2);
+}
+
+// Tiny flag parser: --key value pairs after the subcommand.
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) usage("expected --flag value");
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string need(const std::map<std::string, std::string>& flags,
+                 const std::string& key) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) usage(("missing --" + key).c_str());
+  return it->second;
+}
+
+std::string get_or(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int cmd_gen(const std::map<std::string, std::string>& flags) {
+  const std::string family = need(flags, "family");
+  const Vertex n = static_cast<Vertex>(std::stoul(need(flags, "n")));
+  const std::uint64_t seed = std::stoull(get_or(flags, "seed", "1"));
+  const double p = std::stod(get_or(flags, "p", "0.1"));
+  Graph g;
+  if (family == "er") {
+    g = erdos_renyi(n, p, seed);
+  } else if (family == "grid") {
+    const Vertex side = static_cast<Vertex>(std::max(1.0, std::sqrt(n)));
+    g = grid_graph(side, side);
+  } else if (family == "cycle") {
+    g = cycle_graph(n);
+  } else if (family == "path") {
+    g = path_graph(n);
+  } else if (family == "hypercube") {
+    unsigned dim = 1;
+    while ((Vertex{1} << (dim + 1)) <= n) ++dim;
+    g = hypercube_graph(dim);
+  } else if (family == "barbell") {
+    g = barbell_graph(n, std::max<Vertex>(1, n / 10));
+  } else if (family == "gstar1") {
+    g = build_gstar(1, n).graph;
+  } else if (family == "gstar2") {
+    g = build_gstar(2, n).graph;
+  } else {
+    usage("unknown family");
+  }
+  save_graph(need(flags, "out"), g);
+  std::printf("wrote %s: %s\n", need(flags, "out").c_str(),
+              describe(g).c_str());
+  return 0;
+}
+
+int cmd_build(const std::map<std::string, std::string>& flags) {
+  const Graph g = load_graph(need(flags, "graph"));
+  const Vertex s = static_cast<Vertex>(std::stoul(need(flags, "source")));
+  const unsigned f = static_cast<unsigned>(std::stoul(need(flags, "faults")));
+  const std::string algo = get_or(flags, "algo", f >= 2 ? "cons2" : "single");
+
+  Timer timer;
+  FtStructure h;
+  if (algo == "cons2") {
+    if (f != 2) usage("--algo cons2 requires --faults 2");
+    Cons2Options opt;
+    opt.classify_paths = false;
+    h = build_cons2ftbfs(g, s, opt);
+  } else if (algo == "single") {
+    if (f != 1) usage("--algo single requires --faults 1");
+    h = build_single_ftbfs(g, s);
+  } else if (algo == "kfail") {
+    h = build_kfail_ftbfs(g, s, f).structure;
+  } else if (algo == "greedy") {
+    const std::vector<Vertex> sources = {s};
+    h = build_approx_ftmbfs(g, sources, f).structure;
+  } else {
+    usage("unknown algo");
+  }
+  const double secs = timer.seconds();
+  std::printf("%s: kept %zu / %u edges (%.1f%%) in %.2fs\n", algo.c_str(),
+              h.edges.size(), g.num_edges(),
+              100.0 * static_cast<double>(h.edges.size()) / g.num_edges(),
+              secs);
+  if (flags.contains("out")) {
+    save_graph(flags.at("out"), materialize(g, h));
+    std::printf("wrote structure to %s\n", flags.at("out").c_str());
+  }
+  return 0;
+}
+
+// Maps the edges of a structure file back onto ids of the host graph.
+std::vector<EdgeId> structure_edge_ids(const Graph& g, const Graph& h) {
+  std::vector<EdgeId> ids;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const EdgeId ge = g.find_edge(h.edge(e).u, h.edge(e).v);
+    if (ge == kInvalidEdge) {
+      std::fprintf(stderr, "structure edge (%u,%u) not present in graph\n",
+                   h.edge(e).u, h.edge(e).v);
+      std::exit(1);
+    }
+    ids.push_back(ge);
+  }
+  return ids;
+}
+
+int cmd_verify(const std::map<std::string, std::string>& flags) {
+  const Graph g = load_graph(need(flags, "graph"));
+  const Graph h = load_graph(need(flags, "structure"));
+  const Vertex s = static_cast<Vertex>(std::stoul(need(flags, "source")));
+  const unsigned f = static_cast<unsigned>(std::stoul(need(flags, "faults")));
+  const std::string mode = get_or(flags, "mode", "exhaustive");
+  const std::vector<EdgeId> ids = structure_edge_ids(g, h);
+  const std::vector<Vertex> sources = {s};
+
+  Timer timer;
+  std::optional<Violation> violation;
+  if (mode == "exhaustive") {
+    violation = verify_exhaustive(g, ids, sources, f);
+  } else if (mode == "sampled") {
+    const std::uint64_t samples =
+        std::stoull(get_or(flags, "samples", "1000"));
+    violation = verify_sampled(g, ids, sources, f, samples, 1);
+  } else {
+    usage("unknown mode");
+  }
+  if (violation) {
+    std::printf("INVALID: %s\n", violation->describe(g).c_str());
+    return 1;
+  }
+  std::printf("VALID (%s, f=%u, %.2fs)\n", mode.c_str(), f, timer.seconds());
+  return 0;
+}
+
+int cmd_query(const std::map<std::string, std::string>& flags) {
+  const Graph g = load_graph(need(flags, "graph"));
+  const Vertex s = static_cast<Vertex>(std::stoul(need(flags, "source")));
+  const Vertex t = static_cast<Vertex>(std::stoul(need(flags, "target")));
+  std::vector<EdgeId> faults;
+  if (flags.contains("fault-edges")) {
+    std::string spec = flags.at("fault-edges");
+    for (char& c : spec) {
+      if (c == ',' || c == '-') c = ' ';
+    }
+    std::istringstream in(spec);
+    Vertex u, v;
+    while (in >> u >> v) {
+      const EdgeId e = g.find_edge(u, v);
+      if (e == kInvalidEdge) usage("fault edge not in graph");
+      faults.push_back(e);
+    }
+  }
+  FtBfsOracle oracle = FtBfsOracle::build(
+      g, s, static_cast<unsigned>(std::min<std::size_t>(faults.size(), 2)));
+  std::printf("structure: %llu edges of %u\n",
+              static_cast<unsigned long long>(oracle.structure_size()),
+              g.num_edges());
+  const std::uint32_t d = oracle.distance(t, faults);
+  if (d == kInfHops) {
+    std::printf("dist(%u,%u | %zu faults) = unreachable\n", s, t,
+                faults.size());
+  } else {
+    std::printf("dist(%u,%u | %zu faults) = %u\n", s, t, faults.size(), d);
+    const auto path = oracle.shortest_path(t, faults);
+    std::printf("path:");
+    for (const Vertex v : *path) std::printf(" %u", v);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("missing subcommand");
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  try {
+    if (cmd == "gen") return cmd_gen(flags);
+    if (cmd == "build") return cmd_build(flags);
+    if (cmd == "verify") return cmd_verify(flags);
+    if (cmd == "query") return cmd_query(flags);
+  } catch (const GraphIoError& err) {
+    std::fprintf(stderr, "ftbfs: %s\n", err.what());
+    return 1;
+  }
+  usage("unknown subcommand");
+}
