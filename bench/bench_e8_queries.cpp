@@ -1,11 +1,14 @@
 // Experiment E8 (usage objective (2), §1): routing/query workload. Distances
 // queried on the FT-BFS structure under injected faults must match the full
 // graph exactly; the structure is a fraction of G's size and queries on it
-// are proportionally cheaper.
+// are proportionally cheaper. All query paths go through FaultQueryEngine:
+// the sequential column runs one full-BFS query per fault set (the seed's
+// query path), the batched column runs the same workload through
+// FaultQueryEngine::batch — one early-exit BFS per fault set over a fixed
+// target list — which is the query service's serving shape.
 #include "bench_util.h"
-#include "core/cons2ftbfs.h"
-#include "graph/mask.h"
-#include "spath/bfs.h"
+#include "engine/query_engine.h"
+#include "engine/registry.h"
 #include "util/rng.h"
 
 int main() {
@@ -13,58 +16,110 @@ int main() {
   using namespace ftbfs::bench;
 
   Table table("E8: query workload under fault injection");
-  table.set_header({"family", "n", "|H|/m", "queries", "mismatch",
-                    "us/query G", "us/query H", "speedup"});
+  table.set_header({"family", "n", "|H|/m", "queries", "mm full", "mm sample",
+                    "us/query G", "us/query H", "us/query batch", "speedup",
+                    "batch x"});
 
   for (const Family& family : standard_families()) {
     for (const Vertex n : {256u, 512u, 1024u}) {
       const Graph g = family.make(n, 13);
-      Cons2Options opt;
-      opt.classify_paths = false;
-      const FtStructure h = build_cons2ftbfs(g, 0, opt);
-      const Graph hg = materialize(g, h);
+      BuildRequest req;
+      req.graph = &g;
+      req.sources = {0};
+      req.fault_budget = 2;
+      const BuildResult built =
+          BuilderRegistry::instance().build("cons2ftbfs", req);
 
+      FaultQueryEngine g_engine(g);  // ground truth from the full graph
+      FaultQueryEngine h_engine(g, built.structure);
+
+      // Workload: `queries` fault sets of 0-2 edges, each asking distances to
+      // a fixed sample of targets.
       Rng rng(99);
-      Bfs bg(g), bh(hg);
-      GraphMask gm(g), hm(hg);
       const int queries = 500;
-      std::uint64_t mismatches = 0;
-      double g_time = 0, h_time = 0;
+      const std::size_t targets_per_query = 32;
+      std::vector<std::vector<EdgeId>> fault_storage(queries);
+      std::vector<FaultSpec> fault_sets(queries);
       for (int q = 0; q < queries; ++q) {
-        // Inject 0-2 faults.
-        gm.clear();
-        hm.clear();
         const int k = static_cast<int>(rng.next_below(3));
         for (int i = 0; i < k; ++i) {
-          const EdgeId e = static_cast<EdgeId>(rng.next_below(g.num_edges()));
-          gm.block_edge(e);
-          const EdgeId he = hg.find_edge(g.edge(e).u, g.edge(e).v);
-          if (he != kInvalidEdge) hm.block_edge(he);
+          fault_storage[q].push_back(
+              static_cast<EdgeId>(rng.next_below(g.num_edges())));
         }
-        Timer tg;
-        const BfsResult& rg = bg.run(0, &gm);
-        const std::uint32_t* gh = rg.hops.data();
-        std::vector<std::uint32_t> g_hops(gh, gh + g.num_vertices());
-        g_time += tg.seconds();
-        Timer th;
-        const BfsResult& rh = bh.run(0, &hm);
-        h_time += th.seconds();
-        for (Vertex v = 0; v < g.num_vertices(); ++v) {
-          if (g_hops[v] != rh.hops[v]) ++mismatches;
+        fault_sets[q] = edge_faults(fault_storage[q]);
+      }
+      std::vector<Vertex> targets;
+      for (std::size_t i = 0; i < targets_per_query; ++i) {
+        targets.push_back(static_cast<Vertex>(rng.next_below(n)));
+      }
+
+      // All three timed regions do the same work — one query per fault set,
+      // matrix of target distances written out — so the ratios compare query
+      // paths, not bookkeeping. Mismatch counting happens outside the timers.
+      std::vector<std::uint32_t> truth(queries * targets.size());
+      Timer tg;
+      for (int q = 0; q < queries; ++q) {
+        const auto& hops = g_engine.all_distances(0, fault_sets[q]);
+        for (std::size_t j = 0; j < targets.size(); ++j) {
+          truth[q * targets.size() + j] = hops[targets[j]];
         }
       }
+      const double g_time = tg.seconds();
+
+      std::vector<std::uint32_t> seq(queries * targets.size());
+      Timer th;
+      for (int q = 0; q < queries; ++q) {
+        const auto& hops = h_engine.all_distances(0, fault_sets[q]);
+        for (std::size_t j = 0; j < targets.size(); ++j) {
+          seq[q * targets.size() + j] = hops[targets[j]];
+        }
+      }
+      const double h_time = th.seconds();
+
+      // The batched path: one call, early-exit BFS per fault set.
+      Timer tb;
+      const std::vector<std::uint32_t> batched =
+          h_engine.batch(0, fault_sets, targets);
+      const double b_time = tb.seconds();
+
+      // Correctness cross-checks, untimed. "mm full": every vertex under
+      // every fault set, engine vs ground-truth engine (the two engines are
+      // distinct, so both borrowed results stay valid). "mm sample": the two
+      // timed sampled matrices (sequential and batched) against ground truth.
+      std::uint64_t full_mismatches = 0, sample_mismatches = 0;
+      for (int q = 0; q < queries; ++q) {
+        const auto& tg_hops = g_engine.all_distances(0, fault_sets[q]);
+        const auto& th_hops = h_engine.all_distances(0, fault_sets[q]);
+        for (Vertex v = 0; v < g.num_vertices(); ++v) {
+          if (tg_hops[v] != th_hops[v]) ++full_mismatches;
+        }
+      }
+      for (std::size_t i = 0; i < truth.size(); ++i) {
+        if (seq[i] != truth[i]) ++sample_mismatches;
+        if (batched[i] != truth[i]) ++sample_mismatches;
+      }
+
       table.add_row(
           {family.name, fmt_u64(n),
-           fmt_double(static_cast<double>(h.edges.size()) / g.num_edges(), 3),
-           fmt_int(queries), fmt_u64(mismatches),
+           fmt_double(
+               static_cast<double>(built.structure.edges.size()) / g.num_edges(),
+               3),
+           fmt_int(queries), fmt_u64(full_mismatches), fmt_u64(sample_mismatches),
            fmt_double(1e6 * g_time / queries, 1),
            fmt_double(1e6 * h_time / queries, 1),
-           fmt_double(g_time / std::max(h_time, 1e-12), 2)});
+           fmt_double(1e6 * b_time / queries, 1),
+           fmt_double(g_time / std::max(h_time, 1e-12), 2),
+           fmt_double(h_time / std::max(b_time, 1e-12), 2)});
     }
   }
   table.print(std::cout);
-  std::printf("Reading: zero mismatches across all injected fault sets — the\n"
-              "structure answers exact distances; query cost scales with the\n"
-              "kept edge fraction.\n");
+  std::printf(
+      "Reading: zero mismatches across all injected fault sets — the\n"
+      "structure answers exact distances through every engine path. The\n"
+      "sequential column pays one full BFS per fault set; the batched\n"
+      "column's early-exit BFS stops once the target sample is settled,\n"
+      "a win that grows with how much of the graph the structure prunes\n"
+      "(largest on dense-ER). Where |H|/m ~ 1 and targets span the whole\n"
+      "depth (path+chords) the two paths converge to parity.\n");
   return 0;
 }

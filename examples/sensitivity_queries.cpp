@@ -5,12 +5,16 @@
 // sensitivity workload ([5,2] in the paper's related work). Two tools:
 //   * SingleFaultOracle — O(n·m) preprocessing, then O(1) per point query;
 //   * FtBfsOracle       — near-zero extra preprocessing beyond the FT-BFS
-//                         structure, O(|H|) per *batch* of targets.
+//                         structure; its FaultQueryEngine serves the whole
+//                         what-if matrix in one batch() call (one early-exit
+//                         BFS per fault set, fanned across threads).
 // The example runs both over the same what-if matrix and cross-checks them.
 #include <cstdio>
+#include <vector>
 
 #include "core/oracle.h"
 #include "core/sensitivity_oracle.h"
+#include "engine/query_engine.h"
 #include "graph/generators.h"
 #include "util/timer.h"
 
@@ -52,23 +56,37 @@ int main() {
   }
   const double point_time = q1.seconds();
 
+  // The engine path: every sampled link failure as one fault set, all target
+  // samples at once — a single batch() call serves the whole matrix.
+  std::vector<EdgeId> sampled_edges;
+  std::vector<FaultSpec> scenarios;
+  for (EdgeId e = 0; e < g.num_edges(); e += 17) sampled_edges.push_back(e);
+  for (const EdgeId& e : sampled_edges) {
+    scenarios.push_back(edge_faults({&e, 1}));
+  }
+  std::vector<Vertex> targets;
+  for (Vertex v = 1; v < g.num_vertices(); v += 29) targets.push_back(v);
+
   Timer q2;
-  for (EdgeId e = 0; e < g.num_edges(); e += 17) {  // batches are heavier
-    const std::vector<EdgeId> faults = {e};
-    const auto& dists = batch_oracle.all_distances(faults);
-    for (Vertex v = 1; v < g.num_vertices(); v += 29) {
-      if (dists[v] == point_oracle.distance_avoiding(v, e)) ++agree;
+  const std::vector<std::uint32_t> matrix =
+      batch_oracle.batch(scenarios, targets, /*threads=*/2);
+  const double batch_time = q2.seconds();
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      if (matrix[i * targets.size() + j] ==
+          point_oracle.distance_avoiding(targets[j], sampled_edges[i])) {
+        ++agree;
+      }
     }
   }
-  const double batch_time = q2.seconds();
 
   std::printf("\npoint oracle: %llu what-if queries in %.3fs (%.0f ns each)\n",
               static_cast<unsigned long long>(checks), point_time,
               1e9 * point_time / static_cast<double>(checks));
-  std::printf("batch oracle spot-check: %llu/%llu answers agree (%.3fs)\n",
+  std::printf("batch engine spot-check: %llu/%llu answers agree (%.3fs)\n",
               static_cast<unsigned long long>(agree),
-              static_cast<unsigned long long>((g.num_edges() / 17 + 1) *
-                                              ((g.num_vertices() - 2) / 29 + 1)),
+              static_cast<unsigned long long>(scenarios.size() *
+                                              targets.size()),
               batch_time);
   if (worst_edge != kInvalidEdge) {
     const Edge& e = g.edge(worst_edge);

@@ -8,6 +8,15 @@
 
 namespace ftbfs {
 
+// Which kind of component a fault set removes. The paper's constructions are
+// stated for edge faults; the kfail chain construction also supports the
+// vertex-fault FT-MBFS definition of [10].
+enum class FaultModel { kEdge, kVertex };
+
+[[nodiscard]] constexpr const char* to_string(FaultModel m) {
+  return m == FaultModel::kEdge ? "edge" : "vertex";
+}
+
 // Per-class counts of the new-ending replacement paths, following the paper's
 // classification (Fig. 7):
 //   A  — (π,π) paths (two faults on π(s,v)),

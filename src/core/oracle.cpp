@@ -1,87 +1,58 @@
 #include "core/oracle.h"
 
-#include <algorithm>
-
-#include "core/cons2ftbfs.h"
-#include "core/kfail_ftbfs.h"
-#include "core/single_ftbfs.h"
+#include "engine/registry.h"
 
 namespace ftbfs {
 
 FtBfsOracle::FtBfsOracle(const Graph& g, Vertex source, unsigned f,
                          FtStructure h)
-    : g_(&g),
-      source_(source),
+    : source_(source),
       f_(f),
       structure_(std::move(h)),
-      h_(materialize(g, structure_)),
-      g_to_h_(g.num_edges(), kInvalidEdge),
-      mask_(h_),
-      bfs_(h_) {
+      engine_(g, structure_) {
   FTBFS_EXPECTS(source < g.num_vertices());
-  // subgraph_from_edges assigns H edge ids in the order of structure_.edges.
-  for (EdgeId i = 0; i < structure_.edges.size(); ++i) {
-    g_to_h_[structure_.edges[i]] = i;
-  }
 }
 
 FtBfsOracle FtBfsOracle::build(const Graph& g, Vertex source, unsigned f,
                                std::uint64_t weight_seed) {
   FTBFS_EXPECTS(f <= 2);
-  switch (f) {
-    case 0: {
-      KFailOptions opt;
-      return FtBfsOracle(g, source, 0,
-                         build_kfail_ftbfs(g, source, 0, opt).structure);
-    }
-    case 1: {
-      SingleFtbfsOptions opt;
-      opt.weight_seed = weight_seed;
-      return FtBfsOracle(g, source, 1, build_single_ftbfs(g, source, opt));
-    }
-    default: {
-      Cons2Options opt;
-      opt.weight_seed = weight_seed;
-      opt.classify_paths = false;
-      return FtBfsOracle(g, source, 2, build_cons2ftbfs(g, source, opt));
-    }
-  }
+  BuildRequest req;
+  req.graph = &g;
+  req.sources = {source};
+  req.fault_budget = f;
+  req.weight_seed = weight_seed;
+  BuildResult built =
+      BuilderRegistry::instance().build(BuilderRegistry::default_builder(f), req);
+  return FtBfsOracle(g, source, f, std::move(built.structure));
 }
 
-void FtBfsOracle::apply_faults(std::span<const EdgeId> faults) {
+std::uint32_t FtBfsOracle::distance(Vertex v, std::span<const EdgeId> faults) {
   FTBFS_EXPECTS(faults.size() <= f_);
-  mask_.clear();
-  for (const EdgeId e : faults) {
-    FTBFS_EXPECTS(e < g_->num_edges());
-    const EdgeId he = g_to_h_[e];
-    if (he != kInvalidEdge) mask_.block_edge(he);
-  }
-}
-
-std::uint32_t FtBfsOracle::distance(Vertex v,
-                                    std::span<const EdgeId> faults) {
-  return all_distances(faults)[v];
+  return engine_.distance(source_, v, edge_faults(faults));
 }
 
 std::optional<Path> FtBfsOracle::shortest_path(
     Vertex v, std::span<const EdgeId> faults) {
-  apply_faults(faults);
-  ++queries_;
-  const BfsResult& r = bfs_.run(source_, &mask_);
-  if (r.hops[v] == kInfHops) return std::nullopt;
-  Path p;
-  for (Vertex cur = v; cur != kInvalidVertex; cur = r.parent[cur]) {
-    p.push_back(cur);
-  }
-  std::reverse(p.begin(), p.end());
-  return p;
+  FTBFS_EXPECTS(faults.size() <= f_);
+  return engine_.shortest_path(source_, v, edge_faults(faults));
 }
 
 const std::vector<std::uint32_t>& FtBfsOracle::all_distances(
     std::span<const EdgeId> faults) {
-  apply_faults(faults);
-  ++queries_;
-  return bfs_.run(source_, &mask_).hops;
+  FTBFS_EXPECTS(faults.size() <= f_);
+  return engine_.all_distances(source_, edge_faults(faults));
+}
+
+std::vector<std::uint32_t> FtBfsOracle::batch(
+    std::span<const FaultSpec> fault_sets, std::span<const Vertex> targets,
+    unsigned threads) {
+  for (const FaultSpec& fs : fault_sets) {
+    FTBFS_EXPECTS(fs.size() <= f_);
+    // The wrapped structure guarantees edge failures only; vertex faults
+    // would silently fall outside its FT property.
+    FTBFS_EXPECTS(fs.vertices.empty());
+  }
+  return engine_.batch(source_, fault_sets, targets, threads);
 }
 
 }  // namespace ftbfs

@@ -9,6 +9,10 @@
 // the FT-BFS property. (The O(log n)-query oracles of Duan–Pettie use heavier
 // machinery; the structure here is the size-optimal substrate they would be
 // built over.)
+//
+// This class is a thin, source-pinned facade over FaultQueryEngine — the
+// engine owns the g→H translation, the mask scratch, and the masked BFS; the
+// oracle adds the fault-budget contract and the fixed source.
 #pragma once
 
 #include <cstdint>
@@ -16,9 +20,8 @@
 #include <span>
 
 #include "core/ftbfs_common.h"
+#include "engine/query_engine.h"
 #include "graph/graph.h"
-#include "graph/mask.h"
-#include "spath/bfs.h"
 #include "spath/path.h"
 
 namespace ftbfs {
@@ -26,11 +29,11 @@ namespace ftbfs {
 class FtBfsOracle {
  public:
   // Wraps a prebuilt structure. `h` must be a valid f-failure FT-BFS for
-  // (g, source) — build it with build_cons2ftbfs / build_single_ftbfs, or use
-  // the factory below.
+  // (g, source) — build it via the BuilderRegistry, or use the factory below.
   FtBfsOracle(const Graph& g, Vertex source, unsigned f, FtStructure h);
 
-  // Builds the appropriate structure for f ∈ {0, 1, 2} and wraps it.
+  // Builds the registry's default structure for the budget f and wraps it
+  // (f <= 2: BFS tree / single_ftbfs / cons2ftbfs).
   [[nodiscard]] static FtBfsOracle build(const Graph& g, Vertex source,
                                          unsigned f,
                                          std::uint64_t weight_seed = 1);
@@ -57,20 +60,23 @@ class FtBfsOracle {
     return structure_.size();
   }
   [[nodiscard]] const FtStructure& structure() const { return structure_; }
-  [[nodiscard]] std::uint64_t queries_answered() const { return queries_; }
+  [[nodiscard]] std::uint64_t queries_answered() const {
+    return engine_.queries_answered();
+  }
+
+  // Batched access (FaultQueryEngine::batch) with the oracle's fault-budget
+  // contract enforced on every fault set: result[i * targets.size() + j] is
+  // the distance source→targets[j] under fault_sets[i]. Fault sets must be
+  // edge faults (the structure's guarantee does not cover vertex failures).
+  [[nodiscard]] std::vector<std::uint32_t> batch(
+      std::span<const FaultSpec> fault_sets, std::span<const Vertex> targets,
+      unsigned threads = 1);
 
  private:
-  void apply_faults(std::span<const EdgeId> faults);
-
-  const Graph* g_;
   Vertex source_;
   unsigned f_;
   FtStructure structure_;
-  Graph h_;                         // materialized structure
-  std::vector<EdgeId> g_to_h_;      // edge id translation (kInvalidEdge = absent)
-  GraphMask mask_;                  // over h_
-  Bfs bfs_;                         // over h_
-  std::uint64_t queries_ = 0;
+  FaultQueryEngine engine_;
 };
 
 }  // namespace ftbfs

@@ -2,46 +2,37 @@
 
 #include <algorithm>
 
-#include "graph/mask.h"
+#include "engine/query_engine.h"
 #include "spath/bfs.h"
 #include "util/rng.h"
 
 namespace ftbfs {
 namespace {
 
-// Shared machinery: compares dist(s,·) in G∖F vs H∖F for one fault set.
+// Shared machinery: compares dist(s,·) in G∖F vs H∖F for one fault set. Both
+// sides are FaultQueryEngines — the identity engine serves ground truth from
+// G, the structure engine owns the g→H translation — so the verifier carries
+// no masked-BFS or translation scratch of its own.
 class Comparator {
  public:
   Comparator(const Graph& g, std::span<const EdgeId> h_edges)
-      : g_(g),
-        h_(subgraph_from_edges(g, h_edges)),
-        g_mask_(g),
-        h_mask_(h_),
-        g_bfs_(g),
-        h_bfs_(h_) {}
+      : g_(g), g_engine_(g), h_engine_(g, h_edges) {}
 
-  // Returns a violation for fault set `faults` (edge ids of g), if any.
+  // Returns a violation for fault set `faults` (host ids), if any. The
+  // violation's `faults` field is filled by the caller (it knows whether ids
+  // are edges or vertices).
   std::optional<Violation> check(std::span<const Vertex> sources,
-                                 std::span<const EdgeId> faults) {
-    g_mask_.clear();
-    h_mask_.clear();
-    for (const EdgeId e : faults) {
-      g_mask_.block_edge(e);
-      const Edge& ed = g_.edge(e);
-      const EdgeId he = h_.find_edge(ed.u, ed.v);
-      if (he != kInvalidEdge) h_mask_.block_edge(he);
-    }
+                                 const FaultSpec& faults) {
     for (const Vertex s : sources) {
-      const BfsResult& rg = g_bfs_.run(s, &g_mask_);
-      const BfsResult& rh = h_bfs_.run(s, &h_mask_);
+      const std::vector<std::uint32_t>& dg = g_engine_.all_distances(s, faults);
+      const std::vector<std::uint32_t>& dh = h_engine_.all_distances(s, faults);
       for (Vertex v = 0; v < g_.num_vertices(); ++v) {
-        if (rg.hops[v] != rh.hops[v]) {
+        if (dg[v] != dh[v]) {
           Violation viol;
           viol.source = s;
           viol.v = v;
-          viol.faults.assign(faults.begin(), faults.end());
-          viol.dist_g = rg.hops[v];
-          viol.dist_h = rh.hops[v];
+          viol.dist_g = dg[v];
+          viol.dist_h = dh[v];
           return viol;
         }
       }
@@ -50,21 +41,22 @@ class Comparator {
   }
 
   [[nodiscard]] const Graph& g() const { return g_; }
+  [[nodiscard]] FaultQueryEngine& g_engine() { return g_engine_; }
 
  private:
   const Graph& g_;
-  Graph h_;
-  GraphMask g_mask_;
-  GraphMask h_mask_;
-  Bfs g_bfs_;
-  Bfs h_bfs_;
+  FaultQueryEngine g_engine_;
+  FaultQueryEngine h_engine_;
 };
 
 std::optional<Violation> enumerate_faults(Comparator& cmp,
                                           std::span<const Vertex> sources,
                                           std::vector<EdgeId>& faults,
                                           EdgeId next, unsigned remaining) {
-  if (auto v = cmp.check(sources, faults)) return v;
+  if (auto v = cmp.check(sources, edge_faults(faults))) {
+    v->faults = faults;
+    return v;
+  }
   if (remaining == 0) return std::nullopt;
   for (EdgeId e = next; e < cmp.g().num_edges(); ++e) {
     faults.push_back(e);
@@ -76,59 +68,14 @@ std::optional<Violation> enumerate_faults(Comparator& cmp,
   return std::nullopt;
 }
 
-// Vertex-fault comparator: blocks the same vertex ids on both graphs (vertex
-// ids are shared between g and materialized subgraphs).
-class VertexComparator {
- public:
-  VertexComparator(const Graph& g, std::span<const EdgeId> h_edges)
-      : g_(g),
-        h_(subgraph_from_edges(g, h_edges)),
-        g_mask_(g),
-        h_mask_(h_),
-        g_bfs_(g),
-        h_bfs_(h_) {}
-
-  std::optional<Violation> check(std::span<const Vertex> sources,
-                                 std::span<const Vertex> faults) {
-    g_mask_.clear();
-    h_mask_.clear();
-    for (const Vertex u : faults) {
-      g_mask_.block_vertex(u);
-      h_mask_.block_vertex(u);
-    }
-    for (const Vertex s : sources) {
-      const BfsResult& rg = g_bfs_.run(s, &g_mask_);
-      const BfsResult& rh = h_bfs_.run(s, &h_mask_);
-      for (Vertex v = 0; v < g_.num_vertices(); ++v) {
-        if (rg.hops[v] != rh.hops[v]) {
-          Violation viol;
-          viol.source = s;
-          viol.v = v;
-          viol.faults.assign(faults.begin(), faults.end());
-          viol.dist_g = rg.hops[v];
-          viol.dist_h = rh.hops[v];
-          return viol;
-        }
-      }
-    }
-    return std::nullopt;
-  }
-
-  [[nodiscard]] const Graph& g() const { return g_; }
-
- private:
-  const Graph& g_;
-  Graph h_;
-  GraphMask g_mask_;
-  GraphMask h_mask_;
-  Bfs g_bfs_;
-  Bfs h_bfs_;
-};
-
 std::optional<Violation> enumerate_vertex_faults(
-    VertexComparator& cmp, std::span<const Vertex> sources,
+    Comparator& cmp, std::span<const Vertex> sources,
     std::vector<Vertex>& faults, Vertex next, unsigned remaining) {
-  if (auto v = cmp.check(sources, faults)) return v;
+  if (auto v = cmp.check(sources, vertex_faults(faults))) {
+    v->faults = faults;
+    v->fault_model = FaultModel::kVertex;
+    return v;
+  }
   if (remaining == 0) return std::nullopt;
   for (Vertex u = next; u < cmp.g().num_vertices(); ++u) {
     faults.push_back(u);
@@ -147,18 +94,23 @@ std::optional<Violation> verify_exhaustive_vertex(
     const Graph& g, std::span<const EdgeId> h_edges,
     std::span<const Vertex> sources, unsigned f) {
   FTBFS_EXPECTS(f <= 3);
-  VertexComparator cmp(g, h_edges);
+  Comparator cmp(g, h_edges);
   std::vector<Vertex> faults;
   return enumerate_vertex_faults(cmp, sources, faults, 0, f);
 }
 
 std::string Violation::describe(const Graph& g) const {
   std::string out = "FT-MBFS violation: source " + std::to_string(source) +
-                    " -> " + std::to_string(v) + " faults {";
+                    " -> " + std::to_string(v) + " " + to_string(fault_model) +
+                    " faults {";
   for (std::size_t i = 0; i < faults.size(); ++i) {
-    const Edge& e = g.edge(faults[i]);
     if (i > 0) out += ", ";
-    out += "(" + std::to_string(e.u) + "," + std::to_string(e.v) + ")";
+    if (fault_model == FaultModel::kVertex) {
+      out += std::to_string(faults[i]);
+    } else {
+      const Edge& e = g.edge(faults[i]);
+      out += "(" + std::to_string(e.u) + "," + std::to_string(e.v) + ")";
+    }
   }
   out += "} dist_G=" +
          (dist_g == kInfHops ? std::string("inf") : std::to_string(dist_g)) +
@@ -185,8 +137,6 @@ std::optional<Violation> verify_sampled(const Graph& g,
   FTBFS_EXPECTS(f >= 1);
   Comparator cmp(g, h_edges);
   Rng rng(derive_seed(seed, 0x7E51F1));
-  Bfs bfs(g);
-  GraphMask mask(g);
 
   // The fault-free case is always checked.
   if (auto v = cmp.check(sources, {})) return v;
@@ -203,14 +153,12 @@ std::optional<Violation> verify_sampled(const Graph& g,
       }
     } else {
       // Adversarial chain: each successive fault lies on the replacement path
-      // of the previous ones.
+      // of the previous ones (queried through the ground-truth engine).
       const Vertex s =
           sources[static_cast<std::size_t>(rng.next_below(sources.size()))];
       const Vertex v = static_cast<Vertex>(rng.next_below(g.num_vertices()));
       for (unsigned step = 0; step < f; ++step) {
-        mask.clear();
-        block_edges(mask, faults);
-        const BfsResult& r = bfs.run(s, &mask);
+        const BfsResult& r = cmp.g_engine().query(s, edge_faults(faults));
         if (r.hops[v] == kInfHops || r.hops[v] == 0) break;
         // Walk parent pointers; pick a uniformly random edge of the path.
         std::vector<EdgeId> path_edges;
@@ -228,7 +176,10 @@ std::optional<Violation> verify_sampled(const Graph& g,
         }
       }
     }
-    if (auto viol = cmp.check(sources, faults)) return viol;
+    if (auto viol = cmp.check(sources, edge_faults(faults))) {
+      viol->faults = faults;
+      return viol;
+    }
   }
   return std::nullopt;
 }

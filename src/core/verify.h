@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/ftbfs_common.h"
 #include "graph/graph.h"
 
 namespace ftbfs {
@@ -22,7 +23,9 @@ namespace ftbfs {
 struct Violation {
   Vertex source = kInvalidVertex;
   Vertex v = kInvalidVertex;
+  // Edge ids or vertex ids, per fault_model.
   std::vector<EdgeId> faults;
+  FaultModel fault_model = FaultModel::kEdge;
   std::uint32_t dist_g = 0;  // kInfHops means unreachable
   std::uint32_t dist_h = 0;
 

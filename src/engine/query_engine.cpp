@@ -1,0 +1,126 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace ftbfs {
+
+FaultQueryEngine::FaultQueryEngine(const Graph& g,
+                                   std::span<const EdgeId> h_edges)
+    : g_(&g),
+      h_owned_(std::make_unique<Graph>(subgraph_from_edges(g, h_edges))),
+      h_(h_owned_.get()),
+      g_to_h_(g.num_edges(), kInvalidEdge) {
+  // subgraph_from_edges assigns H edge ids in the order of h_edges.
+  for (EdgeId i = 0; i < h_edges.size(); ++i) {
+    g_to_h_[h_edges[i]] = i;
+  }
+  pool_.push_back(std::make_unique<Scratch>(*h_));
+}
+
+FaultQueryEngine::FaultQueryEngine(const Graph& g) : g_(&g), h_(&g) {
+  pool_.push_back(std::make_unique<Scratch>(*h_));
+}
+
+void FaultQueryEngine::apply_faults(Scratch& s, const FaultSpec& faults) const {
+  s.mask.clear();
+  for (const EdgeId e : faults.edges) {
+    FTBFS_EXPECTS(e < g_->num_edges());
+    const EdgeId he = g_to_h_.empty() ? e : g_to_h_[e];
+    if (he != kInvalidEdge) s.mask.block_edge(he);
+  }
+  for (const Vertex v : faults.vertices) {
+    FTBFS_EXPECTS(v < g_->num_vertices());
+    s.mask.block_vertex(v);  // vertex ids are shared between g and H
+  }
+}
+
+FaultQueryEngine::Scratch& FaultQueryEngine::scratch(std::size_t slot) {
+  while (pool_.size() <= slot) {
+    pool_.push_back(std::make_unique<Scratch>(*h_));
+  }
+  return *pool_[slot];
+}
+
+const BfsResult& FaultQueryEngine::query(Vertex source,
+                                         const FaultSpec& faults) {
+  Scratch& s = scratch(0);
+  apply_faults(s, faults);
+  ++queries_;
+  return s.bfs.run(source, &s.mask);
+}
+
+std::uint32_t FaultQueryEngine::distance(Vertex source, Vertex target,
+                                         const FaultSpec& faults) {
+  Scratch& s = scratch(0);
+  apply_faults(s, faults);
+  ++queries_;
+  const Vertex targets[1] = {target};
+  return s.bfs.run_until(source, targets, &s.mask).hops[target];
+}
+
+std::optional<Path> FaultQueryEngine::shortest_path(Vertex source,
+                                                    Vertex target,
+                                                    const FaultSpec& faults) {
+  Scratch& s = scratch(0);
+  apply_faults(s, faults);
+  ++queries_;
+  const Vertex targets[1] = {target};
+  const BfsResult& r = s.bfs.run_until(source, targets, &s.mask);
+  if (r.hops[target] == kInfHops) return std::nullopt;
+  Path p;
+  for (Vertex cur = target; cur != kInvalidVertex; cur = r.parent[cur]) {
+    p.push_back(cur);
+  }
+  std::reverse(p.begin(), p.end());
+  return p;
+}
+
+const std::vector<std::uint32_t>& FaultQueryEngine::all_distances(
+    Vertex source, const FaultSpec& faults) {
+  return query(source, faults).hops;
+}
+
+std::vector<std::uint32_t> FaultQueryEngine::batch(
+    Vertex source, std::span<const FaultSpec> fault_sets,
+    std::span<const Vertex> targets, unsigned threads) {
+  const std::size_t rows = fault_sets.size();
+  const std::size_t cols = targets.size();
+  std::vector<std::uint32_t> out(rows * cols, kInfHops);
+  if (rows == 0 || cols == 0) return out;
+
+  const unsigned workers = std::max(
+      1u, std::min<unsigned>(threads, static_cast<unsigned>(rows)));
+
+  auto run_rows = [&](std::size_t slot, std::size_t begin, std::size_t end) {
+    Scratch& s = scratch(slot);
+    for (std::size_t i = begin; i < end; ++i) {
+      apply_faults(s, fault_sets[i]);
+      const BfsResult& r = s.bfs.run_until(source, targets, &s.mask);
+      for (std::size_t j = 0; j < cols; ++j) {
+        out[i * cols + j] = r.hops[targets[j]];
+      }
+    }
+  };
+
+  if (workers == 1) {
+    run_rows(0, 0, rows);
+  } else {
+    // Pre-grow the pool before spawning: scratch() mutates pool_ and must not
+    // race.
+    (void)scratch(workers - 1);
+    std::vector<std::thread> crew;
+    crew.reserve(workers);
+    const std::size_t chunk = (rows + workers - 1) / workers;
+    for (unsigned w = 0; w < workers; ++w) {
+      const std::size_t begin = std::min<std::size_t>(w * chunk, rows);
+      const std::size_t end = std::min<std::size_t>(begin + chunk, rows);
+      crew.emplace_back(run_rows, w, begin, end);
+    }
+    for (std::thread& t : crew) t.join();
+  }
+  queries_ += rows;
+  return out;
+}
+
+}  // namespace ftbfs

@@ -1,0 +1,133 @@
+// FaultQueryEngine — the one batched query core every consumer routes through.
+//
+// The library's query-side consumers (the FtBfsOracle wrapper, the verifiers,
+// the failure simulator, the CLI `query` subcommand, the query benches) all
+// used to carry the same three pieces of private plumbing: a g→H edge-id
+// translation table, epoch-mask scratch over H, and a masked BFS. This class
+// owns all three once. It serves exact distances/paths from a subgraph H ⊆ G
+// (an FT-BFS structure, an overlay, or G itself) under a fault set expressed
+// in *host-graph* ids — edge faults are translated to H ids (faults absent
+// from H cannot affect distances inside H and are dropped), vertex faults
+// share ids between G and H.
+//
+// Batched queries (`batch`) run one early-exit masked BFS per fault set and
+// can fan fault sets across threads; each worker draws (mask, BFS) scratch
+// from a per-thread pool so no allocation or sharing happens on the hot path.
+// This is the serving substrate the ROADMAP's sensitivity-oracle/service line
+// builds on: a fault set is a "scenario", a batch is a scenario sweep.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/ftbfs_common.h"
+#include "graph/graph.h"
+#include "graph/mask.h"
+#include "spath/bfs.h"
+#include "spath/path.h"
+
+namespace ftbfs {
+
+// A fault set for one query: edge ids of the host graph, plus vertex ids.
+// Either span may be empty; both kinds may be mixed in one query. This is a
+// non-owning view — the referenced id arrays must outlive the query (and, for
+// `batch`, the whole batch call).
+struct FaultSpec {
+  std::span<const EdgeId> edges{};
+  std::span<const Vertex> vertices{};
+
+  [[nodiscard]] std::size_t size() const {
+    return edges.size() + vertices.size();
+  }
+};
+
+// Convenience factories so call sites stay terse.
+[[nodiscard]] inline FaultSpec edge_faults(std::span<const EdgeId> edges) {
+  return FaultSpec{edges, {}};
+}
+[[nodiscard]] inline FaultSpec vertex_faults(std::span<const Vertex> vertices) {
+  return FaultSpec{{}, vertices};
+}
+
+class FaultQueryEngine {
+ public:
+  // Serves queries from the subgraph H = (V(g), h_edges). Fault/query ids in
+  // the public API always refer to g; the engine owns the translation.
+  FaultQueryEngine(const Graph& g, std::span<const EdgeId> h_edges);
+
+  // Identity engine: serves queries from g itself (ground truth, baselines).
+  // No materialization or translation; masks apply host ids directly.
+  explicit FaultQueryEngine(const Graph& g);
+
+  // Convenience: engine over a built FT-BFS structure.
+  FaultQueryEngine(const Graph& g, const FtStructure& h)
+      : FaultQueryEngine(g, std::span<const EdgeId>(h.edges)) {}
+
+  FaultQueryEngine(FaultQueryEngine&&) noexcept = default;
+  FaultQueryEngine& operator=(FaultQueryEngine&&) noexcept = default;
+
+  // --- single-query API (serial scratch; results borrowed until next query) -
+
+  // Full BFS result from `source` in H ∖ faults. The primitive every other
+  // query is sugar over; exposes parents for path reconstruction.
+  const BfsResult& query(Vertex source, const FaultSpec& faults);
+
+  // Exact hop distance source→target in H ∖ faults (kInfHops if
+  // disconnected). Runs an early-exit BFS: only the ball around the target
+  // is explored.
+  [[nodiscard]] std::uint32_t distance(Vertex source, Vertex target,
+                                       const FaultSpec& faults);
+
+  // Shortest source→target path in H ∖ faults (vertex ids of g), or nullopt.
+  [[nodiscard]] std::optional<Path> shortest_path(Vertex source, Vertex target,
+                                                  const FaultSpec& faults);
+
+  // Distances to every vertex under one fault set (one full BFS).
+  [[nodiscard]] const std::vector<std::uint32_t>& all_distances(
+      Vertex source, const FaultSpec& faults);
+
+  // --- batched API ----------------------------------------------------------
+
+  // One distance matrix: result[i * targets.size() + j] is the distance
+  // source→targets[j] in H ∖ fault_sets[i]. Each fault set costs one
+  // early-exit BFS (stops once all targets are settled). With threads > 1
+  // fault sets are fanned across that many workers, each with its own scratch
+  // from the pool; results are deterministic regardless of thread count.
+  [[nodiscard]] std::vector<std::uint32_t> batch(
+      Vertex source, std::span<const FaultSpec> fault_sets,
+      std::span<const Vertex> targets, unsigned threads = 1);
+
+  // --- introspection --------------------------------------------------------
+
+  [[nodiscard]] const Graph& host() const { return *g_; }
+  [[nodiscard]] const Graph& structure_graph() const { return *h_; }
+  [[nodiscard]] std::uint64_t structure_edges() const {
+    return h_->num_edges();
+  }
+  [[nodiscard]] bool is_identity() const { return h_ == g_; }
+  [[nodiscard]] std::uint64_t queries_answered() const { return queries_; }
+
+ private:
+  struct Scratch {
+    GraphMask mask;
+    Bfs bfs;
+    explicit Scratch(const Graph& h) : mask(h), bfs(h) {}
+  };
+
+  // Resets `s.mask` and applies `faults` (host ids) to it.
+  void apply_faults(Scratch& s, const FaultSpec& faults) const;
+
+  [[nodiscard]] Scratch& scratch(std::size_t slot);
+
+  const Graph* g_;
+  std::unique_ptr<Graph> h_owned_;  // null for the identity engine
+  const Graph* h_;                  // == g_ or h_owned_.get(); address-stable
+  std::vector<EdgeId> g_to_h_;      // empty for the identity engine
+  std::vector<std::unique_ptr<Scratch>> pool_;  // slot 0 = serial scratch
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace ftbfs

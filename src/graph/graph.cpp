@@ -8,9 +8,11 @@ EdgeId GraphBuilder::add_edge(Vertex u, Vertex v) {
   FTBFS_EXPECTS(u < num_vertices_ && v < num_vertices_);
   FTBFS_EXPECTS(u != v);  // no self-loops
   if (u > v) std::swap(u, v);
-  FTBFS_EXPECTS(!has_edge(u, v));  // no parallel edges
   if (staged_.empty()) staged_.resize(num_vertices_);
-  staged_[u].push_back(v);
+  auto& list = staged_[u];
+  const auto it = std::lower_bound(list.begin(), list.end(), v);
+  FTBFS_EXPECTS(it == list.end() || *it != v);  // no parallel edges
+  list.insert(it, v);
   edges_.push_back(Edge{u, v});
   return static_cast<EdgeId>(edges_.size() - 1);
 }
@@ -19,7 +21,7 @@ bool GraphBuilder::has_edge(Vertex u, Vertex v) const {
   if (u > v) std::swap(u, v);
   if (staged_.empty()) return false;
   const auto& list = staged_[u];
-  return std::find(list.begin(), list.end(), v) != list.end();
+  return std::binary_search(list.begin(), list.end(), v);
 }
 
 Graph GraphBuilder::build() && {

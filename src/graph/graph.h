@@ -47,8 +47,9 @@ class GraphBuilder {
   // Duplicate edges and self-loops are contract violations.
   EdgeId add_edge(Vertex u, Vertex v);
 
-  // True if {u, v} was already added (linear scan of u's staged arcs; the
-  // builder is not on any hot path).
+  // True if {u, v} was already added. O(log deg(u)) — the staged neighbor
+  // lists are kept sorted, so the random-graph generators can build large
+  // instances through this path without a quadratic duplicate scan.
   [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
 
   [[nodiscard]] Vertex num_vertices() const { return num_vertices_; }
@@ -61,7 +62,8 @@ class GraphBuilder {
  private:
   Vertex num_vertices_;
   std::vector<Edge> edges_;
-  // Staged adjacency (neighbor lists) used only for duplicate detection.
+  // Staged adjacency (sorted neighbor lists) used only for duplicate
+  // detection.
   std::vector<std::vector<Vertex>> staged_;
 };
 

@@ -1,7 +1,7 @@
 #include "sim/failure_sim.h"
 
-#include "graph/mask.h"
-#include "spath/bfs.h"
+#include <algorithm>
+
 #include "util/rng.h"
 
 namespace ftbfs {
@@ -15,88 +15,71 @@ FailureSimulator::FailureSimulator(const Graph& g, Vertex source,
 void FailureSimulator::add_overlay(std::string name,
                                    std::span<const EdgeId> edges,
                                    unsigned fault_budget) {
-  Overlay overlay;
-  overlay.name = std::move(name);
-  overlay.graph = subgraph_from_edges(*g_, edges);
-  overlay.g_to_overlay.assign(g_->num_edges(), kInvalidEdge);
-  for (EdgeId i = 0; i < edges.size(); ++i) {
-    overlay.g_to_overlay[edges[i]] = i;
-  }
-  overlay.budget = fault_budget;
-  overlays_.push_back(std::move(overlay));
+  overlays_.push_back(Overlay{std::move(name), FaultQueryEngine(*g_, edges),
+                              fault_budget});
 }
 
 std::vector<OverlayMetrics> FailureSimulator::run() {
   const Graph& g = *g_;
   Rng rng(derive_seed(config_.seed, 0x51D));
   std::vector<bool> failed(g.num_edges(), false);
-  std::size_t failed_count = 0;
+  // Current fault set (host edge ids), kept sorted so the repair draws below
+  // consume the RNG in edge-id order — the same stream association as a full
+  // edge scan, keeping fault trajectories reproducible for a fixed seed.
+  std::vector<EdgeId> failed_list;
 
   std::vector<OverlayMetrics> metrics(overlays_.size());
   for (std::size_t i = 0; i < overlays_.size(); ++i) {
     metrics[i].name = overlays_[i].name;
-    metrics[i].edges = overlays_[i].graph.num_edges();
+    metrics[i].edges = overlays_[i].engine.structure_edges();
   }
   fault_histogram_.assign(g.num_edges() + 1, 0);
 
-  Bfs g_bfs(g);
-  GraphMask g_mask(g);
-  std::vector<Bfs> o_bfs;
-  std::vector<GraphMask> o_masks;
-  o_bfs.reserve(overlays_.size());
-  o_masks.reserve(overlays_.size());
-  for (const Overlay& overlay : overlays_) {
-    o_bfs.emplace_back(overlay.graph);
-    o_masks.emplace_back(overlay.graph);
-  }
+  FaultQueryEngine truth_engine(g);  // identity: ground-truth distances
 
   for (std::uint32_t tick = 0; tick < config_.ticks; ++tick) {
     // Repairs first, then new failures subject to the cap.
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      if (failed[e] && rng.next_bool(config_.repair_probability)) {
+    std::erase_if(failed_list, [&](EdgeId e) {
+      if (rng.next_bool(config_.repair_probability)) {
         failed[e] = false;
-        --failed_count;
+        return true;
       }
-    }
+      return false;
+    });
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      if (failed_count >= config_.max_concurrent_faults) break;
+      if (failed_list.size() >= config_.max_concurrent_faults) break;
       if (!failed[e] && rng.next_bool(config_.failure_probability)) {
         failed[e] = true;
-        ++failed_count;
+        failed_list.insert(
+            std::lower_bound(failed_list.begin(), failed_list.end(), e), e);
       }
     }
-    ++fault_histogram_[failed_count];
+    ++fault_histogram_[failed_list.size()];
 
-    // Ground-truth distances under the current fault set.
-    g_mask.clear();
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      if (failed[e]) g_mask.block_edge(e);
-    }
-    const BfsResult& truth = g_bfs.run(source_, &g_mask);
+    const FaultSpec faults = edge_faults(failed_list);
+    // Borrowed until truth_engine's next query; overlay engines have their
+    // own scratch, so this stays valid through the loop below.
+    const std::vector<std::uint32_t>& truth =
+        truth_engine.all_distances(source_, faults);
 
     for (std::size_t i = 0; i < overlays_.size(); ++i) {
-      const Overlay& overlay = overlays_[i];
-      o_masks[i].clear();
-      for (EdgeId e = 0; e < g.num_edges(); ++e) {
-        if (failed[e] && overlay.g_to_overlay[e] != kInvalidEdge) {
-          o_masks[i].block_edge(overlay.g_to_overlay[e]);
-        }
-      }
-      const BfsResult& got = o_bfs[i].run(source_, &o_masks[i]);
-      const bool in_budget = failed_count <= overlay.budget;
+      Overlay& overlay = overlays_[i];
+      const std::vector<std::uint32_t>& got =
+          overlay.engine.all_distances(source_, faults);
+      const bool in_budget = failed_list.size() <= overlay.budget;
       OverlayMetrics& m = metrics[i];
       for (Vertex v = 0; v < g.num_vertices(); ++v) {
-        if (v == source_ || truth.hops[v] == kInfHops) continue;
+        if (v == source_ || truth[v] == kInfHops) continue;
         ++m.routed;
         if (in_budget) ++m.routed_in_budget;
-        if (got.hops[v] == truth.hops[v]) {
+        if (got[v] == truth[v]) {
           ++m.exact;
-        } else if (got.hops[v] == kInfHops) {
+        } else if (got[v] == kInfHops) {
           ++m.disconnected;
           if (in_budget) ++m.non_exact_in_budget;
         } else {
           ++m.stretched;
-          m.extra_hops += got.hops[v] - truth.hops[v];
+          m.extra_hops += got[v] - truth[v];
           if (in_budget) ++m.non_exact_in_budget;
         }
       }

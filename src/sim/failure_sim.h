@@ -7,6 +7,10 @@
 // route from the source every tick. Metrics separate ticks inside the
 // overlay's fault budget from ticks beyond it, making the FT guarantee
 // ("exact whenever |F| <= f") directly observable.
+//
+// Routing per tick goes through FaultQueryEngine: the ground truth is the
+// identity engine over G, each overlay is an engine over its structure — the
+// simulator owns no edge-translation tables or BFS scratch of its own.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/query_engine.h"
 #include "graph/graph.h"
 
 namespace ftbfs {
@@ -61,8 +66,7 @@ class FailureSimulator {
  private:
   struct Overlay {
     std::string name;
-    Graph graph;
-    std::vector<EdgeId> g_to_overlay;  // host edge id -> overlay edge id
+    FaultQueryEngine engine;
     unsigned budget;
   };
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -38,12 +39,24 @@ class Bfs {
   // skipped. Result remains valid until the next run().
   const BfsResult& run(Vertex source, const GraphMask* mask = nullptr);
 
+  // Early-exit variant: stops expanding once every vertex of `targets` has
+  // been settled (or the frontier is exhausted). Entries of the result are
+  // exact for all settled vertices — in particular for every reached target —
+  // and kInfHops for targets that are genuinely unreachable; other vertices
+  // may be left unexplored. This is the query-path workhorse: fault-set
+  // distance queries touch only the BFS ball around the targets.
+  const BfsResult& run_until(Vertex source, std::span<const Vertex> targets,
+                             const GraphMask* mask = nullptr);
+
   [[nodiscard]] const BfsResult& result() const { return result_; }
 
  private:
   const Graph* graph_;
   BfsResult result_;
   std::vector<Vertex> queue_;
+  // Epoch-stamped target markers for run_until (lazily sized).
+  std::vector<std::uint64_t> target_epoch_;
+  std::uint64_t epoch_ = 0;
 };
 
 // One-shot hop distance; convenience for tests.

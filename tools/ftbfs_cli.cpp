@@ -1,15 +1,23 @@
 // ftbfs — command-line front end for the library.
 //
 // Subcommands:
+//   algos  (lists the registered structure builders)
 //   gen    --family <er|grid|cycle|path|hypercube|barbell|gstar1|gstar2>
 //          --n <int> [--seed <int>] [--p <float>] --out <file>
-//   build  --graph <file> --source <int> --faults <0|1|2>
-//          [--algo cons2|single|kfail|greedy] [--out <file>] [--stats]
+//   build  --graph <file> --source <int> --faults <int>
+//          [--algo <registered name>] [--fault-model edge|vertex]
+//          [--sources v1,v2,...] [--out <file>] [--stats plain|json]
 //   verify --graph <file> --structure <file> --source <int> --faults <int>
 //          [--mode exhaustive|sampled] [--samples <int>]
-//   query  --graph <file> --source <int> --faults <e1,e2> --target <int>
+//          [--fault-model edge|vertex]
+//   query  --graph <file> --source <int> --target <int>
+//          [--fault-edges u-v,u-v | --fault-vertices v1,v2] [--faults <int>]
+//          [--algo <name>]
 //
-// Structures are exchanged as edge-list files of the kept subgraph.
+// Structure construction is dispatched through the BuilderRegistry — any
+// registered algorithm name (or alias) works with --algo, and unknown names
+// list the registry. Queries are served by a FaultQueryEngine over the built
+// structure. Structures are exchanged as edge-list files of the kept subgraph.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,12 +28,9 @@
 #include <string>
 #include <vector>
 
-#include "core/approx_ftmbfs.h"
-#include "core/cons2ftbfs.h"
-#include "core/kfail_ftbfs.h"
-#include "core/oracle.h"
-#include "core/single_ftbfs.h"
 #include "core/verify.h"
+#include "engine/query_engine.h"
+#include "engine/registry.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "lowerbound/gstar.h"
@@ -35,18 +40,37 @@ namespace {
 
 using namespace ftbfs;
 
+void list_algos(std::FILE* out) {
+  for (const BuilderTraits& t : BuilderRegistry::instance().traits()) {
+    std::string aliases;
+    for (const std::string& a : t.aliases) {
+      aliases += aliases.empty() ? a : ", " + a;
+    }
+    std::fprintf(out, "  %-14s %s%s%s\n", t.name.c_str(), t.summary.c_str(),
+                 aliases.empty() ? "" : "  [aliases: ",
+                 aliases.empty() ? "" : (aliases + "]").c_str());
+  }
+}
+
 [[noreturn]] void usage(const char* why) {
   std::fprintf(stderr, "ftbfs: %s\n", why);
   std::fprintf(stderr,
                "usage:\n"
+               "  ftbfs algos\n"
                "  ftbfs gen --family <name> --n <int> [--seed S] [--p P] "
                "--out <file>\n"
                "  ftbfs build --graph <file> --source <v> --faults <f> "
-               "[--algo cons2|single|kfail|greedy] [--out <file>]\n"
+               "[--algo <name>] [--fault-model edge|vertex]\n"
+               "              [--sources v1,v2,...] [--out <file>] "
+               "[--stats plain|json]\n"
                "  ftbfs verify --graph <file> --structure <file> --source <v> "
                "--faults <f> [--mode exhaustive|sampled] [--samples N]\n"
+               "               [--fault-model edge|vertex]\n"
                "  ftbfs query --graph <file> --source <v> --target <v> "
-               "[--fault-edges u-v,u-v]\n");
+               "[--fault-edges u-v,u-v | --fault-vertices v1,v2]\n"
+               "              [--faults f] [--algo <name>]\n"
+               "registered builders (--algo):\n");
+  list_algos(stderr);
   std::exit(2);
 }
 
@@ -54,11 +78,30 @@ using namespace ftbfs;
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                int start) {
   std::map<std::string, std::string> flags;
-  for (int i = start; i + 1 < argc; i += 2) {
+  for (int i = start; i < argc; i += 2) {
     if (std::strncmp(argv[i], "--", 2) != 0) usage("expected --flag value");
+    if (i + 1 >= argc) {
+      usage(("--" + std::string(argv[i] + 2) + " requires a value").c_str());
+    }
     flags[argv[i] + 2] = argv[i + 1];
   }
   return flags;
+}
+
+// Rejects typo'd flag names up front — a silently ignored flag would answer a
+// question the user did not ask.
+void check_flags(const std::map<std::string, std::string>& flags,
+                 std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : flags) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) usage(("unknown flag --" + key).c_str());
+  }
 }
 
 std::string need(const std::map<std::string, std::string>& flags,
@@ -75,6 +118,7 @@ std::string get_or(const std::map<std::string, std::string>& flags,
 }
 
 int cmd_gen(const std::map<std::string, std::string>& flags) {
+  check_flags(flags, {"family", "n", "seed", "p", "out"});
   const std::string family = need(flags, "family");
   const Vertex n = static_cast<Vertex>(std::stoul(need(flags, "n")));
   const std::uint64_t seed = std::stoull(get_or(flags, "seed", "1"));
@@ -108,38 +152,115 @@ int cmd_gen(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_build(const std::map<std::string, std::string>& flags) {
-  const Graph g = load_graph(need(flags, "graph"));
-  const Vertex s = static_cast<Vertex>(std::stoul(need(flags, "source")));
-  const unsigned f = static_cast<unsigned>(std::stoul(need(flags, "faults")));
-  const std::string algo = get_or(flags, "algo", f >= 2 ? "cons2" : "single");
-
-  Timer timer;
-  FtStructure h;
-  if (algo == "cons2") {
-    if (f != 2) usage("--algo cons2 requires --faults 2");
-    Cons2Options opt;
-    opt.classify_paths = false;
-    h = build_cons2ftbfs(g, s, opt);
-  } else if (algo == "single") {
-    if (f != 1) usage("--algo single requires --faults 1");
-    h = build_single_ftbfs(g, s);
-  } else if (algo == "kfail") {
-    h = build_kfail_ftbfs(g, s, f).structure;
-  } else if (algo == "greedy") {
-    const std::vector<Vertex> sources = {s};
-    h = build_approx_ftmbfs(g, sources, f).structure;
-  } else {
-    usage("unknown algo");
+// Parses a delimiter-separated list of unsigned integers; any trailing or
+// embedded garbage is a usage error. Shared by --sources, --fault-edges, and
+// --fault-vertices.
+std::vector<Vertex> parse_uint_list(std::string spec,
+                                    const std::string& delims,
+                                    const char* error) {
+  for (char& c : spec) {
+    if (delims.find(c) != std::string::npos) c = ' ';
   }
-  const double secs = timer.seconds();
-  std::printf("%s: kept %zu / %u edges (%.1f%%) in %.2fs\n", algo.c_str(),
-              h.edges.size(), g.num_edges(),
-              100.0 * static_cast<double>(h.edges.size()) / g.num_edges(),
-              secs);
+  std::istringstream in(spec);
+  std::vector<Vertex> out;
+  Vertex v;
+  while (in >> v) out.push_back(v);
+  if (!in.eof()) usage(error);
+  return out;
+}
+
+// Builds a BuildRequest from the shared build/query flags.
+BuildRequest parse_build_request(
+    const Graph& g, const std::map<std::string, std::string>& flags) {
+  BuildRequest req;
+  req.graph = &g;
+  req.fault_budget =
+      static_cast<unsigned>(std::stoul(get_or(flags, "faults", "2")));
+  req.weight_seed = std::stoull(get_or(flags, "seed", "1"));
+  const std::string model = get_or(flags, "fault-model", "edge");
+  if (model == "vertex") {
+    req.fault_model = FaultModel::kVertex;
+  } else if (model != "edge") {
+    usage("--fault-model must be edge or vertex");
+  }
+  if (flags.contains("sources")) {
+    req.sources = parse_uint_list(flags.at("sources"), ",",
+                                  "malformed --sources (expected v1,v2,...)");
+  } else {
+    req.sources = {static_cast<Vertex>(std::stoul(need(flags, "source")))};
+  }
+  if (req.sources.empty()) usage("--sources is empty");
+  return req;
+}
+
+// Dispatches through the registry, exiting with the name listing on any
+// unknown name or unsupported request.
+BuildResult registry_build(const BuildRequest& req, const std::string& algo) {
+  const BuilderRegistry& reg = BuilderRegistry::instance();
+  const std::string reason = reg.unsupported_reason(algo, req);
+  if (!reason.empty()) {
+    std::fprintf(stderr, "ftbfs: %s\nregistered builders:\n", reason.c_str());
+    list_algos(stderr);
+    std::exit(2);
+  }
+  return reg.build(algo, req);
+}
+
+void print_stats_json(const Graph& g, const BuildResult& r) {
+  const FtBfsStats& st = r.structure.stats;
+  std::printf("{\"algorithm\":\"%s\",\"n\":%u,\"m\":%u,", r.algorithm.c_str(),
+              g.num_vertices(), g.num_edges());
+  std::printf("\"kept_edges\":%zu,\"fraction\":%.6f,\"seconds\":%.6f,",
+              r.structure.edges.size(),
+              g.num_edges() == 0
+                  ? 0.0
+                  : static_cast<double>(r.structure.edges.size()) /
+                        g.num_edges(),
+              r.build_seconds);
+  std::printf("\"tree_edges\":%llu,\"new_edges\":%llu,\"dijkstra_runs\":%llu",
+              static_cast<unsigned long long>(st.tree_edges),
+              static_cast<unsigned long long>(st.new_edges),
+              static_cast<unsigned long long>(st.dijkstra_runs));
+  for (const auto& [key, value] : r.counters) {
+    std::printf(",\"%s\":%llu", key.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  std::printf("}\n");
+}
+
+int cmd_build(const std::map<std::string, std::string>& flags) {
+  check_flags(flags, {"graph", "source", "sources", "faults", "algo",
+                      "fault-model", "out", "stats", "seed"});
+  const Graph g = load_graph(need(flags, "graph"));
+  (void)need(flags, "faults");  // mandatory here; query defaults it instead
+  const std::string stats_mode = get_or(flags, "stats", "plain");
+  if (stats_mode != "plain" && stats_mode != "json") {
+    usage("--stats must be plain or json");  // fail before the build runs
+  }
+  BuildRequest req = parse_build_request(g, flags);
+  // JSON stats are for machines; include the optional instrumentation
+  // (e.g. Cons2 path classification) in that mode.
+  req.collect_stats = stats_mode == "json";
+  const std::string algo =
+      get_or(flags, "algo",
+             BuilderRegistry::default_builder(req.fault_budget, req.fault_model,
+                                              req.sources.size()));
+  const BuildResult r = registry_build(req, algo);
+
+  if (stats_mode == "json") {
+    print_stats_json(g, r);
+  } else {
+    std::printf("%s: kept %zu / %u edges (%.1f%%) in %.2fs\n",
+                r.algorithm.c_str(), r.structure.edges.size(), g.num_edges(),
+                100.0 * static_cast<double>(r.structure.edges.size()) /
+                    std::max(1u, g.num_edges()),
+                r.build_seconds);
+  }
   if (flags.contains("out")) {
-    save_graph(flags.at("out"), materialize(g, h));
-    std::printf("wrote structure to %s\n", flags.at("out").c_str());
+    save_graph(flags.at("out"), materialize(g, r.structure));
+    if (stats_mode != "json") {
+      std::printf("wrote structure to %s\n", flags.at("out").c_str());
+    }
   }
   return 0;
 }
@@ -160,17 +281,35 @@ std::vector<EdgeId> structure_edge_ids(const Graph& g, const Graph& h) {
 }
 
 int cmd_verify(const std::map<std::string, std::string>& flags) {
+  check_flags(flags, {"graph", "structure", "source", "faults", "mode",
+                      "samples", "fault-model"});
   const Graph g = load_graph(need(flags, "graph"));
   const Graph h = load_graph(need(flags, "structure"));
   const Vertex s = static_cast<Vertex>(std::stoul(need(flags, "source")));
   const unsigned f = static_cast<unsigned>(std::stoul(need(flags, "faults")));
   const std::string mode = get_or(flags, "mode", "exhaustive");
+  const std::string model = get_or(flags, "fault-model", "edge");
+  if (model != "edge" && model != "vertex") {
+    usage("--fault-model must be edge or vertex");
+  }
+  // Keep library contract violations out of reach of user input.
+  if (mode == "exhaustive" && f > 3) {
+    usage("--mode exhaustive supports --faults 0..3");
+  }
+  if (mode == "sampled" && f == 0) {
+    usage("--mode sampled requires --faults >= 1");
+  }
   const std::vector<EdgeId> ids = structure_edge_ids(g, h);
   const std::vector<Vertex> sources = {s};
 
   Timer timer;
   std::optional<Violation> violation;
-  if (mode == "exhaustive") {
+  if (model == "vertex") {
+    if (mode != "exhaustive") {
+      usage("--fault-model vertex supports --mode exhaustive only");
+    }
+    violation = verify_exhaustive_vertex(g, ids, sources, f);
+  } else if (mode == "exhaustive") {
     violation = verify_exhaustive(g, ids, sources, f);
   } else if (mode == "sampled") {
     const std::uint64_t samples =
@@ -183,40 +322,102 @@ int cmd_verify(const std::map<std::string, std::string>& flags) {
     std::printf("INVALID: %s\n", violation->describe(g).c_str());
     return 1;
   }
-  std::printf("VALID (%s, f=%u, %.2fs)\n", mode.c_str(), f, timer.seconds());
+  std::printf("VALID (%s, %s faults, f=%u, %.2fs)\n", mode.c_str(),
+              model.c_str(), f, timer.seconds());
   return 0;
 }
 
 int cmd_query(const std::map<std::string, std::string>& flags) {
+  check_flags(flags, {"graph", "source", "sources", "target", "fault-edges",
+                      "fault-vertices", "faults", "algo", "fault-model",
+                      "seed"});
   const Graph g = load_graph(need(flags, "graph"));
   const Vertex s = static_cast<Vertex>(std::stoul(need(flags, "source")));
   const Vertex t = static_cast<Vertex>(std::stoul(need(flags, "target")));
+  if (t >= g.num_vertices()) usage("--target out of range");
   std::vector<EdgeId> faults;
   if (flags.contains("fault-edges")) {
-    std::string spec = flags.at("fault-edges");
-    for (char& c : spec) {
-      if (c == ',' || c == '-') c = ' ';
-    }
-    std::istringstream in(spec);
-    Vertex u, v;
-    while (in >> u >> v) {
-      const EdgeId e = g.find_edge(u, v);
+    const char* err = "malformed --fault-edges (expected u-v,u-v)";
+    const std::vector<Vertex> ends =
+        parse_uint_list(flags.at("fault-edges"), ",-", err);
+    if (ends.size() % 2 != 0) usage(err);
+    for (std::size_t i = 0; i < ends.size(); i += 2) {
+      if (ends[i] >= g.num_vertices() || ends[i + 1] >= g.num_vertices()) {
+        usage("fault edge endpoint out of range");
+      }
+      const EdgeId e = g.find_edge(ends[i], ends[i + 1]);
       if (e == kInvalidEdge) usage("fault edge not in graph");
       faults.push_back(e);
     }
   }
-  FtBfsOracle oracle = FtBfsOracle::build(
-      g, s, static_cast<unsigned>(std::min<std::size_t>(faults.size(), 2)));
-  std::printf("structure: %llu edges of %u\n",
-              static_cast<unsigned long long>(oracle.structure_size()),
-              g.num_edges());
-  const std::uint32_t d = oracle.distance(t, faults);
+  std::vector<Vertex> fault_verts;
+  if (flags.contains("fault-vertices")) {
+    fault_verts =
+        parse_uint_list(flags.at("fault-vertices"), ",",
+                        "malformed --fault-vertices (expected v1,v2,...)");
+    for (const Vertex v : fault_verts) {
+      if (v >= g.num_vertices()) usage("fault vertex out of range");
+    }
+  }
+  if (flags.contains("sources")) {
+    usage("query routes from one --source; --sources is a build flag");
+  }
+  // The structure's fault model must match the kind of faults queried — an
+  // edge-fault structure does not cover vertex deletions and vice versa.
+  if (!fault_verts.empty() && !faults.empty()) {
+    usage("mixing --fault-edges and --fault-vertices is unsupported");
+  }
+  const bool vertex_model = !fault_verts.empty() ||
+                            get_or(flags, "fault-model", "edge") == "vertex";
+  if (vertex_model && !faults.empty()) {
+    usage("--fault-model vertex queries take --fault-vertices, not "
+          "--fault-edges");
+  }
+  if (!fault_verts.empty() && get_or(flags, "fault-model", "vertex") == "edge") {
+    usage("--fault-vertices requires --fault-model vertex (or omit the flag)");
+  }
+  const std::size_t fault_count = faults.size() + fault_verts.size();
+
+  BuildRequest req = parse_build_request(g, flags);
+  if (vertex_model) req.fault_model = FaultModel::kVertex;
+  std::string algo = get_or(flags, "algo", "");
+  if (!flags.contains("faults")) {
+    // Default budget: the fault count, raised to an explicit --algo's
+    // declared minimum so e.g. `--algo swap` works without --faults.
+    std::size_t budget = fault_count;
+    if (!algo.empty()) {
+      const BuilderTraits* t = BuilderRegistry::instance().find(algo);
+      if (t != nullptr) {
+        budget = std::max<std::size_t>(budget, t->min_fault_budget);
+      }
+    }
+    req.fault_budget = static_cast<unsigned>(budget);
+  }
+  if (algo.empty()) {
+    algo = BuilderRegistry::default_builder(req.fault_budget, req.fault_model);
+  }
+  if (fault_count > req.fault_budget) {
+    usage("more fault edges/vertices than the structure's --faults budget");
+  }
+  const BuildResult built = registry_build(req, algo);
+  FaultQueryEngine engine(g, built.structure);
+  const BuilderTraits* traits =
+      BuilderRegistry::instance().find(built.algorithm);
+  std::printf("structure: %llu edges of %u (built by %s)\n",
+              static_cast<unsigned long long>(engine.structure_edges()),
+              g.num_edges(), built.algorithm.c_str());
+  if (traits != nullptr && !traits->exact) {
+    std::printf("note: %s is approximate — distances are upper bounds, not "
+                "guaranteed exact\n",
+                built.algorithm.c_str());
+  }
+  const FaultSpec spec{faults, fault_verts};
+  const std::uint32_t d = engine.distance(s, t, spec);
   if (d == kInfHops) {
-    std::printf("dist(%u,%u | %zu faults) = unreachable\n", s, t,
-                faults.size());
+    std::printf("dist(%u,%u | %zu faults) = unreachable\n", s, t, fault_count);
   } else {
-    std::printf("dist(%u,%u | %zu faults) = %u\n", s, t, faults.size(), d);
-    const auto path = oracle.shortest_path(t, faults);
+    std::printf("dist(%u,%u | %zu faults) = %u\n", s, t, fault_count, d);
+    const auto path = engine.shortest_path(s, t, spec);
     std::printf("path:");
     for (const Vertex v : *path) std::printf(" %u", v);
     std::printf("\n");
@@ -231,6 +432,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const auto flags = parse_flags(argc, argv, 2);
   try {
+    if (cmd == "algos") {
+      list_algos(stdout);
+      return 0;
+    }
     if (cmd == "gen") return cmd_gen(flags);
     if (cmd == "build") return cmd_build(flags);
     if (cmd == "verify") return cmd_verify(flags);
