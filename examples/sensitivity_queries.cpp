@@ -1,21 +1,25 @@
-// Sensitivity queries: the two oracle interfaces side by side.
+// Sensitivity queries through the typed serving API.
 //
 // A monitoring dashboard wants, for every (target, possibly-failed-link)
 // pair, the exact distance the network would have — the classic distance-
-// sensitivity workload ([5,2] in the paper's related work). Two tools:
-//   * SingleFaultOracle — O(n·m) preprocessing, then O(1) per point query;
-//   * FtBfsOracle       — near-zero extra preprocessing beyond the FT-BFS
-//                         structure; its FaultQueryEngine serves the whole
-//                         what-if matrix in one batch() call (one early-exit
-//                         BFS per fault set, fanned across threads).
-// The example runs both over the same what-if matrix and cross-checks them.
+// sensitivity workload ([5,2] in the paper's related work). One OracleService
+// fronts every backend the library has:
+//   * the O(1)-per-query point oracle (SingleFaultOracle) — single-fault
+//     distance requests route there automatically, no BFS at all;
+//   * the FT-BFS structure pool — multi-fault scenarios are served from a
+//     lazily built structure, with repeated scenarios hitting the LRU
+//     scenario cache;
+//   * refusals as answers — an over-budget exact request comes back as
+//     kBudgetExceeded, and the same request at best_effort consistency is
+//     served from the identity engine instead of crashing.
+// The example runs the what-if matrix through the service and cross-checks a
+// sample against an independent masked-BFS engine over the full graph.
 #include <cstdio>
 #include <vector>
 
-#include "core/oracle.h"
-#include "core/sensitivity_oracle.h"
 #include "engine/query_engine.h"
 #include "graph/generators.h"
+#include "service/oracle_service.h"
 #include "util/timer.h"
 
 int main() {
@@ -25,74 +29,103 @@ int main() {
   const Vertex noc = 0;  // network operations center
   std::printf("network: %s\n", describe(g).c_str());
 
-  Timer prep1;
-  const SingleFaultOracle point_oracle(g, noc);
-  std::printf("SingleFaultOracle: %.2fs preprocessing, %llu table entries\n",
-              prep1.seconds(),
-              static_cast<unsigned long long>(point_oracle.table_entries()));
+  OracleService service(g);
+  Timer prep;
+  service.enable_point_oracle(noc);  // O(n·m) preprocessing, O(1) queries
+  std::printf("service ready in %.2fs (point oracle preprocessed)\n\n",
+              prep.seconds());
 
-  Timer prep2;
-  FtBfsOracle batch_oracle = FtBfsOracle::build(g, noc, /*f=*/1);
-  std::printf("FtBfsOracle: %.2fs preprocessing, structure %llu edges\n",
-              prep2.seconds(),
-              static_cast<unsigned long long>(batch_oracle.structure_size()));
+  // The what-if matrix: every link against a sample of targets, as typed
+  // single-fault distance requests — all routed to the point oracle.
+  std::vector<Vertex> targets;
+  for (Vertex v = 1; v < g.num_vertices(); v += 29) targets.push_back(v);
 
-  // The what-if matrix: every link against a sample of targets.
-  Timer q1;
-  std::uint64_t checks = 0, agree = 0;
+  QueryRequest req;
+  req.source = noc;
+  req.targets = targets;
+  req.kind = QueryKind::kDistance;
+
+  Timer what_if;
+  std::uint64_t answers = 0;
   std::uint64_t worst_increase = 0;
   EdgeId worst_edge = kInvalidEdge;
+  QueryRequest baseline = req;
+  const QueryResponse base = service.serve(baseline);  // fault-free distances
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    for (Vertex v = 1; v < g.num_vertices(); v += 29) {
-      const std::uint32_t base = point_oracle.distance(v);
-      const std::uint32_t with_fault = point_oracle.distance_avoiding(v, e);
-      ++checks;
-      if (with_fault != kInfHops && base != kInfHops &&
-          with_fault - base > worst_increase) {
-        worst_increase = with_fault - base;
+    req.fault_edges = {e};
+    const QueryResponse resp = service.serve(req);
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      ++answers;
+      if (resp.distances[j] != kInfHops && base.distances[j] != kInfHops &&
+          resp.distances[j] - base.distances[j] > worst_increase) {
+        worst_increase = resp.distances[j] - base.distances[j];
         worst_edge = e;
       }
     }
   }
-  const double point_time = q1.seconds();
+  const double matrix_time = what_if.seconds();
+  std::printf("what-if matrix: %llu answers in %.3fs (%.0f ns each), "
+              "%llu served by the point oracle\n",
+              static_cast<unsigned long long>(answers), matrix_time,
+              1e9 * matrix_time / static_cast<double>(answers),
+              static_cast<unsigned long long>(
+                  service.stats().point_oracle_served));
 
-  // The engine path: every sampled link failure as one fault set, all target
-  // samples at once — a single batch() call serves the whole matrix.
-  std::vector<EdgeId> sampled_edges;
-  std::vector<FaultSpec> scenarios;
-  for (EdgeId e = 0; e < g.num_edges(); e += 17) sampled_edges.push_back(e);
-  for (const EdgeId& e : sampled_edges) {
-    scenarios.push_back(edge_faults({&e, 1}));
-  }
-  std::vector<Vertex> targets;
-  for (Vertex v = 1; v < g.num_vertices(); v += 29) targets.push_back(v);
-
-  Timer q2;
-  const std::vector<std::uint32_t> matrix =
-      batch_oracle.batch(scenarios, targets, /*threads=*/2);
-  const double batch_time = q2.seconds();
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+  // Spot-check the point-oracle answers against an independent
+  // implementation: a masked BFS over the full graph per scenario.
+  FaultQueryEngine ground_truth(g);
+  std::uint64_t agree = 0, checked = 0;
+  for (EdgeId e = 0; e < g.num_edges(); e += 17) {
+    req.fault_edges = {e};
+    const QueryResponse resp = service.serve(req);
+    const FaultSpec fault = edge_faults(req.fault_edges);
     for (std::size_t j = 0; j < targets.size(); ++j) {
-      if (matrix[i * targets.size() + j] ==
-          point_oracle.distance_avoiding(targets[j], sampled_edges[i])) {
+      ++checked;
+      if (resp.distances[j] == ground_truth.distance(noc, targets[j], fault)) {
         ++agree;
       }
     }
   }
-
-  std::printf("\npoint oracle: %llu what-if queries in %.3fs (%.0f ns each)\n",
-              static_cast<unsigned long long>(checks), point_time,
-              1e9 * point_time / static_cast<double>(checks));
-  std::printf("batch engine spot-check: %llu/%llu answers agree (%.3fs)\n",
+  std::printf("spot-check vs masked-BFS ground truth: %llu/%llu agree\n\n",
               static_cast<unsigned long long>(agree),
-              static_cast<unsigned long long>(scenarios.size() *
-                                              targets.size()),
-              batch_time);
+              static_cast<unsigned long long>(checked));
+
+  // Dual-failure scenarios leave the point oracle's range: the service
+  // lazily builds the paper's dual-failure structure and serves from it,
+  // caching repeated scenarios.
+  Timer dual_timer;
+  req.fault_edges = {3, 57};
+  const QueryResponse dual = service.serve(req);
+  const double dual_cold = dual_timer.seconds();
+  Timer cached_timer;
+  const QueryResponse again = service.serve(req);
+  const double dual_hot = cached_timer.seconds();
+  std::printf("dual-fault scenario served by %s (built lazily, %.3fs); "
+              "repeat: cache_hit=%s in %.6fs\n",
+              dual.served_by.c_str(), dual_cold,
+              again.cache_hit ? "yes" : "no", dual_hot);
+
+  // Over-budget scenarios: a refusal is an answer, not a crash.
+  req.fault_edges = {1, 2, 3, 4, 5};
+  const QueryResponse refused = service.serve(req);
+  std::printf("5-fault exact request -> status=%s (%s)\n",
+              to_string(refused.status), refused.error.c_str());
+  req.consistency = Consistency::kBestEffort;
+  const QueryResponse effort = service.serve(req);
+  std::printf("same request at best_effort -> status=%s, served_by=%s\n",
+              to_string(effort.status), effort.served_by.c_str());
+
   if (worst_edge != kInvalidEdge) {
     const Edge& e = g.edge(worst_edge);
-    std::printf("most critical link: (%u,%u) — failing it adds %llu hops to "
-                "some route\n",
+    std::printf("\nmost critical link: (%u,%u) — failing it adds %llu hops "
+                "to some route\n",
                 e.u, e.v, static_cast<unsigned long long>(worst_increase));
   }
-  return 0;
+  const ServiceStats& stats = service.stats();
+  std::printf("service totals: %llu requests, %llu refused, cache hit rate "
+              "%.0f%%, pool size %zu\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.refused),
+              100.0 * stats.cache_hit_rate(), service.pool_size());
+  return agree == checked ? 0 : 1;
 }

@@ -1,15 +1,30 @@
 #include "core/oracle.h"
 
+#include <utility>
+
 #include "engine/registry.h"
 
 namespace ftbfs {
+
+namespace {
+
+ServiceConfig oracle_service_config() {
+  ServiceConfig config;
+  config.lazy_build = false;  // the oracle is a pinned single-structure view
+  config.cache_capacity = 128;
+  return config;
+}
+
+}  // namespace
 
 FtBfsOracle::FtBfsOracle(const Graph& g, Vertex source, unsigned f,
                          FtStructure h)
     : source_(source),
       f_(f),
       structure_(std::move(h)),
-      engine_(g, structure_) {
+      service_(g, oracle_service_config()),
+      entry_(service_.add_structure("ftbfs_oracle", source, f,
+                                    FaultModel::kEdge, structure_.edges)) {
   FTBFS_EXPECTS(source < g.num_vertices());
 }
 
@@ -26,33 +41,64 @@ FtBfsOracle FtBfsOracle::build(const Graph& g, Vertex source, unsigned f,
   return FtBfsOracle(g, source, f, std::move(built.structure));
 }
 
+QueryRequest FtBfsOracle::make_request(QueryKind kind,
+                                       std::span<const EdgeId> faults) const {
+  QueryRequest req;
+  req.source = source_;
+  req.fault_edges.assign(faults.begin(), faults.end());
+  req.kind = kind;
+  // The budget precondition below already guarantees an exact answer; best
+  // effort keeps the pinned entry serving even at the budget boundary.
+  req.consistency = Consistency::kBestEffort;
+  req.structure = "ftbfs_oracle";
+  return req;
+}
+
 std::uint32_t FtBfsOracle::distance(Vertex v, std::span<const EdgeId> faults) {
-  FTBFS_EXPECTS(faults.size() <= f_);
-  return engine_.distance(source_, v, edge_faults(faults));
+  canon_.assign(edge_faults(faults));
+  FTBFS_EXPECTS(canon_.size() <= f_);
+  FTBFS_EXPECTS(v < service_.graph().num_vertices());
+  QueryRequest req = make_request(QueryKind::kDistance, faults);
+  req.targets = {v};
+  ++queries_;
+  return service_.serve(req).distances.at(0);
 }
 
 std::optional<Path> FtBfsOracle::shortest_path(
     Vertex v, std::span<const EdgeId> faults) {
-  FTBFS_EXPECTS(faults.size() <= f_);
-  return engine_.shortest_path(source_, v, edge_faults(faults));
+  canon_.assign(edge_faults(faults));
+  FTBFS_EXPECTS(canon_.size() <= f_);
+  FTBFS_EXPECTS(v < service_.graph().num_vertices());
+  QueryRequest req = make_request(QueryKind::kPath, faults);
+  req.targets = {v};
+  ++queries_;
+  QueryResponse resp = service_.serve(req);
+  if (resp.status == StatusCode::kDisconnected) return std::nullopt;
+  return std::move(resp.paths.at(0));
 }
 
 const std::vector<std::uint32_t>& FtBfsOracle::all_distances(
     std::span<const EdgeId> faults) {
-  FTBFS_EXPECTS(faults.size() <= f_);
-  return engine_.all_distances(source_, edge_faults(faults));
+  canon_.assign(edge_faults(faults));
+  FTBFS_EXPECTS(canon_.size() <= f_);
+  ++queries_;
+  all_dist_buf_ =
+      service_.serve(make_request(QueryKind::kAllDistances, faults)).distances;
+  return all_dist_buf_;
 }
 
 std::vector<std::uint32_t> FtBfsOracle::batch(
     std::span<const FaultSpec> fault_sets, std::span<const Vertex> targets,
     unsigned threads) {
   for (const FaultSpec& fs : fault_sets) {
-    FTBFS_EXPECTS(fs.size() <= f_);
+    canon_.assign(fs);
+    FTBFS_EXPECTS(canon_.size() <= f_);
     // The wrapped structure guarantees edge failures only; vertex faults
     // would silently fall outside its FT property.
     FTBFS_EXPECTS(fs.vertices.empty());
   }
-  return engine_.batch(source_, fault_sets, targets, threads);
+  queries_ += fault_sets.size();
+  return service_.engine(entry_).batch(source_, fault_sets, targets, threads);
 }
 
 }  // namespace ftbfs

@@ -6,13 +6,14 @@
 // distances and shortest paths from the source. Queries run a BFS *inside H*,
 // so the cost is O(|E(H)|) per fault set — on sparse structures a large
 // constant-factor win over querying G, with answers guaranteed identical by
-// the FT-BFS property. (The O(log n)-query oracles of Duan–Pettie use heavier
-// machinery; the structure here is the size-optimal substrate they would be
-// built over.)
+// the FT-BFS property.
 //
-// This class is a thin, source-pinned facade over FaultQueryEngine — the
-// engine owns the g→H translation, the mask scratch, and the masked BFS; the
-// oracle adds the fault-budget contract and the fixed source.
+// Since the service layer landed this class is a thin *pinned-source view
+// over an OracleService*: it owns a single-entry service (no lazy builds),
+// pins every request to its structure, and keeps the classic numeric API.
+// Its scenario cache means repeated fault sets served via all_distances()
+// cost a table lookup, not a BFS. Callers who want refusals-as-answers
+// instead of budget preconditions should use OracleService directly.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +21,7 @@
 #include <span>
 
 #include "core/ftbfs_common.h"
-#include "engine/query_engine.h"
+#include "service/oracle_service.h"
 #include "graph/graph.h"
 #include "spath/path.h"
 
@@ -39,8 +40,9 @@ class FtBfsOracle {
                                          std::uint64_t weight_seed = 1);
 
   // Exact distance source→v in G ∖ faults (kInfHops if disconnected).
-  // Precondition: |faults| <= f. Fault ids refer to edges of g; edges absent
-  // from H are ignored (they cannot affect distances inside H).
+  // Precondition: at most f *distinct* fault ids (duplicates count once).
+  // Fault ids refer to edges of g; edges absent from H are ignored (they
+  // cannot affect distances inside H).
   [[nodiscard]] std::uint32_t distance(Vertex v,
                                        std::span<const EdgeId> faults);
 
@@ -49,8 +51,9 @@ class FtBfsOracle {
   [[nodiscard]] std::optional<Path> shortest_path(
       Vertex v, std::span<const EdgeId> faults);
 
-  // Distances to every vertex under one fault set (one BFS; borrowed until
-  // the next query).
+  // Distances to every vertex under one fault set (borrowed until the next
+  // all_distances call). Served through the scenario cache: repeating a
+  // fault set costs a lookup, not a BFS.
   [[nodiscard]] const std::vector<std::uint32_t>& all_distances(
       std::span<const EdgeId> faults);
 
@@ -60,23 +63,34 @@ class FtBfsOracle {
     return structure_.size();
   }
   [[nodiscard]] const FtStructure& structure() const { return structure_; }
-  [[nodiscard]] std::uint64_t queries_answered() const {
-    return engine_.queries_answered();
-  }
+  [[nodiscard]] std::uint64_t queries_answered() const { return queries_; }
 
-  // Batched access (FaultQueryEngine::batch) with the oracle's fault-budget
-  // contract enforced on every fault set: result[i * targets.size() + j] is
-  // the distance source→targets[j] under fault_sets[i]. Fault sets must be
-  // edge faults (the structure's guarantee does not cover vertex failures).
+  // Batched access (FaultQueryEngine::batch on the pinned entry's engine,
+  // bypassing the scenario cache) with the oracle's fault-budget contract
+  // enforced on every fault set: result[i * targets.size() + j] is the
+  // distance source→targets[j] under fault_sets[i]. Fault sets must be edge
+  // faults (the structure's guarantee does not cover vertex failures).
   [[nodiscard]] std::vector<std::uint32_t> batch(
       std::span<const FaultSpec> fault_sets, std::span<const Vertex> targets,
       unsigned threads = 1);
 
+  // The underlying service, for callers migrating to the typed API. The
+  // pinned entry is named "ftbfs_oracle".
+  [[nodiscard]] OracleService& service() { return service_; }
+
  private:
+  // Pinned request skeleton with the oracle's fault set filled in.
+  [[nodiscard]] QueryRequest make_request(QueryKind kind,
+                                          std::span<const EdgeId> faults) const;
+
   Vertex source_;
   unsigned f_;
   FtStructure structure_;
-  FaultQueryEngine engine_;
+  OracleService service_;
+  std::size_t entry_;
+  CanonicalFaultSet canon_;  // budget-check scratch (distinct-id counting)
+  std::vector<std::uint32_t> all_dist_buf_;
+  std::uint64_t queries_ = 0;
 };
 
 }  // namespace ftbfs

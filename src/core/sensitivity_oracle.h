@@ -13,6 +13,9 @@
 // This complements FtBfsOracle (which serves batched queries from the sparse
 // structure): here preprocessing is heavier but per-(v,e) point queries are
 // O(1), the classic time/space trade-off of the sensitivity-oracle line.
+// OracleService (service/oracle_service.h) mounts this oracle as its fast
+// path — `enable_point_oracle(s)` routes single-edge-fault distance and
+// reachability requests from s here, ahead of every structure in the pool.
 #pragma once
 
 #include <cstdint>

@@ -1,9 +1,26 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <thread>
 
 namespace ftbfs {
+
+CanonicalFaultSet FaultSpec::canonicalize() const {
+  CanonicalFaultSet canon;
+  canon.assign(*this);
+  return canon;
+}
+
+void CanonicalFaultSet::assign(const FaultSpec& faults) {
+  edges_.assign(faults.edges.begin(), faults.edges.end());
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  vertices_.assign(faults.vertices.begin(), faults.vertices.end());
+  std::sort(vertices_.begin(), vertices_.end());
+  vertices_.erase(std::unique(vertices_.begin(), vertices_.end()),
+                  vertices_.end());
+}
 
 FaultQueryEngine::FaultQueryEngine(const Graph& g,
                                    std::span<const EdgeId> h_edges)
@@ -23,13 +40,14 @@ FaultQueryEngine::FaultQueryEngine(const Graph& g) : g_(&g), h_(&g) {
 }
 
 void FaultQueryEngine::apply_faults(Scratch& s, const FaultSpec& faults) const {
+  s.canon.assign(faults);
   s.mask.clear();
-  for (const EdgeId e : faults.edges) {
+  for (const EdgeId e : s.canon.edges()) {
     FTBFS_EXPECTS(e < g_->num_edges());
     const EdgeId he = g_to_h_.empty() ? e : g_to_h_[e];
     if (he != kInvalidEdge) s.mask.block_edge(he);
   }
-  for (const Vertex v : faults.vertices) {
+  for (const Vertex v : s.canon.vertices()) {
     FTBFS_EXPECTS(v < g_->num_vertices());
     s.mask.block_vertex(v);  // vertex ids are shared between g and H
   }
@@ -89,8 +107,14 @@ std::vector<std::uint32_t> FaultQueryEngine::batch(
   std::vector<std::uint32_t> out(rows * cols, kInfHops);
   if (rows == 0 || cols == 0) return out;
 
+  // Clamp to the row count and the machine: extra workers would only allocate
+  // idle (mask, BFS) scratch slots they never use.
+  unsigned hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) hardware = 1;  // unknown — be conservative
   const unsigned workers = std::max(
-      1u, std::min<unsigned>(threads, static_cast<unsigned>(rows)));
+      1u, std::min({threads, static_cast<unsigned>(std::min<std::size_t>(
+                                 rows, std::numeric_limits<unsigned>::max())),
+                    hardware}));
 
   auto run_rows = [&](std::size_t slot, std::size_t begin, std::size_t end) {
     Scratch& s = scratch(slot);

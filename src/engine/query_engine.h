@@ -31,6 +31,8 @@
 
 namespace ftbfs {
 
+class CanonicalFaultSet;
+
 // A fault set for one query: edge ids of the host graph, plus vertex ids.
 // Either span may be empty; both kinds may be mixed in one query. This is a
 // non-owning view — the referenced id arrays must outlive the query (and, for
@@ -39,9 +41,41 @@ struct FaultSpec {
   std::span<const EdgeId> edges{};
   std::span<const Vertex> vertices{};
 
+  // Raw id count, duplicates included. Budget checks must not use this —
+  // {e, e} is one fault, not two; use canonicalize().size() instead.
   [[nodiscard]] std::size_t size() const {
     return edges.size() + vertices.size();
   }
+
+  // Owning canonical form: ids sorted and deduplicated per kind.
+  [[nodiscard]] CanonicalFaultSet canonicalize() const;
+};
+
+// The canonical (sorted, deduplicated) owning form of a FaultSpec. Two fault
+// sets describe the same scenario iff their canonical forms are equal, which
+// makes this the unit of budget accounting and of scenario-cache keying.
+class CanonicalFaultSet {
+ public:
+  CanonicalFaultSet() = default;
+
+  // Refills from `faults`; buffers are reused, so a CanonicalFaultSet held in
+  // per-query scratch performs no steady-state allocation.
+  void assign(const FaultSpec& faults);
+
+  [[nodiscard]] std::span<const EdgeId> edges() const { return edges_; }
+  [[nodiscard]] std::span<const Vertex> vertices() const { return vertices_; }
+
+  // View of the canonical ids (valid until the next assign()).
+  [[nodiscard]] FaultSpec spec() const { return FaultSpec{edges_, vertices_}; }
+
+  // Number of *distinct* faulted components — the count budget checks use.
+  [[nodiscard]] std::size_t size() const {
+    return edges_.size() + vertices_.size();
+  }
+
+ private:
+  std::vector<EdgeId> edges_;
+  std::vector<Vertex> vertices_;
 };
 
 // Convenience factories so call sites stay terse.
@@ -114,10 +148,12 @@ class FaultQueryEngine {
   struct Scratch {
     GraphMask mask;
     Bfs bfs;
+    CanonicalFaultSet canon;  // reused per-query canonicalization buffer
     explicit Scratch(const Graph& h) : mask(h), bfs(h) {}
   };
 
-  // Resets `s.mask` and applies `faults` (host ids) to it.
+  // Canonicalizes `faults` into `s.canon`, then resets `s.mask` and applies
+  // the distinct ids (host ids) to it.
   void apply_faults(Scratch& s, const FaultSpec& faults) const;
 
   [[nodiscard]] Scratch& scratch(std::size_t slot);

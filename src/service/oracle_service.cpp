@@ -1,0 +1,444 @@
+#include "service/oracle_service.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "engine/registry.h"
+#include "spath/bfs.h"
+
+namespace ftbfs {
+
+namespace {
+
+// True if `model` covers a fault set with the given composition. Mixed sets
+// are covered by no single-model structure (only the identity engine).
+bool model_covers(FaultModel model, bool has_edge_faults,
+                  bool has_vertex_faults) {
+  if (has_edge_faults && has_vertex_faults) return false;
+  if (has_edge_faults) return model == FaultModel::kEdge;
+  if (has_vertex_faults) return model == FaultModel::kVertex;
+  return true;  // fault-free queries are within every FT guarantee
+}
+
+void append_u32(std::string& key, std::uint32_t x) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    key.push_back(static_cast<char>((x >> shift) & 0xff));
+  }
+}
+
+}  // namespace
+
+OracleService::Entry::Entry(const Graph& g, std::span<const EdgeId> edges)
+    : edge_count(edges.size()), engine(g, edges), in_h(g.num_edges(), false) {
+  for (const EdgeId e : edges) in_h[e] = true;
+}
+
+OracleService::Entry::Entry(const Graph& g)
+    : name("identity"),
+      budget(std::numeric_limits<unsigned>::max()),
+      identity(true),
+      edge_count(g.num_edges()),
+      engine(g) {}
+
+OracleService::OracleService(const Graph& g, ServiceConfig config)
+    : g_(&g), config_(config) {
+  entries_.push_back(Entry(*g_));  // entry 0: ground truth, always available
+}
+
+std::size_t OracleService::add_structure(std::string name, Vertex source,
+                                         unsigned fault_budget,
+                                         FaultModel model,
+                                         std::span<const EdgeId> edges,
+                                         bool exact) {
+  FTBFS_EXPECTS(!name.empty());
+  FTBFS_EXPECTS(find_entry(name) < 0);
+  FTBFS_EXPECTS(source < g_->num_vertices());
+  Entry entry(*g_, edges);
+  entry.name = std::move(name);
+  entry.source = source;
+  entry.budget = fault_budget;
+  entry.model = model;
+  entry.exact = exact;
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+std::size_t OracleService::build_structure(std::string name, Vertex source,
+                                           unsigned fault_budget,
+                                           FaultModel model,
+                                           std::string_view algo) {
+  const BuilderRegistry& reg = BuilderRegistry::instance();
+  const std::string chosen =
+      algo.empty() ? BuilderRegistry::default_builder(fault_budget, model, 1)
+                   : std::string(algo);
+  BuildRequest req;
+  req.graph = g_;
+  req.sources = {source};
+  req.fault_budget = fault_budget;
+  req.fault_model = model;
+  req.weight_seed = config_.weight_seed;
+  FTBFS_EXPECTS(reg.unsupported_reason(chosen, req).empty());
+  const BuildResult built = reg.build(chosen, req);
+  const BuilderTraits* traits = reg.find(built.algorithm);
+  return add_structure(std::move(name), source, fault_budget, model,
+                       built.structure.edges,
+                       traits == nullptr || traits->exact);
+}
+
+void OracleService::enable_point_oracle(Vertex source) {
+  FTBFS_EXPECTS(source < g_->num_vertices());
+  point_oracles_.try_emplace(source, *g_, source, config_.weight_seed);
+}
+
+const std::string& OracleService::entry_name(std::size_t entry) const {
+  FTBFS_EXPECTS(entry < entries_.size());
+  return entries_[entry].name;
+}
+
+std::uint64_t OracleService::entry_edges(std::size_t entry) const {
+  FTBFS_EXPECTS(entry < entries_.size());
+  return entries_[entry].edge_count;
+}
+
+FaultQueryEngine& OracleService::engine(std::size_t entry) {
+  FTBFS_EXPECTS(entry < entries_.size());
+  return entries_[entry].engine;
+}
+
+int OracleService::find_entry(std::string_view name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool OracleService::serves_exactly(const Entry& e, Vertex source,
+                                   const CanonicalFaultSet& canon) const {
+  if (e.identity) return true;  // ground truth serves anything exactly
+  return e.source == source && e.exact &&
+         model_covers(e.model, !canon.edges().empty(),
+                      !canon.vertices().empty()) &&
+         canon.size() <= e.budget;
+}
+
+std::string OracleService::cache_key(std::size_t entry, Vertex source) const {
+  const Entry& e = entries_[entry];
+  std::string key;
+  key.reserve(12 + 4 * canon_.size());
+  append_u32(key, static_cast<std::uint32_t>(entry));
+  append_u32(key, source);
+  // Project onto H: faults absent from the structure cannot change answers,
+  // so scenarios differing only in absent edges share one cache line. The
+  // projected edge count keeps the edge/vertex boundary unambiguous.
+  std::uint32_t kept = 0;
+  for (const EdgeId f : canon_.edges()) {
+    if (e.identity || e.in_h[f]) ++kept;
+  }
+  append_u32(key, kept);
+  for (const EdgeId f : canon_.edges()) {
+    if (e.identity || e.in_h[f]) append_u32(key, f);
+  }
+  for (const Vertex v : canon_.vertices()) append_u32(key, v);
+  return key;
+}
+
+const std::vector<std::uint32_t>* OracleService::cache_find(
+    const std::string& key) {
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return &it->second->hops;
+}
+
+const std::vector<std::uint32_t>* OracleService::cache_insert(
+    std::string key, const std::vector<std::uint32_t>& hops) {
+  lru_.push_front(CacheLine{std::move(key), hops});
+  cache_[lru_.front().key] = lru_.begin();
+  if (lru_.size() > config_.cache_capacity) {
+    cache_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return &lru_.front().hops;
+}
+
+QueryResponse OracleService::refuse(QueryResponse resp, StatusCode status,
+                                    std::string why) {
+  resp.status = status;
+  resp.error = std::move(why);
+  ++stats_.refused;
+  return resp;
+}
+
+void OracleService::fill_payload(std::size_t entry, const QueryRequest& req,
+                                 QueryResponse& resp) {
+  Entry& e = entries_[entry];
+  resp.served_by = e.name;
+  if (e.identity) ++stats_.identity_served;
+  const FaultSpec faults = canon_.spec();
+
+  if (req.kind == QueryKind::kPath) {
+    // Paths need BFS parents, which the scenario cache does not retain —
+    // path requests always go to the engine.
+    std::size_t unreachable = 0;
+    for (const Vertex t : req.targets) {
+      auto path = e.engine.shortest_path(req.source, t, faults);
+      if (path.has_value()) {
+        resp.distances.push_back(static_cast<std::uint32_t>(path->size() - 1));
+        resp.paths.push_back(std::move(*path));
+      } else {
+        ++unreachable;
+        resp.distances.push_back(kInfHops);
+        resp.paths.emplace_back();
+      }
+    }
+    if (!req.targets.empty() && unreachable == req.targets.size()) {
+      resp.status = StatusCode::kDisconnected;
+    }
+    return;
+  }
+
+  const bool cache_enabled = config_.cache_capacity > 0;
+  const std::vector<std::uint32_t>* hops = nullptr;
+  std::string key;
+  if (cache_enabled) {
+    key = cache_key(entry, req.source);
+    hops = cache_find(key);
+    if (hops != nullptr) {
+      resp.cache_hit = true;
+      ++stats_.cache_hits;
+    } else {
+      ++stats_.cache_misses;
+    }
+  }
+  if (hops == nullptr && req.kind == QueryKind::kDistance &&
+      req.targets.size() == 1) {
+    // Single-target miss: an early-exit BFS beats the full sweep a cache
+    // line would need, so answer directly and leave the cache untouched.
+    const std::uint32_t d =
+        e.engine.distance(req.source, req.targets[0], faults);
+    resp.distances.push_back(d);
+    if (d == kInfHops) resp.status = StatusCode::kDisconnected;
+    return;
+  }
+  if (hops == nullptr) {
+    const std::vector<std::uint32_t>& full =
+        e.engine.all_distances(req.source, faults);
+    hops = cache_enabled ? cache_insert(std::move(key), full) : &full;
+  }
+
+  switch (req.kind) {
+    case QueryKind::kAllDistances:
+      resp.distances = *hops;
+      break;
+    case QueryKind::kDistance: {
+      std::size_t unreachable = 0;
+      for (const Vertex t : req.targets) {
+        resp.distances.push_back((*hops)[t]);
+        if ((*hops)[t] == kInfHops) ++unreachable;
+      }
+      if (!req.targets.empty() && unreachable == req.targets.size()) {
+        resp.status = StatusCode::kDisconnected;
+      }
+      break;
+    }
+    case QueryKind::kReachability:
+      for (const Vertex t : req.targets) {
+        resp.distances.push_back((*hops)[t]);
+        resp.reachable.push_back((*hops)[t] != kInfHops);
+      }
+      break;
+    case QueryKind::kPath:
+      break;  // handled above
+  }
+}
+
+QueryResponse OracleService::serve(const QueryRequest& req) {
+  ++stats_.requests;
+  QueryResponse resp;
+  resp.id = req.id;
+
+  // --- validation: unknown ids are status codes, never aborts --------------
+  const Vertex n = g_->num_vertices();
+  if (req.source >= n) {
+    return refuse(std::move(resp), StatusCode::kUnknownSource,
+                  "source " + std::to_string(req.source) + " out of range");
+  }
+  for (const Vertex t : req.targets) {
+    if (t >= n) {
+      return refuse(std::move(resp), StatusCode::kUnknownSource,
+                    "target " + std::to_string(t) + " out of range");
+    }
+  }
+  for (const EdgeId f : req.fault_edges) {
+    if (f >= g_->num_edges()) {
+      return refuse(std::move(resp), StatusCode::kUnknownSource,
+                    "fault edge id " + std::to_string(f) + " out of range");
+    }
+  }
+  for (const Vertex v : req.fault_vertices) {
+    if (v >= n) {
+      return refuse(std::move(resp), StatusCode::kUnknownSource,
+                    "fault vertex " + std::to_string(v) + " out of range");
+    }
+  }
+
+  canon_.assign(FaultSpec{req.fault_edges, req.fault_vertices});
+  const bool has_edge_faults = !canon_.edges().empty();
+  const bool has_vertex_faults = !canon_.vertices().empty();
+  const bool mixed = has_edge_faults && has_vertex_faults;
+
+  // --- pinned requests -----------------------------------------------------
+  if (!req.structure.empty()) {
+    const int idx = find_entry(req.structure);
+    if (idx < 0) {
+      return refuse(std::move(resp), StatusCode::kUnknownSource,
+                    "unknown structure '" + req.structure + "'");
+    }
+    const Entry& e = entries_[static_cast<std::size_t>(idx)];
+    const bool exact = serves_exactly(e, req.source, canon_);
+    if (!exact && req.consistency == Consistency::kExactOrRefuse) {
+      if (e.source != req.source) {
+        return refuse(std::move(resp), StatusCode::kUnknownSource,
+                      "structure '" + e.name + "' is pinned to source " +
+                          std::to_string(e.source));
+      }
+      if (!model_covers(e.model, has_edge_faults, has_vertex_faults)) {
+        return refuse(std::move(resp), StatusCode::kUnsupportedFaultModel,
+                      "structure '" + e.name + "' guarantees " +
+                          std::string(to_string(e.model)) +
+                          " faults only");
+      }
+      if (!e.exact) {
+        return refuse(std::move(resp), StatusCode::kUnsupportedFaultModel,
+                      "structure '" + e.name + "' is approximate (no "
+                      "exactness guarantee); retry with best_effort "
+                      "consistency");
+      }
+      return refuse(std::move(resp), StatusCode::kBudgetExceeded,
+                    std::to_string(canon_.size()) +
+                        " distinct faults exceed budget " +
+                        std::to_string(e.budget) + " of structure '" +
+                        e.name + "'");
+    }
+    resp.exact = exact;
+    fill_payload(static_cast<std::size_t>(idx), req, resp);
+    ++stats_.served;
+    return resp;
+  }
+
+  // --- point-oracle fast path: O(1) per target, no BFS at all --------------
+  if (!has_vertex_faults && canon_.edges().size() <= 1 &&
+      (req.kind == QueryKind::kDistance ||
+       req.kind == QueryKind::kReachability)) {
+    const auto it = point_oracles_.find(req.source);
+    if (it != point_oracles_.end()) {
+      const SingleFaultOracle& po = it->second;
+      const EdgeId down =
+          has_edge_faults ? canon_.edges()[0] : kInvalidEdge;
+      std::size_t unreachable = 0;
+      for (const Vertex t : req.targets) {
+        const std::uint32_t d = down == kInvalidEdge
+                                    ? po.distance(t)
+                                    : po.distance_avoiding(t, down);
+        resp.distances.push_back(d);
+        if (req.kind == QueryKind::kReachability) {
+          resp.reachable.push_back(d != kInfHops);
+        }
+        if (d == kInfHops) ++unreachable;
+      }
+      if (req.kind == QueryKind::kDistance && !req.targets.empty() &&
+          unreachable == req.targets.size()) {
+        resp.status = StatusCode::kDisconnected;
+      }
+      resp.exact = true;
+      resp.served_by = "point_oracle";
+      ++stats_.point_oracle_served;
+      ++stats_.served;
+      return resp;
+    }
+  }
+
+  // --- structure routing: cheapest entry that serves exactly ---------------
+  int best = -1;
+  bool saw_source = false;
+  bool saw_model = false;   // some entry's model covers AND is exact
+  bool saw_inexact = false; // model covers but the entry is approximate
+  for (std::size_t i = 1; i < entries_.size(); ++i) {  // 0 = identity
+    const Entry& e = entries_[i];
+    if (e.source != req.source) continue;
+    saw_source = true;
+    if (model_covers(e.model, has_edge_faults, has_vertex_faults)) {
+      (e.exact ? saw_model : saw_inexact) = true;
+    }
+    if (!serves_exactly(e, req.source, canon_)) continue;
+    if (best < 0 ||
+        e.edge_count < entries_[static_cast<std::size_t>(best)].edge_count) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0 && config_.lazy_build && !mixed &&
+      canon_.size() <= config_.max_lazy_budget) {
+    const FaultModel model =
+        has_vertex_faults ? FaultModel::kVertex : FaultModel::kEdge;
+    const unsigned budget = std::max(
+        config_.default_budget, static_cast<unsigned>(canon_.size()));
+    const std::string algo =
+        BuilderRegistry::default_builder(budget, model, 1);
+    BuildRequest breq;
+    breq.graph = g_;
+    breq.sources = {req.source};
+    breq.fault_budget = budget;
+    breq.fault_model = model;
+    breq.weight_seed = config_.weight_seed;
+    if (BuilderRegistry::instance().unsupported_reason(algo, breq).empty()) {
+      std::string name = algo + "@s" + std::to_string(req.source) + "f" +
+                         std::to_string(budget);
+      while (find_entry(name) >= 0) name += "+";
+      best = static_cast<int>(
+          build_structure(std::move(name), req.source, budget, model, algo));
+      ++stats_.structures_built;
+    }
+  }
+  if (best >= 0) {
+    resp.exact = true;
+    fill_payload(static_cast<std::size_t>(best), req, resp);
+    ++stats_.served;
+    return resp;
+  }
+
+  // --- no exact backend ----------------------------------------------------
+  if (req.consistency == Consistency::kBestEffort) {
+    resp.exact = true;  // the identity engine is ground truth
+    fill_payload(0, req, resp);
+    ++stats_.served;
+    return resp;
+  }
+  if (mixed) {
+    return refuse(std::move(resp), StatusCode::kUnsupportedFaultModel,
+                  "no structure guarantees mixed edge+vertex fault sets; "
+                  "retry with best_effort consistency");
+  }
+  if (!saw_source && !config_.lazy_build) {
+    return refuse(std::move(resp), StatusCode::kUnknownSource,
+                  "no structure for source " + std::to_string(req.source) +
+                      " (lazy build disabled)");
+  }
+  if (saw_source && !saw_model) {
+    return refuse(std::move(resp), StatusCode::kUnsupportedFaultModel,
+                  saw_inexact
+                      ? "only approximate structures cover source " +
+                            std::to_string(req.source) +
+                            " for this fault model; retry with best_effort "
+                            "consistency"
+                      : "no structure for source " +
+                            std::to_string(req.source) +
+                            " guarantees this fault model");
+  }
+  return refuse(std::move(resp), StatusCode::kBudgetExceeded,
+                std::to_string(canon_.size()) +
+                    " distinct faults exceed every available structure "
+                    "budget; retry with best_effort consistency");
+}
+
+}  // namespace ftbfs

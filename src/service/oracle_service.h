@@ -1,0 +1,175 @@
+// OracleService — the typed serving front-end over a multi-structure pool.
+//
+// One service owns, for a single host graph G:
+//   * a pool of named structure entries, each (source, fault budget, fault
+//     model) → an FT structure fronted by its own FaultQueryEngine. Entries
+//     are added eagerly (prebuilt structures, e.g. the simulator's overlays)
+//     or built lazily through the BuilderRegistry when an unpinned request
+//     arrives for a shape the pool cannot yet serve (`default_builder` picks
+//     the construction);
+//   * an O(1) point-oracle fast path (SingleFaultOracle) per enabled source,
+//     serving single-edge-fault distance/reachability requests without any
+//     BFS;
+//   * an identity engine over G itself — ground truth, used for best-effort
+//     requests that no structure covers and available under the reserved pin
+//     name "identity";
+//   * a scenario cache: canonicalized fault sets (sorted, deduped, projected
+//     onto the entry's structure) interned in an LRU together with their full
+//     distance vectors, so scenario sweeps and the failure simulator's
+//     repeated tick-states are served by a table lookup instead of a BFS.
+//
+// Routing: a request is validated (unknown ids become kUnknownSource, never
+// an abort), its fault set canonicalized (duplicates count once), and then
+// served by the cheapest backend whose traits cover it exactly — point oracle
+// before structures, smaller structures before larger ones. Requests the pool
+// cannot serve exactly are refused (kExactOrRefuse) or served from the
+// identity engine (kBestEffort).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sensitivity_oracle.h"
+#include "engine/query_engine.h"
+#include "graph/graph.h"
+#include "service/protocol.h"
+
+namespace ftbfs {
+
+struct ServiceConfig {
+  // Fault budget targeted by lazily built structures (the paper's regime).
+  unsigned default_budget = 2;
+  // Largest distinct-fault count a lazy build will target; beyond it the
+  // request is over budget for the whole pool (generic constructions grow
+  // superpolynomially expensive with the budget).
+  unsigned max_lazy_budget = 3;
+  // Build pool entries on demand for unpinned requests; with this off, a
+  // request for a source the pool does not cover refuses with kUnknownSource.
+  bool lazy_build = true;
+  // Scenario-cache capacity in (entry, fault set) lines; 0 disables caching.
+  std::size_t cache_capacity = 256;
+  std::uint64_t weight_seed = 1;  // tie-breaking weights for lazy builds
+};
+
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t served = 0;   // kOk or kDisconnected
+  std::uint64_t refused = 0;  // any other status
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t structures_built = 0;      // lazy builds
+  std::uint64_t identity_served = 0;       // answers from the identity engine
+  std::uint64_t point_oracle_served = 0;   // O(1) fast-path answers
+
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+class OracleService {
+ public:
+  explicit OracleService(const Graph& g, ServiceConfig config = {});
+
+  OracleService(OracleService&&) noexcept = default;
+  OracleService& operator=(OracleService&&) noexcept = default;
+
+  // Adds a prebuilt structure (edge ids of G) under a unique name. `exact`
+  // declares the FT guarantee: dist(s,v,H∖F) = dist(s,v,G∖F) for |F| within
+  // the budget under `model` faults. Returns the entry handle.
+  std::size_t add_structure(std::string name, Vertex source,
+                            unsigned fault_budget, FaultModel model,
+                            std::span<const EdgeId> edges, bool exact = true);
+
+  // Builds a structure through the BuilderRegistry and adds it. Empty algo =
+  // the registry's default_builder for the shape.
+  std::size_t build_structure(std::string name, Vertex source,
+                              unsigned fault_budget, FaultModel model,
+                              std::string_view algo = {});
+
+  // Eagerly builds the O(n·m)-preprocessing point oracle for `source`;
+  // afterwards single-edge-fault distance/reachability requests from that
+  // source are answered in O(1) per target.
+  void enable_point_oracle(Vertex source);
+
+  // Serves one request. Never aborts on request contents: capability
+  // mismatches and unknown ids come back as status codes.
+  [[nodiscard]] QueryResponse serve(const QueryRequest& req);
+
+  // --- introspection -------------------------------------------------------
+
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+  [[nodiscard]] const ServiceStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t pool_size() const { return entries_.size(); }
+  [[nodiscard]] const std::string& entry_name(std::size_t entry) const;
+  [[nodiscard]] std::uint64_t entry_edges(std::size_t entry) const;
+
+  // Direct engine access for an entry ("identity" included) — the advanced,
+  // cache-bypassing path used by FtBfsOracle::batch for threaded sweeps.
+  [[nodiscard]] FaultQueryEngine& engine(std::size_t entry);
+
+ private:
+  struct Entry {
+    std::string name;
+    Vertex source = 0;
+    unsigned budget = 0;
+    FaultModel model = FaultModel::kEdge;
+    bool exact = true;
+    bool identity = false;
+    std::uint64_t edge_count = 0;  // routing cost proxy
+    FaultQueryEngine engine;
+    // G edge id → edge present in the structure; empty for identity. Used to
+    // project cache keys onto H: faults absent from H cannot change answers,
+    // so scenarios differing only in absent edges share one cache line.
+    std::vector<bool> in_h;
+
+    Entry(const Graph& g, std::span<const EdgeId> edges);
+    explicit Entry(const Graph& g);  // identity
+  };
+
+  struct CacheLine {
+    std::string key;
+    std::vector<std::uint32_t> hops;
+  };
+
+  [[nodiscard]] int find_entry(std::string_view name) const;
+
+  // True if `e` answers exactly for (source, canonical faults).
+  [[nodiscard]] bool serves_exactly(const Entry& e, Vertex source,
+                                    const CanonicalFaultSet& canon) const;
+
+  // Cache key for the current canonical fault set (canon_) against `entry`:
+  // entry index + source + fault ids projected onto the entry's structure.
+  [[nodiscard]] std::string cache_key(std::size_t entry, Vertex source) const;
+  // Returns the cached distance vector (refreshing its LRU position), or
+  // nullptr on miss. Pointers are stable until eviction.
+  [[nodiscard]] const std::vector<std::uint32_t>* cache_find(
+      const std::string& key);
+  const std::vector<std::uint32_t>* cache_insert(
+      std::string key, const std::vector<std::uint32_t>& hops);
+
+  void fill_payload(std::size_t entry, const QueryRequest& req,
+                    QueryResponse& resp);
+
+  QueryResponse refuse(QueryResponse resp, StatusCode status,
+                       std::string why);
+
+  const Graph* g_;
+  ServiceConfig config_;
+  std::vector<Entry> entries_;  // entry 0 is the identity engine
+  std::map<Vertex, SingleFaultOracle> point_oracles_;
+  CanonicalFaultSet canon_;  // per-request scratch
+  // LRU scenario cache: key = entry index + H-projected canonical fault ids.
+  std::list<CacheLine> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<CacheLine>::iterator> cache_;
+  ServiceStats stats_;
+};
+
+}  // namespace ftbfs

@@ -1,0 +1,469 @@
+#include "service/protocol.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+
+#include "spath/bfs.h"
+
+namespace ftbfs {
+
+const char* to_string(StatusCode s) {
+  switch (s) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kBudgetExceeded:
+      return "budget_exceeded";
+    case StatusCode::kUnknownSource:
+      return "unknown_source";
+    case StatusCode::kUnsupportedFaultModel:
+      return "unsupported_fault_model";
+    case StatusCode::kDisconnected:
+      return "disconnected";
+  }
+  return "?";
+}
+
+const char* to_string(QueryKind k) {
+  switch (k) {
+    case QueryKind::kDistance:
+      return "distance";
+    case QueryKind::kPath:
+      return "path";
+    case QueryKind::kAllDistances:
+      return "all_distances";
+    case QueryKind::kReachability:
+      return "reachability";
+  }
+  return "?";
+}
+
+const char* to_string(Consistency c) {
+  return c == Consistency::kExactOrRefuse ? "exact" : "best_effort";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough for the flat request objects of the wire
+// format (strings, integers, booleans, null, arrays, one object level). No
+// external dependency, deterministic errors.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool parse(JsonValue& out, std::string& err) {
+    if (!parse_value(out)) {
+      err = err_;
+      return false;
+    }
+    skip_ws();
+    if (p_ != end_) {
+      err = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+
+  bool fail(const std::string& why) {
+    if (err_.empty()) err_ = why;
+    return false;
+  }
+
+  // Containers recurse; a server must not let one hostile line ('[[[[…')
+  // blow the stack, so nesting is capped well beyond any legitimate request.
+  template <typename Fn>
+  bool descend(Fn parse_container) {
+    if (depth_ >= 32) return fail("nesting too deep");
+    ++depth_;
+    const bool ok = parse_container();
+    --depth_;
+    return ok;
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (p_ == end_ || *p_ != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++p_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (p_ == end_) return fail("unexpected end of input");
+    switch (*p_) {
+      case '{':
+        return descend([&] { return parse_object(out); });
+      case '[':
+        return descend([&] { return parse_array(out); });
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.str);
+      case 't':
+      case 'f':
+        return parse_literal(out);
+      case 'n':
+        return parse_literal(out);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_literal(JsonValue& out) {
+    auto take = [&](const char* word) {
+      const char* q = p_;
+      for (const char* w = word; *w != '\0'; ++w, ++q) {
+        if (q == end_ || *q != *w) return false;
+      }
+      p_ = q;
+      return true;
+    };
+    if (take("true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (take("false")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (take("null")) {
+      out.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_number(JsonValue& out) {
+    char* after = nullptr;
+    out.number = std::strtod(p_, &after);
+    if (after == p_ || after > end_) return fail("invalid number");
+    out.kind = JsonValue::Kind::kNumber;
+    p_ = after;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c == '\\') {
+        if (p_ == end_) return fail("unterminated escape");
+        const char esc = *p_++;
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          default:
+            return fail("unsupported string escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (p_ == end_) return fail("unterminated string");
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    if (!expect('[')) return false;
+    out.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      JsonValue elem;
+      if (!parse_value(elem)) return false;
+      out.array.push_back(std::move(elem));
+      skip_ws();
+      if (p_ != end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    if (!expect('{')) return false;
+    out.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!expect(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (p_ != end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  int depth_ = 0;
+  std::string err_;
+};
+
+// Reads a JSON number as a non-negative integer id; false on anything else.
+bool read_uint(const JsonValue& v, std::uint64_t& out) {
+  if (v.kind != JsonValue::Kind::kNumber || v.number < 0 ||
+      v.number != static_cast<double>(static_cast<std::uint64_t>(v.number))) {
+    return false;
+  }
+  out = static_cast<std::uint64_t>(v.number);
+  return true;
+}
+
+// Narrows a wire id to a graph id. Values beyond 32 bits clamp to the
+// all-ones invalid id instead of wrapping — a wrapped id would alias a valid
+// vertex/edge and be *answered*, where the clamped one is refused by the
+// service's range validation as the unknown id it is.
+Vertex narrow_id(std::uint64_t u) {
+  return u > 0xffffffffULL ? kInvalidVertex : static_cast<Vertex>(u);
+}
+
+ParsedRequest syntax_error(std::string why) {
+  ParsedRequest out;
+  out.status = ParseStatus::kSyntax;
+  out.error = std::move(why);
+  return out;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+ParsedRequest parse_request_line(const std::string& line, const Graph& g) {
+  JsonValue root;
+  std::string err;
+  if (!JsonReader(line).parse(root, err)) return syntax_error(err);
+  if (root.kind != JsonValue::Kind::kObject) {
+    return syntax_error("request line must be a JSON object");
+  }
+
+  ParsedRequest out;
+  QueryRequest& req = out.request;
+  bool have_source = false;
+  // Endpoint pairs are collected first and resolved against the graph only
+  // after the whole object is parsed — key order is arbitrary, and a
+  // resolution failure must still see a later "id" key to echo it.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edge_pairs;
+  for (const auto& [key, value] : root.object) {
+    std::uint64_t u = 0;
+    if (key == "id") {
+      if (!read_uint(value, u) ||
+          u > static_cast<std::uint64_t>(
+                  std::numeric_limits<std::int64_t>::max())) {
+        return syntax_error("\"id\" must be a non-negative integer");
+      }
+      req.id = static_cast<std::int64_t>(u);
+    } else if (key == "source") {
+      if (!read_uint(value, u)) return syntax_error("\"source\" must be a vertex id");
+      req.source = narrow_id(u);
+      have_source = true;
+    } else if (key == "targets") {
+      if (value.kind != JsonValue::Kind::kArray) {
+        return syntax_error("\"targets\" must be an array of vertex ids");
+      }
+      for (const JsonValue& t : value.array) {
+        if (!read_uint(t, u)) return syntax_error("\"targets\" must be an array of vertex ids");
+        req.targets.push_back(narrow_id(u));
+      }
+    } else if (key == "fault_vertices") {
+      if (value.kind != JsonValue::Kind::kArray) {
+        return syntax_error("\"fault_vertices\" must be an array of vertex ids");
+      }
+      for (const JsonValue& t : value.array) {
+        if (!read_uint(t, u)) {
+          return syntax_error("\"fault_vertices\" must be an array of vertex ids");
+        }
+        req.fault_vertices.push_back(narrow_id(u));
+      }
+    } else if (key == "fault_edges") {
+      if (value.kind != JsonValue::Kind::kArray) {
+        return syntax_error("\"fault_edges\" must be an array of [u,v] pairs");
+      }
+      for (const JsonValue& pair : value.array) {
+        std::uint64_t eu = 0, ev = 0;
+        if (pair.kind != JsonValue::Kind::kArray || pair.array.size() != 2 ||
+            !read_uint(pair.array[0], eu) || !read_uint(pair.array[1], ev)) {
+          return syntax_error("\"fault_edges\" must be an array of [u,v] pairs");
+        }
+        edge_pairs.emplace_back(eu, ev);
+      }
+    } else if (key == "kind") {
+      if (value.kind != JsonValue::Kind::kString) return syntax_error("\"kind\" must be a string");
+      if (value.str == "distance") {
+        req.kind = QueryKind::kDistance;
+      } else if (value.str == "path") {
+        req.kind = QueryKind::kPath;
+      } else if (value.str == "all_distances") {
+        req.kind = QueryKind::kAllDistances;
+      } else if (value.str == "reachability") {
+        req.kind = QueryKind::kReachability;
+      } else {
+        return syntax_error("unknown kind \"" + value.str + "\"");
+      }
+    } else if (key == "consistency") {
+      if (value.kind != JsonValue::Kind::kString) {
+        return syntax_error("\"consistency\" must be a string");
+      }
+      if (value.str == "exact" || value.str == "exact_or_refuse") {
+        req.consistency = Consistency::kExactOrRefuse;
+      } else if (value.str == "best_effort") {
+        req.consistency = Consistency::kBestEffort;
+      } else {
+        return syntax_error("unknown consistency \"" + value.str + "\"");
+      }
+    } else if (key == "structure") {
+      if (value.kind != JsonValue::Kind::kString) {
+        return syntax_error("\"structure\" must be a string");
+      }
+      req.structure = value.str;
+    } else {
+      // A silently ignored key would answer a question the client did not ask.
+      return syntax_error("unknown request key \"" + key + "\"");
+    }
+  }
+  if (!have_source) return syntax_error("request is missing \"source\"");
+  for (const auto& [eu, ev] : edge_pairs) {
+    std::string edge_name = "(";
+    edge_name += std::to_string(eu);
+    edge_name += ",";
+    edge_name += std::to_string(ev);
+    edge_name += ")";
+    if (eu >= g.num_vertices() || ev >= g.num_vertices()) {
+      out.status = ParseStatus::kResolve;
+      out.error = "fault edge " + edge_name + " endpoint out of range";
+      return out;
+    }
+    const EdgeId e =
+        g.find_edge(static_cast<Vertex>(eu), static_cast<Vertex>(ev));
+    if (e == kInvalidEdge) {
+      out.status = ParseStatus::kResolve;
+      out.error = "fault edge " + edge_name + " not in graph";
+      return out;
+    }
+    req.fault_edges.push_back(e);
+  }
+  return out;
+}
+
+std::string format_response_line(const QueryResponse& resp) {
+  std::string out = "{";
+  if (resp.id >= 0) {
+    out += "\"id\":" + std::to_string(resp.id) + ",";
+  }
+  out += "\"status\":\"";
+  out += to_string(resp.status);
+  out += "\",\"exact\":";
+  out += resp.exact ? "true" : "false";
+  if (!resp.served_by.empty()) {
+    out += ",\"served_by\":\"";
+    json_escape_into(out, resp.served_by);
+    out += "\"";
+  }
+  out += ",\"cache_hit\":";
+  out += resp.cache_hit ? "true" : "false";
+  if (!resp.distances.empty()) {
+    out += ",\"distances\":[";
+    for (std::size_t i = 0; i < resp.distances.size(); ++i) {
+      if (i > 0) out += ",";
+      out += resp.distances[i] == kInfHops ? "-1"
+                                           : std::to_string(resp.distances[i]);
+    }
+    out += "]";
+  }
+  if (!resp.paths.empty()) {
+    out += ",\"paths\":[";
+    for (std::size_t i = 0; i < resp.paths.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "[";
+      for (std::size_t j = 0; j < resp.paths[i].size(); ++j) {
+        if (j > 0) out += ",";
+        out += std::to_string(resp.paths[i][j]);
+      }
+      out += "]";
+    }
+    out += "]";
+  }
+  if (!resp.reachable.empty()) {
+    out += ",\"reachable\":[";
+    for (std::size_t i = 0; i < resp.reachable.size(); ++i) {
+      if (i > 0) out += ",";
+      out += resp.reachable[i] ? "true" : "false";
+    }
+    out += "]";
+  }
+  if (!resp.error.empty()) {
+    out += ",\"error\":\"";
+    json_escape_into(out, resp.error);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string format_parse_error_line(const ParsedRequest& parsed) {
+  std::string out = "{";
+  if (parsed.request.id >= 0) {
+    out += "\"id\":" + std::to_string(parsed.request.id) + ",";
+  }
+  out += "\"status\":\"parse_error\",\"error\":\"";
+  json_escape_into(out, parsed.error);
+  out += "\"}";
+  return out;
+}
+
+}  // namespace ftbfs

@@ -1,0 +1,109 @@
+// Typed request/response messages for the serving layer.
+//
+// The query surface below this layer is imperative and contract-guarded:
+// over-budget fault sets, unknown ids, and unsupported fault models are
+// preconditions, and violating them aborts. A serving system cannot abort on
+// traffic, so this protocol turns every capability mismatch into an *answer*:
+// a QueryRequest names what the client wants (source, targets, faults, kind,
+// consistency) and a QueryResponse carries a status code plus payload and
+// serving stats. OracleService (oracle_service.h) is the interpreter;
+// `ftbfs serve` speaks the same messages as JSONL over stdin/stdout
+// (docs/serving.md documents the wire format).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "spath/path.h"
+
+namespace ftbfs {
+
+// Outcome of one request. Everything except kOk/kDisconnected is a refusal:
+// the service answered "I cannot serve this exactly", never a crash.
+enum class StatusCode {
+  kOk = 0,
+  kBudgetExceeded,         // |faults| above every structure's budget
+  kUnknownSource,          // unknown source/target/fault/structure id
+  kUnsupportedFaultModel,  // no structure guarantees this fault model
+  kDisconnected,           // served, but every requested target is unreachable
+};
+
+enum class QueryKind {
+  kDistance,      // distance per target
+  kPath,          // shortest path per target
+  kAllDistances,  // full distance vector from the source
+  kReachability,  // boolean per target
+};
+
+// What the client prefers when the fault set falls outside every structure's
+// guarantee: a refusal with kBudgetExceeded / kUnsupportedFaultModel (serving
+// cost stays bounded by the structure size), or a best-effort answer from the
+// identity engine over G (always exact, but costs a BFS over the full graph).
+enum class Consistency { kExactOrRefuse, kBestEffort };
+
+struct QueryRequest {
+  std::int64_t id = -1;  // client correlation id, echoed in the response
+  Vertex source = 0;
+  std::vector<Vertex> targets;  // ignored for kAllDistances
+  std::vector<EdgeId> fault_edges;      // host-graph edge ids
+  std::vector<Vertex> fault_vertices;   // host-graph vertex ids
+  QueryKind kind = QueryKind::kDistance;
+  Consistency consistency = Consistency::kExactOrRefuse;
+  // Non-empty: pin the request to the named pool entry ("identity" is always
+  // available) instead of letting the service route it.
+  std::string structure;
+};
+
+struct QueryResponse {
+  std::int64_t id = -1;  // echoed from the request
+  StatusCode status = StatusCode::kOk;
+  // True iff the answers carry an exactness guarantee (structure served
+  // within its fault budget, identity engine, or point oracle).
+  bool exact = false;
+  // --- payload (filled for kOk and kDisconnected) --------------------------
+  // kDistance/kPath/kReachability: one entry per target; kAllDistances: one
+  // per vertex. kInfHops = unreachable.
+  std::vector<std::uint32_t> distances;
+  std::vector<Path> paths;          // kPath only; empty path = unreachable
+  std::vector<bool> reachable;      // kReachability only
+  // --- serving stats -------------------------------------------------------
+  std::string served_by;  // pool entry name, "identity", or "point_oracle"
+  bool cache_hit = false;
+  std::string error;  // human-readable reason for refusals
+};
+
+[[nodiscard]] const char* to_string(StatusCode s);
+[[nodiscard]] const char* to_string(QueryKind k);
+[[nodiscard]] const char* to_string(Consistency c);
+
+// --- JSONL wire format (see docs/serving.md) -------------------------------
+
+// Outcome of parsing one request line. kSyntax means the line is not a valid
+// request object (the caller should emit a parse_error line); kResolve means
+// the request parsed but referenced an id that does not exist in the graph
+// (the caller should answer kUnknownSource, echoing `request.id`).
+enum class ParseStatus { kOk, kSyntax, kResolve };
+
+struct ParsedRequest {
+  ParseStatus status = ParseStatus::kOk;
+  QueryRequest request;
+  std::string error;  // filled unless status == kOk
+};
+
+// Parses one JSONL request line. Fault edges arrive as endpoint pairs
+// ("fault_edges": [[u,v],...]) and are resolved to edge ids of `g`.
+[[nodiscard]] ParsedRequest parse_request_line(const std::string& line,
+                                               const Graph& g);
+
+// Serializes a response as one JSONL line (no trailing newline). Unreachable
+// distances are encoded as -1.
+[[nodiscard]] std::string format_response_line(const QueryResponse& resp);
+
+// One JSONL line reporting a request that never reached the service — wire
+// status "parse_error" (distinct from the StatusCode refusals, which are
+// answers about the graph rather than about the line).
+[[nodiscard]] std::string format_parse_error_line(const ParsedRequest& parsed);
+
+}  // namespace ftbfs

@@ -6,17 +6,32 @@
 
 namespace ftbfs {
 
+namespace {
+
+ServiceConfig sim_service_config(const SimConfig& config) {
+  ServiceConfig out;
+  out.lazy_build = false;  // the sim routes only on its registered overlays
+  out.cache_capacity = config.cache_capacity;
+  return out;
+}
+
+}  // namespace
+
 FailureSimulator::FailureSimulator(const Graph& g, Vertex source,
                                    SimConfig config)
-    : g_(&g), source_(source), config_(config) {
+    : g_(&g),
+      source_(source),
+      config_(config),
+      service_(g, sim_service_config(config)) {
   FTBFS_EXPECTS(source < g.num_vertices());
 }
 
 void FailureSimulator::add_overlay(std::string name,
                                    std::span<const EdgeId> edges,
                                    unsigned fault_budget) {
-  overlays_.push_back(Overlay{std::move(name), FaultQueryEngine(*g_, edges),
-                              fault_budget});
+  const std::size_t entry = service_.add_structure(
+      name, source_, fault_budget, FaultModel::kEdge, edges);
+  overlays_.push_back(Overlay{std::move(name), entry, fault_budget});
 }
 
 std::vector<OverlayMetrics> FailureSimulator::run() {
@@ -31,11 +46,16 @@ std::vector<OverlayMetrics> FailureSimulator::run() {
   std::vector<OverlayMetrics> metrics(overlays_.size());
   for (std::size_t i = 0; i < overlays_.size(); ++i) {
     metrics[i].name = overlays_[i].name;
-    metrics[i].edges = overlays_[i].engine.structure_edges();
+    metrics[i].edges = service_.entry_edges(overlays_[i].entry);
   }
   fault_histogram_.assign(g.num_edges() + 1, 0);
 
-  FaultQueryEngine truth_engine(g);  // identity: ground-truth distances
+  // One request skeleton per tick: best-effort because over-budget ticks must
+  // still route (the metrics *measure* what breaks beyond the budget).
+  QueryRequest req;
+  req.source = source_;
+  req.kind = QueryKind::kAllDistances;
+  req.consistency = Consistency::kBestEffort;
 
   for (std::uint32_t tick = 0; tick < config_.ticks; ++tick) {
     // Repairs first, then new failures subject to the cap.
@@ -56,16 +76,15 @@ std::vector<OverlayMetrics> FailureSimulator::run() {
     }
     ++fault_histogram_[failed_list.size()];
 
-    const FaultSpec faults = edge_faults(failed_list);
-    // Borrowed until truth_engine's next query; overlay engines have their
-    // own scratch, so this stays valid through the loop below.
-    const std::vector<std::uint32_t>& truth =
-        truth_engine.all_distances(source_, faults);
+    req.fault_edges = failed_list;
+    req.structure = "identity";
+    const std::vector<std::uint32_t> truth =
+        service_.serve(req).distances;  // ground truth for this tick-state
 
     for (std::size_t i = 0; i < overlays_.size(); ++i) {
-      Overlay& overlay = overlays_[i];
-      const std::vector<std::uint32_t>& got =
-          overlay.engine.all_distances(source_, faults);
+      const Overlay& overlay = overlays_[i];
+      req.structure = overlay.name;
+      const std::vector<std::uint32_t> got = service_.serve(req).distances;
       const bool in_budget = failed_list.size() <= overlay.budget;
       OverlayMetrics& m = metrics[i];
       for (Vertex v = 0; v < g.num_vertices(); ++v) {

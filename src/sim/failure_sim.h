@@ -8,9 +8,13 @@
 // overlay's fault budget from ticks beyond it, making the FT guarantee
 // ("exact whenever |F| <= f") directly observable.
 //
-// Routing per tick goes through FaultQueryEngine: the ground truth is the
-// identity engine over G, each overlay is an engine over its structure — the
-// simulator owns no edge-translation tables or BFS scratch of its own.
+// Routing per tick goes through one OracleService: the ground truth is the
+// service's identity entry, each overlay is a pool entry pinned by name, and
+// every tick issues best-effort all-distances requests (over-budget ticks
+// must still be answered — measuring the degradation is the point). Fault
+// trajectories revisit states constantly (repairs return to recent sets, calm
+// stretches stay fault-free), so the service's scenario cache serves repeated
+// tick-states without re-running BFS — service_stats() shows the hit rate.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "engine/query_engine.h"
+#include "service/oracle_service.h"
 #include "graph/graph.h"
 
 namespace ftbfs {
@@ -31,6 +35,8 @@ struct SimConfig {
   // Hard cap on concurrent faults (simulates a maintenance policy); no new
   // failures start while the cap is reached. 0 = no failures at all.
   std::size_t max_concurrent_faults = 2;
+  // Scenario-cache capacity of the routing service (0 disables caching).
+  std::size_t cache_capacity = 512;
 };
 
 struct OverlayMetrics {
@@ -52,6 +58,7 @@ class FailureSimulator {
   FailureSimulator(const Graph& g, Vertex source, SimConfig config);
 
   // Registers an overlay (edge ids of g) with a declared fault budget f.
+  // Names must be unique and must not shadow the service's "identity" entry.
   void add_overlay(std::string name, std::span<const EdgeId> edges,
                    unsigned fault_budget);
 
@@ -63,16 +70,22 @@ class FailureSimulator {
     return fault_histogram_;
   }
 
+  // Serving counters of the routing service (cache hits across tick-states).
+  [[nodiscard]] const ServiceStats& service_stats() const {
+    return service_.stats();
+  }
+
  private:
   struct Overlay {
     std::string name;
-    FaultQueryEngine engine;
+    std::size_t entry;  // pool entry handle in service_
     unsigned budget;
   };
 
   const Graph* g_;
   Vertex source_;
   SimConfig config_;
+  OracleService service_;
   std::vector<Overlay> overlays_;
   std::vector<std::uint64_t> fault_histogram_;
 };

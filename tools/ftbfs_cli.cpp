@@ -13,15 +13,22 @@
 //   query  --graph <file> --source <int> --target <int>
 //          [--fault-edges u-v,u-v | --fault-vertices v1,v2] [--faults <int>]
 //          [--algo <name>]
+//   serve  --graph <file> [--budget <f>] [--max-lazy <f>] [--cache <n>]
+//          [--lazy on|off] [--point-oracle <v>] [--seed <int>]
+//          (reads JSONL QueryRequests from stdin, streams JSONL QueryResponses
+//           to stdout; wire format in docs/serving.md)
 //
 // Structure construction is dispatched through the BuilderRegistry — any
 // registered algorithm name (or alias) works with --algo, and unknown names
-// list the registry. Queries are served by a FaultQueryEngine over the built
-// structure. Structures are exchanged as edge-list files of the kept subgraph.
+// list the registry. One-shot queries are served by a FaultQueryEngine over
+// the built structure; `serve` runs an OracleService over a lazily built
+// structure pool with scenario caching. Structures are exchanged as edge-list
+// files of the kept subgraph.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <cmath>
+#include <iostream>
 #include <sstream>
 #include <map>
 #include <numeric>
@@ -34,6 +41,8 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "lowerbound/gstar.h"
+#include "service/oracle_service.h"
+#include "service/protocol.h"
 #include "util/timer.h"
 
 namespace {
@@ -69,6 +78,10 @@ void list_algos(std::FILE* out) {
                "  ftbfs query --graph <file> --source <v> --target <v> "
                "[--fault-edges u-v,u-v | --fault-vertices v1,v2]\n"
                "              [--faults f] [--algo <name>]\n"
+               "  ftbfs serve --graph <file> [--budget f] [--max-lazy f] "
+               "[--cache n] [--lazy on|off]\n"
+               "              [--point-oracle v] [--seed S]   "
+               "(JSONL requests on stdin)\n"
                "registered builders (--algo):\n");
   list_algos(stderr);
   std::exit(2);
@@ -425,6 +438,79 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  check_flags(flags, {"graph", "budget", "max-lazy", "cache", "lazy",
+                      "point-oracle", "seed"});
+  const Graph g = load_graph(need(flags, "graph"));
+  ServiceConfig config;
+  config.default_budget =
+      static_cast<unsigned>(std::stoul(get_or(flags, "budget", "2")));
+  config.max_lazy_budget = static_cast<unsigned>(
+      std::stoul(get_or(flags, "max-lazy", "3")));
+  config.cache_capacity = std::stoull(get_or(flags, "cache", "256"));
+  config.weight_seed = std::stoull(get_or(flags, "seed", "1"));
+  const std::string lazy = get_or(flags, "lazy", "on");
+  if (lazy != "on" && lazy != "off") usage("--lazy must be on or off");
+  config.lazy_build = lazy == "on";
+
+  OracleService service(g, config);
+  if (flags.contains("point-oracle")) {
+    const Vertex v =
+        static_cast<Vertex>(std::stoul(flags.at("point-oracle")));
+    if (v >= g.num_vertices()) usage("--point-oracle vertex out of range");
+    service.enable_point_oracle(v);
+  }
+
+  // One request per line in, one response per line out; responses are
+  // flushed per line so the stream works under a pipe.
+  std::string line;
+  std::uint64_t parse_errors = 0, resolve_refusals = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const ParsedRequest parsed = parse_request_line(line, g);
+    std::string out_line;
+    if (parsed.status == ParseStatus::kSyntax) {
+      ++parse_errors;
+      out_line = format_parse_error_line(parsed);
+    } else if (parsed.status == ParseStatus::kResolve) {
+      ++resolve_refusals;
+      // The line parsed but names an edge the graph does not have — that is
+      // an answer about the graph, not about the line.
+      QueryResponse resp;
+      resp.id = parsed.request.id;
+      resp.status = StatusCode::kUnknownSource;
+      resp.error = parsed.error;
+      out_line = format_response_line(resp);
+    } else {
+      out_line = format_response_line(service.serve(parsed.request));
+    }
+    std::fprintf(stdout, "%s\n", out_line.c_str());
+    std::fflush(stdout);
+  }
+
+  // The summary reconciles against the response stream: refusals include
+  // the locally answered edge-resolution failures, which never reach the
+  // service, and parse errors are reported separately.
+  const ServiceStats& stats = service.stats();
+  std::fprintf(stderr,
+               "served %llu requests (%llu ok, %llu refused); %llu parse "
+               "errors; cache %llu/%llu hits (%.0f%%); %llu lazy builds, "
+               "pool size %zu\n",
+               static_cast<unsigned long long>(stats.requests +
+                                               resolve_refusals),
+               static_cast<unsigned long long>(stats.served),
+               static_cast<unsigned long long>(stats.refused +
+                                               resolve_refusals),
+               static_cast<unsigned long long>(parse_errors),
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.cache_hits +
+                                               stats.cache_misses),
+               100.0 * stats.cache_hit_rate(),
+               static_cast<unsigned long long>(stats.structures_built),
+               service.pool_size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -440,6 +526,7 @@ int main(int argc, char** argv) {
     if (cmd == "build") return cmd_build(flags);
     if (cmd == "verify") return cmd_verify(flags);
     if (cmd == "query") return cmd_query(flags);
+    if (cmd == "serve") return cmd_serve(flags);
   } catch (const GraphIoError& err) {
     std::fprintf(stderr, "ftbfs: %s\n", err.what());
     return 1;
