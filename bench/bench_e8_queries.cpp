@@ -10,23 +10,116 @@
 // workload is a *repeated-scenario sweep* (each fault set drawn from a small
 // pool, ~87% duplicates) — the shape a monitoring dashboard or the failure
 // simulator generates — so cached scenarios cost a lookup instead of a BFS.
+//
+// E8b is the concurrency sweep: 1/2/4/8 workers hammer one OracleService
+// with the same repeated-scenario workload (sharded cache, lock-striped read
+// path), a cold all-distinct workload (BFS-heavy — measures engine scratch-
+// lease scaling), and a single-hot-key workload (every worker racing for one
+// cache line — the worst-case shard contention). Flags: --small shrinks the
+// matrix for CI smoke runs, --json emits a machine-readable summary instead
+// of the tables (CI uploads it as BENCH_e8.json).
+#include <cstring>
+#include <memory>
+#include <thread>
+
 #include "bench_util.h"
 #include "engine/query_engine.h"
 #include "engine/registry.h"
 #include "service/oracle_service.h"
 #include "util/rng.h"
 
-int main() {
-  using namespace ftbfs;
-  using namespace ftbfs::bench;
+namespace {
+
+using namespace ftbfs;
+using namespace ftbfs::bench;
+
+struct SweepRow {
+  unsigned threads = 1;
+  double us_repeat = 0.0;
+  double speedup_repeat = 1.0;
+  double hit_rate = 0.0;
+  double us_cold = 0.0;
+  double speedup_cold = 1.0;
+  double us_hot = 0.0;
+  double speedup_hot = 1.0;
+  std::uint64_t mismatches = 0;
+};
+
+// Serves requests[i] for i ≡ worker (mod threads) on each of `threads`
+// workers against one shared service; returns wall seconds. Distances are
+// checked against `truth` outside the timer via `mismatches`.
+double hammer(OracleService& service, const std::vector<QueryRequest>& requests,
+              const std::vector<std::uint32_t>& truth, std::size_t cols,
+              unsigned threads, std::uint64_t& mismatches) {
+  std::vector<std::uint32_t> got(truth.size(), 0);
+  Timer timer;
+  auto run = [&](unsigned worker) {
+    for (std::size_t q = worker; q < requests.size(); q += threads) {
+      const QueryResponse resp = service.serve(requests[q]);
+      for (std::size_t j = 0; j < cols; ++j) {
+        got[q * cols + j] = resp.distances[j];
+      }
+    }
+  };
+  if (threads == 1) {
+    run(0);
+  } else {
+    std::vector<std::thread> crew;
+    crew.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) crew.emplace_back(run, w);
+    for (std::thread& t : crew) t.join();
+  }
+  const double seconds = timer.seconds();
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (got[i] != truth[i]) ++mismatches;
+  }
+  return seconds;
+}
+
+// Fresh single-entry service over the prebuilt structure, mirroring the E8a
+// service column so the sweep measures concurrency, not configuration.
+std::unique_ptr<OracleService> make_sweep_service(const Graph& g,
+                                                  const BuildResult& built,
+                                                  Vertex source,
+                                                  std::size_t cache_capacity) {
+  ServiceConfig config;
+  config.lazy_build = false;
+  config.cache_capacity = cache_capacity;
+  auto service = std::make_unique<OracleService>(g, config);
+  service->add_structure("cons2", source, 2, FaultModel::kEdge,
+                         built.structure.edges);
+  return service;  // the service is pinned to its address (mutexes inside)
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--small") == 0) {
+      small = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json] [--small]\n", argv[0]);
+      return 2;
+    }
+  }
 
   Table table("E8: repeated-scenario query sweep under fault injection");
   table.set_header({"family", "n", "|H|/m", "queries", "dup%", "mm", "us/q G",
                     "us/q H", "us/q batch", "us/q svc", "hit%", "speedup",
                     "batch x", "svc x"});
+  std::string families_json;
 
-  for (const Family& family : standard_families()) {
-    for (const Vertex n : {256u, 512u, 1024u}) {
+  const std::vector<Vertex> sizes =
+      small ? std::vector<Vertex>{256u} : std::vector<Vertex>{256u, 512u, 1024u};
+  const std::size_t family_limit = small ? 1 : standard_families().size();
+
+  for (std::size_t fi = 0; fi < family_limit; ++fi) {
+    const Family& family = standard_families()[fi];
+    for (const Vertex n : sizes) {
       const Graph g = family.make(n, 13);
       BuildRequest req;
       req.graph = &g;
@@ -98,12 +191,8 @@ int main() {
 
       // The service path: typed requests against an OracleService whose pool
       // holds the same structure; repeated scenarios hit the LRU cache.
-      ServiceConfig config;
-      config.lazy_build = false;
-      config.cache_capacity = static_cast<std::size_t>(unique) + 16;
-      OracleService service(g, config);
-      service.add_structure("cons2", 0, 2, FaultModel::kEdge,
-                            built.structure.edges);
+      const auto service = make_sweep_service(
+          g, built, 0, static_cast<std::size_t>(unique) + 16);
       QueryRequest request;
       request.source = 0;
       request.targets = targets;
@@ -112,7 +201,7 @@ int main() {
       Timer ts;
       for (int q = 0; q < queries; ++q) {
         request.fault_edges = fault_pool[pick[q]];
-        const QueryResponse resp = service.serve(request);
+        const QueryResponse resp = service->serve(request);
         for (std::size_t j = 0; j < targets.size(); ++j) {
           served[q * targets.size() + j] = resp.distances[j];
         }
@@ -128,6 +217,7 @@ int main() {
         if (served[i] != truth[i]) ++mismatches;
       }
 
+      const double hit_rate = service->stats().cache_hit_rate();
       table.add_row(
           {family.name, fmt_u64(n),
            fmt_double(
@@ -139,20 +229,171 @@ int main() {
            fmt_double(1e6 * h_time / queries, 1),
            fmt_double(1e6 * b_time / queries, 1),
            fmt_double(1e6 * s_time / queries, 1),
-           fmt_double(100.0 * service.stats().cache_hit_rate(), 0),
+           fmt_double(100.0 * hit_rate, 0),
            fmt_double(g_time / std::max(h_time, 1e-12), 2),
            fmt_double(h_time / std::max(b_time, 1e-12), 2),
            fmt_double(h_time / std::max(s_time, 1e-12), 2)});
+
+      char row[512];
+      std::snprintf(row, sizeof row,
+                    "%s{\"family\":\"%s\",\"n\":%u,\"queries\":%d,"
+                    "\"mismatches\":%llu,\"us_per_query_service\":%.2f,"
+                    "\"cache_hit_rate\":%.3f,\"service_speedup\":%.2f}",
+                    families_json.empty() ? "" : ",", family.name.c_str(), n,
+                    queries, static_cast<unsigned long long>(mismatches),
+                    1e6 * s_time / queries, hit_rate,
+                    h_time / std::max(s_time, 1e-12));
+      families_json += row;
     }
   }
+
+  // --- E8b: thread sweep over one shared service ---------------------------
+  // One representative config; every thread count replays the same request
+  // lists against a fresh service, so row-to-row ratios isolate concurrency.
+  const Family& sweep_family = standard_families()[0];
+  const Vertex sweep_n = small ? 256u : 1024u;
+  const int sweep_queries = small ? 1000 : 4000;
+  const Graph g = sweep_family.make(sweep_n, 13);
+  BuildRequest breq;
+  breq.graph = &g;
+  breq.sources = {0};
+  breq.fault_budget = 2;
+  const BuildResult built = BuilderRegistry::instance().build("cons2ftbfs", breq);
+
+  Rng rng(7);
+  const int unique = sweep_queries / 8;
+  const std::size_t cols = 32;
+  std::vector<Vertex> targets;
+  for (std::size_t i = 0; i < cols; ++i) {
+    targets.push_back(static_cast<Vertex>(rng.next_below(sweep_n)));
+  }
+  std::vector<std::vector<EdgeId>> fault_pool(unique);
+  for (auto& faults : fault_pool) {
+    const int k = static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < k; ++i) {
+      faults.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
+    }
+  }
+  QueryRequest skeleton;
+  skeleton.source = 0;
+  skeleton.targets = targets;
+  skeleton.kind = QueryKind::kDistance;
+  // repeated: ~87% duplicates; cold: every scenario distinct; hot: one
+  // scenario for the whole run (all workers racing for a single line).
+  std::vector<QueryRequest> repeat_reqs(sweep_queries, skeleton);
+  std::vector<QueryRequest> cold_reqs(sweep_queries, skeleton);
+  std::vector<QueryRequest> hot_reqs(sweep_queries, skeleton);
+  for (int q = 0; q < sweep_queries; ++q) {
+    repeat_reqs[q].fault_edges =
+        fault_pool[rng.next_below(static_cast<std::uint64_t>(unique))];
+    cold_reqs[q].fault_edges = {
+        static_cast<EdgeId>(rng.next_below(g.num_edges())),
+        static_cast<EdgeId>(q % g.num_edges())};
+    hot_reqs[q].fault_edges = fault_pool[0];
+  }
+
+  // Ground truth per workload, computed once on the identity engine.
+  FaultQueryEngine g_engine(g);
+  auto truth_for = [&](const std::vector<QueryRequest>& reqs) {
+    std::vector<std::uint32_t> truth(reqs.size() * cols);
+    for (std::size_t q = 0; q < reqs.size(); ++q) {
+      const auto& hops =
+          g_engine.all_distances(0, edge_faults(reqs[q].fault_edges));
+      for (std::size_t j = 0; j < cols; ++j) {
+        truth[q * cols + j] = hops[targets[j]];
+      }
+    }
+    return truth;
+  };
+  const std::vector<std::uint32_t> repeat_truth = truth_for(repeat_reqs);
+  const std::vector<std::uint32_t> cold_truth = truth_for(cold_reqs);
+  const std::vector<std::uint32_t> hot_truth = truth_for(hot_reqs);
+
+  std::vector<SweepRow> sweep;
+  double base_repeat = 0.0, base_cold = 0.0, base_hot = 0.0;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    SweepRow row;
+    row.threads = threads;
+    {
+      const auto service = make_sweep_service(
+          g, built, 0, static_cast<std::size_t>(unique) + 16);
+      const double secs = hammer(*service, repeat_reqs, repeat_truth, cols,
+                                 threads, row.mismatches);
+      row.us_repeat = 1e6 * secs / sweep_queries;
+      row.hit_rate = service->stats().cache_hit_rate();
+      if (threads == 1) base_repeat = row.us_repeat;
+      row.speedup_repeat = base_repeat / std::max(row.us_repeat, 1e-9);
+    }
+    {
+      const auto service = make_sweep_service(
+          g, built, 0, static_cast<std::size_t>(sweep_queries) + 16);
+      const double secs = hammer(*service, cold_reqs, cold_truth, cols,
+                                 threads, row.mismatches);
+      row.us_cold = 1e6 * secs / sweep_queries;
+      if (threads == 1) base_cold = row.us_cold;
+      row.speedup_cold = base_cold / std::max(row.us_cold, 1e-9);
+    }
+    {
+      const auto service = make_sweep_service(g, built, 0, 64);
+      const double secs = hammer(*service, hot_reqs, hot_truth, cols, threads,
+                                 row.mismatches);
+      row.us_hot = 1e6 * secs / sweep_queries;
+      if (threads == 1) base_hot = row.us_hot;
+      row.speedup_hot = base_hot / std::max(row.us_hot, 1e-9);
+    }
+    sweep.push_back(row);
+  }
+
+  if (json) {
+    std::printf("{\"bench\":\"e8_queries\",\"hardware_threads\":%u,"
+                "\"families\":[%s],\"thread_sweep\":{\"family\":\"%s\","
+                "\"n\":%u,\"queries\":%d,\"rows\":[",
+                std::thread::hardware_concurrency(), families_json.c_str(),
+                sweep_family.name.c_str(), sweep_n, sweep_queries);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const SweepRow& r = sweep[i];
+      std::printf(
+          "%s{\"threads\":%u,\"us_per_query_repeat\":%.2f,"
+          "\"speedup_repeat\":%.2f,\"hit_rate\":%.3f,"
+          "\"us_per_query_cold\":%.2f,\"speedup_cold\":%.2f,"
+          "\"us_per_query_hot\":%.2f,\"speedup_hot\":%.2f,"
+          "\"mismatches\":%llu}",
+          i == 0 ? "" : ",", r.threads, r.us_repeat, r.speedup_repeat,
+          r.hit_rate, r.us_cold, r.speedup_cold, r.us_hot, r.speedup_hot,
+          static_cast<unsigned long long>(r.mismatches));
+    }
+    std::printf("]}}\n");
+    return 0;
+  }
+
   table.print(std::cout);
+  Table sweep_table("E8b: service thread sweep (shared OracleService, " +
+                    sweep_family.name + ", n=" + std::to_string(sweep_n) + ")");
+  sweep_table.set_header({"threads", "mm", "us/q rep", "x rep", "hit%",
+                          "us/q cold", "x cold", "us/q hot", "x hot"});
+  for (const SweepRow& r : sweep) {
+    sweep_table.add_row({fmt_u64(r.threads), fmt_u64(r.mismatches),
+                         fmt_double(r.us_repeat, 1),
+                         fmt_double(r.speedup_repeat, 2),
+                         fmt_double(100.0 * r.hit_rate, 0),
+                         fmt_double(r.us_cold, 1),
+                         fmt_double(r.speedup_cold, 2),
+                         fmt_double(r.us_hot, 1),
+                         fmt_double(r.speedup_hot, 2)});
+  }
+  sweep_table.print(std::cout);
   std::printf(
       "Reading: zero mismatches — every query path answers exact distances.\n"
-      "The sequential column pays one full BFS per fault set; the batched\n"
+      "E8: the sequential column pays one full BFS per fault set; the batched\n"
       "column's early-exit BFS stops once the target sample is settled; the\n"
       "service column pays a BFS only on a scenario-cache miss, so on this\n"
       "~87%%-duplicate sweep its per-query cost approaches a table lookup\n"
       "(svc x is the service speedup over the sequential engine path — the\n"
-      "acceptance bar is 2x at >=50%% duplicates).\n");
+      "acceptance bar is 2x at >=50%% duplicates).\n"
+      "E8b: workers share one service. 'rep' is the repeated-scenario sweep\n"
+      "(shared-lock cache hits, the acceptance workload: >1.8x at 4 workers\n"
+      "on >=4 hardware threads); 'cold' is all-distinct (BFS on leased\n"
+      "scratch); 'hot' hammers a single cache line (worst-case shard\n"
+      "contention).\n");
   return 0;
 }

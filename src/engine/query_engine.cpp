@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <thread>
+#include <utility>
 
 namespace ftbfs {
 
@@ -27,16 +28,40 @@ FaultQueryEngine::FaultQueryEngine(const Graph& g,
     : g_(&g),
       h_owned_(std::make_unique<Graph>(subgraph_from_edges(g, h_edges))),
       h_(h_owned_.get()),
-      g_to_h_(g.num_edges(), kInvalidEdge) {
+      g_to_h_(g.num_edges(), kInvalidEdge),
+      pool_(std::make_unique<ScratchPool>()) {
   // subgraph_from_edges assigns H edge ids in the order of h_edges.
   for (EdgeId i = 0; i < h_edges.size(); ++i) {
     g_to_h_[h_edges[i]] = i;
   }
-  pool_.push_back(std::make_unique<Scratch>(*h_));
+  pool_->slots.push_back(std::make_unique<Scratch>(*h_));
 }
 
-FaultQueryEngine::FaultQueryEngine(const Graph& g) : g_(&g), h_(&g) {
-  pool_.push_back(std::make_unique<Scratch>(*h_));
+FaultQueryEngine::FaultQueryEngine(const Graph& g)
+    : g_(&g), h_(&g), pool_(std::make_unique<ScratchPool>()) {
+  pool_->slots.push_back(std::make_unique<Scratch>(*h_));
+}
+
+// h_ points at h_owned_ (address-stable across the unique_ptr move) or at the
+// caller-owned g_; either way the raw pointers transfer verbatim. Only the
+// atomic query counter needs hand-holding.
+FaultQueryEngine::FaultQueryEngine(FaultQueryEngine&& o) noexcept
+    : g_(o.g_),
+      h_owned_(std::move(o.h_owned_)),
+      h_(o.h_),
+      g_to_h_(std::move(o.g_to_h_)),
+      pool_(std::move(o.pool_)),
+      queries_(o.queries_.load(std::memory_order_relaxed)) {}
+
+FaultQueryEngine& FaultQueryEngine::operator=(FaultQueryEngine&& o) noexcept {
+  g_ = o.g_;
+  h_owned_ = std::move(o.h_owned_);
+  h_ = o.h_;
+  g_to_h_ = std::move(o.g_to_h_);
+  pool_ = std::move(o.pool_);
+  queries_.store(o.queries_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  return *this;
 }
 
 void FaultQueryEngine::apply_faults(Scratch& s, const FaultSpec& faults) const {
@@ -54,35 +79,51 @@ void FaultQueryEngine::apply_faults(Scratch& s, const FaultSpec& faults) const {
 }
 
 FaultQueryEngine::Scratch& FaultQueryEngine::scratch(std::size_t slot) {
-  while (pool_.size() <= slot) {
-    pool_.push_back(std::make_unique<Scratch>(*h_));
+  const std::lock_guard lock(pool_->mutex);
+  while (pool_->slots.size() <= slot) {
+    pool_->slots.push_back(std::make_unique<Scratch>(*h_));
   }
-  return *pool_[slot];
+  return *pool_->slots[slot];
 }
 
-const BfsResult& FaultQueryEngine::query(Vertex source,
-                                         const FaultSpec& faults) {
-  Scratch& s = scratch(0);
+FaultQueryEngine::ScratchLease FaultQueryEngine::acquire_scratch() {
+  const std::lock_guard lock(pool_->mutex);
+  if (!pool_->free_list.empty()) {
+    const std::size_t slot = pool_->free_list.back();
+    pool_->free_list.pop_back();
+    return ScratchLease(this, pool_->slots[slot].get(), slot);
+  }
+  pool_->slots.push_back(std::make_unique<Scratch>(*h_));
+  return ScratchLease(this, pool_->slots.back().get(), pool_->slots.size() - 1);
+}
+
+void FaultQueryEngine::release_scratch(std::size_t slot) {
+  const std::lock_guard lock(pool_->mutex);
+  pool_->free_list.push_back(slot);
+}
+
+const BfsResult& FaultQueryEngine::query_in(Scratch& s, Vertex source,
+                                            const FaultSpec& faults) {
   apply_faults(s, faults);
-  ++queries_;
+  queries_.fetch_add(1, std::memory_order_relaxed);
   return s.bfs.run(source, &s.mask);
 }
 
-std::uint32_t FaultQueryEngine::distance(Vertex source, Vertex target,
-                                         const FaultSpec& faults) {
-  Scratch& s = scratch(0);
+std::uint32_t FaultQueryEngine::distance_in(Scratch& s, Vertex source,
+                                            Vertex target,
+                                            const FaultSpec& faults) {
   apply_faults(s, faults);
-  ++queries_;
+  queries_.fetch_add(1, std::memory_order_relaxed);
   const Vertex targets[1] = {target};
   return s.bfs.run_until(source, targets, &s.mask).hops[target];
 }
 
-std::optional<Path> FaultQueryEngine::shortest_path(Vertex source,
-                                                    Vertex target,
-                                                    const FaultSpec& faults) {
-  Scratch& s = scratch(0);
+std::optional<Path> FaultQueryEngine::shortest_path_in(Scratch& s,
+                                                       Vertex source,
+                                                       Vertex target,
+                                                       const FaultSpec& faults) {
   apply_faults(s, faults);
-  ++queries_;
+  queries_.fetch_add(1, std::memory_order_relaxed);
   const Vertex targets[1] = {target};
   const BfsResult& r = s.bfs.run_until(source, targets, &s.mask);
   if (r.hops[target] == kInfHops) return std::nullopt;
@@ -94,9 +135,48 @@ std::optional<Path> FaultQueryEngine::shortest_path(Vertex source,
   return p;
 }
 
+const BfsResult& FaultQueryEngine::query(Vertex source,
+                                         const FaultSpec& faults) {
+  return query_in(scratch(0), source, faults);
+}
+
+std::uint32_t FaultQueryEngine::distance(Vertex source, Vertex target,
+                                         const FaultSpec& faults) {
+  return distance_in(scratch(0), source, target, faults);
+}
+
+std::optional<Path> FaultQueryEngine::shortest_path(Vertex source,
+                                                    Vertex target,
+                                                    const FaultSpec& faults) {
+  return shortest_path_in(scratch(0), source, target, faults);
+}
+
 const std::vector<std::uint32_t>& FaultQueryEngine::all_distances(
     Vertex source, const FaultSpec& faults) {
   return query(source, faults).hops;
+}
+
+const BfsResult& FaultQueryEngine::query(ScratchLease& lease, Vertex source,
+                                         const FaultSpec& faults) {
+  return query_in(*lease.scratch_, source, faults);
+}
+
+std::uint32_t FaultQueryEngine::distance(ScratchLease& lease, Vertex source,
+                                         Vertex target,
+                                         const FaultSpec& faults) {
+  return distance_in(*lease.scratch_, source, target, faults);
+}
+
+std::optional<Path> FaultQueryEngine::shortest_path(ScratchLease& lease,
+                                                    Vertex source,
+                                                    Vertex target,
+                                                    const FaultSpec& faults) {
+  return shortest_path_in(*lease.scratch_, source, target, faults);
+}
+
+const std::vector<std::uint32_t>& FaultQueryEngine::all_distances(
+    ScratchLease& lease, Vertex source, const FaultSpec& faults) {
+  return query(lease, source, faults).hops;
 }
 
 std::vector<std::uint32_t> FaultQueryEngine::batch(
@@ -116,8 +196,11 @@ std::vector<std::uint32_t> FaultQueryEngine::batch(
                                  rows, std::numeric_limits<unsigned>::max())),
                     hardware}));
 
-  auto run_rows = [&](std::size_t slot, std::size_t begin, std::size_t end) {
-    Scratch& s = scratch(slot);
+  auto run_rows = [&](std::size_t begin, std::size_t end) {
+    // Leased scratch, not a fixed slot: batch may run concurrently with
+    // leased single queries on the same engine (the service's workers).
+    ScratchLease lease = acquire_scratch();
+    Scratch& s = *lease.scratch_;
     for (std::size_t i = begin; i < end; ++i) {
       apply_faults(s, fault_sets[i]);
       const BfsResult& r = s.bfs.run_until(source, targets, &s.mask);
@@ -128,22 +211,19 @@ std::vector<std::uint32_t> FaultQueryEngine::batch(
   };
 
   if (workers == 1) {
-    run_rows(0, 0, rows);
+    run_rows(0, rows);
   } else {
-    // Pre-grow the pool before spawning: scratch() mutates pool_ and must not
-    // race.
-    (void)scratch(workers - 1);
     std::vector<std::thread> crew;
     crew.reserve(workers);
     const std::size_t chunk = (rows + workers - 1) / workers;
     for (unsigned w = 0; w < workers; ++w) {
       const std::size_t begin = std::min<std::size_t>(w * chunk, rows);
       const std::size_t end = std::min<std::size_t>(begin + chunk, rows);
-      crew.emplace_back(run_rows, w, begin, end);
+      crew.emplace_back(run_rows, begin, end);
     }
     for (std::thread& t : crew) t.join();
   }
-  queries_ += rows;
+  queries_.fetch_add(rows, std::memory_order_relaxed);
   return out;
 }
 

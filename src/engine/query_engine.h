@@ -15,10 +15,20 @@
 // from a per-thread pool so no allocation or sharing happens on the hot path.
 // This is the serving substrate the ROADMAP's sensitivity-oracle/service line
 // builds on: a fault set is a "scenario", a batch is a scenario sweep.
+//
+// Concurrent callers (OracleService workers, threaded `ftbfs serve`) lease
+// scratch explicitly: acquire_scratch() checks a slot out of the pool under a
+// mutex, the lease-taking query overloads run on that slot with no shared
+// state, and the lease returns the slot on destruction. The lease-free
+// single-query API keeps its historical "serial scratch, results borrowed
+// until the next query" contract on the reserved slot 0 and must not be
+// called from two threads at once.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -100,8 +110,8 @@ class FaultQueryEngine {
   FaultQueryEngine(const Graph& g, const FtStructure& h)
       : FaultQueryEngine(g, std::span<const EdgeId>(h.edges)) {}
 
-  FaultQueryEngine(FaultQueryEngine&&) noexcept = default;
-  FaultQueryEngine& operator=(FaultQueryEngine&&) noexcept = default;
+  FaultQueryEngine(FaultQueryEngine&&) noexcept;
+  FaultQueryEngine& operator=(FaultQueryEngine&&) noexcept;
 
   // --- single-query API (serial scratch; results borrowed until next query) -
 
@@ -123,6 +133,54 @@ class FaultQueryEngine {
   [[nodiscard]] const std::vector<std::uint32_t>& all_distances(
       Vertex source, const FaultSpec& faults);
 
+  // --- concurrent API (leased scratch; thread-safe) -------------------------
+
+ private:
+  struct Scratch;  // declared below; leases carry a stable pointer to one
+
+ public:
+  // RAII checkout of one (mask, BFS, canon) scratch slot. Results returned by
+  // the lease-taking overloads below are borrowed from the slot and stay
+  // valid while the lease lives; concurrent leases never share state. The
+  // lease resolves its slot to a stable Scratch* under the pool mutex at
+  // acquire time, so later pool growth cannot move it.
+  class ScratchLease {
+   public:
+    ScratchLease(ScratchLease&& o) noexcept
+        : owner_(o.owner_), scratch_(o.scratch_), slot_(o.slot_) {
+      o.owner_ = nullptr;
+    }
+    ScratchLease& operator=(ScratchLease&&) = delete;
+    ScratchLease(const ScratchLease&) = delete;
+    ~ScratchLease() {
+      if (owner_ != nullptr) owner_->release_scratch(slot_);
+    }
+
+   private:
+    friend class FaultQueryEngine;
+    ScratchLease(FaultQueryEngine* owner, Scratch* scratch, std::size_t slot)
+        : owner_(owner), scratch_(scratch), slot_(slot) {}
+    FaultQueryEngine* owner_;
+    Scratch* scratch_;
+    std::size_t slot_;
+  };
+
+  // Checks a slot out of the pool (growing it on first contention beyond its
+  // high-water mark); O(1) amortized, one mutex acquisition.
+  [[nodiscard]] ScratchLease acquire_scratch();
+
+  // Thread-safe counterparts of the single-query API: identical answers,
+  // scratch taken from the lease instead of the shared serial slot.
+  const BfsResult& query(ScratchLease& lease, Vertex source,
+                         const FaultSpec& faults);
+  [[nodiscard]] std::uint32_t distance(ScratchLease& lease, Vertex source,
+                                       Vertex target, const FaultSpec& faults);
+  [[nodiscard]] std::optional<Path> shortest_path(ScratchLease& lease,
+                                                  Vertex source, Vertex target,
+                                                  const FaultSpec& faults);
+  [[nodiscard]] const std::vector<std::uint32_t>& all_distances(
+      ScratchLease& lease, Vertex source, const FaultSpec& faults);
+
   // --- batched API ----------------------------------------------------------
 
   // One distance matrix: result[i * targets.size() + j] is the distance
@@ -142,7 +200,9 @@ class FaultQueryEngine {
     return h_->num_edges();
   }
   [[nodiscard]] bool is_identity() const { return h_ == g_; }
-  [[nodiscard]] std::uint64_t queries_answered() const { return queries_; }
+  [[nodiscard]] std::uint64_t queries_answered() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Scratch {
@@ -152,18 +212,33 @@ class FaultQueryEngine {
     explicit Scratch(const Graph& h) : mask(h), bfs(h) {}
   };
 
+  // Slot storage plus the free list leases draw from. Heap-allocated as one
+  // block so the engine stays movable despite the mutex.
+  struct ScratchPool {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<Scratch>> slots;  // slot 0 = serial scratch
+    std::vector<std::size_t> free_list;           // never contains slot 0
+  };
+
   // Canonicalizes `faults` into `s.canon`, then resets `s.mask` and applies
   // the distinct ids (host ids) to it.
   void apply_faults(Scratch& s, const FaultSpec& faults) const;
 
   [[nodiscard]] Scratch& scratch(std::size_t slot);
+  void release_scratch(std::size_t slot);
+
+  const BfsResult& query_in(Scratch& s, Vertex source, const FaultSpec& faults);
+  std::uint32_t distance_in(Scratch& s, Vertex source, Vertex target,
+                            const FaultSpec& faults);
+  std::optional<Path> shortest_path_in(Scratch& s, Vertex source, Vertex target,
+                                       const FaultSpec& faults);
 
   const Graph* g_;
   std::unique_ptr<Graph> h_owned_;  // null for the identity engine
   const Graph* h_;                  // == g_ or h_owned_.get(); address-stable
   std::vector<EdgeId> g_to_h_;      // empty for the identity engine
-  std::vector<std::unique_ptr<Scratch>> pool_;  // slot 0 = serial scratch
-  std::uint64_t queries_ = 0;
+  std::unique_ptr<ScratchPool> pool_;
+  std::atomic<std::uint64_t> queries_{0};
 };
 
 }  // namespace ftbfs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 #include <utility>
 
 #include "engine/registry.h"
@@ -27,6 +28,48 @@ void append_u32(std::string& key, std::uint32_t x) {
   }
 }
 
+// Lazy-build key: one structure per (source, budget, model) shape.
+std::uint64_t pack_pool_key(Vertex source, unsigned budget, FaultModel model) {
+  return (static_cast<std::uint64_t>(source) << 32) |
+         (static_cast<std::uint64_t>(budget & 0x7fffffffu) << 1) |
+         (model == FaultModel::kVertex ? 1u : 0u);
+}
+
+// Burns one sequencer ticket exactly once across every exit path: enter() at
+// the top of the admission section, exit() when admission work is done (the
+// long execution tail then runs unordered). Early returns — validation
+// refusals before admission, refusals inside it — burn the ticket from the
+// destructor.
+class TicketGuard {
+ public:
+  TicketGuard(RequestSequencer* sequencer, std::uint64_t ticket)
+      : sequencer_(sequencer), ticket_(ticket) {}
+  TicketGuard(const TicketGuard&) = delete;
+  TicketGuard& operator=(const TicketGuard&) = delete;
+  ~TicketGuard() { exit(); }
+
+  void enter() {
+    if (sequencer_ != nullptr && !entered_) {
+      sequencer_->wait_for(ticket_);
+      entered_ = true;
+    }
+  }
+
+  void exit() {
+    if (sequencer_ != nullptr && !exited_) {
+      enter();  // a ticket skipped before admission still has to take its turn
+      sequencer_->advance();
+      exited_ = true;
+    }
+  }
+
+ private:
+  RequestSequencer* sequencer_;
+  std::uint64_t ticket_;
+  bool entered_ = false;
+  bool exited_ = false;
+};
+
 }  // namespace
 
 OracleService::Entry::Entry(const Graph& g, std::span<const EdgeId> edges)
@@ -42,8 +85,20 @@ OracleService::Entry::Entry(const Graph& g)
       engine(g) {}
 
 OracleService::OracleService(const Graph& g, ServiceConfig config)
-    : g_(&g), config_(config) {
+    : g_(&g),
+      config_(config),
+      cache_(config.cache_capacity, config.cache_shards),
+      lazy_builds_(config.cache_shards) {
   entries_.push_back(Entry(*g_));  // entry 0: ground truth, always available
+}
+
+std::size_t OracleService::publish_entry(Entry entry) {
+  const std::unique_lock lock(pool_mutex_);
+  // Racing eager adds can take any name first; a lazy build keeps its
+  // deterministic base name unless the name is genuinely occupied.
+  while (find_entry_locked(entry.name) >= 0) entry.name += "+";
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
 }
 
 std::size_t OracleService::add_structure(std::string name, Vertex source,
@@ -52,16 +107,19 @@ std::size_t OracleService::add_structure(std::string name, Vertex source,
                                          std::span<const EdgeId> edges,
                                          bool exact) {
   FTBFS_EXPECTS(!name.empty());
-  FTBFS_EXPECTS(find_entry(name) < 0);
   FTBFS_EXPECTS(source < g_->num_vertices());
-  Entry entry(*g_, edges);
+  Entry entry(*g_, edges);  // subgraph materialization, outside any lock
   entry.name = std::move(name);
   entry.source = source;
   entry.budget = fault_budget;
   entry.model = model;
   entry.exact = exact;
-  entries_.push_back(std::move(entry));
-  return entries_.size() - 1;
+  {
+    const std::unique_lock lock(pool_mutex_);
+    FTBFS_EXPECTS(find_entry_locked(entry.name) < 0);
+    entries_.push_back(std::move(entry));
+    return entries_.size() - 1;
+  }
 }
 
 std::size_t OracleService::build_structure(std::string name, Vertex source,
@@ -91,22 +149,47 @@ void OracleService::enable_point_oracle(Vertex source) {
   point_oracles_.try_emplace(source, *g_, source, config_.weight_seed);
 }
 
+ServiceStats OracleService::stats() const {
+  ServiceStats out;
+  out.requests = counters_.requests.load(std::memory_order_relaxed);
+  out.served = counters_.served.load(std::memory_order_relaxed);
+  out.refused = counters_.refused.load(std::memory_order_relaxed);
+  out.cache_hits = cache_.total_hits();
+  out.cache_misses = cache_.total_misses();
+  out.cache_evictions = cache_.total_evictions();
+  out.structures_built =
+      counters_.structures_built.load(std::memory_order_relaxed);
+  out.identity_served =
+      counters_.identity_served.load(std::memory_order_relaxed);
+  out.point_oracle_served =
+      counters_.point_oracle_served.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t OracleService::pool_size() const {
+  const std::shared_lock lock(pool_mutex_);
+  return entries_.size();
+}
+
 const std::string& OracleService::entry_name(std::size_t entry) const {
+  const std::shared_lock lock(pool_mutex_);
   FTBFS_EXPECTS(entry < entries_.size());
   return entries_[entry].name;
 }
 
 std::uint64_t OracleService::entry_edges(std::size_t entry) const {
+  const std::shared_lock lock(pool_mutex_);
   FTBFS_EXPECTS(entry < entries_.size());
   return entries_[entry].edge_count;
 }
 
 FaultQueryEngine& OracleService::engine(std::size_t entry) {
+  const std::shared_lock lock(pool_mutex_);
   FTBFS_EXPECTS(entry < entries_.size());
   return entries_[entry].engine;
 }
 
-int OracleService::find_entry(std::string_view name) const {
+int OracleService::find_entry_locked(std::string_view name) const {
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     if (entries_[i].name == name) return static_cast<int>(i);
   }
@@ -122,67 +205,77 @@ bool OracleService::serves_exactly(const Entry& e, Vertex source,
          canon.size() <= e.budget;
 }
 
-std::string OracleService::cache_key(std::size_t entry, Vertex source) const {
-  const Entry& e = entries_[entry];
+OracleService::Entry& OracleService::entry_ref(std::size_t entry) {
+  const std::shared_lock lock(pool_mutex_);
+  return entries_[entry];
+}
+
+std::string OracleService::cache_key(const Entry& e, std::size_t entry,
+                                     Vertex source,
+                                     const CanonicalFaultSet& canon) const {
   std::string key;
-  key.reserve(12 + 4 * canon_.size());
+  key.reserve(12 + 4 * canon.size());
   append_u32(key, static_cast<std::uint32_t>(entry));
   append_u32(key, source);
   // Project onto H: faults absent from the structure cannot change answers,
   // so scenarios differing only in absent edges share one cache line. The
   // projected edge count keeps the edge/vertex boundary unambiguous.
   std::uint32_t kept = 0;
-  for (const EdgeId f : canon_.edges()) {
+  for (const EdgeId f : canon.edges()) {
     if (e.identity || e.in_h[f]) ++kept;
   }
   append_u32(key, kept);
-  for (const EdgeId f : canon_.edges()) {
+  for (const EdgeId f : canon.edges()) {
     if (e.identity || e.in_h[f]) append_u32(key, f);
   }
-  for (const Vertex v : canon_.vertices()) append_u32(key, v);
+  for (const Vertex v : canon.vertices()) append_u32(key, v);
   return key;
-}
-
-const std::vector<std::uint32_t>* OracleService::cache_find(
-    const std::string& key) {
-  const auto it = cache_.find(key);
-  if (it == cache_.end()) return nullptr;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return &it->second->hops;
-}
-
-const std::vector<std::uint32_t>* OracleService::cache_insert(
-    std::string key, const std::vector<std::uint32_t>& hops) {
-  lru_.push_front(CacheLine{std::move(key), hops});
-  cache_[lru_.front().key] = lru_.begin();
-  if (lru_.size() > config_.cache_capacity) {
-    cache_.erase(lru_.back().key);
-    lru_.pop_back();
-  }
-  return &lru_.front().hops;
 }
 
 QueryResponse OracleService::refuse(QueryResponse resp, StatusCode status,
                                     std::string why) {
   resp.status = status;
   resp.error = std::move(why);
-  ++stats_.refused;
+  counters_.refused.fetch_add(1, std::memory_order_relaxed);
   return resp;
 }
 
-void OracleService::fill_payload(std::size_t entry, const QueryRequest& req,
+void OracleService::plan_payload(ServePlan& plan, const QueryRequest& req,
+                                 const CanonicalFaultSet& canon) {
+  // Paths need BFS parents, which the scenario cache does not retain — path
+  // requests always go to the engine.
+  if (req.kind == QueryKind::kPath || !cache_.enabled()) return;
+  // Single-target miss: an early-exit BFS beats the full sweep a cache line
+  // would need, so do not reserve a line (a hit is still used).
+  const bool reserve =
+      !(req.kind == QueryKind::kDistance && req.targets.size() == 1);
+  ShardedScenarioCache::Probe probe = cache_.probe(
+      cache_key(*plan.e, plan.entry, req.source, canon), reserve);
+  if (probe.hit) {
+    plan.line = std::move(probe.line);
+    plan.cache_hit = true;
+  } else if (probe.owner) {
+    plan.line = probe.line;
+    plan.fill_line = true;
+    plan.fill_obligation.line = std::move(probe.line);
+  }
+}
+
+void OracleService::fill_payload(ServePlan& plan, const QueryRequest& req,
+                                 const CanonicalFaultSet& canon,
                                  QueryResponse& resp) {
-  Entry& e = entries_[entry];
+  Entry& e = *plan.e;
   resp.served_by = e.name;
-  if (e.identity) ++stats_.identity_served;
-  const FaultSpec faults = canon_.spec();
+  if (e.identity) {
+    counters_.identity_served.fetch_add(1, std::memory_order_relaxed);
+  }
+  const FaultSpec faults = canon.spec();
 
   if (req.kind == QueryKind::kPath) {
-    // Paths need BFS parents, which the scenario cache does not retain —
-    // path requests always go to the engine.
+    FaultQueryEngine::ScratchLease lease = e.engine.acquire_scratch();
     std::size_t unreachable = 0;
     for (const Vertex t : req.targets) {
-      auto path = e.engine.shortest_path(req.source, t, faults);
+      auto path = e.engine.shortest_path(lease, req.source, t, faults);
       if (path.has_value()) {
         resp.distances.push_back(static_cast<std::uint32_t>(path->size() - 1));
         resp.paths.push_back(std::move(*path));
@@ -198,33 +291,49 @@ void OracleService::fill_payload(std::size_t entry, const QueryRequest& req,
     return;
   }
 
-  const bool cache_enabled = config_.cache_capacity > 0;
+  resp.cache_hit = plan.cache_hit;
   const std::vector<std::uint32_t>* hops = nullptr;
-  std::string key;
-  if (cache_enabled) {
-    key = cache_key(entry, req.source);
-    hops = cache_find(key);
-    if (hops != nullptr) {
-      resp.cache_hit = true;
-      ++stats_.cache_hits;
+  if (plan.cache_hit) {
+    // Computed by whoever reserved the line (possibly still in flight). An
+    // empty vector is the poison a failed computer leaves behind (a real
+    // distance vector always has num_vertices() entries) — fall through and
+    // compute locally rather than serving garbage, and stop claiming the
+    // answer came from the cache.
+    const std::vector<std::uint32_t>& cached =
+        ShardedScenarioCache::wait(*plan.line);
+    if (!cached.empty()) {
+      hops = &cached;
     } else {
-      ++stats_.cache_misses;
+      resp.cache_hit = false;
     }
   }
   if (hops == nullptr && req.kind == QueryKind::kDistance &&
       req.targets.size() == 1) {
-    // Single-target miss: an early-exit BFS beats the full sweep a cache
-    // line would need, so answer directly and leave the cache untouched.
+    FaultQueryEngine::ScratchLease lease = e.engine.acquire_scratch();
     const std::uint32_t d =
-        e.engine.distance(req.source, req.targets[0], faults);
+        e.engine.distance(lease, req.source, req.targets[0], faults);
     resp.distances.push_back(d);
     if (d == kInfHops) resp.status = StatusCode::kDisconnected;
     return;
   }
+  // Keep the lease (and the full vector it backs) alive until the payload is
+  // copied out below.
+  std::optional<FaultQueryEngine::ScratchLease> lease;
   if (hops == nullptr) {
+    lease.emplace(e.engine.acquire_scratch());
     const std::vector<std::uint32_t>& full =
-        e.engine.all_distances(req.source, faults);
-    hops = cache_enabled ? cache_insert(std::move(key), full) : &full;
+        e.engine.all_distances(*lease, req.source, faults);
+    if (plan.fill_line) {
+      // The copy can throw (it allocates); the plan's fill obligation stays
+      // armed — poisoning the line for the waiters — until the real
+      // distances are published.
+      std::vector<std::uint32_t> copy(full);
+      ShardedScenarioCache::fill(*plan.line, std::move(copy));
+      plan.fill_obligation.disarm();
+      hops = &plan.line->hops;
+    } else {
+      hops = &full;  // borrow straight from the lease
+    }
   }
 
   switch (req.kind) {
@@ -254,11 +363,26 @@ void OracleService::fill_payload(std::size_t entry, const QueryRequest& req,
 }
 
 QueryResponse OracleService::serve(const QueryRequest& req) {
-  ++stats_.requests;
+  return serve_impl(req, nullptr, 0);
+}
+
+QueryResponse OracleService::serve(const QueryRequest& req,
+                                   RequestSequencer& sequencer,
+                                   std::uint64_t ticket) {
+  return serve_impl(req, &sequencer, ticket);
+}
+
+QueryResponse OracleService::serve_impl(const QueryRequest& req,
+                                        RequestSequencer* sequencer,
+                                        std::uint64_t ticket) {
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  TicketGuard turn(sequencer, ticket);
   QueryResponse resp;
   resp.id = req.id;
 
   // --- validation: unknown ids are status codes, never aborts --------------
+  // Reads only the immutable graph, so it runs before the admission turn;
+  // the TicketGuard still burns the ticket on these early refusals.
   const Vertex n = g_->num_vertices();
   if (req.source >= n) {
     return refuse(std::move(resp), StatusCode::kUnknownSource,
@@ -283,20 +407,47 @@ QueryResponse OracleService::serve(const QueryRequest& req) {
     }
   }
 
-  canon_.assign(FaultSpec{req.fault_edges, req.fault_vertices});
-  const bool has_edge_faults = !canon_.edges().empty();
-  const bool has_vertex_faults = !canon_.vertices().empty();
+  // Per-thread canonicalization scratch: serve_impl never recurses, and the
+  // canon stays valid through this thread's execution tail.
+  static thread_local CanonicalFaultSet canon;
+  canon.assign(FaultSpec{req.fault_edges, req.fault_vertices});
+  const bool has_edge_faults = !canon.edges().empty();
+  const bool has_vertex_faults = !canon.vertices().empty();
   const bool mixed = has_edge_faults && has_vertex_faults;
+
+  // --- admission: everything that reads or advances shared serving state ---
+  turn.enter();
+
+  // The one way out for served (non-refused) requests: finish admission
+  // (cache probe), release the turn, and run the execution tail.
+  auto complete = [&](Entry* e, std::size_t entry, bool exact) {
+    ServePlan plan;
+    plan.e = e;
+    plan.entry = entry;
+    plan.exact = exact;
+    plan_payload(plan, req, canon);
+    turn.exit();
+    resp.exact = plan.exact;
+    fill_payload(plan, req, canon, resp);
+    counters_.served.fetch_add(1, std::memory_order_relaxed);
+    return std::move(resp);
+  };
 
   // --- pinned requests -----------------------------------------------------
   if (!req.structure.empty()) {
-    const int idx = find_entry(req.structure);
+    int idx = -1;
+    Entry* pinned = nullptr;
+    {
+      const std::shared_lock lock(pool_mutex_);
+      idx = find_entry_locked(req.structure);
+      if (idx >= 0) pinned = &entries_[static_cast<std::size_t>(idx)];
+    }
     if (idx < 0) {
       return refuse(std::move(resp), StatusCode::kUnknownSource,
                     "unknown structure '" + req.structure + "'");
     }
-    const Entry& e = entries_[static_cast<std::size_t>(idx)];
-    const bool exact = serves_exactly(e, req.source, canon_);
+    const Entry& e = *pinned;
+    const bool exact = serves_exactly(e, req.source, canon);
     if (!exact && req.consistency == Consistency::kExactOrRefuse) {
       if (e.source != req.source) {
         return refuse(std::move(resp), StatusCode::kUnknownSource,
@@ -316,26 +467,24 @@ QueryResponse OracleService::serve(const QueryRequest& req) {
                       "consistency");
       }
       return refuse(std::move(resp), StatusCode::kBudgetExceeded,
-                    std::to_string(canon_.size()) +
+                    std::to_string(canon.size()) +
                         " distinct faults exceed budget " +
                         std::to_string(e.budget) + " of structure '" +
                         e.name + "'");
     }
-    resp.exact = exact;
-    fill_payload(static_cast<std::size_t>(idx), req, resp);
-    ++stats_.served;
-    return resp;
+    return complete(pinned, static_cast<std::size_t>(idx), exact);
   }
 
   // --- point-oracle fast path: O(1) per target, no BFS at all --------------
-  if (!has_vertex_faults && canon_.edges().size() <= 1 &&
+  if (!has_vertex_faults && canon.edges().size() <= 1 &&
       (req.kind == QueryKind::kDistance ||
        req.kind == QueryKind::kReachability)) {
     const auto it = point_oracles_.find(req.source);
     if (it != point_oracles_.end()) {
+      turn.exit();  // const preprocessed tables; no shared serving state
       const SingleFaultOracle& po = it->second;
       const EdgeId down =
-          has_edge_faults ? canon_.edges()[0] : kInvalidEdge;
+          has_edge_faults ? canon.edges()[0] : kInvalidEdge;
       std::size_t unreachable = 0;
       for (const Vertex t : req.targets) {
         const std::uint32_t d = down == kInvalidEdge
@@ -353,8 +502,8 @@ QueryResponse OracleService::serve(const QueryRequest& req) {
       }
       resp.exact = true;
       resp.served_by = "point_oracle";
-      ++stats_.point_oracle_served;
-      ++stats_.served;
+      counters_.point_oracle_served.fetch_add(1, std::memory_order_relaxed);
+      counters_.served.fetch_add(1, std::memory_order_relaxed);
       return resp;
     }
   }
@@ -364,25 +513,28 @@ QueryResponse OracleService::serve(const QueryRequest& req) {
   bool saw_source = false;
   bool saw_model = false;   // some entry's model covers AND is exact
   bool saw_inexact = false; // model covers but the entry is approximate
-  for (std::size_t i = 1; i < entries_.size(); ++i) {  // 0 = identity
-    const Entry& e = entries_[i];
-    if (e.source != req.source) continue;
-    saw_source = true;
-    if (model_covers(e.model, has_edge_faults, has_vertex_faults)) {
-      (e.exact ? saw_model : saw_inexact) = true;
-    }
-    if (!serves_exactly(e, req.source, canon_)) continue;
-    if (best < 0 ||
-        e.edge_count < entries_[static_cast<std::size_t>(best)].edge_count) {
-      best = static_cast<int>(i);
+  {
+    const std::shared_lock lock(pool_mutex_);
+    for (std::size_t i = 1; i < entries_.size(); ++i) {  // 0 = identity
+      const Entry& e = entries_[i];
+      if (e.source != req.source) continue;
+      saw_source = true;
+      if (model_covers(e.model, has_edge_faults, has_vertex_faults)) {
+        (e.exact ? saw_model : saw_inexact) = true;
+      }
+      if (!serves_exactly(e, req.source, canon)) continue;
+      if (best < 0 ||
+          e.edge_count < entries_[static_cast<std::size_t>(best)].edge_count) {
+        best = static_cast<int>(i);
+      }
     }
   }
   if (best < 0 && config_.lazy_build && !mixed &&
-      canon_.size() <= config_.max_lazy_budget) {
+      canon.size() <= config_.max_lazy_budget) {
     const FaultModel model =
         has_vertex_faults ? FaultModel::kVertex : FaultModel::kEdge;
     const unsigned budget = std::max(
-        config_.default_budget, static_cast<unsigned>(canon_.size()));
+        config_.default_budget, static_cast<unsigned>(canon.size()));
     const std::string algo =
         BuilderRegistry::default_builder(budget, model, 1);
     BuildRequest breq;
@@ -392,27 +544,52 @@ QueryResponse OracleService::serve(const QueryRequest& req) {
     breq.fault_model = model;
     breq.weight_seed = config_.weight_seed;
     if (BuilderRegistry::instance().unsupported_reason(algo, breq).empty()) {
-      std::string name = algo + "@s" + std::to_string(req.source) + "f" +
-                         std::to_string(budget);
-      while (find_entry(name) >= 0) name += "+";
-      best = static_cast<int>(
-          build_structure(std::move(name), req.source, budget, model, algo));
-      ++stats_.structures_built;
+      // Exactly-once under racing requests: the first claimant builds (with
+      // no lock held — racing requests for other keys keep flowing), racers
+      // block on the cell and reuse the published entry.
+      const std::uint64_t pool_key = pack_pool_key(req.source, budget, model);
+      const BuildOnceMap::Claim claim = lazy_builds_.claim(pool_key);
+      if (claim.owner) {
+        int built = -1;
+        try {
+          const BuildResult result =
+              BuilderRegistry::instance().build(algo, breq);
+          const BuilderTraits* traits =
+              BuilderRegistry::instance().find(result.algorithm);
+          Entry entry(*g_, result.structure.edges);
+          entry.name = algo + "@s" + std::to_string(req.source) + "f" +
+                       std::to_string(budget);
+          entry.source = req.source;
+          entry.budget = budget;
+          entry.model = model;
+          entry.exact = traits == nullptr || traits->exact;
+          built = static_cast<int>(publish_entry(std::move(entry)));
+          counters_.structures_built.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+          // Publish the failure so racers fall through to their refusal
+          // paths instead of hanging on the cell, then drop the key so a
+          // later request retries the build (a transient failure must not
+          // refuse this shape forever).
+          BuildOnceMap::publish(*claim.cell, built);
+          lazy_builds_.forget(pool_key);
+          throw;
+        }
+        BuildOnceMap::publish(*claim.cell, built);
+        best = built;
+      } else {
+        best = BuildOnceMap::wait(*claim.cell);
+      }
     }
   }
   if (best >= 0) {
-    resp.exact = true;
-    fill_payload(static_cast<std::size_t>(best), req, resp);
-    ++stats_.served;
-    return resp;
+    const std::size_t entry = static_cast<std::size_t>(best);
+    return complete(&entry_ref(entry), entry, /*exact=*/true);
   }
 
   // --- no exact backend ----------------------------------------------------
   if (req.consistency == Consistency::kBestEffort) {
-    resp.exact = true;  // the identity engine is ground truth
-    fill_payload(0, req, resp);
-    ++stats_.served;
-    return resp;
+    // The identity engine (entry 0) is ground truth.
+    return complete(&entry_ref(0), 0, /*exact=*/true);
   }
   if (mixed) {
     return refuse(std::move(resp), StatusCode::kUnsupportedFaultModel,
@@ -436,7 +613,7 @@ QueryResponse OracleService::serve(const QueryRequest& req) {
                             " guarantees this fault model");
   }
   return refuse(std::move(resp), StatusCode::kBudgetExceeded,
-                std::to_string(canon_.size()) +
+                std::to_string(canon.size()) +
                     " distinct faults exceed every available structure "
                     "budget; retry with best_effort consistency");
 }

@@ -14,9 +14,9 @@
 //     requests that no structure covers and available under the reserved pin
 //     name "identity";
 //   * a scenario cache: canonicalized fault sets (sorted, deduped, projected
-//     onto the entry's structure) interned in an LRU together with their full
-//     distance vectors, so scenario sweeps and the failure simulator's
-//     repeated tick-states are served by a table lookup instead of a BFS.
+//     onto the entry's structure) interned together with their full distance
+//     vectors, so scenario sweeps and the failure simulator's repeated
+//     tick-states are served by a table lookup instead of a BFS.
 //
 // Routing: a request is validated (unknown ids become kUnknownSource, never
 // an abort), its fault set canonicalized (duplicates count once), and then
@@ -24,20 +24,36 @@
 // before structures, smaller structures before larger ones. Requests the pool
 // cannot serve exactly are refused (kExactOrRefuse) or served from the
 // identity engine (kBestEffort).
+//
+// Concurrency: serve() is safe under any number of racing callers. The
+// scenario cache and the lazy-build bookkeeping are lock-striped shards
+// (service/shard.h) — cache hits take one shared lock, BFS runs on scratch
+// leased from the entry's engine, a structure is built exactly once per pool
+// key no matter how many requests race for it, and all serving counters are
+// relaxed atomics. Each serve() call splits into a short *admission* section
+// (validation, routing, lazy-build trigger, cache probe — everything that
+// reads or advances shared serving state) and a long *execution* section
+// (the BFS / cache wait / payload copy, which runs on private state). The
+// sequenced overload runs admissions in strict ticket order, which makes a
+// threaded serving loop's responses byte-identical to the sequential ones —
+// `ftbfs serve --threads N` builds on it (see docs/serving.md).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <list>
+#include <deque>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "core/sensitivity_oracle.h"
 #include "engine/query_engine.h"
 #include "graph/graph.h"
 #include "service/protocol.h"
+#include "service/shard.h"
+#include "service/work_queue.h"
 
 namespace ftbfs {
 
@@ -54,14 +70,22 @@ struct ServiceConfig {
   // Scenario-cache capacity in (entry, fault set) lines; 0 disables caching.
   std::size_t cache_capacity = 256;
   std::uint64_t weight_seed = 1;  // tie-breaking weights for lazy builds
+  // Lock-striping width of the scenario cache and lazy-build map. More shards
+  // spread racing requests over more locks; 1 degenerates to a single lock.
+  // Hit/miss/eviction behavior is shard-count-independent (recency and
+  // capacity are accounted globally).
+  unsigned cache_shards = 8;
 };
 
+// A point-in-time snapshot of the serving counters (the live counters are
+// relaxed atomics; stats() aggregates them without stopping traffic).
 struct ServiceStats {
   std::uint64_t requests = 0;
   std::uint64_t served = 0;   // kOk or kDisconnected
   std::uint64_t refused = 0;  // any other status
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
   std::uint64_t structures_built = 0;      // lazy builds
   std::uint64_t identity_served = 0;       // answers from the identity engine
   std::uint64_t point_oracle_served = 0;   // O(1) fast-path answers
@@ -78,8 +102,10 @@ class OracleService {
  public:
   explicit OracleService(const Graph& g, ServiceConfig config = {});
 
-  OracleService(OracleService&&) noexcept = default;
-  OracleService& operator=(OracleService&&) noexcept = default;
+  // The service owns mutexes and latches other threads may be blocked on;
+  // it is pinned to its address for life.
+  OracleService(const OracleService&) = delete;
+  OracleService& operator=(const OracleService&) = delete;
 
   // Adds a prebuilt structure (edge ids of G) under a unique name. `exact`
   // declares the FT guarantee: dist(s,v,H∖F) = dist(s,v,G∖F) for |F| within
@@ -96,18 +122,34 @@ class OracleService {
 
   // Eagerly builds the O(n·m)-preprocessing point oracle for `source`;
   // afterwards single-edge-fault distance/reachability requests from that
-  // source are answered in O(1) per target.
+  // source are answered in O(1) per target. Not safe concurrently with
+  // serve() — enable fast paths before opening the request stream.
   void enable_point_oracle(Vertex source);
 
   // Serves one request. Never aborts on request contents: capability
-  // mismatches and unknown ids come back as status codes.
+  // mismatches and unknown ids come back as status codes. Thread-safe;
+  // answers (status, exactness, distances, paths) are deterministic, while
+  // attribution can depend on the interleaving of racing calls: which
+  // duplicate is labeled the cache miss, and — when requests whose lazy
+  // builds target *different* budgets race for one source — which of the
+  // resulting entries serves (`served_by`). The sequenced overload below
+  // removes even that.
   [[nodiscard]] QueryResponse serve(const QueryRequest& req);
+
+  // Same, with the admission section ordered by `ticket` through `sequencer`
+  // (tickets must be dense from 0 across all participants). Concurrent
+  // callers that agree on a ticket order get responses byte-identical to
+  // serving the requests sequentially in that order — including cache_hit
+  // flags and cache evictions.
+  [[nodiscard]] QueryResponse serve(const QueryRequest& req,
+                                    RequestSequencer& sequencer,
+                                    std::uint64_t ticket);
 
   // --- introspection -------------------------------------------------------
 
   [[nodiscard]] const Graph& graph() const { return *g_; }
-  [[nodiscard]] const ServiceStats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t pool_size() const { return entries_.size(); }
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t pool_size() const;
   [[nodiscard]] const std::string& entry_name(std::size_t entry) const;
   [[nodiscard]] std::uint64_t entry_edges(std::size_t entry) const;
 
@@ -134,42 +176,88 @@ class OracleService {
     explicit Entry(const Graph& g);  // identity
   };
 
-  struct CacheLine {
-    std::string key;
-    std::vector<std::uint32_t> hops;
+  // Armed the moment a request reserves a pending cache line: if the request
+  // unwinds before publishing real distances — anywhere between reservation
+  // and the fill, not just inside the compute block — the destructor
+  // poison-fills the line (empty vector) so waiters wake and compute for
+  // themselves, and a later probe() swaps the poisoned line out. disarm()
+  // after the real fill keeps the line's fill-exactly-once contract.
+  struct FillObligation {
+    ShardedScenarioCache::LinePtr line;
+    FillObligation() = default;
+    FillObligation(const FillObligation&) = delete;
+    FillObligation& operator=(const FillObligation&) = delete;
+    ~FillObligation() {
+      if (line != nullptr) ShardedScenarioCache::fill(*line, {});
+    }
+    void disarm() { line.reset(); }
   };
 
-  [[nodiscard]] int find_entry(std::string_view name) const;
+  // Everything serve() decides during admission; execution runs from this
+  // plan on private state only. `e` is resolved under the pool lock but
+  // stays valid without it: entries are address-stable and never removed.
+  struct ServePlan {
+    Entry* e = nullptr;
+    std::size_t entry = 0;  // index of `e` (part of the cache key)
+    bool exact = false;
+    // Cache outcome (non-path kinds with caching enabled):
+    ShardedScenarioCache::LinePtr line;
+    bool cache_hit = false;  // read the line (waiting if still pending)
+    bool fill_line = false;  // we reserved the line and must compute+fill it
+    FillObligation fill_obligation;  // armed iff fill_line
+  };
+
+  [[nodiscard]] int find_entry_locked(std::string_view name) const;
+  [[nodiscard]] Entry& entry_ref(std::size_t entry);
 
   // True if `e` answers exactly for (source, canonical faults).
   [[nodiscard]] bool serves_exactly(const Entry& e, Vertex source,
                                     const CanonicalFaultSet& canon) const;
 
-  // Cache key for the current canonical fault set (canon_) against `entry`:
-  // entry index + source + fault ids projected onto the entry's structure.
-  [[nodiscard]] std::string cache_key(std::size_t entry, Vertex source) const;
-  // Returns the cached distance vector (refreshing its LRU position), or
-  // nullptr on miss. Pointers are stable until eviction.
-  [[nodiscard]] const std::vector<std::uint32_t>* cache_find(
-      const std::string& key);
-  const std::vector<std::uint32_t>* cache_insert(
-      std::string key, const std::vector<std::uint32_t>& hops);
+  // Cache key for the canonical fault set against an entry: entry index +
+  // source + fault ids projected onto the entry's structure.
+  [[nodiscard]] std::string cache_key(const Entry& e, std::size_t entry,
+                                      Vertex source,
+                                      const CanonicalFaultSet& canon) const;
 
-  void fill_payload(std::size_t entry, const QueryRequest& req,
-                    QueryResponse& resp);
+  // Appends a published entry under the pool's exclusive lock, de-duplicating
+  // the name against racing eager adds. Returns the entry index.
+  std::size_t publish_entry(Entry entry);
+
+  // Admission: probes the scenario cache and decides who computes what.
+  void plan_payload(ServePlan& plan, const QueryRequest& req,
+                    const CanonicalFaultSet& canon);
+  // Execution: runs the plan (BFS on leased scratch / cache wait / copy).
+  void fill_payload(ServePlan& plan, const QueryRequest& req,
+                    const CanonicalFaultSet& canon, QueryResponse& resp);
 
   QueryResponse refuse(QueryResponse resp, StatusCode status,
                        std::string why);
 
+  QueryResponse serve_impl(const QueryRequest& req,
+                           RequestSequencer* sequencer, std::uint64_t ticket);
+
   const Graph* g_;
   ServiceConfig config_;
-  std::vector<Entry> entries_;  // entry 0 is the identity engine
+  // Entry 0 is the identity engine. A deque keeps entries address-stable
+  // under concurrent appends; the shared mutex guards the append itself and
+  // the size/name scans. Published entries are immutable (their engines hand
+  // out leased scratch internally).
+  std::deque<Entry> entries_;
+  mutable std::shared_mutex pool_mutex_;
   std::map<Vertex, SingleFaultOracle> point_oracles_;
-  CanonicalFaultSet canon_;  // per-request scratch
-  // LRU scenario cache: key = entry index + H-projected canonical fault ids.
-  std::list<CacheLine> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<CacheLine>::iterator> cache_;
-  ServiceStats stats_;
+  ShardedScenarioCache cache_;
+  BuildOnceMap lazy_builds_;
+
+  struct Counters {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> refused{0};
+    std::atomic<std::uint64_t> structures_built{0};
+    std::atomic<std::uint64_t> identity_served{0};
+    std::atomic<std::uint64_t> point_oracle_served{0};
+  };
+  mutable Counters counters_;
 };
 
 }  // namespace ftbfs

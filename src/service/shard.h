@@ -1,0 +1,321 @@
+// Lock-striped shards for the serving substrate: the scenario cache and the
+// lazy-build key map of OracleService, both safe under concurrent callers.
+//
+// Design (after the multi-core work-sharing playbook — shard state by key,
+// keep the read path cheap, pay exclusive locks only to publish):
+//
+//   * ShardedScenarioCache — scenario keys hash into N shards, each a
+//     `std::shared_mutex` over a key→line map. A cache hit takes only the
+//     shard's shared lock (find + an atomic recency bump); exclusive locks
+//     are paid only to insert. Lines are handed out as shared_ptrs, so a
+//     line being evicted under a reader's feet just loses its map slot —
+//     the reader's data stays alive. Recency is a global atomic clock
+//     stamped per touch; eviction removes the globally least-recent line,
+//     which makes the sharded cache's hit/miss/eviction sequence *identical*
+//     to the flat LRU it replaced whenever probes happen in a fixed order
+//     (the single-threaded and sequenced serving modes rely on this).
+//
+//   * A line is inserted *pending* by the prober that will compute it
+//     (compute-once latch): concurrent requests for the same scenario find
+//     the pending line and block in wait() instead of burning a duplicate
+//     BFS; fill() publishes the distances and wakes them.
+//
+//   * BuildOnceMap — the same compute-once idea for lazily built pool
+//     entries, keyed by packed (source, budget, fault model). The first
+//     requester claims the cell and builds with no lock held; racers wait on
+//     the cell and reuse the published entry index, guaranteeing a structure
+//     is built exactly once per key under racing requests.
+//
+// Per-shard hit/miss/eviction counters are relaxed atomics aggregated on
+// read, so serving stats never take a global lock.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ftbfs {
+
+class ShardedScenarioCache {
+ public:
+  // One cached scenario: the full distance vector from the entry's source
+  // under one canonical (projected) fault set. `ready` flips exactly once,
+  // after `hops` is filled by the computing thread.
+  struct Line {
+    std::vector<std::uint32_t> hops;
+    std::atomic<bool> ready{false};
+    std::atomic<std::uint64_t> last_used{0};
+    std::mutex mutex;
+    std::condition_variable ready_cv;
+  };
+  using LinePtr = std::shared_ptr<Line>;
+
+  struct Probe {
+    LinePtr line;       // null: miss without reservation (or cache disabled)
+    bool hit = false;   // found (possibly still pending — wait() before use)
+    bool owner = false; // this caller reserved the line and must fill() it
+  };
+
+  ShardedScenarioCache(std::size_t capacity, unsigned shard_count)
+      : capacity_(capacity),
+        shards_(capacity == 0 ? 1 : std::max(1u, shard_count)) {}
+
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+
+  // Looks `key` up; a hit bumps recency under the shard's *shared* lock.
+  // On a miss with `reserve`, inserts a pending line (probe.owner == true;
+  // the caller must fill() it — waiters are blocked on it). A miss without
+  // `reserve` leaves the cache untouched (the single-target fast path, where
+  // an early-exit BFS beats computing a full line).
+  Probe probe(const std::string& key, bool reserve) {
+    Probe out;
+    if (!enabled()) return out;
+    Shard& shard = shard_for(key);
+    {
+      const std::shared_lock lock(shard.mutex);
+      const auto it = shard.lines.find(key);
+      // A ready line with an empty vector is the poison a failed computer
+      // left behind (real distance vectors are never empty) — treat it as a
+      // miss so the reservation path below can swap in a fresh line.
+      if (it != shard.lines.end() && !is_poisoned(*it->second)) {
+        it->second->last_used.store(tick(), std::memory_order_relaxed);
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        out.line = it->second;
+        out.hit = true;
+        return out;
+      }
+    }
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    if (!reserve) return out;
+    {
+      const std::unique_lock lock(shard.mutex);
+      const auto [it, inserted] = shard.lines.try_emplace(key);
+      if (!inserted && is_poisoned(*it->second)) {
+        // Repair: replace the poisoned line with a fresh pending one and
+        // make this prober its computer. Size is unchanged (a swap, not an
+        // insert); old waiters still hold their shared_ptr.
+        it->second = std::make_shared<Line>();
+        it->second->last_used.store(tick(), std::memory_order_relaxed);
+        out.line = it->second;
+        out.owner = true;
+        return out;
+      }
+      if (!inserted) {
+        // Another thread reserved this scenario between our two locks; it is
+        // their BFS to run and our line to wait on. Reclassify the miss
+        // counted above as the hit this probe turned into, so the counters
+        // keep agreeing with the per-response cache_hit flags (exactly one
+        // miss per computed line).
+        shard.misses.fetch_sub(1, std::memory_order_relaxed);
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        it->second->last_used.store(tick(), std::memory_order_relaxed);
+        out.line = it->second;
+        out.hit = true;
+        return out;
+      }
+      it->second = std::make_shared<Line>();
+      it->second->last_used.store(tick(), std::memory_order_relaxed);
+      out.line = it->second;
+      out.owner = true;
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+    evict_over_capacity();
+    return out;
+  }
+
+  // Publishes the distance vector and wakes every waiter. Called exactly once
+  // per line, by the prober that owned the reservation.
+  static void fill(Line& line, std::vector<std::uint32_t> hops) {
+    {
+      const std::lock_guard lock(line.mutex);
+      line.hops = std::move(hops);
+      line.ready.store(true, std::memory_order_release);
+    }
+    line.ready_cv.notify_all();
+  }
+
+  // The line's distances, blocking until the computing thread fill()s them.
+  // The reference is valid while the caller holds a LinePtr to the line.
+  static const std::vector<std::uint32_t>& wait(Line& line) {
+    if (!line.ready.load(std::memory_order_acquire)) {
+      std::unique_lock lock(line.mutex);
+      line.ready_cv.wait(
+          lock, [&] { return line.ready.load(std::memory_order_acquire); });
+    }
+    return line.hops;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_hits() const {
+    return sum(&Shard::hits);
+  }
+  [[nodiscard]] std::uint64_t total_misses() const {
+    return sum(&Shard::misses);
+  }
+  [[nodiscard]] std::uint64_t total_evictions() const {
+    return sum(&Shard::evictions);
+  }
+
+ private:
+  struct Shard {
+    std::shared_mutex mutex;
+    std::unordered_map<std::string, LinePtr> lines;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
+  };
+
+  Shard& shard_for(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  static bool is_poisoned(const Line& line) {
+    return line.ready.load(std::memory_order_acquire) && line.hops.empty();
+  }
+
+  std::uint64_t tick() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::uint64_t sum(std::atomic<std::uint64_t> Shard::* counter) const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += (s.*counter).load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Capacity is accounted globally (per-shard quotas would let a tiny cache
+  // evict nothing), so eviction scans the shards for the least-recent line.
+  // Only over-capacity inserters pay this scan, one shard lock at a time —
+  // never two shard locks at once, so it cannot deadlock with probes. The
+  // eviction mutex keeps concurrent over-inserts from double-evicting.
+  //
+  // The scan is O(capacity) per over-capacity insert — a deliberate trade:
+  // any cheaper victim choice (per-shard LRU lists, sampled eviction, a
+  // recency heap) either puts a write lock on the hit path or stops picking
+  // the *global* minimum, and the byte-identical threaded serving guarantee
+  // rests on eviction choices replaying the sequential ones exactly. At the
+  // default capacity (256) the scan is noise next to the BFS the same miss
+  // just paid for; operators sizing --cache into the hundreds of thousands
+  // for all-distinct sweeps should disable caching instead (misses dominate
+  // anyway).
+  void evict_over_capacity() {
+    while (size_.load(std::memory_order_relaxed) > capacity_) {
+      const std::lock_guard evict_lock(eviction_mutex_);
+      if (size_.load(std::memory_order_relaxed) <= capacity_) return;
+      Shard* victim_shard = nullptr;
+      std::string victim_key;
+      std::uint64_t victim_stamp = 0;
+      for (Shard& s : shards_) {
+        const std::shared_lock lock(s.mutex);
+        for (const auto& [key, line] : s.lines) {
+          const std::uint64_t stamp =
+              line->last_used.load(std::memory_order_relaxed);
+          if (victim_shard == nullptr || stamp < victim_stamp) {
+            victim_shard = &s;
+            victim_key = key;
+            victim_stamp = stamp;
+          }
+        }
+      }
+      if (victim_shard == nullptr) return;  // racing evictions drained us
+      const std::unique_lock lock(victim_shard->mutex);
+      if (victim_shard->lines.erase(victim_key) > 0) {
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        victim_shard->evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::size_t capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> clock_{0};
+  std::atomic<std::size_t> size_{0};
+  std::mutex eviction_mutex_;
+};
+
+// Exactly-once lazy builds: maps a pool key to the entry index that serves
+// it, with a latch for the build in progress. claim() decides who builds;
+// publish()/wait() hand the entry index to the racers.
+class BuildOnceMap {
+ public:
+  struct Cell {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    int entry = -1;  // pool entry index; -1 = build never published
+  };
+  using CellPtr = std::shared_ptr<Cell>;
+
+  struct Claim {
+    CellPtr cell;
+    bool owner = false;  // this caller must build and publish()
+  };
+
+  explicit BuildOnceMap(unsigned shard_count)
+      : shards_(std::max(1u, shard_count)) {}
+
+  // First claimant of a key becomes the owner (and must publish, even on
+  // failure, or racers hang); everyone else shares the owner's cell.
+  Claim claim(std::uint64_t key) {
+    Shard& shard = shards_[key % shards_.size()];
+    {
+      const std::shared_lock lock(shard.mutex);
+      const auto it = shard.cells.find(key);
+      if (it != shard.cells.end()) return Claim{it->second, false};
+    }
+    const std::unique_lock lock(shard.mutex);
+    const auto [it, inserted] = shard.cells.try_emplace(key);
+    if (inserted) it->second = std::make_shared<Cell>();
+    return Claim{it->second, inserted};
+  }
+
+  static void publish(Cell& cell, int entry) {
+    {
+      const std::lock_guard lock(cell.mutex);
+      cell.entry = entry;
+      cell.done = true;
+    }
+    cell.done_cv.notify_all();
+  }
+
+  // Entry index for the key, blocking until the owner publishes. -1 means
+  // the owner could not build (the caller falls through to its refusal
+  // path, exactly as if the key had never been claimable).
+  static int wait(Cell& cell) {
+    std::unique_lock lock(cell.mutex);
+    cell.done_cv.wait(lock, [&] { return cell.done; });
+    return cell.entry;
+  }
+
+  // Drops the key so the next claim starts fresh. The failure path: publish
+  // -1 first (wakes the current waiters into their refusal paths), then
+  // forget, so the next request re-attempts the build instead of being
+  // refused forever on a transient failure.
+  void forget(std::uint64_t key) {
+    Shard& shard = shards_[key % shards_.size()];
+    const std::unique_lock lock(shard.mutex);
+    shard.cells.erase(key);
+  }
+
+ private:
+  struct Shard {
+    std::shared_mutex mutex;
+    std::unordered_map<std::uint64_t, CellPtr> cells;
+  };
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ftbfs

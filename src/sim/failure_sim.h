@@ -37,6 +37,12 @@ struct SimConfig {
   std::size_t max_concurrent_faults = 2;
   // Scenario-cache capacity of the routing service (0 disables caching).
   std::size_t cache_capacity = 512;
+  // Workers routing one tick's requests (ground truth + each overlay)
+  // through the service concurrently. The fault process itself stays
+  // sequential, so metrics are identical for every thread count; >1 simply
+  // exercises the service's concurrent path and cuts per-tick latency when
+  // several overlays are registered.
+  unsigned route_threads = 1;
 };
 
 struct OverlayMetrics {
@@ -71,9 +77,7 @@ class FailureSimulator {
   }
 
   // Serving counters of the routing service (cache hits across tick-states).
-  [[nodiscard]] const ServiceStats& service_stats() const {
-    return service_.stats();
-  }
+  [[nodiscard]] ServiceStats service_stats() const { return service_.stats(); }
 
  private:
   struct Overlay {

@@ -1,0 +1,422 @@
+// Concurrency tests for the serving substrate: N threads hammering one
+// OracleService produce the same answers as a sequential replay, a pool key
+// is lazily built exactly once no matter how many requests race for it, the
+// sequenced serve mode is *byte-identical* (formatted wire lines included)
+// to sequential serving, engine scratch leases never cross-talk, and the
+// work-queue/resequencer plumbing preserves FIFO and output order. These are
+// the tests the TSan CI job runs — every assertion doubles as a data-race
+// probe under -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/registry.h"
+#include "graph/generators.h"
+#include "service/oracle_service.h"
+#include "service/protocol.h"
+#include "service/shard.h"
+#include "service/work_queue.h"
+#include "sim/failure_sim.h"
+#include "util/rng.h"
+
+namespace ftbfs {
+namespace {
+
+constexpr unsigned kThreads = 8;
+
+// The payload fields that must be interleaving-independent. cache_hit is
+// deliberately absent: in the unsequenced mode, which of two racing requests
+// for one scenario runs the BFS is the scheduler's choice.
+struct PayloadKey {
+  StatusCode status;
+  bool exact;
+  std::string served_by;
+  std::vector<std::uint32_t> distances;
+  std::vector<bool> reachable;
+
+  bool operator==(const PayloadKey&) const = default;
+};
+
+PayloadKey payload_of(const QueryResponse& resp) {
+  return PayloadKey{resp.status, resp.exact, resp.served_by, resp.distances,
+                    resp.reachable};
+}
+
+// A mixed workload over two sources: cache hits (scenarios from a small
+// pool), misses, single-target fast paths, all-distances sweeps, refusals
+// (over budget, exact), and best-effort identity fallbacks.
+std::vector<QueryRequest> mixed_workload(const Graph& g, int count) {
+  Rng rng(4242);
+  std::vector<std::vector<EdgeId>> scenario_pool(8);
+  for (auto& faults : scenario_pool) {
+    for (std::uint64_t i = rng.next_below(3); i > 0; --i) {
+      faults.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
+    }
+  }
+  std::vector<QueryRequest> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    QueryRequest req;
+    req.id = i;
+    req.source = rng.next_below(2) == 0 ? 0 : 1;
+    switch (rng.next_below(4)) {
+      case 0:
+        req.kind = QueryKind::kAllDistances;
+        break;
+      case 1:
+        req.kind = QueryKind::kReachability;
+        req.targets = {static_cast<Vertex>(rng.next_below(g.num_vertices()))};
+        break;
+      case 2:  // single-target distance: the cache-bypassing fast path
+        req.kind = QueryKind::kDistance;
+        req.targets = {static_cast<Vertex>(rng.next_below(g.num_vertices()))};
+        break;
+      default:
+        req.kind = QueryKind::kDistance;
+        req.targets = {static_cast<Vertex>(rng.next_below(g.num_vertices())),
+                       static_cast<Vertex>(rng.next_below(g.num_vertices()))};
+        break;
+    }
+    req.fault_edges = scenario_pool[rng.next_below(scenario_pool.size())];
+    if (rng.next_below(8) == 0) {
+      // Over every lazy budget: a refusal, or an identity answer when the
+      // request asks for best effort.
+      req.fault_edges = {0, 1, 2, 3, 4};
+      req.consistency = rng.next_below(2) == 0 ? Consistency::kBestEffort
+                                               : Consistency::kExactOrRefuse;
+    }
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+TEST(ConcurrentService, HammerMatchesSequentialBaseline) {
+  const Graph g = erdos_renyi(60, 0.12, 5);
+  const std::vector<QueryRequest> requests = mixed_workload(g, 400);
+
+  // Sequential baseline on its own service instance.
+  OracleService baseline(g);
+  std::vector<PayloadKey> expected;
+  expected.reserve(requests.size());
+  for (const QueryRequest& req : requests) {
+    expected.push_back(payload_of(baseline.serve(req)));
+  }
+
+  OracleService service(g);
+  std::vector<PayloadKey> got(requests.size());
+  std::vector<std::thread> crew;
+  for (unsigned w = 0; w < kThreads; ++w) {
+    crew.emplace_back([&, w] {
+      for (std::size_t i = w; i < requests.size(); i += kThreads) {
+        got[i] = payload_of(service.serve(requests[i]));
+      }
+    });
+  }
+  for (std::thread& t : crew) t.join();
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "request " << i;
+  }
+  // Both services converged to the same pool (same lazy keys built).
+  EXPECT_EQ(service.pool_size(), baseline.pool_size());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, requests.size());
+  EXPECT_EQ(stats.served + stats.refused, stats.requests);
+}
+
+TEST(ConcurrentService, BuildsEachPoolKeyExactlyOnce) {
+  const Graph g = erdos_renyi(50, 0.15, 9);
+  OracleService service(g);
+  // Two lazy keys — (source 0, budget 2) and (source 1, budget 2) — hammered
+  // by every thread at once. The build-in-progress latch must collapse the
+  // race to one build per key.
+  std::atomic<int> start{0};
+  std::vector<std::thread> crew;
+  for (unsigned w = 0; w < kThreads; ++w) {
+    crew.emplace_back([&] {
+      start.fetch_add(1);
+      while (start.load() < static_cast<int>(kThreads)) {
+      }  // line up for maximum contention
+      for (int i = 0; i < 20; ++i) {
+        QueryRequest req;
+        req.source = i % 2 == 0 ? 0 : 1;
+        req.targets = {5, 9};
+        req.fault_edges = {static_cast<EdgeId>(i % 3),
+                           static_cast<EdgeId>(7 + i % 3)};
+        const QueryResponse resp = service.serve(req);
+        EXPECT_EQ(resp.status, StatusCode::kOk);
+        EXPECT_TRUE(resp.exact);
+      }
+    });
+  }
+  for (std::thread& t : crew) t.join();
+  EXPECT_EQ(service.stats().structures_built, 2u);
+  EXPECT_EQ(service.pool_size(), 3u);  // identity + one entry per key
+}
+
+TEST(ConcurrentService, SequencedServeIsByteIdenticalToSequential) {
+  const Graph g = erdos_renyi(60, 0.12, 7);
+  std::vector<QueryRequest> requests = mixed_workload(g, 300);
+
+  OracleService baseline(g);
+  std::vector<std::string> expected;
+  expected.reserve(requests.size());
+  for (const QueryRequest& req : requests) {
+    expected.push_back(format_response_line(baseline.serve(req)));
+  }
+
+  // Workers grab tickets in order but serve concurrently; the sequencer
+  // orders only the admission sections. Formatted lines — cache_hit flags
+  // included — must match the sequential replay byte for byte.
+  OracleService service(g);
+  RequestSequencer order;
+  std::vector<std::string> got(requests.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> crew;
+  for (unsigned w = 0; w < kThreads; ++w) {
+    crew.emplace_back([&] {
+      while (true) {
+        const std::size_t ticket = next.fetch_add(1);
+        if (ticket >= requests.size()) return;
+        got[ticket] =
+            format_response_line(service.serve(requests[ticket], order, ticket));
+      }
+    });
+  }
+  for (std::thread& t : crew) t.join();
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "request " << i;
+  }
+  // Sequenced admission replays the sequential cache decisions exactly.
+  EXPECT_EQ(service.stats().cache_hits, baseline.stats().cache_hits);
+  EXPECT_EQ(service.stats().cache_misses, baseline.stats().cache_misses);
+}
+
+TEST(ConcurrentService, SequencedServeReplaysEvictionsExactly) {
+  // A cache too small for the scenario pool forces constant evictions; the
+  // sequenced mode must still reproduce the sequential hit/miss stream.
+  const Graph g = cycle_graph(24);
+  ServiceConfig config;
+  config.cache_capacity = 3;
+  OracleService baseline(g, config);
+  OracleService service(g, config);
+
+  std::vector<QueryRequest> requests;
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    QueryRequest req;
+    req.source = 0;
+    req.kind = QueryKind::kAllDistances;
+    req.fault_edges = {static_cast<EdgeId>(rng.next_below(8))};
+    requests.push_back(std::move(req));
+  }
+  std::vector<std::string> expected;
+  for (const QueryRequest& req : requests) {
+    expected.push_back(format_response_line(baseline.serve(req)));
+  }
+
+  RequestSequencer order;
+  std::vector<std::string> got(requests.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> crew;
+  for (unsigned w = 0; w < 4; ++w) {
+    crew.emplace_back([&] {
+      while (true) {
+        const std::size_t ticket = next.fetch_add(1);
+        if (ticket >= requests.size()) return;
+        got[ticket] =
+            format_response_line(service.serve(requests[ticket], order, ticket));
+      }
+    });
+  }
+  for (std::thread& t : crew) t.join();
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(service.stats().cache_evictions, baseline.stats().cache_evictions);
+}
+
+TEST(ConcurrentService, StatsAreConsistentUnderLoad) {
+  const Graph g = erdos_renyi(40, 0.2, 11);
+  OracleService service(g);
+  const std::vector<QueryRequest> requests = mixed_workload(g, 300);
+  std::vector<std::thread> crew;
+  for (unsigned w = 0; w < kThreads; ++w) {
+    crew.emplace_back([&, w] {
+      for (std::size_t i = w; i < requests.size(); i += kThreads) {
+        (void)service.serve(requests[i]);
+      }
+    });
+  }
+  for (std::thread& t : crew) t.join();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, requests.size());
+  EXPECT_EQ(stats.served + stats.refused, stats.requests);
+  EXPECT_LE(stats.cache_hits + stats.cache_misses, stats.requests);
+  EXPECT_LE(stats.cache_evictions, stats.cache_misses);
+}
+
+TEST(ConcurrentEngine, LeasedQueriesMatchSerial) {
+  const Graph g = erdos_renyi(50, 0.15, 3);
+  BuildRequest req;
+  req.graph = &g;
+  req.sources = {0};
+  req.fault_budget = 2;
+  const BuildResult built = BuilderRegistry::instance().build("cons2ftbfs", req);
+  FaultQueryEngine serial(g, built.structure);
+  FaultQueryEngine engine(g, built.structure);
+
+  // Probe matrix computed serially first.
+  std::vector<EdgeId> faults(2);
+  std::vector<std::uint32_t> expected(g.num_vertices() * 4);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (std::uint32_t k = 0; k < 4; ++k) {
+      faults = {static_cast<EdgeId>(k), static_cast<EdgeId>(3 * k + 1)};
+      expected[v * 4 + k] = serial.distance(0, v, edge_faults(faults));
+    }
+  }
+  std::vector<std::uint32_t> got(expected.size());
+  std::vector<std::thread> crew;
+  for (unsigned w = 0; w < kThreads; ++w) {
+    crew.emplace_back([&, w] {
+      FaultQueryEngine::ScratchLease lease = engine.acquire_scratch();
+      std::vector<EdgeId> mine(2);
+      for (std::size_t i = w; i < got.size(); i += kThreads) {
+        const Vertex v = static_cast<Vertex>(i / 4);
+        const std::uint32_t k = static_cast<std::uint32_t>(i % 4);
+        mine = {static_cast<EdgeId>(k), static_cast<EdgeId>(3 * k + 1)};
+        got[i] = engine.distance(lease, 0, v, edge_faults(mine));
+      }
+    });
+  }
+  for (std::thread& t : crew) t.join();
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(engine.queries_answered(), got.size());
+}
+
+TEST(ConcurrentSim, ThreadedRoutingMatchesSerial) {
+  const Graph g = erdos_renyi(30, 0.2, 29);
+  std::vector<EdgeId> all(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) all[e] = e;
+
+  auto run_sim = [&](unsigned route_threads) {
+    SimConfig config;
+    config.ticks = 60;
+    config.failure_probability = 0.01;
+    config.route_threads = route_threads;
+    FailureSimulator sim(g, 0, config);
+    sim.add_overlay("full", all, 2);
+    return sim.run();
+  };
+  const auto serial = run_sim(1);
+  const auto threaded = run_sim(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].routed, threaded[i].routed);
+    EXPECT_EQ(serial[i].exact, threaded[i].exact);
+    EXPECT_EQ(serial[i].stretched, threaded[i].stretched);
+    EXPECT_EQ(serial[i].disconnected, threaded[i].disconnected);
+    EXPECT_EQ(serial[i].non_exact_in_budget, threaded[i].non_exact_in_budget);
+  }
+}
+
+// --- plumbing --------------------------------------------------------------
+
+TEST(WorkQueue, FifoOrderAndCloseSemantics) {
+  BoundedQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.push(i));
+  for (int i = 0; i < 4; ++i) {
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);  // FIFO — the threaded serve loop depends on it
+  }
+  queue.push(7);
+  queue.close();
+  EXPECT_FALSE(queue.push(8));              // refused after close
+  EXPECT_EQ(queue.pop(), std::optional(7)); // drains before nullopt
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(WorkQueue, BlockingProducersAndConsumers) {
+  BoundedQueue<int> queue(2);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (const auto item = queue.pop()) sum.fetch_add(*item);
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < 50; ++i) queue.push(p * 50 + i);
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(Resequencer, CapBlocksLateEmittersUntilHeadOfLineFlushes) {
+  std::vector<std::string> out;
+  Resequencer reseq([&](const std::string& line) { out.push_back(line); },
+                    /*max_pending=*/2);
+  // A helper emits 1..3 while 0 (the head of the line) is still "computing";
+  // emit(3) must block at the cap until 0 flushes the prefix. The emitter
+  // whose turn it is (0) always passes the cap, so this cannot deadlock.
+  std::thread late([&] {
+    reseq.emit(1, "one");
+    reseq.emit(2, "two");
+    reseq.emit(3, "three");
+  });
+  reseq.emit(0, "zero");  // flushes the prefix and unparks the helper
+  late.join();
+  EXPECT_EQ(out, (std::vector<std::string>{"zero", "one", "two", "three"}));
+}
+
+TEST(Resequencer, RestoresOrderFromAnyCompletionOrder) {
+  std::vector<std::string> out;
+  Resequencer reseq([&](const std::string& line) { out.push_back(line); });
+  reseq.emit(2, "two");
+  reseq.emit(1, "one");
+  EXPECT_TRUE(out.empty());  // 0 still missing
+  reseq.emit(0, "zero");
+  EXPECT_EQ(out, (std::vector<std::string>{"zero", "one", "two"}));
+  reseq.emit(3, "three");
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(ShardedCache, ComputeOnceLatchAndEviction) {
+  ShardedScenarioCache cache(2, 4);
+  auto first = cache.probe("a", true);
+  EXPECT_FALSE(first.hit);
+  EXPECT_TRUE(first.owner);
+  // A second prober for the same key becomes a waiter, not a second owner.
+  std::atomic<bool> waited{false};
+  std::thread waiter([&] {
+    auto racer = cache.probe("a", true);
+    EXPECT_TRUE(racer.hit);
+    EXPECT_FALSE(racer.owner);
+    const auto& hops = ShardedScenarioCache::wait(*racer.line);
+    waited.store(true);
+    EXPECT_EQ(hops, (std::vector<std::uint32_t>{1, 2, 3}));
+  });
+  ShardedScenarioCache::fill(*first.line, {1, 2, 3});
+  waiter.join();
+  EXPECT_TRUE(waited.load());
+  // Capacity 2 with global recency: inserting c evicts the least-recent key.
+  (void)cache.probe("b", true);
+  (void)cache.probe("a", false);  // touch a — b becomes the eviction victim
+  auto c = cache.probe("c", true);
+  ShardedScenarioCache::fill(*c.line, {9});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.probe("a", false).hit);
+  EXPECT_FALSE(cache.probe("b", false).hit);
+  EXPECT_EQ(cache.total_evictions(), 1u);
+}
+
+}  // namespace
+}  // namespace ftbfs

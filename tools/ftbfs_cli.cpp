@@ -14,9 +14,11 @@
 //          [--fault-edges u-v,u-v | --fault-vertices v1,v2] [--faults <int>]
 //          [--algo <name>]
 //   serve  --graph <file> [--budget <f>] [--max-lazy <f>] [--cache <n>]
-//          [--lazy on|off] [--point-oracle <v>] [--seed <int>]
+//          [--lazy on|off] [--point-oracle <v>] [--seed <int>] [--threads <n>]
 //          (reads JSONL QueryRequests from stdin, streams JSONL QueryResponses
-//           to stdout; wire format in docs/serving.md)
+//           to stdout; wire format in docs/serving.md. --threads N serves
+//           requests on N concurrent workers with the response stream still
+//           in request order and byte-identical to --threads 1)
 //
 // Structure construction is dispatched through the BuilderRegistry — any
 // registered algorithm name (or alias) works with --algo, and unknown names
@@ -24,6 +26,7 @@
 // the built structure; `serve` runs an OracleService over a lazily built
 // structure pool with scenario caching. Structures are exchanged as edge-list
 // files of the kept subgraph.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,7 +35,9 @@
 #include <sstream>
 #include <map>
 #include <numeric>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/verify.h"
@@ -43,6 +48,7 @@
 #include "lowerbound/gstar.h"
 #include "service/oracle_service.h"
 #include "service/protocol.h"
+#include "service/work_queue.h"
 #include "util/timer.h"
 
 namespace {
@@ -80,7 +86,7 @@ void list_algos(std::FILE* out) {
                "              [--faults f] [--algo <name>]\n"
                "  ftbfs serve --graph <file> [--budget f] [--max-lazy f] "
                "[--cache n] [--lazy on|off]\n"
-               "              [--point-oracle v] [--seed S]   "
+               "              [--point-oracle v] [--seed S] [--threads n]   "
                "(JSONL requests on stdin)\n"
                "registered builders (--algo):\n");
   list_algos(stderr);
@@ -438,9 +444,33 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// The response line for a request that never reaches the service — a syntax
+// error or an edge-resolution failure — or nullopt for a well-formed request.
+// Shared by the sequential and threaded serve loops so their triage (and
+// therefore their output bytes) cannot drift apart.
+std::optional<std::string> local_answer(
+    const ParsedRequest& parsed, std::atomic<std::uint64_t>& parse_errors,
+    std::atomic<std::uint64_t>& resolve_refusals) {
+  if (parsed.status == ParseStatus::kSyntax) {
+    parse_errors.fetch_add(1, std::memory_order_relaxed);
+    return format_parse_error_line(parsed);
+  }
+  if (parsed.status == ParseStatus::kResolve) {
+    resolve_refusals.fetch_add(1, std::memory_order_relaxed);
+    // The line parsed but names an edge the graph does not have — that is
+    // an answer about the graph, not about the line.
+    QueryResponse resp;
+    resp.id = parsed.request.id;
+    resp.status = StatusCode::kUnknownSource;
+    resp.error = parsed.error;
+    return format_response_line(resp);
+  }
+  return std::nullopt;
+}
+
 int cmd_serve(const std::map<std::string, std::string>& flags) {
   check_flags(flags, {"graph", "budget", "max-lazy", "cache", "lazy",
-                      "point-oracle", "seed"});
+                      "point-oracle", "seed", "threads"});
   const Graph g = load_graph(need(flags, "graph"));
   ServiceConfig config;
   config.default_budget =
@@ -453,6 +483,19 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   if (lazy != "on" && lazy != "off") usage("--lazy must be on or off");
   config.lazy_build = lazy == "on";
 
+  // Parsed strictly (std::stoul accepts "-1" by wrapping): digits only, and
+  // capped so a typo cannot ask for a few billion worker threads.
+  const std::string threads_text = get_or(flags, "threads", "1");
+  if (threads_text.empty() ||
+      threads_text.find_first_not_of("0123456789") != std::string::npos ||
+      threads_text.size() > 3) {
+    usage("--threads must be an integer in 1..256");
+  }
+  const unsigned threads = static_cast<unsigned>(std::stoul(threads_text));
+  if (threads == 0 || threads > 256) {
+    usage("--threads must be an integer in 1..256");
+  }
+
   OracleService service(g, config);
   if (flags.contains("point-oracle")) {
     const Vertex v =
@@ -461,37 +504,77 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     service.enable_point_oracle(v);
   }
 
-  // One request per line in, one response per line out; responses are
-  // flushed per line so the stream works under a pipe.
   std::string line;
-  std::uint64_t parse_errors = 0, resolve_refusals = 0;
-  while (std::getline(std::cin, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    const ParsedRequest parsed = parse_request_line(line, g);
-    std::string out_line;
-    if (parsed.status == ParseStatus::kSyntax) {
-      ++parse_errors;
-      out_line = format_parse_error_line(parsed);
-    } else if (parsed.status == ParseStatus::kResolve) {
-      ++resolve_refusals;
-      // The line parsed but names an edge the graph does not have — that is
-      // an answer about the graph, not about the line.
-      QueryResponse resp;
-      resp.id = parsed.request.id;
-      resp.status = StatusCode::kUnknownSource;
-      resp.error = parsed.error;
-      out_line = format_response_line(resp);
-    } else {
-      out_line = format_response_line(service.serve(parsed.request));
+  std::atomic<std::uint64_t> parse_errors{0}, resolve_refusals{0};
+  if (threads == 1) {
+    // One request per line in, one response per line out; responses are
+    // flushed per line so the stream works under a pipe.
+    while (std::getline(std::cin, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      const ParsedRequest parsed = parse_request_line(line, g);
+      std::optional<std::string> local =
+          local_answer(parsed, parse_errors, resolve_refusals);
+      const std::string out_line =
+          local.has_value()
+              ? std::move(*local)
+              : format_response_line(service.serve(parsed.request));
+      std::fprintf(stdout, "%s\n", out_line.c_str());
+      std::fflush(stdout);
     }
-    std::fprintf(stdout, "%s\n", out_line.c_str());
-    std::fflush(stdout);
+  } else {
+    // Threaded pipeline (docs/serving.md "Concurrency"): the reader feeds a
+    // bounded FIFO, workers parse and serve concurrently — the service runs
+    // each request's admission in ticket order, so the cache and pool evolve
+    // exactly as they would sequentially — and the resequencer writes
+    // responses back in request order. The stream is byte-identical to
+    // --threads 1.
+    struct Item {
+      std::uint64_t seq;
+      std::string line;
+    };
+    BoundedQueue<Item> queue(4 * threads);
+    RequestSequencer order;
+    // The reorder cap bounds memory when one slow request holds up the
+    // flush; blocked emitters stop popping, which parks the reader too.
+    Resequencer output(
+        [](const std::string& out_line) {
+          std::fprintf(stdout, "%s\n", out_line.c_str());
+          std::fflush(stdout);
+        },
+        64 * threads);
+    auto worker = [&] {
+      while (std::optional<Item> item = queue.pop()) {
+        const ParsedRequest parsed = parse_request_line(item->line, g);
+        std::optional<std::string> local =
+            local_answer(parsed, parse_errors, resolve_refusals);
+        std::string out_line;
+        if (local.has_value()) {
+          order.skip(item->seq);  // never reaches the service; burn the turn
+          out_line = std::move(*local);
+        } else {
+          out_line = format_response_line(
+              service.serve(parsed.request, order, item->seq));
+        }
+        output.emit(item->seq, std::move(out_line));
+      }
+    };
+    std::vector<std::thread> crew;
+    crew.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) crew.emplace_back(worker);
+    std::uint64_t seq = 0;
+    while (std::getline(std::cin, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      queue.push(Item{seq++, std::move(line)});
+      line.clear();
+    }
+    queue.close();
+    for (std::thread& t : crew) t.join();
   }
 
   // The summary reconciles against the response stream: refusals include
   // the locally answered edge-resolution failures, which never reach the
   // service, and parse errors are reported separately.
-  const ServiceStats& stats = service.stats();
+  const ServiceStats stats = service.stats();
   std::fprintf(stderr,
                "served %llu requests (%llu ok, %llu refused); %llu parse "
                "errors; cache %llu/%llu hits (%.0f%%); %llu lazy builds, "
