@@ -1,6 +1,10 @@
 // Micro-benchmarks (google-benchmark): throughput of the substrate operations
-// the constructions are built from, plus end-to-end construction costs.
+// the constructions are built from, end-to-end construction costs, and the
+// delta-vs-full query sweep that documents where the repair-path fallback
+// threshold should sit.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
 
 #include "core/cons2ftbfs.h"
 #include "core/oracle.h"
@@ -8,11 +12,14 @@
 #include "core/single_ftbfs.h"
 #include "core/swap_ftbfs.h"
 #include "core/verify.h"
+#include "engine/query_engine.h"
 #include "graph/generators.h"
 #include "graph/mask.h"
 #include "spath/bfs.h"
 #include "spath/dijkstra.h"
 #include "spath/replacement.h"
+#include "spath/tree_index.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -141,6 +148,92 @@ void BM_FtBfsOracleBatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FtBfsOracleBatch)->Arg(1024);
+
+// --- delta-vs-full query sweep ----------------------------------------------
+//
+// Two axes drive the two-tier query path's profit (docs/perf.md): how many
+// faults a query carries (classification cost + number of damaged subtrees)
+// and how large a fraction of the tree one cut disconnects (repair volume).
+// BM_QueryFull / BM_QueryDelta sweep the first with uniformly random fault
+// sets; BM_RepairVsFullBySubtree sweeps the second with a single tree-edge
+// fault whose subtree is closest to the requested percentage of n — where
+// the delta/full ratio crosses 1 is where DeltaOptions::max_affected_fraction
+// belongs (measurements motivate the 0.5 default).
+
+// One all-distances query per iteration over k uniformly random edge faults.
+void query_sweep(benchmark::State& state, bool delta) {
+  const Vertex n = 2048;
+  const Graph g = random_connected(n, 3 * n, 1);
+  FaultQueryEngine engine(g);
+  engine.set_delta_options({.enabled = delta});
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<EdgeId> faults(k);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < k; ++i) {
+      faults[i] = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+    }
+    benchmark::DoNotOptimize(
+        engine.all_distances(0, edge_faults(faults)).data());
+  }
+  const FaultQueryEngine::PathStats stats = engine.path_stats();
+  state.counters["fast"] = static_cast<double>(stats.fast_path_hits);
+  state.counters["repair"] = static_cast<double>(stats.repair_bfs);
+  state.counters["full"] = static_cast<double>(stats.full_bfs);
+}
+void BM_QueryFull(benchmark::State& state) { query_sweep(state, false); }
+void BM_QueryDelta(benchmark::State& state) { query_sweep(state, true); }
+BENCHMARK(BM_QueryFull)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_QueryDelta)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// One all-distances query per iteration with a single tree-edge fault whose
+// subtree is as close as possible to range(0) percent of the vertices; the
+// paired BM_..._FullBfs runs the identical fault with the delta disabled.
+EdgeId tree_edge_with_subtree_fraction(const Graph& g, double fraction) {
+  Bfs bfs(g);
+  const BfsResult tree = bfs.run(0);
+  const TreeIndex index(g, tree, 0);
+  const double want = fraction * g.num_vertices();
+  EdgeId best = kInvalidEdge;
+  double best_gap = 1e18;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (tree.parent_edge[v] == kInvalidEdge) continue;
+    const double gap =
+        std::abs(static_cast<double>(index.subtree_size(v)) - want);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = tree.parent_edge[v];
+    }
+  }
+  return best;
+}
+
+void repair_by_subtree(benchmark::State& state, bool delta) {
+  const Vertex n = 2048;
+  // Deep tree (path plus chords): subtrees of every size exist, so the
+  // requested fraction is actually attainable.
+  const Graph g = path_with_chords(n, n / 4, 3);
+  FaultQueryEngine engine(g);
+  engine.set_delta_options({.enabled = delta, .max_affected_fraction = 1.0});
+  const EdgeId fault = tree_edge_with_subtree_fraction(
+      g, static_cast<double>(state.range(0)) / 100.0);
+  const EdgeId faults[1] = {fault};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.all_distances(0, edge_faults(faults)).data());
+  }
+  state.SetLabel("subtree ~" + std::to_string(state.range(0)) + "% of n");
+}
+void BM_RepairVsFullBySubtree(benchmark::State& state) {
+  repair_by_subtree(state, true);
+}
+void BM_RepairVsFullBySubtree_FullBfs(benchmark::State& state) {
+  repair_by_subtree(state, false);
+}
+BENCHMARK(BM_RepairVsFullBySubtree)
+    ->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(75)->Arg(90);
+BENCHMARK(BM_RepairVsFullBySubtree_FullBfs)
+    ->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(75)->Arg(90);
 
 void BM_VerifySampled(benchmark::State& state) {
   const Vertex n = static_cast<Vertex>(state.range(0));

@@ -29,7 +29,8 @@ FaultQueryEngine::FaultQueryEngine(const Graph& g,
       h_owned_(std::make_unique<Graph>(subgraph_from_edges(g, h_edges))),
       h_(h_owned_.get()),
       g_to_h_(g.num_edges(), kInvalidEdge),
-      pool_(std::make_unique<ScratchPool>()) {
+      pool_(std::make_unique<ScratchPool>()),
+      baselines_(std::make_unique<BaselineStore>()) {
   // subgraph_from_edges assigns H edge ids in the order of h_edges.
   for (EdgeId i = 0; i < h_edges.size(); ++i) {
     g_to_h_[h_edges[i]] = i;
@@ -38,20 +39,38 @@ FaultQueryEngine::FaultQueryEngine(const Graph& g,
 }
 
 FaultQueryEngine::FaultQueryEngine(const Graph& g)
-    : g_(&g), h_(&g), pool_(std::make_unique<ScratchPool>()) {
+    : g_(&g),
+      h_(&g),
+      pool_(std::make_unique<ScratchPool>()),
+      baselines_(std::make_unique<BaselineStore>()) {
   pool_->slots.push_back(std::make_unique<Scratch>(*h_));
+}
+
+FaultQueryEngine::Baseline::Baseline(const Graph& h, BfsResult t, Vertex source)
+    : tree(std::move(t)),
+      index(h, tree, source),
+      tree_child(h.num_edges(), kInvalidVertex) {
+  for (Vertex v = 0; v < h.num_vertices(); ++v) {
+    if (v == source || tree.hops[v] == kInfHops) continue;
+    tree_child[tree.parent_edge[v]] = v;
+  }
 }
 
 // h_ points at h_owned_ (address-stable across the unique_ptr move) or at the
 // caller-owned g_; either way the raw pointers transfer verbatim. Only the
-// atomic query counter needs hand-holding.
+// atomic counters need hand-holding.
 FaultQueryEngine::FaultQueryEngine(FaultQueryEngine&& o) noexcept
     : g_(o.g_),
       h_owned_(std::move(o.h_owned_)),
       h_(o.h_),
       g_to_h_(std::move(o.g_to_h_)),
       pool_(std::move(o.pool_)),
-      queries_(o.queries_.load(std::memory_order_relaxed)) {}
+      baselines_(std::move(o.baselines_)),
+      delta_(o.delta_),
+      queries_(o.queries_.load(std::memory_order_relaxed)),
+      fast_path_hits_(o.fast_path_hits_.load(std::memory_order_relaxed)),
+      repair_bfs_(o.repair_bfs_.load(std::memory_order_relaxed)),
+      full_bfs_(o.full_bfs_.load(std::memory_order_relaxed)) {}
 
 FaultQueryEngine& FaultQueryEngine::operator=(FaultQueryEngine&& o) noexcept {
   g_ = o.g_;
@@ -59,8 +78,16 @@ FaultQueryEngine& FaultQueryEngine::operator=(FaultQueryEngine&& o) noexcept {
   h_ = o.h_;
   g_to_h_ = std::move(o.g_to_h_);
   pool_ = std::move(o.pool_);
+  baselines_ = std::move(o.baselines_);
+  delta_ = o.delta_;
   queries_.store(o.queries_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
+  fast_path_hits_.store(o.fast_path_hits_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  repair_bfs_.store(o.repair_bfs_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  full_bfs_.store(o.full_bfs_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
   return *this;
 }
 
@@ -76,6 +103,189 @@ void FaultQueryEngine::apply_faults(Scratch& s, const FaultSpec& faults) const {
     FTBFS_EXPECTS(v < g_->num_vertices());
     s.mask.block_vertex(v);  // vertex ids are shared between g and H
   }
+}
+
+const FaultQueryEngine::Baseline* FaultQueryEngine::baseline_for(
+    Vertex source) {
+  if (!delta_.enabled) return nullptr;
+  BaselineStore& store = *baselines_;
+  const auto find = [&](Vertex s) -> const Baseline* {
+    const auto it = std::lower_bound(
+        store.entries.begin(), store.entries.end(), s,
+        [](const auto& entry, Vertex v) { return entry.first < v; });
+    if (it != store.entries.end() && it->first == s) return it->second.get();
+    return nullptr;
+  };
+  {
+    const std::shared_lock lock(store.mutex);
+    if (const Baseline* base = find(source)) return base;
+    if (store.entries.size() >= kMaxBaselines) return nullptr;
+  }
+  // Build outside the lock (one fault-free BFS over H); racing builders for
+  // the same source waste one BFS and the first insert wins.
+  Bfs bfs(*h_);
+  auto built = std::make_unique<Baseline>(*h_, bfs.run(source), source);
+  {
+    const std::unique_lock lock(store.mutex);
+    if (const Baseline* base = find(source)) return base;
+    if (store.entries.size() >= kMaxBaselines) return nullptr;
+    const auto it = std::lower_bound(
+        store.entries.begin(), store.entries.end(), source,
+        [](const auto& entry, Vertex v) { return entry.first < v; });
+    return store.entries.emplace(it, source, std::move(built))
+        ->second.get();
+  }
+}
+
+FaultQueryEngine::Damage FaultQueryEngine::classify(Scratch& s,
+                                                    const Baseline& base,
+                                                    Vertex source) const {
+  s.impacts.clear();
+  for (const EdgeId e : s.canon.edges()) {
+    const EdgeId he = g_to_h_.empty() ? e : g_to_h_[e];
+    if (he == kInvalidEdge) continue;  // absent from H: cannot matter
+    const Vertex c = base.tree_child[he];
+    if (c != kInvalidVertex) s.impacts.push_back(c);
+  }
+  for (const Vertex v : s.canon.vertices()) {
+    if (v == source) return Damage::kSourceBlocked;
+    // A faulted vertex the baseline never reached has no reached neighbors
+    // either (they would have discovered it), so masking it changes nothing.
+    if (base.tree.hops[v] != kInfHops) s.impacts.push_back(v);
+  }
+  return s.impacts.empty() ? Damage::kNone : Damage::kSubtrees;
+}
+
+const std::vector<std::uint32_t>* FaultQueryEngine::repair(
+    Scratch& s, const Baseline& base, std::span<const Vertex> targets,
+    bool* from_baseline) {
+  const Graph& h = *h_;
+  *from_baseline = false;
+
+  // Mark the affected region: the union of the cut points' subtrees, each a
+  // contiguous preorder slice. Nested subtrees dedupe on the epoch stamp (a
+  // cut point already marked is interior to an earlier slice — skip it
+  // whole). Bail to the full BFS once the region exceeds the threshold: the
+  // marking cost spent so far is itself bounded by the threshold.
+  const std::uint64_t epoch = ++s.affected_clock;
+  const auto marked = [&](Vertex v) { return s.affected_epoch[v] == epoch; };
+  // fraction 0 ⇒ limit 0 ⇒ any damage at all falls back to the full BFS.
+  const std::size_t limit =
+      static_cast<std::size_t>(delta_.max_affected_fraction *
+                               static_cast<double>(h.num_vertices()));
+  s.affected.clear();
+  for (const Vertex c : s.impacts) {
+    if (marked(c)) continue;
+    for (const Vertex w : base.index.subtree_span(c)) {
+      if (marked(w)) continue;
+      s.affected_epoch[w] = epoch;
+      s.affected.push_back(w);
+      if (s.affected.size() > limit) return nullptr;
+    }
+  }
+
+  // Every requested target outside the affected region keeps its baseline
+  // distance — no repair needed to answer.
+  if (!targets.empty()) {
+    bool any_affected = false;
+    for (const Vertex t : targets) any_affected |= marked(t);
+    if (!any_affected) {
+      *from_baseline = true;
+      return &base.tree.hops;
+    }
+  }
+
+  // Sync the output vector with the baseline: a full copy the first time (or
+  // after a baseline switch), then only the entries the previous repair on
+  // this scratch dirtied.
+  if (s.repair_synced != &base) {
+    s.repair_hops = base.tree.hops;
+    s.repair_synced = &base;
+  } else {
+    for (const Vertex w : s.prev_affected) {
+      s.repair_hops[w] = base.tree.hops[w];
+    }
+  }
+
+  // Seed the repair: an affected vertex enters any shortest path through an
+  // unaffected usable neighbor u, whose masked distance equals its baseline
+  // distance. Seeds are upper bounds (the true path may run through other
+  // affected vertices first); the Dial pass below relaxes them properly.
+  for (const Vertex w : s.affected) s.repair_hops[w] = kInfHops;
+  std::uint32_t dmin = kInfHops;
+  const auto push_bucket = [&](Vertex v, std::uint32_t d) {
+    if (s.buckets.size() <= d) s.buckets.resize(d + 1);
+    s.buckets[d].push_back(v);
+  };
+  for (const Vertex w : s.affected) {
+    if (s.mask.vertex_blocked(w)) continue;
+    std::uint32_t best = kInfHops;
+    for (const Arc& arc : h.neighbors(w)) {
+      if (marked(arc.to)) continue;
+      const std::uint32_t du = base.tree.hops[arc.to];
+      if (du == kInfHops || du + 1 >= best) continue;
+      if (s.mask.arc_blocked_unrestricted(arc.id, arc.to)) continue;
+      best = du + 1;
+    }
+    if (best != kInfHops) {
+      s.repair_hops[w] = best;
+      push_bucket(w, best);
+      dmin = std::min(dmin, best);
+    }
+  }
+
+  // Dial's pass over the affected region only: unit edges, buckets keyed by
+  // absolute hop count, stale entries skipped. Bounded by the volume of the
+  // region (vertices + incident arcs), never by |H|.
+  if (dmin != kInfHops) {
+    for (std::uint32_t d = dmin;
+         d < static_cast<std::uint32_t>(s.buckets.size()); ++d) {
+      // Index, don't hold a reference: push_bucket(x, d + 1) may grow the
+      // outer bucket vector and would invalidate it.
+      for (std::size_t i = 0; i < s.buckets[d].size(); ++i) {
+        const Vertex w = s.buckets[d][i];
+        if (s.repair_hops[w] != d) continue;  // superseded by a better seed
+        for (const Arc& arc : h.neighbors(w)) {
+          const Vertex x = arc.to;
+          if (!marked(x) || s.repair_hops[x] <= d + 1) continue;
+          if (s.mask.arc_blocked_unrestricted(arc.id, x)) continue;
+          s.repair_hops[x] = d + 1;
+          push_bucket(x, d + 1);
+        }
+      }
+      s.buckets[d].clear();
+    }
+  }
+  std::swap(s.prev_affected, s.affected);
+  return &s.repair_hops;
+}
+
+const std::vector<std::uint32_t>& FaultQueryEngine::hops_in(
+    Scratch& s, Vertex source, const FaultSpec& faults,
+    std::span<const Vertex> early_exit_targets) {
+  apply_faults(s, faults);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (const Baseline* base = baseline_for(source)) {
+    switch (classify(s, *base, source)) {
+      case Damage::kNone:
+        fast_path_hits_.fetch_add(1, std::memory_order_relaxed);
+        return base->tree.hops;
+      case Damage::kSubtrees: {
+        bool from_baseline = false;
+        if (const std::vector<std::uint32_t>* hops =
+                repair(s, *base, early_exit_targets, &from_baseline)) {
+          (from_baseline ? fast_path_hits_ : repair_bfs_)
+              .fetch_add(1, std::memory_order_relaxed);
+          return *hops;
+        }
+        break;  // affected region above threshold: full BFS
+      }
+      case Damage::kSourceBlocked:
+        break;  // everything unreachable; let the full BFS report it
+    }
+  }
+  full_bfs_.fetch_add(1, std::memory_order_relaxed);
+  return s.bfs.run_until(source, early_exit_targets, &s.mask).hops;
 }
 
 FaultQueryEngine::Scratch& FaultQueryEngine::scratch(std::size_t slot) {
@@ -102,20 +312,32 @@ void FaultQueryEngine::release_scratch(std::size_t slot) {
   pool_->free_list.push_back(slot);
 }
 
+// The parent-exposing primitive. When no fault touches the baseline tree the
+// masked BFS would retrace the fault-free BFS move for move (a blocked
+// non-tree edge is only ever scanned toward an already-discovered vertex, a
+// blocked unreached vertex has no reached neighbors), so the baseline result
+// — parents and parent_edges included — IS the full-BFS result, bit for bit.
+// Any tree damage sends this API to the full BFS: the repair path computes
+// hops only, and callers of query() read parents.
 const BfsResult& FaultQueryEngine::query_in(Scratch& s, Vertex source,
                                             const FaultSpec& faults) {
   apply_faults(s, faults);
   queries_.fetch_add(1, std::memory_order_relaxed);
+  if (const Baseline* base = baseline_for(source)) {
+    if (classify(s, *base, source) == Damage::kNone) {
+      fast_path_hits_.fetch_add(1, std::memory_order_relaxed);
+      return base->tree;
+    }
+  }
+  full_bfs_.fetch_add(1, std::memory_order_relaxed);
   return s.bfs.run(source, &s.mask);
 }
 
 std::uint32_t FaultQueryEngine::distance_in(Scratch& s, Vertex source,
                                             Vertex target,
                                             const FaultSpec& faults) {
-  apply_faults(s, faults);
-  queries_.fetch_add(1, std::memory_order_relaxed);
   const Vertex targets[1] = {target};
-  return s.bfs.run_until(source, targets, &s.mask).hops[target];
+  return hops_in(s, source, faults, targets)[target];
 }
 
 std::optional<Path> FaultQueryEngine::shortest_path_in(Scratch& s,
@@ -124,11 +346,23 @@ std::optional<Path> FaultQueryEngine::shortest_path_in(Scratch& s,
                                                        const FaultSpec& faults) {
   apply_faults(s, faults);
   queries_.fetch_add(1, std::memory_order_relaxed);
-  const Vertex targets[1] = {target};
-  const BfsResult& r = s.bfs.run_until(source, targets, &s.mask);
-  if (r.hops[target] == kInfHops) return std::nullopt;
+  const BfsResult* r = nullptr;
+  if (const Baseline* base = baseline_for(source)) {
+    if (classify(s, *base, source) == Damage::kNone) {
+      // Identical to the masked BFS tree (see query_in), so the extracted
+      // path is the exact path the full run_until would have produced.
+      fast_path_hits_.fetch_add(1, std::memory_order_relaxed);
+      r = &base->tree;
+    }
+  }
+  if (r == nullptr) {
+    full_bfs_.fetch_add(1, std::memory_order_relaxed);
+    const Vertex targets[1] = {target};
+    r = &s.bfs.run_until(source, targets, &s.mask);
+  }
+  if (r->hops[target] == kInfHops) return std::nullopt;
   Path p;
-  for (Vertex cur = target; cur != kInvalidVertex; cur = r.parent[cur]) {
+  for (Vertex cur = target; cur != kInvalidVertex; cur = r->parent[cur]) {
     p.push_back(cur);
   }
   std::reverse(p.begin(), p.end());
@@ -153,7 +387,7 @@ std::optional<Path> FaultQueryEngine::shortest_path(Vertex source,
 
 const std::vector<std::uint32_t>& FaultQueryEngine::all_distances(
     Vertex source, const FaultSpec& faults) {
-  return query(source, faults).hops;
+  return hops_in(scratch(0), source, faults, {});
 }
 
 const BfsResult& FaultQueryEngine::query(ScratchLease& lease, Vertex source,
@@ -176,7 +410,7 @@ std::optional<Path> FaultQueryEngine::shortest_path(ScratchLease& lease,
 
 const std::vector<std::uint32_t>& FaultQueryEngine::all_distances(
     ScratchLease& lease, Vertex source, const FaultSpec& faults) {
-  return query(lease, source, faults).hops;
+  return hops_in(*lease.scratch_, source, faults, {});
 }
 
 std::vector<std::uint32_t> FaultQueryEngine::batch(
@@ -202,10 +436,14 @@ std::vector<std::uint32_t> FaultQueryEngine::batch(
     ScratchLease lease = acquire_scratch();
     Scratch& s = *lease.scratch_;
     for (std::size_t i = begin; i < end; ++i) {
-      apply_faults(s, fault_sets[i]);
-      const BfsResult& r = s.bfs.run_until(source, targets, &s.mask);
+      // One delta-classified query per row: fault sets that miss the baseline
+      // tree (or whose damage misses every target) read straight from the
+      // baseline; damaged rows run the bounded repair; the early-exit full
+      // BFS remains the fallback.
+      const std::vector<std::uint32_t>& hops =
+          hops_in(s, source, fault_sets[i], targets);
       for (std::size_t j = 0; j < cols; ++j) {
-        out[i * cols + j] = r.hops[targets[j]];
+        out[i * cols + j] = hops[targets[j]];
       }
     }
   };
@@ -223,7 +461,7 @@ std::vector<std::uint32_t> FaultQueryEngine::batch(
     }
     for (std::thread& t : crew) t.join();
   }
-  queries_.fetch_add(rows, std::memory_order_relaxed);
+  // hops_in counted each row in queries_ and in the path counters.
   return out;
 }
 

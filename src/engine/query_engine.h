@@ -23,6 +23,25 @@
 // single-query API keeps its historical "serial scratch, results borrowed
 // until the next query" contract on the reserved slot 0 and must not be
 // called from two threads at once.
+//
+// Fault-delta query path (docs/perf.md): a small fault set perturbs only a
+// small region of the BFS tree — that is the paper's whole point — so the
+// engine precomputes, once per source, the fault-free *baseline* BFS over H
+// (distances, parent tree, Euler-tour subtree intervals). Per query the
+// canonical fault set is classified against that tree:
+//   * no fault touches a baseline tree edge (or a reached faulted vertex) →
+//     the masked BFS would retrace the baseline exactly; answer straight from
+//     the baseline arrays, parents included (fast_path_hits);
+//   * faults hit tree edges → only the descendants of the cut points can
+//     change; mark those subtree intervals in an epoch-stamped affected
+//     bitmap and run a *repair BFS* seeded from the unaffected boundary,
+//     bounded to the affected region (repair_bfs);
+//   * the affected region exceeds delta_options().max_affected_fraction →
+//     the bounded repair would approach a full sweep anyway; fall back to the
+//     plain masked BFS (full_bfs).
+// Distances from every path are identical; the repair path computes hops
+// only, so the parent-exposing APIs (query, shortest_path) use the baseline
+// fast path when it applies and the full masked BFS otherwise.
 #pragma once
 
 #include <atomic>
@@ -30,6 +49,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -38,6 +58,7 @@
 #include "graph/mask.h"
 #include "spath/bfs.h"
 #include "spath/path.h"
+#include "spath/tree_index.h"
 
 namespace ftbfs {
 
@@ -192,6 +213,39 @@ class FaultQueryEngine {
       Vertex source, std::span<const FaultSpec> fault_sets,
       std::span<const Vertex> targets, unsigned threads = 1);
 
+  // --- delta-path configuration & counters ----------------------------------
+
+  struct DeltaOptions {
+    // Master switch; off = every query runs the pre-delta full masked BFS
+    // (benchmark baseline, property-test oracle).
+    bool enabled = true;
+    // Repair-vs-full fallback: once the affected region exceeds this fraction
+    // of H's vertices, marking + bounded repair stops paying for itself and
+    // the query falls back to the plain masked BFS. bench_micro's
+    // BM_RepairVsFullBySubtree sweep documents where the crossover sits.
+    double max_affected_fraction = 0.5;
+  };
+
+  // How queries were answered (relaxed counters, safe to read under load):
+  // fast_path_hits = served from the baseline arrays with no BFS at all,
+  // repair_bfs = bounded repair BFS over the affected region, full_bfs =
+  // full masked BFS (delta disabled, threshold fallback, faulted source, or
+  // a parent-exposing API with tree damage).
+  struct PathStats {
+    std::uint64_t fast_path_hits = 0;
+    std::uint64_t repair_bfs = 0;
+    std::uint64_t full_bfs = 0;
+  };
+
+  // Not thread-safe: configure before the engine starts serving queries.
+  void set_delta_options(DeltaOptions options) { delta_ = options; }
+  [[nodiscard]] DeltaOptions delta_options() const { return delta_; }
+  [[nodiscard]] PathStats path_stats() const {
+    return PathStats{fast_path_hits_.load(std::memory_order_relaxed),
+                     repair_bfs_.load(std::memory_order_relaxed),
+                     full_bfs_.load(std::memory_order_relaxed)};
+  }
+
   // --- introspection --------------------------------------------------------
 
   [[nodiscard]] const Graph& host() const { return *g_; }
@@ -205,11 +259,39 @@ class FaultQueryEngine {
   }
 
  private:
+  // Tier-0 precompute for one source: the fault-free BFS over H plus the
+  // subtree indexing the per-query classification runs on. Immutable once
+  // published; built lazily on the first query from that source.
+  struct Baseline {
+    BfsResult tree;                  // hops/parent/parent_edge over H
+    TreeIndex index;                 // Euler intervals + preorder slices
+    std::vector<Vertex> tree_child;  // H edge id → deeper endpoint of the
+                                     // tree edge; kInvalidVertex = non-tree
+    Baseline(const Graph& h, BfsResult t, Vertex source);
+  };
+
   struct Scratch {
     GraphMask mask;
     Bfs bfs;
     CanonicalFaultSet canon;  // reused per-query canonicalization buffer
-    explicit Scratch(const Graph& h) : mask(h), bfs(h) {}
+    // --- delta-path scratch (all buffers persist across queries) -----------
+    std::vector<Vertex> impacts;          // cut points of this fault set
+    // 64-bit like Bfs's target stamps: a serving process can plausibly push
+    // a 32-bit per-scratch clock to wraparound, and a stale-epoch collision
+    // here would silently mis-classify vertices as affected.
+    std::vector<std::uint64_t> affected_epoch;  // epoch-stamped membership
+    std::uint64_t affected_clock = 0;
+    std::vector<Vertex> affected;       // current affected vertex list
+    std::vector<Vertex> prev_affected;  // repair_hops entries to restore
+    std::vector<std::uint32_t> repair_hops;  // output of the repair BFS
+    const Baseline* repair_synced = nullptr;  // baseline repair_hops mirrors
+    std::vector<std::vector<Vertex>> buckets;  // Dial queue, keyed by hops
+    explicit Scratch(const Graph& h)
+        : mask(h), bfs(h), affected_epoch(h.num_vertices(), 0) {
+      impacts.reserve(8);
+      affected.reserve(h.num_vertices());
+      prev_affected.reserve(h.num_vertices());
+    }
   };
 
   // Slot storage plus the free list leases draw from. Heap-allocated as one
@@ -220,12 +302,54 @@ class FaultQueryEngine {
     std::vector<std::size_t> free_list;           // never contains slot 0
   };
 
+  // Baselines keyed by source, append-only, behind a shared mutex so the
+  // per-query lookup is one shared lock. Heap-allocated as one block (like
+  // the scratch pool) so the engine stays movable despite the mutex. Capped:
+  // a caller sweeping hundreds of sources (verifiers over big graphs) should
+  // not turn the engine into an all-pairs table, so sources beyond the cap
+  // simply take the full-BFS path.
+  struct BaselineStore {
+    std::shared_mutex mutex;
+    // Sorted by source; small (kMaxBaselines), so binary search beats a map.
+    std::vector<std::pair<Vertex, std::unique_ptr<Baseline>>> entries;
+  };
+  static constexpr std::size_t kMaxBaselines = 64;
+
   // Canonicalizes `faults` into `s.canon`, then resets `s.mask` and applies
   // the distinct ids (host ids) to it.
   void apply_faults(Scratch& s, const FaultSpec& faults) const;
 
   [[nodiscard]] Scratch& scratch(std::size_t slot);
   void release_scratch(std::size_t slot);
+
+  // Tier 0: the baseline for `source`, built on first use; nullptr when the
+  // delta path is disabled or the baseline cap is reached.
+  [[nodiscard]] const Baseline* baseline_for(Vertex source);
+
+  // Classification of one canonical fault set against a baseline tree.
+  enum class Damage {
+    kNone,           // no tree edge cut, no reached vertex faulted
+    kSubtrees,       // cut points collected in s.impacts
+    kSourceBlocked,  // the source itself is faulted
+  };
+  [[nodiscard]] Damage classify(Scratch& s, const Baseline& base,
+                                Vertex source) const;
+
+  // Tier 1: distances under the fault set already applied to s.mask, or
+  // nullptr when the caller must run the full masked BFS (threshold
+  // exceeded). When `targets` is non-empty and none of them lands in the
+  // affected region, the repair BFS is skipped — their baseline distances
+  // are provably unchanged. On return *from_baseline says whether the answer
+  // is the untouched baseline array (no repair BFS ran).
+  [[nodiscard]] const std::vector<std::uint32_t>* repair(
+      Scratch& s, const Baseline& base, std::span<const Vertex> targets,
+      bool* from_baseline);
+
+  // Hops-only core all distance-reading queries route through: picks the
+  // baseline / repair / full path and bumps the matching counter.
+  [[nodiscard]] const std::vector<std::uint32_t>& hops_in(
+      Scratch& s, Vertex source, const FaultSpec& faults,
+      std::span<const Vertex> early_exit_targets);
 
   const BfsResult& query_in(Scratch& s, Vertex source, const FaultSpec& faults);
   std::uint32_t distance_in(Scratch& s, Vertex source, Vertex target,
@@ -238,7 +362,12 @@ class FaultQueryEngine {
   const Graph* h_;                  // == g_ or h_owned_.get(); address-stable
   std::vector<EdgeId> g_to_h_;      // empty for the identity engine
   std::unique_ptr<ScratchPool> pool_;
+  std::unique_ptr<BaselineStore> baselines_;
+  DeltaOptions delta_{};
   std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> fast_path_hits_{0};
+  std::atomic<std::uint64_t> repair_bfs_{0};
+  std::atomic<std::uint64_t> full_bfs_{0};
 };
 
 }  // namespace ftbfs

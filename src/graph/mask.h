@@ -77,6 +77,20 @@ class GraphMask {
 
   [[nodiscard]] Vertex restricted_vertex() const { return restricted_vertex_; }
 
+  // True iff an incident-edge restriction is active. Traversal loops load
+  // this once per run/vertex and use the cheap per-arc test below instead of
+  // re-deriving it from restricted_vertex_ on every arc.
+  [[nodiscard]] bool has_restriction() const {
+    return restricted_vertex_ != kInvalidVertex;
+  }
+
+  // Per-arc test for the unrestricted common case: edge not blocked and the
+  // head not blocked. Valid only when has_restriction() is false and `from`
+  // is known unblocked (true for any vertex already settled by a traversal).
+  [[nodiscard]] bool arc_blocked_unrestricted(EdgeId e, Vertex to) const {
+    return edge_block_epoch_[e] == epoch_ || vertex_epoch_[to] == epoch_;
+  }
+
  private:
   std::uint32_t epoch_ = 1;
   Vertex restricted_vertex_ = kInvalidVertex;

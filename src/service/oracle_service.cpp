@@ -89,7 +89,16 @@ OracleService::OracleService(const Graph& g, ServiceConfig config)
       config_(config),
       cache_(config.cache_capacity, config.cache_shards),
       lazy_builds_(config.cache_shards) {
-  entries_.push_back(Entry(*g_));  // entry 0: ground truth, always available
+  Entry identity(*g_);  // entry 0: ground truth, always available
+  configure_engine(identity);
+  entries_.push_back(std::move(identity));
+}
+
+// The one place an entry's engine picks up the service-level query-path
+// config; every Entry must pass through here before it is published.
+void OracleService::configure_engine(Entry& entry) const {
+  entry.engine.set_delta_options(FaultQueryEngine::DeltaOptions{
+      config_.delta_queries, config_.delta_max_affected_fraction});
 }
 
 std::size_t OracleService::publish_entry(Entry entry) {
@@ -114,6 +123,7 @@ std::size_t OracleService::add_structure(std::string name, Vertex source,
   entry.budget = fault_budget;
   entry.model = model;
   entry.exact = exact;
+  configure_engine(entry);
   {
     const std::unique_lock lock(pool_mutex_);
     FTBFS_EXPECTS(find_entry_locked(entry.name) < 0);
@@ -163,6 +173,17 @@ ServiceStats OracleService::stats() const {
       counters_.identity_served.load(std::memory_order_relaxed);
   out.point_oracle_served =
       counters_.point_oracle_served.load(std::memory_order_relaxed);
+  {
+    // Aggregate the engines' query-path counters; entries are append-only so
+    // the shared lock only fences the deque scan against a racing publish.
+    const std::shared_lock lock(pool_mutex_);
+    for (const Entry& e : entries_) {
+      const FaultQueryEngine::PathStats ps = e.engine.path_stats();
+      out.fast_path_hits += ps.fast_path_hits;
+      out.repair_bfs += ps.repair_bfs;
+      out.full_bfs += ps.full_bfs;
+    }
+  }
   return out;
 }
 
@@ -563,6 +584,7 @@ QueryResponse OracleService::serve_impl(const QueryRequest& req,
           entry.budget = budget;
           entry.model = model;
           entry.exact = traits == nullptr || traits->exact;
+          configure_engine(entry);
           built = static_cast<int>(publish_entry(std::move(entry)));
           counters_.structures_built.fetch_add(1, std::memory_order_relaxed);
         } catch (...) {

@@ -75,6 +75,13 @@ struct ServiceConfig {
   // Hit/miss/eviction behavior is shard-count-independent (recency and
   // capacity are accounted globally).
   unsigned cache_shards = 8;
+  // Fault-delta query path of the pool engines (docs/perf.md): answer from
+  // the per-source baseline tree when the fault set misses it, repair only
+  // the damaged subtrees otherwise. Off = every cache miss pays a full
+  // masked BFS (the pre-delta behavior; kept as the property-test oracle).
+  bool delta_queries = true;
+  // Fallback threshold forwarded to FaultQueryEngine::DeltaOptions.
+  double delta_max_affected_fraction = 0.5;
 };
 
 // A point-in-time snapshot of the serving counters (the live counters are
@@ -89,6 +96,12 @@ struct ServiceStats {
   std::uint64_t structures_built = 0;      // lazy builds
   std::uint64_t identity_served = 0;       // answers from the identity engine
   std::uint64_t point_oracle_served = 0;   // O(1) fast-path answers
+  // Engine query-path counters aggregated over every pool entry (identity
+  // included): how the BFS-backed queries were actually answered. Cache hits
+  // never reach an engine, so these three sum to the engine-served share.
+  std::uint64_t fast_path_hits = 0;  // baseline tree answered, no BFS
+  std::uint64_t repair_bfs = 0;      // bounded repair over damaged subtrees
+  std::uint64_t full_bfs = 0;        // full masked BFS (fallback/disabled)
 
   [[nodiscard]] double cache_hit_rate() const {
     const std::uint64_t total = cache_hits + cache_misses;
@@ -209,6 +222,11 @@ class OracleService {
 
   [[nodiscard]] int find_entry_locked(std::string_view name) const;
   [[nodiscard]] Entry& entry_ref(std::size_t entry);
+
+  // Applies the service-level query-path config (delta on/off, fallback
+  // threshold) to an entry's engine; every entry passes through here before
+  // it is published.
+  void configure_engine(Entry& entry) const;
 
   // True if `e` answers exactly for (source, canonical faults).
   [[nodiscard]] bool serves_exactly(const Entry& e, Vertex source,

@@ -16,6 +16,7 @@ ServiceConfig sim_service_config(const SimConfig& config) {
   ServiceConfig out;
   out.lazy_build = false;  // the sim routes only on its registered overlays
   out.cache_capacity = config.cache_capacity;
+  out.delta_queries = config.delta_queries;
   return out;
 }
 

@@ -37,6 +37,12 @@ struct SimConfig {
   std::size_t max_concurrent_faults = 2;
   // Scenario-cache capacity of the routing service (0 disables caching).
   std::size_t cache_capacity = 512;
+  // Fault-delta query path of the routing service's engines. The simulator
+  // is the delta path's natural customer: a tick's fault set is small and
+  // drifts edge by edge, so cache-missing tick-states repair a few subtrees
+  // instead of re-running BFS over every overlay. Metrics are identical
+  // either way; off reproduces the pre-delta serving cost.
+  bool delta_queries = true;
   // Workers routing one tick's requests (ground truth + each overlay)
   // through the service concurrently. The fault process itself stays
   // sequential, so metrics are identical for every thread count; >1 simply

@@ -2,31 +2,54 @@
 
 namespace ftbfs {
 
-TreeIndex::TreeIndex(const Graph& g, const SpResult& tree, Vertex root)
+TreeIndex::TreeIndex(const Graph& g, Vertex root, PrivateTag)
     : root_(root),
       depth_(g.num_vertices(), kUnreachedDepth),
       parent_(g.num_vertices(), kInvalidVertex),
       parent_edge_(g.num_vertices(), kInvalidEdge),
       tin_(g.num_vertices(), 0),
       tout_(g.num_vertices(), 0),
+      pre_(g.num_vertices(), kInvalidPreorder),
+      subtree_size_(g.num_vertices(), 0),
       children_(g.num_vertices()) {
   FTBFS_EXPECTS(root < g.num_vertices());
+}
+
+void TreeIndex::adopt(Vertex v, Vertex parent, EdgeId parent_edge) {
+  parent_[v] = parent;
+  parent_edge_[v] = parent_edge;
+  if (v != root_) {
+    FTBFS_EXPECTS(parent != kInvalidVertex);
+    children_[parent].push_back(v);
+  }
+}
+
+TreeIndex::TreeIndex(const Graph& g, const SpResult& tree, Vertex root)
+    : TreeIndex(g, root, PrivateTag{}) {
   FTBFS_EXPECTS(tree.reached(root));
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    if (!tree.reached(v)) continue;
-    parent_[v] = tree.parent[v];
-    parent_edge_[v] = tree.parent_edge[v];
-    if (v != root) {
-      FTBFS_EXPECTS(parent_[v] != kInvalidVertex);
-      children_[parent_[v]].push_back(v);
-    }
+    if (tree.reached(v)) adopt(v, tree.parent[v], tree.parent_edge[v]);
   }
-  // Iterative DFS for Euler intervals and preorder.
+  build_intervals(root);
+}
+
+TreeIndex::TreeIndex(const Graph& g, const BfsResult& tree, Vertex root)
+    : TreeIndex(g, root, PrivateTag{}) {
+  FTBFS_EXPECTS(tree.hops[root] != kInfHops);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (tree.hops[v] != kInfHops) adopt(v, tree.parent[v], tree.parent_edge[v]);
+  }
+  build_intervals(root);
+}
+
+void TreeIndex::build_intervals(Vertex root) {
+  // Iterative DFS for Euler intervals, preorder positions, subtree sizes.
   std::uint32_t clock = 0;
   std::vector<std::pair<Vertex, std::size_t>> stack;  // (vertex, child cursor)
   stack.emplace_back(root, 0);
   tin_[root] = clock++;
   depth_[root] = 0;
+  pre_[root] = 0;
   preorder_.push_back(root);
   while (!stack.empty()) {
     const Vertex v = stack.back().first;
@@ -36,10 +59,13 @@ TreeIndex::TreeIndex(const Graph& g, const SpResult& tree, Vertex root)
       const Vertex c = children_[v][stack.back().second++];
       tin_[c] = clock++;
       depth_[c] = depth_[v] + 1;
+      pre_[c] = static_cast<std::uint32_t>(preorder_.size());
       preorder_.push_back(c);
       stack.emplace_back(c, 0);
     } else {
       tout_[v] = clock++;
+      subtree_size_[v] =
+          static_cast<std::uint32_t>(preorder_.size()) - pre_[v];
       stack.pop_back();
     }
   }

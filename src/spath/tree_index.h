@@ -1,13 +1,16 @@
 // Rooted-tree indexing over a shortest-path tree: depths, parent edges, and
 // O(1) ancestor tests via Euler-tour intervals. Substrate for the constant-
 // time sensitivity oracle (an edge e = (x, parent-of-x) lies on π(s,v) iff x
-// is an ancestor of v).
+// is an ancestor of v) and for the engine's fault-delta query path, which
+// needs the subtree below a faulted tree edge as a contiguous preorder slice.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
+#include "spath/bfs.h"
 #include "spath/dijkstra.h"
 
 namespace ftbfs {
@@ -17,6 +20,9 @@ class TreeIndex {
   // Builds from an SSSP result (parent pointers rooted at `root`).
   // Unreached vertices get depth kUnreachedDepth and are ancestors of nothing.
   TreeIndex(const Graph& g, const SpResult& tree, Vertex root);
+
+  // Same, from a plain BFS tree (the engine's fault-free baseline over H).
+  TreeIndex(const Graph& g, const BfsResult& tree, Vertex root);
 
   static constexpr std::uint32_t kUnreachedDepth =
       static_cast<std::uint32_t>(-1);
@@ -56,12 +62,47 @@ class TreeIndex {
     return preorder_;
   }
 
+  // Position of v in preorder(); kInvalidPreorder for unreached vertices.
+  static constexpr std::uint32_t kInvalidPreorder =
+      static_cast<std::uint32_t>(-1);
+  [[nodiscard]] std::uint32_t preorder_index(Vertex v) const {
+    return pre_[v];
+  }
+
+  // Number of vertices in v's subtree (itself included); 0 if unreached.
+  [[nodiscard]] std::uint32_t subtree_size(Vertex v) const {
+    return subtree_size_[v];
+  }
+
+  // v's subtree as a contiguous slice of preorder() — the vertices whose
+  // root-paths use the tree edge (v, parent(v)). Empty span for unreached v.
+  // This is what makes "mark every vertex below a faulted tree edge" linear
+  // in the marked set instead of in the tree.
+  [[nodiscard]] std::span<const Vertex> subtree_span(Vertex v) const {
+    if (!reached(v)) return {};
+    return {preorder_.data() + pre_[v], subtree_size_[v]};
+  }
+
  private:
+  // Delegation target: sizes every array, adopts nothing. Both public
+  // constructors fill the tree via adopt() and finish with build_intervals().
+  struct PrivateTag {};
+  TreeIndex(const Graph& g, Vertex root, PrivateTag);
+
+  // Registers v with its tree parent (parent links + children lists).
+  void adopt(Vertex v, Vertex parent, EdgeId parent_edge);
+
+  // Shared tail of both constructors: children_ / parent_ / parent_edge_ are
+  // filled; runs the Euler DFS to assign intervals, depths, and preorder.
+  void build_intervals(Vertex root);
+
   Vertex root_;
   std::vector<std::uint32_t> depth_;
   std::vector<Vertex> parent_;
   std::vector<EdgeId> parent_edge_;
   std::vector<std::uint32_t> tin_, tout_;
+  std::vector<std::uint32_t> pre_;           // position in preorder_
+  std::vector<std::uint32_t> subtree_size_;  // 0 for unreached
   std::vector<std::vector<Vertex>> children_;
   std::vector<Vertex> preorder_;
 };

@@ -1,0 +1,342 @@
+// The fault-delta query path (docs/perf.md) must be *observationally
+// identical* to the pre-delta full-masked-BFS path: same distances from every
+// hops-reading API, same parents from every parent-exposing API, and same
+// response bytes through OracleService::serve. These tests pit a
+// delta-enabled engine/service against a delta-disabled twin over randomized
+// graphs × fault sets × budgets — including the threshold-fallback boundary
+// at fractions 0 (always fall back) and 1 (never) — and pin down the
+// fast/repair/full counter accounting the serving stats surface.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "engine/registry.h"
+#include "graph/generators.h"
+#include "service/oracle_service.h"
+#include "service/protocol.h"
+#include "util/rng.h"
+
+namespace ftbfs {
+namespace {
+
+FaultQueryEngine::DeltaOptions delta_off() {
+  return {.enabled = false, .max_affected_fraction = 0.5};
+}
+
+// A fault set biased toward tree damage: half the edges are drawn from the
+// baseline tree of `h_edges`' structure (parent edges of random vertices in
+// g — most survive into H), half uniformly; optional vertex faults.
+struct FaultDraw {
+  std::vector<EdgeId> edges;
+  std::vector<Vertex> vertices;
+  [[nodiscard]] FaultSpec spec() const { return FaultSpec{edges, vertices}; }
+};
+
+FaultDraw draw_faults(Rng& rng, const Graph& g, const BfsResult& tree,
+                      std::size_t max_edges, std::size_t max_vertices) {
+  FaultDraw out;
+  const std::size_t ne = rng.next_below(max_edges + 1);
+  for (std::size_t i = 0; i < ne; ++i) {
+    if (rng.next_below(2) == 0) {
+      const Vertex v = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+      if (tree.parent_edge[v] != kInvalidEdge) {
+        out.edges.push_back(tree.parent_edge[v]);
+        continue;
+      }
+    }
+    out.edges.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
+  }
+  for (std::size_t i = 0; i < rng.next_below(max_vertices + 1); ++i) {
+    out.vertices.push_back(
+        static_cast<Vertex>(rng.next_below(g.num_vertices())));
+  }
+  return out;
+}
+
+// One engine pair (delta on / off) over the same structure; every public
+// query API must agree exactly.
+void expect_engines_agree(const Graph& g, std::span<const EdgeId> h_edges,
+                          Vertex source, std::uint64_t seed, int rounds,
+                          double fraction) {
+  FaultQueryEngine delta(g, h_edges);
+  delta.set_delta_options({.enabled = true, .max_affected_fraction = fraction});
+  FaultQueryEngine full(g, h_edges);
+  full.set_delta_options(delta_off());
+
+  // The baseline tree of G guides the tree-damage bias (H's own tree differs,
+  // but parent edges of G frequently land on H tree edges too).
+  Bfs bfs(g);
+  const BfsResult g_tree = bfs.run(source);
+
+  Rng rng(seed);
+  std::vector<FaultDraw> draws;
+  std::vector<FaultSpec> specs;
+  for (int r = 0; r < rounds; ++r) {
+    draws.push_back(draw_faults(rng, g, g_tree, 4, 1));
+  }
+  for (const FaultDraw& d : draws) specs.push_back(d.spec());
+
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> targets = {0, static_cast<Vertex>(n / 3),
+                                 static_cast<Vertex>(n / 2),
+                                 static_cast<Vertex>(n - 1)};
+  for (std::size_t r = 0; r < draws.size(); ++r) {
+    const FaultSpec spec = specs[r];
+    SCOPED_TRACE("round " + std::to_string(r));
+
+    // all_distances: the full vector, every vertex.
+    EXPECT_EQ(delta.all_distances(source, spec), full.all_distances(source, spec));
+
+    // distance: single-target early-exit path.
+    const Vertex t = targets[r % targets.size()];
+    EXPECT_EQ(delta.distance(source, t, spec), full.distance(source, t, spec));
+
+    // query: the parent-exposing primitive — hops, parents, parent edges.
+    const BfsResult& dr = delta.query(source, spec);
+    const BfsResult& fr = full.query(source, spec);
+    EXPECT_EQ(dr.hops, fr.hops);
+    EXPECT_EQ(dr.parent, fr.parent);
+    EXPECT_EQ(dr.parent_edge, fr.parent_edge);
+
+    // shortest_path: reconstructed vertex list.
+    EXPECT_EQ(delta.shortest_path(source, t, spec),
+              full.shortest_path(source, t, spec));
+  }
+
+  // batch: whole matrix in one call, sequential and threaded.
+  EXPECT_EQ(delta.batch(source, specs, targets),
+            full.batch(source, specs, targets));
+  EXPECT_EQ(delta.batch(source, specs, targets, 4),
+            full.batch(source, specs, targets, 4));
+}
+
+TEST(DeltaPath, MatchesFullBfsOnRandomGraphs) {
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    const Graph g = erdos_renyi(64, 0.1, seed);
+    BuildRequest req;
+    req.graph = &g;
+    req.sources = {0};
+    req.fault_budget = 2;
+    const BuildResult built =
+        BuilderRegistry::instance().build("cons2ftbfs", req);
+    expect_engines_agree(g, built.structure.edges, 0, seed * 101, 40, 0.5);
+  }
+}
+
+TEST(DeltaPath, MatchesFullBfsOnIdentityEngine) {
+  const Graph g = erdos_renyi(80, 0.08, 3);
+  std::vector<EdgeId> all(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) all[e] = e;
+  expect_engines_agree(g, all, 5, 99, 40, 0.5);
+}
+
+TEST(DeltaPath, MatchesFullBfsOnSparseTreelikeGraph) {
+  // Tree-heavy host: almost every fault is a tree fault, subtrees are large,
+  // so the threshold fallback triggers regularly at fraction 0.25.
+  const Graph g = path_with_chords(96, 10, 5);
+  std::vector<EdgeId> all(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) all[e] = e;
+  expect_engines_agree(g, all, 0, 55, 40, 0.25);
+}
+
+TEST(DeltaPath, ThresholdBoundaryFractions) {
+  const Graph g = erdos_renyi(48, 0.12, 13);
+  std::vector<EdgeId> all(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) all[e] = e;
+  // fraction 0: every damaged query must fall back to the full BFS (answers
+  // still exact); fraction 1: the repair never falls back.
+  expect_engines_agree(g, all, 0, 77, 30, 0.0);
+  expect_engines_agree(g, all, 0, 78, 30, 1.0);
+
+  FaultQueryEngine never_repair(g);
+  never_repair.set_delta_options(
+      {.enabled = true, .max_affected_fraction = 0.0});
+  Bfs bfs(g);
+  const BfsResult tree = bfs.run(0);
+  EdgeId tree_edge = kInvalidEdge;  // any tree edge (the graph may leave
+                                    // high-numbered vertices unreached)
+  for (Vertex v = g.num_vertices(); v-- > 0 && tree_edge == kInvalidEdge;) {
+    tree_edge = tree.parent_edge[v];
+  }
+  ASSERT_NE(tree_edge, kInvalidEdge);
+  const EdgeId faults[1] = {tree_edge};
+  (void)never_repair.all_distances(0, edge_faults(faults));
+  const FaultQueryEngine::PathStats stats = never_repair.path_stats();
+  EXPECT_EQ(stats.repair_bfs, 0u);
+  EXPECT_EQ(stats.full_bfs, 1u);
+}
+
+TEST(DeltaPath, CountersClassifyQueries) {
+  const Graph g = cycle_graph(32);  // every edge is either tree or the one
+                                    // cross edge closing the cycle
+  FaultQueryEngine engine(g);
+  Bfs bfs(g);
+  const BfsResult tree = bfs.run(0);
+
+  // Fault a non-tree edge: fast path, answers straight from the baseline.
+  EdgeId non_tree = kInvalidEdge;
+  std::vector<bool> is_tree(g.num_edges(), false);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (tree.parent_edge[v] != kInvalidEdge) is_tree[tree.parent_edge[v]] = true;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!is_tree[e]) non_tree = e;
+  }
+  ASSERT_NE(non_tree, kInvalidEdge);
+  const EdgeId nt_faults[1] = {non_tree};
+  (void)engine.all_distances(0, edge_faults(nt_faults));
+  FaultQueryEngine::PathStats stats = engine.path_stats();
+  EXPECT_EQ(stats.fast_path_hits, 1u);
+  EXPECT_EQ(stats.repair_bfs, 0u);
+  EXPECT_EQ(stats.full_bfs, 0u);
+
+  // Fault the tree edge above the BFS tree's deepest leaf: a one-vertex
+  // subtree, repaired via the other side of the cycle.
+  const EdgeId leaf_edge = tree.parent_edge[16];
+  ASSERT_NE(leaf_edge, kInvalidEdge);
+  const EdgeId tr_faults[1] = {leaf_edge};
+  (void)engine.all_distances(0, edge_faults(tr_faults));
+  stats = engine.path_stats();
+  EXPECT_EQ(stats.fast_path_hits, 1u);
+  EXPECT_EQ(stats.repair_bfs, 1u);
+  EXPECT_EQ(stats.full_bfs, 0u);
+
+  // Single-target distance whose target sits outside the damage: answered
+  // from the baseline without running the repair.
+  const std::uint32_t d = engine.distance(0, 8, edge_faults(tr_faults));
+  EXPECT_EQ(d, 8u);
+  stats = engine.path_stats();
+  EXPECT_EQ(stats.fast_path_hits, 2u);
+  EXPECT_EQ(stats.repair_bfs, 1u);
+
+  // Faulted source: full BFS reports the all-unreachable result.
+  const Vertex src_fault[1] = {0};
+  const auto& hops = engine.all_distances(0, vertex_faults(src_fault));
+  for (Vertex v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(hops[v], kInfHops);
+  stats = engine.path_stats();
+  EXPECT_EQ(stats.full_bfs, 1u);
+
+  // Every query is accounted to exactly one path.
+  EXPECT_EQ(stats.fast_path_hits + stats.repair_bfs + stats.full_bfs,
+            engine.queries_answered());
+}
+
+TEST(DeltaPath, RepairHandlesDisconnection) {
+  // Cutting the path graph's edge (k-1, k) disconnects the whole tail; the
+  // repair must report every tail vertex unreachable.
+  const Graph g = path_graph(20);
+  FaultQueryEngine engine(g);
+  engine.set_delta_options({.enabled = true, .max_affected_fraction = 1.0});
+  const EdgeId cut[1] = {g.find_edge(9, 10)};
+  const auto& hops = engine.all_distances(0, edge_faults(cut));
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(hops[v], v);
+  for (Vertex v = 10; v < 20; ++v) EXPECT_EQ(hops[v], kInfHops);
+  EXPECT_EQ(engine.path_stats().repair_bfs, 1u);
+}
+
+TEST(DeltaPath, RepairReroutesAroundDamage) {
+  // Grid: cutting one tree edge leaves plenty of detours; repaired distances
+  // must match a fresh ground-truth engine with the delta disabled.
+  const Graph g = grid_graph(8, 8);
+  FaultQueryEngine delta(g);
+  delta.set_delta_options({.enabled = true, .max_affected_fraction = 1.0});
+  FaultQueryEngine full(g);
+  full.set_delta_options(delta_off());
+  Bfs bfs(g);
+  const BfsResult tree = bfs.run(0);
+  for (Vertex v : {static_cast<Vertex>(9), static_cast<Vertex>(27),
+                   static_cast<Vertex>(63)}) {
+    const EdgeId faults[1] = {tree.parent_edge[v]};
+    EXPECT_EQ(delta.all_distances(0, edge_faults(faults)),
+              full.all_distances(0, edge_faults(faults)));
+  }
+  EXPECT_GT(delta.path_stats().repair_bfs, 0u);
+}
+
+// --- through the service ----------------------------------------------------
+
+std::vector<QueryRequest> service_workload(const Graph& g, int count,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  Bfs bfs(g);
+  const BfsResult tree = bfs.run(0);
+  std::vector<QueryRequest> out;
+  for (int i = 0; i < count; ++i) {
+    QueryRequest req;
+    req.id = i;
+    req.source = 0;
+    const FaultDraw d = draw_faults(rng, g, tree, 3, 1);
+    req.fault_edges = d.edges;
+    req.fault_vertices = d.vertices;
+    switch (rng.next_below(4)) {
+      case 0:
+        req.kind = QueryKind::kAllDistances;
+        break;
+      case 1:
+        req.kind = QueryKind::kPath;
+        req.targets = {static_cast<Vertex>(rng.next_below(g.num_vertices()))};
+        break;
+      case 2:
+        req.kind = QueryKind::kReachability;
+        req.targets = {static_cast<Vertex>(rng.next_below(g.num_vertices())),
+                       static_cast<Vertex>(rng.next_below(g.num_vertices()))};
+        break;
+      default:
+        req.kind = QueryKind::kDistance;
+        req.targets = {static_cast<Vertex>(rng.next_below(g.num_vertices()))};
+        break;
+    }
+    req.consistency =
+        rng.next_below(4) == 0 ? Consistency::kBestEffort
+                               : Consistency::kExactOrRefuse;
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+TEST(DeltaPath, ServeBytesIdenticalWithDeltaOnAndOff) {
+  const Graph g = erdos_renyi(60, 0.1, 21);
+  ServiceConfig on;
+  ServiceConfig off;
+  off.delta_queries = false;
+  OracleService delta_service(g, on);
+  OracleService full_service(g, off);
+  const std::vector<QueryRequest> requests = service_workload(g, 250, 31);
+  for (const QueryRequest& req : requests) {
+    EXPECT_EQ(format_response_line(delta_service.serve(req)),
+              format_response_line(full_service.serve(req)))
+        << "request " << req.id;
+  }
+  // The delta service actually used its fast/repair tiers (not everything
+  // fell back), and the disabled twin never did.
+  const ServiceStats ds = delta_service.stats();
+  EXPECT_GT(ds.fast_path_hits + ds.repair_bfs, 0u);
+  const ServiceStats fs = full_service.stats();
+  EXPECT_EQ(fs.fast_path_hits, 0u);
+  EXPECT_EQ(fs.repair_bfs, 0u);
+  EXPECT_GT(fs.full_bfs, 0u);
+}
+
+TEST(DeltaPath, ServiceStatsExposeQueryPathCounters) {
+  const Graph g = erdos_renyi(40, 0.15, 5);
+  ServiceConfig config;
+  config.cache_capacity = 0;  // every request reaches an engine
+  OracleService service(g, config);
+  const std::vector<QueryRequest> requests = service_workload(g, 100, 77);
+  std::uint64_t engine_served = 0;
+  for (const QueryRequest& req : requests) {
+    const QueryResponse resp = service.serve(req);
+    if (resp.status == StatusCode::kOk ||
+        resp.status == StatusCode::kDisconnected) {
+      ++engine_served;
+    }
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.fast_path_hits + stats.repair_bfs + stats.full_bfs,
+            engine_served);
+  EXPECT_GT(stats.fast_path_hits, 0u);
+}
+
+}  // namespace
+}  // namespace ftbfs

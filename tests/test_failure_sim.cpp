@@ -90,6 +90,40 @@ TEST(FailureSim, DeterministicPerSeed) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(FailureSim, DeltaPathDoesNotChangeMetricsAndServesTicks) {
+  // The simulator's drifting tick-states are the repair path's home turf:
+  // metrics must be identical with the delta tiers on and off, and with
+  // caching disabled the on-run must answer cache-missing ticks from the
+  // baseline/repair tiers instead of full BFS.
+  const Graph g = erdos_renyi(40, 0.15, 23);
+  const FtStructure h = build_cons2ftbfs(g, 0);
+  auto run_once = [&](bool delta) {
+    SimConfig cfg;
+    cfg.ticks = 120;
+    cfg.seed = 9;
+    cfg.cache_capacity = 0;  // every tick row reaches an engine
+    cfg.delta_queries = delta;
+    FailureSimulator sim(g, 0, cfg);
+    sim.add_overlay("cons2", h.edges, 2);
+    const auto metrics = sim.run();
+    return std::pair(metrics, sim.service_stats());
+  };
+  const auto [with_delta, on_stats] = run_once(true);
+  const auto [without_delta, off_stats] = run_once(false);
+  ASSERT_EQ(with_delta.size(), without_delta.size());
+  for (std::size_t i = 0; i < with_delta.size(); ++i) {
+    EXPECT_EQ(with_delta[i].exact, without_delta[i].exact);
+    EXPECT_EQ(with_delta[i].stretched, without_delta[i].stretched);
+    EXPECT_EQ(with_delta[i].disconnected, without_delta[i].disconnected);
+    EXPECT_EQ(with_delta[i].extra_hops, without_delta[i].extra_hops);
+    EXPECT_EQ(with_delta[i].non_exact_in_budget,
+              without_delta[i].non_exact_in_budget);
+  }
+  EXPECT_GT(on_stats.fast_path_hits + on_stats.repair_bfs, 0u);
+  EXPECT_EQ(off_stats.fast_path_hits + off_stats.repair_bfs, 0u);
+  EXPECT_GT(off_stats.full_bfs, 0u);
+}
+
 TEST(FailureSim, CapRespected) {
   const Graph g = erdos_renyi(40, 0.2, 17);
   SimConfig cfg;

@@ -127,6 +127,60 @@ TEST(ConcurrentService, HammerMatchesSequentialBaseline) {
   EXPECT_EQ(stats.served + stats.refused, stats.requests);
 }
 
+TEST(ConcurrentService, DeltaRepairHammerMatchesFullBfsSequential) {
+  // The fault-delta tiers under concurrency: the sequential baseline runs
+  // with the delta path *disabled* (pre-delta full-BFS semantics), the
+  // hammered service with it enabled — so agreement simultaneously proves
+  // thread-safety of the shared per-source baselines (lazily built under
+  // racing queries) and delta==full equivalence. The workload is biased
+  // toward tree-edge faults so the repair BFS, not just the fast path, is
+  // on the hot path of every worker.
+  const Graph g = erdos_renyi(60, 0.12, 19);
+  std::vector<QueryRequest> requests = mixed_workload(g, 400);
+  Bfs bfs(g);
+  const BfsResult tree = bfs.run(0);
+  Rng rng(333);
+  for (std::size_t i = 0; i < requests.size(); i += 2) {
+    // Stay within 2 distinct faults: 3+ would add budget-3 lazy builds whose
+    // served_by attribution is legitimately scheduler-dependent (see
+    // oracle_service.h), which is not what this test is probing.
+    if (requests[i].fault_edges.size() >= 2) continue;
+    const Vertex v = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    if (tree.parent_edge[v] != kInvalidEdge) {
+      requests[i].fault_edges.push_back(tree.parent_edge[v]);
+    }
+  }
+
+  ServiceConfig full_config;
+  full_config.delta_queries = false;
+  OracleService baseline(g, full_config);
+  std::vector<PayloadKey> expected;
+  expected.reserve(requests.size());
+  for (const QueryRequest& req : requests) {
+    expected.push_back(payload_of(baseline.serve(req)));
+  }
+
+  OracleService service(g);  // delta on (the default)
+  std::vector<PayloadKey> got(requests.size());
+  std::vector<std::thread> crew;
+  for (unsigned w = 0; w < kThreads; ++w) {
+    crew.emplace_back([&, w] {
+      for (std::size_t i = w; i < requests.size(); i += kThreads) {
+        got[i] = payload_of(service.serve(requests[i]));
+      }
+    });
+  }
+  for (std::thread& t : crew) t.join();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "request " << i;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.repair_bfs, 0u);       // the repair tier really ran
+  EXPECT_GT(stats.fast_path_hits, 0u);   // and the baseline tier
+  const ServiceStats base_stats = baseline.stats();
+  EXPECT_EQ(base_stats.repair_bfs + base_stats.fast_path_hits, 0u);
+}
+
 TEST(ConcurrentService, BuildsEachPoolKeyExactlyOnce) {
   const Graph g = erdos_renyi(50, 0.15, 9);
   OracleService service(g);

@@ -115,5 +115,47 @@ TEST(TreeIndex, UnreachedIsolated) {
   EXPECT_EQ(t.preorder().size(), 3u);
 }
 
+TEST(TreeIndex, BuildsFromBfsTree) {
+  const Graph g = erdos_renyi(40, 0.12, 3);
+  Bfs bfs(g);
+  const BfsResult tree = bfs.run(0);
+  const TreeIndex t(g, tree, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(t.reached(v), tree.hops[v] != kInfHops);
+    if (!t.reached(v)) continue;
+    EXPECT_EQ(t.depth(v), tree.hops[v]);  // BFS depth == hop distance
+    EXPECT_EQ(t.parent(v), tree.parent[v]);
+    EXPECT_EQ(t.parent_edge(v), tree.parent_edge[v]);
+  }
+}
+
+TEST(TreeIndex, SubtreeSpansArePreorderSlices) {
+  const Graph g = erdos_renyi(48, 0.1, 9);
+  Bfs bfs(g);
+  const TreeIndex t(g, bfs.run(0), 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::span<const Vertex> span = t.subtree_span(v);
+    if (!t.reached(v)) {
+      EXPECT_TRUE(span.empty());
+      EXPECT_EQ(t.subtree_size(v), 0u);
+      continue;
+    }
+    EXPECT_EQ(span.size(), t.subtree_size(v));
+    ASSERT_FALSE(span.empty());
+    EXPECT_EQ(span.front(), v);  // slice starts at the subtree root
+    // The slice is exactly the descendant set (ancestor test agrees), and
+    // subtree sizes are consistent with it.
+    std::size_t descendants = 0;
+    for (Vertex w = 0; w < g.num_vertices(); ++w) {
+      if (t.ancestor_of(v, w)) ++descendants;
+    }
+    EXPECT_EQ(descendants, span.size());
+    for (const Vertex w : span) EXPECT_TRUE(t.ancestor_of(v, w));
+    EXPECT_EQ(t.preorder()[t.preorder_index(v)], v);
+  }
+  // Root slice covers every reached vertex.
+  EXPECT_EQ(t.subtree_span(0).size(), t.preorder().size());
+}
+
 }  // namespace
 }  // namespace ftbfs

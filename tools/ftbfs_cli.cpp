@@ -578,7 +578,8 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   std::fprintf(stderr,
                "served %llu requests (%llu ok, %llu refused); %llu parse "
                "errors; cache %llu/%llu hits (%.0f%%); %llu lazy builds, "
-               "pool size %zu\n",
+               "pool size %zu; query paths %llu fast / %llu repair / "
+               "%llu full\n",
                static_cast<unsigned long long>(stats.requests +
                                                resolve_refusals),
                static_cast<unsigned long long>(stats.served),
@@ -590,7 +591,10 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
                                                stats.cache_misses),
                100.0 * stats.cache_hit_rate(),
                static_cast<unsigned long long>(stats.structures_built),
-               service.pool_size());
+               service.pool_size(),
+               static_cast<unsigned long long>(stats.fast_path_hits),
+               static_cast<unsigned long long>(stats.repair_bfs),
+               static_cast<unsigned long long>(stats.full_bfs));
   return 0;
 }
 
