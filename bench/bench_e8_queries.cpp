@@ -78,13 +78,14 @@ double hammer(OracleService& service, const std::vector<QueryRequest>& requests,
 
 // Fresh single-entry service over the prebuilt structure, mirroring the E8a
 // service column so the sweep measures concurrency, not configuration.
-std::unique_ptr<OracleService> make_sweep_service(const Graph& g,
-                                                  const BuildResult& built,
-                                                  Vertex source,
-                                                  std::size_t cache_capacity) {
+std::unique_ptr<OracleService> make_sweep_service(
+    const Graph& g, const BuildResult& built, Vertex source,
+    std::size_t cache_capacity,
+    double cache_delta_fraction = ServiceConfig{}.cache_delta_max_fraction) {
   ServiceConfig config;
   config.lazy_build = false;
   config.cache_capacity = cache_capacity;
+  config.cache_delta_max_fraction = cache_delta_fraction;
   auto service = std::make_unique<OracleService>(g, config);
   service->add_structure("cons2", source, 2, FaultModel::kEdge,
                          built.structure.edges);
@@ -110,7 +111,7 @@ int main(int argc, char** argv) {
   Table table("E8: repeated-scenario query sweep under fault injection");
   table.set_header({"family", "n", "|H|/m", "queries", "dup%", "mm", "us/q G",
                     "us/q full", "us/q dlt", "us/q batch", "us/q svc", "hit%",
-                    "dlt x", "batch x", "svc x", "sf x"});
+                    "dlt x", "batch x", "svc x", "sf x", "pq x", "B/ln shr"});
   std::string families_json;
 
   const std::vector<Vertex> sizes =
@@ -220,15 +221,61 @@ int main(int argc, char** argv) {
         (void)d_engine.all_distances(0, edge_faults(one));
       }
       const double sf_delta_time = tsf_delta.seconds();
+
+      // Parent-query workload: shortest_path under a tree-edge fault — the
+      // shape that fell back to a full masked BFS before the parent-carrying
+      // repair. Faults are parent edges of H's own baseline tree (mapped
+      // back to host ids), so every query is genuinely damaged.
+      const Graph& h_graph = d_engine.structure_graph();
+      Bfs h_bfs(h_graph);
+      const BfsResult h_tree = h_bfs.run(0);
+      std::vector<EdgeId> pq_faults;
+      std::vector<Vertex> pq_targets;
+      for (int q = 0; q < queries; ++q) {
+        const Vertex v = static_cast<Vertex>(rng.next_below(n));
+        if (h_tree.parent_edge[v] == kInvalidEdge) continue;
+        pq_faults.push_back(built.structure.edges[h_tree.parent_edge[v]]);
+        pq_targets.push_back(static_cast<Vertex>(rng.next_below(n)));
+      }
+      Timer tpq_full;
+      for (std::size_t q = 0; q < pq_faults.size(); ++q) {
+        const std::span<const EdgeId> one(&pq_faults[q], 1);
+        (void)h_engine.shortest_path(0, pq_targets[q], edge_faults(one));
+      }
+      const double pq_full_time = tpq_full.seconds();
+      Timer tpq_delta;
+      for (std::size_t q = 0; q < pq_faults.size(); ++q) {
+        const std::span<const EdgeId> one(&pq_faults[q], 1);
+        (void)d_engine.shortest_path(0, pq_targets[q], edge_faults(one));
+      }
+      const double pq_delta_time = tpq_delta.seconds();
+
       // Counter snapshot here so the JSON attributes fast/repair/full to
-      // exactly the two timed delta workloads above — not to the untimed
-      // verification loop below or the batch sweep.
+      // exactly the three timed delta workloads above (repeated sweep,
+      // single-fault, parent-query) — not to the untimed verification loops
+      // below or the batch sweep.
       const FaultQueryEngine::PathStats paths = d_engine.path_stats();
+
+      // Untimed verification. Single-fault: bit-identical distance vectors.
       for (int q = 0; q < sf_queries; ++q) {
         const std::span<const EdgeId> one(&sf_edges[q], 1);
         const auto& full_hops = h_engine.all_distances(0, edge_faults(one));
         if (full_hops != d_engine.all_distances(0, edge_faults(one))) {
           ++sf_mismatches;
+        }
+      }
+      // Parent-query: identical reachability and hop counts (the realized
+      // tie-break may differ; the length may not).
+      std::uint64_t pq_mismatches = 0;
+      for (std::size_t q = 0; q < pq_faults.size(); ++q) {
+        const std::span<const EdgeId> one(&pq_faults[q], 1);
+        const auto fp = h_engine.shortest_path(0, pq_targets[q],
+                                               edge_faults(one));
+        const auto dp = d_engine.shortest_path(0, pq_targets[q],
+                                               edge_faults(one));
+        if (fp.has_value() != dp.has_value() ||
+            (fp.has_value() && fp->size() != dp->size())) {
+          ++pq_mismatches;
         }
       }
 
@@ -258,9 +305,43 @@ int main(int argc, char** argv) {
       }
       const double s_time = ts.seconds();
 
+      // The same sweep against a full-vector-line service (delta compression
+      // off), untimed: hit/miss/eviction accounting must be representation-
+      // independent, and the resident-bytes ratio is the memory headline.
+      const auto full_line_service = make_sweep_service(
+          g, built, 0, static_cast<std::size_t>(unique) + 16, 0.0);
+      std::uint64_t cache_mismatches = 0;
+      for (int q = 0; q < queries; ++q) {
+        request.fault_edges = fault_pool[pick[q]];
+        const QueryResponse resp = full_line_service->serve(request);
+        for (std::size_t j = 0; j < targets.size(); ++j) {
+          if (served[q * targets.size() + j] != resp.distances[j]) {
+            ++cache_mismatches;
+          }
+        }
+      }
+      const ServiceStats delta_cache_stats = service->stats();
+      const ServiceStats full_cache_stats = full_line_service->stats();
+      if (delta_cache_stats.cache_hits != full_cache_stats.cache_hits ||
+          delta_cache_stats.cache_misses != full_cache_stats.cache_misses ||
+          delta_cache_stats.cache_evictions !=
+              full_cache_stats.cache_evictions ||
+          delta_cache_stats.cache_lines != full_cache_stats.cache_lines) {
+        ++cache_mismatches;
+      }
+      const double bytes_per_line_delta =
+          delta_cache_stats.cache_bytes_per_line();
+      const double bytes_per_line_full =
+          full_cache_stats.cache_bytes_per_line();
+      // Denominator floored at one byte: a workload whose diffs are all
+      // empty would otherwise report an unbounded (and gate-hostile) ratio.
+      const double line_shrink =
+          bytes_per_line_full / std::max(bytes_per_line_delta, 1.0);
+
       // Correctness cross-check, untimed: the sequential, delta, batched,
       // and service matrices against ground truth.
-      std::uint64_t mismatches = sf_mismatches;
+      std::uint64_t mismatches = sf_mismatches + pq_mismatches +
+                                 cache_mismatches;
       for (std::size_t i = 0; i < truth.size(); ++i) {
         if (seq[i] != truth[i]) ++mismatches;
         if (dlt[i] != truth[i]) ++mismatches;
@@ -268,9 +349,10 @@ int main(int argc, char** argv) {
         if (served[i] != truth[i]) ++mismatches;
       }
 
-      const double hit_rate = service->stats().cache_hit_rate();
+      const double hit_rate = delta_cache_stats.cache_hit_rate();
       const double delta_speedup = h_time / std::max(d_time, 1e-12);
       const double sf_speedup = sf_full_time / std::max(sf_delta_time, 1e-12);
+      const double pq_speedup = pq_full_time / std::max(pq_delta_time, 1e-12);
       table.add_row(
           {family.name, fmt_u64(n),
            fmt_double(
@@ -287,23 +369,35 @@ int main(int argc, char** argv) {
            fmt_double(delta_speedup, 2),
            fmt_double(h_time / std::max(b_time, 1e-12), 2),
            fmt_double(h_time / std::max(s_time, 1e-12), 2),
-           fmt_double(sf_speedup, 2)});
+           fmt_double(sf_speedup, 2),
+           fmt_double(pq_speedup, 2),
+           fmt_double(line_shrink, 1)});
 
-      char row[768];
+      char row[1152];
       std::snprintf(row, sizeof row,
                     "%s{\"family\":\"%s\",\"n\":%u,\"queries\":%d,"
                     "\"mismatches\":%llu,\"us_per_query_full\":%.2f,"
                     "\"us_per_query_delta\":%.2f,\"delta_speedup\":%.2f,"
                     "\"single_fault_speedup\":%.2f,"
+                    "\"us_per_query_path_full\":%.2f,"
+                    "\"us_per_query_path_delta\":%.2f,"
+                    "\"parent_query_speedup\":%.2f,"
                     "\"us_per_query_service\":%.2f,"
                     "\"cache_hit_rate\":%.3f,\"service_speedup\":%.2f,"
+                    "\"cache_bytes_per_line_full\":%.1f,"
+                    "\"cache_bytes_per_line_delta\":%.1f,"
+                    "\"cache_line_shrink\":%.2f,"
                     "\"fast_path_hits\":%llu,\"repair_bfs\":%llu,"
                     "\"full_bfs\":%llu}",
                     families_json.empty() ? "" : ",", family.name.c_str(), n,
                     queries, static_cast<unsigned long long>(mismatches),
                     1e6 * h_time / queries, 1e6 * d_time / queries,
-                    delta_speedup, sf_speedup, 1e6 * s_time / queries,
+                    delta_speedup, sf_speedup,
+                    1e6 * pq_full_time / std::max<std::size_t>(1, pq_faults.size()),
+                    1e6 * pq_delta_time / std::max<std::size_t>(1, pq_faults.size()),
+                    pq_speedup, 1e6 * s_time / queries,
                     hit_rate, h_time / std::max(s_time, 1e-12),
+                    bytes_per_line_full, bytes_per_line_delta, line_shrink,
                     static_cast<unsigned long long>(paths.fast_path_hits),
                     static_cast<unsigned long long>(paths.repair_bfs),
                     static_cast<unsigned long long>(paths.full_bfs));
@@ -436,7 +530,12 @@ int main(int argc, char** argv) {
       "per fault set over H); 'us/q dlt' is the two-tier delta path (baseline\n"
       "fast path / repair BFS / threshold fallback; docs/perf.md); 'dlt x'\n"
       "their ratio on the repeated 0-2-fault sweep and 'sf x' on the\n"
-      "single-fault workload (acceptance bar: >=2x on both).\n\n");
+      "single-fault workload (acceptance bar: >=2x on both). 'pq x' is the\n"
+      "parent-query ratio: shortest_path under a tree-edge fault, repair\n"
+      "path vs the pre-PR full-BFS fallback (bar: >=2x). 'B/ln shr' is the\n"
+      "scenario-cache resident-bytes-per-line shrink of delta-compressed\n"
+      "lines vs full vectors on the same sweep (bar: >=5x), with hit/miss/\n"
+      "eviction counters identical in both representations.\n\n");
   Table sweep_table("E8b: service thread sweep (shared OracleService, " +
                     sweep_family.name + ", n=" + std::to_string(sweep_n) + ")");
   sweep_table.set_header({"threads", "mm", "us/q rep", "x rep", "hit%",

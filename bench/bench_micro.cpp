@@ -15,6 +15,7 @@
 #include "engine/query_engine.h"
 #include "graph/generators.h"
 #include "graph/mask.h"
+#include "service/shard.h"
 #include "spath/bfs.h"
 #include "spath/dijkstra.h"
 #include "spath/replacement.h"
@@ -234,6 +235,74 @@ BENCHMARK(BM_RepairVsFullBySubtree)
     ->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(75)->Arg(90);
 BENCHMARK(BM_RepairVsFullBySubtree_FullBfs)
     ->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(75)->Arg(90);
+
+// --- parent-carrying repair vs the full-BFS fallback -------------------------
+//
+// shortest_path under a single tree-edge fault whose subtree is ~range(0)%
+// of n: the parent-exposing call that fell back to a full masked BFS before
+// the repair BFS carried parents. The paired _FullBfs run is the pre-PR
+// behavior (delta disabled ⇒ every damaged parent query is a full BFS).
+void parent_query_by_subtree(benchmark::State& state, bool delta) {
+  const Vertex n = 2048;
+  const Graph g = path_with_chords(n, n / 4, 3);
+  FaultQueryEngine engine(g);
+  engine.set_delta_options({.enabled = delta, .max_affected_fraction = 1.0});
+  const EdgeId fault = tree_edge_with_subtree_fraction(
+      g, static_cast<double>(state.range(0)) / 100.0);
+  const EdgeId faults[1] = {fault};
+  Vertex target = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.shortest_path(0, target, edge_faults(faults)));
+    target = 1 + (target + 97) % (n - 1);
+  }
+  state.SetLabel("subtree ~" + std::to_string(state.range(0)) + "% of n");
+}
+void BM_ParentQueryRepair(benchmark::State& state) {
+  parent_query_by_subtree(state, true);
+}
+void BM_ParentQueryRepair_FullBfs(benchmark::State& state) {
+  parent_query_by_subtree(state, false);
+}
+BENCHMARK(BM_ParentQueryRepair)->Arg(1)->Arg(10)->Arg(50);
+BENCHMARK(BM_ParentQueryRepair_FullBfs)->Arg(1)->Arg(10)->Arg(50);
+
+// --- delta-compressed cache lines: overlay read vs full-vector copy ----------
+//
+// Serving an all-distances response from a delta line costs one baseline
+// copy plus an O(diff) overlay (ShardedScenarioCache::materialize); from a
+// full line it costs the straight O(n) vector copy. range(0) is the diff
+// size in percent of n — the overlay's extra cost stays in the noise while
+// resident bytes shrink by n/diff.
+void BM_CacheLineMaterialize(benchmark::State& state) {
+  const Vertex n = 4096;
+  std::vector<std::uint32_t> baseline(n);
+  for (Vertex v = 0; v < n; ++v) baseline[v] = v % 97;
+  ShardedScenarioCache::Line line;
+  if (state.range(0) < 0) {
+    // Sentinel: full-vector line (the escape hatch / pre-PR representation).
+    ShardedScenarioCache::fill(line, baseline);
+  } else {
+    const std::size_t diff_size = n * state.range(0) / 100;
+    std::vector<std::uint64_t> diff;
+    for (std::size_t i = 0; i < diff_size; ++i) {
+      const Vertex v = static_cast<Vertex>(i * (n / std::max<std::size_t>(
+                                                        1, diff_size)));
+      diff.push_back((static_cast<std::uint64_t>(v) << 32) | 7u);
+    }
+    ShardedScenarioCache::fill_delta(line, &baseline, std::move(diff));
+  }
+  std::vector<std::uint32_t> out(n);
+  for (auto _ : state) {
+    ShardedScenarioCache::materialize(line, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(state.range(0) < 0
+                     ? "full-vector line"
+                     : "delta line, diff=" +
+                           std::to_string(state.range(0)) + "% of n");
+}
+BENCHMARK(BM_CacheLineMaterialize)->Arg(-1)->Arg(1)->Arg(10)->Arg(25);
 
 void BM_VerifySampled(benchmark::State& state) {
   const Vertex n = static_cast<Vertex>(state.range(0));

@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
 #include "graph/graph.h"
 #include "graph/mask.h"
@@ -88,21 +87,28 @@ class PathSelector {
   // dist(s, t, G ∖ {e}), memoized per edge for a fixed source: the same
   // single-fault distance table is consulted for every target v on whose
   // π(s,v) the edge e lies, so one BFS per tree edge serves all targets.
-  // Changing the source flushes the memo. Overwrites the scratch mask.
+  // The memo is a flat array indexed by EdgeId (edge ids are dense) with an
+  // epoch stamp per slot — no hashing on the lookup path, and changing the
+  // source flushes in O(1) by bumping the epoch while the hop vectors keep
+  // their capacity for reuse. Overwrites the scratch mask.
   [[nodiscard]] std::uint32_t single_fault_distance(Vertex s, Vertex t,
                                                     EdgeId e) {
     if (memo_source_ != s) {
-      memo_.clear();
+      ++memo_epoch_cur_;
       memo_source_ = s;
     }
-    auto it = memo_.find(e);
-    if (it == memo_.end()) {
+    if (memo_hops_.empty()) {
+      memo_hops_.resize(graph_->num_edges());
+      memo_epoch_.resize(graph_->num_edges(), 0);
+    }
+    if (memo_epoch_[e] != memo_epoch_cur_) {
       mask_.clear();
       mask_.block_edge(e);
       ++bfs_runs_;
-      it = memo_.emplace(e, bfs_.run(s, &mask_).hops).first;
+      memo_hops_[e] = bfs_.run(s, &mask_).hops;  // copy-assign reuses capacity
+      memo_epoch_[e] = memo_epoch_cur_;
     }
-    return it->second[t];
+    return memo_hops_[e][t];
   }
 
   [[nodiscard]] std::uint64_t bfs_runs() const { return bfs_runs_; }
@@ -117,7 +123,9 @@ class PathSelector {
   std::uint64_t bfs_runs_ = 0;
   std::uint64_t dijkstra_runs_ = 0;
   Vertex memo_source_ = kInvalidVertex;
-  std::unordered_map<EdgeId, std::vector<std::uint32_t>> memo_;
+  std::uint32_t memo_epoch_cur_ = 1;
+  std::vector<std::uint32_t> memo_epoch_;             // per edge; lazily sized
+  std::vector<std::vector<std::uint32_t>> memo_hops_; // per edge; lazily sized
 };
 
 // Blocks π positions [k+1 .. l] on the mask (the vertex-removal part of

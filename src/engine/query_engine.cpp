@@ -46,13 +46,19 @@ FaultQueryEngine::FaultQueryEngine(const Graph& g)
   pool_->slots.push_back(std::make_unique<Scratch>(*h_));
 }
 
-FaultQueryEngine::Baseline::Baseline(const Graph& h, BfsResult t, Vertex source)
+FaultQueryEngine::Baseline::Baseline(const Graph& h, BfsResult t,
+                                     std::span<const Vertex> visit_order,
+                                     Vertex source)
     : tree(std::move(t)),
       index(h, tree, source),
-      tree_child(h.num_edges(), kInvalidVertex) {
+      tree_child(h.num_edges(), kInvalidVertex),
+      rank(h.num_vertices(), static_cast<std::uint32_t>(-1)) {
   for (Vertex v = 0; v < h.num_vertices(); ++v) {
     if (v == source || tree.hops[v] == kInfHops) continue;
     tree_child[tree.parent_edge[v]] = v;
+  }
+  for (std::uint32_t i = 0; i < visit_order.size(); ++i) {
+    rank[visit_order[i]] = i;
   }
 }
 
@@ -124,7 +130,9 @@ const FaultQueryEngine::Baseline* FaultQueryEngine::baseline_for(
   // Build outside the lock (one fault-free BFS over H); racing builders for
   // the same source waste one BFS and the first insert wins.
   Bfs bfs(*h_);
-  auto built = std::make_unique<Baseline>(*h_, bfs.run(source), source);
+  BfsResult tree = bfs.run(source);  // copy; visit_order() reads the queue
+  auto built = std::make_unique<Baseline>(*h_, std::move(tree),
+                                          bfs.visit_order(), source);
   {
     const std::unique_lock lock(store.mutex);
     if (const Baseline* base = find(source)) return base;
@@ -135,6 +143,12 @@ const FaultQueryEngine::Baseline* FaultQueryEngine::baseline_for(
     return store.entries.emplace(it, source, std::move(built))
         ->second.get();
   }
+}
+
+const std::vector<std::uint32_t>* FaultQueryEngine::baseline_hops(
+    Vertex source) {
+  const Baseline* base = baseline_for(source);
+  return base == nullptr ? nullptr : &base->tree.hops;
 }
 
 FaultQueryEngine::Damage FaultQueryEngine::classify(Scratch& s,
@@ -156,9 +170,9 @@ FaultQueryEngine::Damage FaultQueryEngine::classify(Scratch& s,
   return s.impacts.empty() ? Damage::kNone : Damage::kSubtrees;
 }
 
-const std::vector<std::uint32_t>* FaultQueryEngine::repair(
-    Scratch& s, const Baseline& base, std::span<const Vertex> targets,
-    bool* from_baseline) {
+const BfsResult* FaultQueryEngine::repair(Scratch& s, const Baseline& base,
+                                          std::span<const Vertex> targets,
+                                          bool* from_baseline) {
   const Graph& h = *h_;
   *from_baseline = false;
 
@@ -185,25 +199,30 @@ const std::vector<std::uint32_t>* FaultQueryEngine::repair(
   }
 
   // Every requested target outside the affected region keeps its baseline
-  // distance — no repair needed to answer.
+  // distance — and its baseline root path: the ancestors of an unaffected
+  // vertex are all unaffected (affected sets are subtree-closed), so the
+  // whole baseline tree answers without running the repair.
   if (!targets.empty()) {
     bool any_affected = false;
     for (const Vertex t : targets) any_affected |= marked(t);
     if (!any_affected) {
       *from_baseline = true;
-      return &base.tree.hops;
+      return &base.tree;
     }
   }
 
-  // Sync the output vector with the baseline: a full copy the first time (or
+  // Sync the output tree with the baseline: a full copy the first time (or
   // after a baseline switch), then only the entries the previous repair on
-  // this scratch dirtied.
+  // this scratch dirtied. Copy-assign reuses capacity, so steady state pays
+  // O(prev affected), not O(n), and allocates nothing.
   if (s.repair_synced != &base) {
-    s.repair_hops = base.tree.hops;
+    s.repair = base.tree;
     s.repair_synced = &base;
   } else {
     for (const Vertex w : s.prev_affected) {
-      s.repair_hops[w] = base.tree.hops[w];
+      s.repair.hops[w] = base.tree.hops[w];
+      s.repair.parent[w] = base.tree.parent[w];
+      s.repair.parent_edge[w] = base.tree.parent_edge[w];
     }
   }
 
@@ -211,7 +230,14 @@ const std::vector<std::uint32_t>* FaultQueryEngine::repair(
   // unaffected usable neighbor u, whose masked distance equals its baseline
   // distance. Seeds are upper bounds (the true path may run through other
   // affected vertices first); the Dial pass below relaxes them properly.
-  for (const Vertex w : s.affected) s.repair_hops[w] = kInfHops;
+  // Parents are carried along: the seeding/relaxing neighbor becomes the
+  // parent, ties broken toward the lowest baseline discovery rank — the
+  // neighbor the full masked BFS would usually scan first.
+  for (const Vertex w : s.affected) {
+    s.repair.hops[w] = kInfHops;
+    s.repair.parent[w] = kInvalidVertex;
+    s.repair.parent_edge[w] = kInvalidEdge;
+  }
   std::uint32_t dmin = kInfHops;
   const auto push_bucket = [&](Vertex v, std::uint32_t d) {
     if (s.buckets.size() <= d) s.buckets.resize(d + 1);
@@ -220,15 +246,24 @@ const std::vector<std::uint32_t>* FaultQueryEngine::repair(
   for (const Vertex w : s.affected) {
     if (s.mask.vertex_blocked(w)) continue;
     std::uint32_t best = kInfHops;
+    std::uint32_t best_rank = static_cast<std::uint32_t>(-1);
+    Vertex best_parent = kInvalidVertex;
+    EdgeId best_edge = kInvalidEdge;
     for (const Arc& arc : h.neighbors(w)) {
       if (marked(arc.to)) continue;
       const std::uint32_t du = base.tree.hops[arc.to];
-      if (du == kInfHops || du + 1 >= best) continue;
+      if (du == kInfHops || du + 1 > best) continue;
+      if (du + 1 == best && base.rank[arc.to] >= best_rank) continue;
       if (s.mask.arc_blocked_unrestricted(arc.id, arc.to)) continue;
       best = du + 1;
+      best_rank = base.rank[arc.to];
+      best_parent = arc.to;
+      best_edge = arc.id;
     }
     if (best != kInfHops) {
-      s.repair_hops[w] = best;
+      s.repair.hops[w] = best;
+      s.repair.parent[w] = best_parent;
+      s.repair.parent_edge[w] = best_edge;
       push_bucket(w, best);
       dmin = std::min(dmin, best);
     }
@@ -236,7 +271,9 @@ const std::vector<std::uint32_t>* FaultQueryEngine::repair(
 
   // Dial's pass over the affected region only: unit edges, buckets keyed by
   // absolute hop count, stale entries skipped. Bounded by the volume of the
-  // region (vertices + incident arcs), never by |H|.
+  // region (vertices + incident arcs), never by |H|. The first relaxer at
+  // d + 1 becomes the parent (seeds — unaffected, hence queue-earlier in the
+  // full BFS — are never displaced by an equal-distance relaxation).
   if (dmin != kInfHops) {
     for (std::uint32_t d = dmin;
          d < static_cast<std::uint32_t>(s.buckets.size()); ++d) {
@@ -244,12 +281,14 @@ const std::vector<std::uint32_t>* FaultQueryEngine::repair(
       // outer bucket vector and would invalidate it.
       for (std::size_t i = 0; i < s.buckets[d].size(); ++i) {
         const Vertex w = s.buckets[d][i];
-        if (s.repair_hops[w] != d) continue;  // superseded by a better seed
+        if (s.repair.hops[w] != d) continue;  // superseded by a better seed
         for (const Arc& arc : h.neighbors(w)) {
           const Vertex x = arc.to;
-          if (!marked(x) || s.repair_hops[x] <= d + 1) continue;
+          if (!marked(x) || s.repair.hops[x] <= d + 1) continue;
           if (s.mask.arc_blocked_unrestricted(arc.id, x)) continue;
-          s.repair_hops[x] = d + 1;
+          s.repair.hops[x] = d + 1;
+          s.repair.parent[x] = w;
+          s.repair.parent_edge[x] = arc.id;
           push_bucket(x, d + 1);
         }
       }
@@ -257,7 +296,7 @@ const std::vector<std::uint32_t>* FaultQueryEngine::repair(
     }
   }
   std::swap(s.prev_affected, s.affected);
-  return &s.repair_hops;
+  return &s.repair;
 }
 
 const std::vector<std::uint32_t>& FaultQueryEngine::hops_in(
@@ -272,11 +311,11 @@ const std::vector<std::uint32_t>& FaultQueryEngine::hops_in(
         return base->tree.hops;
       case Damage::kSubtrees: {
         bool from_baseline = false;
-        if (const std::vector<std::uint32_t>* hops =
+        if (const BfsResult* r =
                 repair(s, *base, early_exit_targets, &from_baseline)) {
           (from_baseline ? fast_path_hits_ : repair_bfs_)
               .fetch_add(1, std::memory_order_relaxed);
-          return *hops;
+          return r->hops;
         }
         break;  // affected region above threshold: full BFS
       }
@@ -317,16 +356,28 @@ void FaultQueryEngine::release_scratch(std::size_t slot) {
 // non-tree edge is only ever scanned toward an already-discovered vertex, a
 // blocked unreached vertex has no reached neighbors), so the baseline result
 // — parents and parent_edges included — IS the full-BFS result, bit for bit.
-// Any tree damage sends this API to the full BFS: the repair path computes
-// hops only, and callers of query() read parents.
+// Tree damage runs the parent-carrying repair: hops stay bit-identical to
+// the full BFS, parents form a valid shortest-path tree of H ∖ F (unaffected
+// vertices keep baseline parents, affected ones get their repair parents).
 const BfsResult& FaultQueryEngine::query_in(Scratch& s, Vertex source,
                                             const FaultSpec& faults) {
   apply_faults(s, faults);
   queries_.fetch_add(1, std::memory_order_relaxed);
   if (const Baseline* base = baseline_for(source)) {
-    if (classify(s, *base, source) == Damage::kNone) {
-      fast_path_hits_.fetch_add(1, std::memory_order_relaxed);
-      return base->tree;
+    switch (classify(s, *base, source)) {
+      case Damage::kNone:
+        fast_path_hits_.fetch_add(1, std::memory_order_relaxed);
+        return base->tree;
+      case Damage::kSubtrees: {
+        bool from_baseline = false;  // never set: no targets to early-exit on
+        if (const BfsResult* r = repair(s, *base, {}, &from_baseline)) {
+          repair_bfs_.fetch_add(1, std::memory_order_relaxed);
+          return *r;
+        }
+        break;  // affected region above threshold: full BFS
+      }
+      case Damage::kSourceBlocked:
+        break;  // everything unreachable; let the full BFS report it
     }
   }
   full_bfs_.fetch_add(1, std::memory_order_relaxed);
@@ -346,18 +397,35 @@ std::optional<Path> FaultQueryEngine::shortest_path_in(Scratch& s,
                                                        const FaultSpec& faults) {
   apply_faults(s, faults);
   queries_.fetch_add(1, std::memory_order_relaxed);
+  const Vertex targets[1] = {target};
   const BfsResult* r = nullptr;
   if (const Baseline* base = baseline_for(source)) {
-    if (classify(s, *base, source) == Damage::kNone) {
-      // Identical to the masked BFS tree (see query_in), so the extracted
-      // path is the exact path the full run_until would have produced.
-      fast_path_hits_.fetch_add(1, std::memory_order_relaxed);
-      r = &base->tree;
+    switch (classify(s, *base, source)) {
+      case Damage::kNone:
+        // Identical to the masked BFS tree (see query_in), so the extracted
+        // path is the exact path the full run_until would have produced.
+        fast_path_hits_.fetch_add(1, std::memory_order_relaxed);
+        r = &base->tree;
+        break;
+      case Damage::kSubtrees: {
+        // An unaffected target keeps its whole baseline root path (ancestors
+        // of unaffected vertices are unaffected); an affected one walks its
+        // repair parents into the unaffected boundary and baseline from
+        // there. Either way the walk below never crosses a faulted element.
+        bool from_baseline = false;
+        r = repair(s, *base, targets, &from_baseline);
+        if (r != nullptr) {
+          (from_baseline ? fast_path_hits_ : repair_bfs_)
+              .fetch_add(1, std::memory_order_relaxed);
+        }
+        break;  // nullptr: affected region above threshold, full BFS
+      }
+      case Damage::kSourceBlocked:
+        break;  // everything unreachable; let the full BFS report it
     }
   }
   if (r == nullptr) {
     full_bfs_.fetch_add(1, std::memory_order_relaxed);
-    const Vertex targets[1] = {target};
     r = &s.bfs.run_until(source, targets, &s.mask);
   }
   if (r->hops[target] == kInfHops) return std::nullopt;

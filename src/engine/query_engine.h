@@ -39,9 +39,15 @@
 //   * the affected region exceeds delta_options().max_affected_fraction →
 //     the bounded repair would approach a full sweep anyway; fall back to the
 //     plain masked BFS (full_bfs).
-// Distances from every path are identical; the repair path computes hops
-// only, so the parent-exposing APIs (query, shortest_path) use the baseline
-// fast path when it applies and the full masked BFS otherwise.
+// Hops from every path are bit-identical to the full masked BFS. The repair
+// BFS also reconstructs parents and parent edges inside the affected region
+// (unaffected vertices keep their baseline parents), so the parent-exposing
+// APIs (query, shortest_path) route through fast-path-or-repair-or-full too.
+// Repair parents form a valid shortest-path tree of H ∖ F with the same hop
+// counts as the full BFS; the specific parent among equal-hop candidates may
+// differ from the full run's (BFS parentage depends on queue order, which a
+// bounded repair cannot reproduce), with the baseline discovery rank as the
+// tie-break so choices track the full BFS in the common case.
 #pragma once
 
 #include <atomic>
@@ -240,6 +246,14 @@ class FaultQueryEngine {
   // Not thread-safe: configure before the engine starts serving queries.
   void set_delta_options(DeltaOptions options) { delta_ = options; }
   [[nodiscard]] DeltaOptions delta_options() const { return delta_; }
+
+  // Stable pointer to the fault-free baseline hop vector for `source`,
+  // building the baseline on first use; nullptr when the delta path is
+  // disabled or the per-engine baseline cap is reached. Baselines are
+  // immutable and never evicted, so the pointer stays valid for the engine's
+  // lifetime — the service's delta-compressed scenario cache stores lines as
+  // diffs against exactly this vector. Thread-safe.
+  [[nodiscard]] const std::vector<std::uint32_t>* baseline_hops(Vertex source);
   [[nodiscard]] PathStats path_stats() const {
     return PathStats{fast_path_hits_.load(std::memory_order_relaxed),
                      repair_bfs_.load(std::memory_order_relaxed),
@@ -267,7 +281,12 @@ class FaultQueryEngine {
     TreeIndex index;                 // Euler intervals + preorder slices
     std::vector<Vertex> tree_child;  // H edge id → deeper endpoint of the
                                      // tree edge; kInvalidVertex = non-tree
-    Baseline(const Graph& h, BfsResult t, Vertex source);
+    // Baseline BFS discovery rank (queue position; ~0u = unreached). The
+    // repair BFS breaks parent ties toward the lowest rank — the neighbor
+    // the full masked BFS would usually scan first.
+    std::vector<std::uint32_t> rank;
+    Baseline(const Graph& h, BfsResult t, std::span<const Vertex> visit_order,
+             Vertex source);
   };
 
   struct Scratch {
@@ -282,9 +301,9 @@ class FaultQueryEngine {
     std::vector<std::uint64_t> affected_epoch;  // epoch-stamped membership
     std::uint64_t affected_clock = 0;
     std::vector<Vertex> affected;       // current affected vertex list
-    std::vector<Vertex> prev_affected;  // repair_hops entries to restore
-    std::vector<std::uint32_t> repair_hops;  // output of the repair BFS
-    const Baseline* repair_synced = nullptr;  // baseline repair_hops mirrors
+    std::vector<Vertex> prev_affected;  // repair entries to restore
+    BfsResult repair;  // output of the repair BFS: hops + parents + edges
+    const Baseline* repair_synced = nullptr;  // baseline `repair` mirrors
     std::vector<std::vector<Vertex>> buckets;  // Dial queue, keyed by hops
     explicit Scratch(const Graph& h)
         : mask(h), bfs(h), affected_epoch(h.num_vertices(), 0) {
@@ -335,15 +354,16 @@ class FaultQueryEngine {
   [[nodiscard]] Damage classify(Scratch& s, const Baseline& base,
                                 Vertex source) const;
 
-  // Tier 1: distances under the fault set already applied to s.mask, or
-  // nullptr when the caller must run the full masked BFS (threshold
-  // exceeded). When `targets` is non-empty and none of them lands in the
-  // affected region, the repair BFS is skipped — their baseline distances
-  // are provably unchanged. On return *from_baseline says whether the answer
-  // is the untouched baseline array (no repair BFS ran).
-  [[nodiscard]] const std::vector<std::uint32_t>* repair(
-      Scratch& s, const Baseline& base, std::span<const Vertex> targets,
-      bool* from_baseline);
+  // Tier 1: the repaired BFS tree (hops + parents + parent edges) under the
+  // fault set already applied to s.mask, or nullptr when the caller must run
+  // the full masked BFS (threshold exceeded). When `targets` is non-empty and
+  // none of them lands in the affected region, the repair BFS is skipped —
+  // their baseline distances *and root paths* are provably unchanged, so the
+  // untouched baseline tree is returned. On return *from_baseline says
+  // whether that happened (no repair BFS ran).
+  [[nodiscard]] const BfsResult* repair(Scratch& s, const Baseline& base,
+                                        std::span<const Vertex> targets,
+                                        bool* from_baseline);
 
   // Hops-only core all distance-reading queries route through: picks the
   // baseline / repair / full path and bumps the matching counter.

@@ -22,12 +22,6 @@ bool model_covers(FaultModel model, bool has_edge_faults,
   return true;  // fault-free queries are within every FT guarantee
 }
 
-void append_u32(std::string& key, std::uint32_t x) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    key.push_back(static_cast<char>((x >> shift) & 0xff));
-  }
-}
-
 // Lazy-build key: one structure per (source, budget, model) shape.
 std::uint64_t pack_pool_key(Vertex source, unsigned budget, FaultModel model) {
   return (static_cast<std::uint64_t>(source) << 32) |
@@ -167,6 +161,8 @@ ServiceStats OracleService::stats() const {
   out.cache_hits = cache_.total_hits();
   out.cache_misses = cache_.total_misses();
   out.cache_evictions = cache_.total_evictions();
+  out.cache_lines = cache_.size();
+  out.cache_resident_bytes = cache_.total_resident_bytes();
   out.structures_built =
       counters_.structures_built.load(std::memory_order_relaxed);
   out.identity_served =
@@ -231,26 +227,22 @@ OracleService::Entry& OracleService::entry_ref(std::size_t entry) {
   return entries_[entry];
 }
 
-std::string OracleService::cache_key(const Entry& e, std::size_t entry,
-                                     Vertex source,
-                                     const CanonicalFaultSet& canon) const {
-  std::string key;
-  key.reserve(12 + 4 * canon.size());
-  append_u32(key, static_cast<std::uint32_t>(entry));
-  append_u32(key, source);
+ScenarioKeyView OracleService::cache_key(
+    const Entry& e, std::size_t entry, Vertex source,
+    const CanonicalFaultSet& canon, std::vector<std::uint32_t>& words) const {
+  words.clear();
+  words.push_back(static_cast<std::uint32_t>(entry));
+  words.push_back(source);
   // Project onto H: faults absent from the structure cannot change answers,
   // so scenarios differing only in absent edges share one cache line. The
   // projected edge count keeps the edge/vertex boundary unambiguous.
-  std::uint32_t kept = 0;
+  words.push_back(0);  // patched to the projected edge count below
   for (const EdgeId f : canon.edges()) {
-    if (e.identity || e.in_h[f]) ++kept;
+    if (e.identity || e.in_h[f]) words.push_back(f);
   }
-  append_u32(key, kept);
-  for (const EdgeId f : canon.edges()) {
-    if (e.identity || e.in_h[f]) append_u32(key, f);
-  }
-  for (const Vertex v : canon.vertices()) append_u32(key, v);
-  return key;
+  words[2] = static_cast<std::uint32_t>(words.size() - 3);
+  for (const Vertex v : canon.vertices()) words.push_back(v);
+  return ScenarioKeyView{scenario_fingerprint(words), words};
 }
 
 QueryResponse OracleService::refuse(QueryResponse resp, StatusCode status,
@@ -270,8 +262,12 @@ void OracleService::plan_payload(ServePlan& plan, const QueryRequest& req,
   // would need, so do not reserve a line (a hit is still used).
   const bool reserve =
       !(req.kind == QueryKind::kDistance && req.targets.size() == 1);
+  // Per-thread key-word scratch: the packed key lives only for the probe
+  // call, so one reused buffer per thread keeps the admission path free of
+  // heap allocation and of per-probe re-hashing.
+  static thread_local std::vector<std::uint32_t> key_words;
   ShardedScenarioCache::Probe probe = cache_.probe(
-      cache_key(*plan.e, plan.entry, req.source, canon), reserve);
+      cache_key(*plan.e, plan.entry, req.source, canon, key_words), reserve);
   if (probe.hit) {
     plan.line = std::move(probe.line);
     plan.cache_hit = true;
@@ -313,22 +309,20 @@ void OracleService::fill_payload(ServePlan& plan, const QueryRequest& req,
   }
 
   resp.cache_hit = plan.cache_hit;
-  const std::vector<std::uint32_t>* hops = nullptr;
+  const ShardedScenarioCache::Line* line = nullptr;
   if (plan.cache_hit) {
-    // Computed by whoever reserved the line (possibly still in flight). An
-    // empty vector is the poison a failed computer leaves behind (a real
-    // distance vector always has num_vertices() entries) — fall through and
-    // compute locally rather than serving garbage, and stop claiming the
-    // answer came from the cache.
-    const std::vector<std::uint32_t>& cached =
-        ShardedScenarioCache::wait(*plan.line);
-    if (!cached.empty()) {
-      hops = &cached;
+    // Computed by whoever reserved the line (possibly still in flight). A
+    // poisoned payload is what a failed computer leaves behind — fall
+    // through and compute locally rather than serving garbage, and stop
+    // claiming the answer came from the cache.
+    ShardedScenarioCache::wait(*plan.line);
+    if (!ShardedScenarioCache::poisoned(*plan.line)) {
+      line = plan.line.get();
     } else {
       resp.cache_hit = false;
     }
   }
-  if (hops == nullptr && req.kind == QueryKind::kDistance &&
+  if (line == nullptr && req.kind == QueryKind::kDistance &&
       req.targets.size() == 1) {
     FaultQueryEngine::ScratchLease lease = e.engine.acquire_scratch();
     const std::uint32_t d =
@@ -340,32 +334,38 @@ void OracleService::fill_payload(ServePlan& plan, const QueryRequest& req,
   // Keep the lease (and the full vector it backs) alive until the payload is
   // copied out below.
   std::optional<FaultQueryEngine::ScratchLease> lease;
-  if (hops == nullptr) {
+  const std::vector<std::uint32_t>* hops = nullptr;
+  if (line == nullptr) {
     lease.emplace(e.engine.acquire_scratch());
     const std::vector<std::uint32_t>& full =
         e.engine.all_distances(*lease, req.source, faults);
     if (plan.fill_line) {
-      // The copy can throw (it allocates); the plan's fill obligation stays
-      // armed — poisoning the line for the waiters — until the real
-      // distances are published.
-      std::vector<std::uint32_t> copy(full);
-      ShardedScenarioCache::fill(*plan.line, std::move(copy));
+      // Building the payload can throw (it allocates); the plan's fill
+      // obligation stays armed — poisoning the line for the waiters — until
+      // the real distances are published.
+      fill_scenario_line(e, req.source, full, *plan.line);
       plan.fill_obligation.disarm();
-      hops = &plan.line->hops;
-    } else {
-      hops = &full;  // borrow straight from the lease
     }
+    hops = &full;  // serve straight from the lease either way
   }
+  const auto hop_at = [&](Vertex t) {
+    return hops != nullptr ? (*hops)[t] : ShardedScenarioCache::at(*line, t);
+  };
 
   switch (req.kind) {
     case QueryKind::kAllDistances:
-      resp.distances = *hops;
+      if (hops != nullptr) {
+        resp.distances = *hops;
+      } else {
+        ShardedScenarioCache::materialize(*line, resp.distances);
+      }
       break;
     case QueryKind::kDistance: {
       std::size_t unreachable = 0;
       for (const Vertex t : req.targets) {
-        resp.distances.push_back((*hops)[t]);
-        if ((*hops)[t] == kInfHops) ++unreachable;
+        const std::uint32_t d = hop_at(t);
+        resp.distances.push_back(d);
+        if (d == kInfHops) ++unreachable;
       }
       if (!req.targets.empty() && unreachable == req.targets.size()) {
         resp.status = StatusCode::kDisconnected;
@@ -374,13 +374,50 @@ void OracleService::fill_payload(ServePlan& plan, const QueryRequest& req,
     }
     case QueryKind::kReachability:
       for (const Vertex t : req.targets) {
-        resp.distances.push_back((*hops)[t]);
-        resp.reachable.push_back((*hops)[t] != kInfHops);
+        const std::uint32_t d = hop_at(t);
+        resp.distances.push_back(d);
+        resp.reachable.push_back(d != kInfHops);
       }
       break;
     case QueryKind::kPath:
       break;  // handled above
   }
+}
+
+// Publishes one computed scenario onto its reserved cache line, choosing the
+// representation: a sorted (vertex, hop) diff against the entry engine's
+// per-source baseline when the diff is small enough (the warm line then
+// holds O(affected) bytes instead of O(n)), the full vector otherwise — or
+// when the engine has no baseline to diff against. The choice depends only
+// on (baseline, distances, threshold), so threaded serving replays it
+// deterministically.
+void OracleService::fill_scenario_line(Entry& e, Vertex source,
+                                       const std::vector<std::uint32_t>& full,
+                                       ShardedScenarioCache::Line& line) {
+  const std::vector<std::uint32_t>* base =
+      config_.cache_delta_max_fraction > 0.0 ? e.engine.baseline_hops(source)
+                                             : nullptr;
+  if (base != nullptr) {
+    if (&full == base) {
+      // Fast-path miss: the engine answered straight from the baseline
+      // vector itself, so the diff is empty by identity — skip the scan.
+      ShardedScenarioCache::fill_delta(line, base, {});
+      return;
+    }
+    const std::size_t limit = static_cast<std::size_t>(
+        config_.cache_delta_max_fraction * static_cast<double>(full.size()));
+    std::vector<std::uint64_t> diff;
+    for (Vertex v = 0; v < full.size() && diff.size() <= limit; ++v) {
+      if (full[v] != (*base)[v]) {
+        diff.push_back((static_cast<std::uint64_t>(v) << 32) | full[v]);
+      }
+    }
+    if (diff.size() <= limit) {
+      ShardedScenarioCache::fill_delta(line, base, std::move(diff));
+      return;
+    }
+  }
+  ShardedScenarioCache::fill(line, full);  // escape hatch: full copy
 }
 
 QueryResponse OracleService::serve(const QueryRequest& req) {

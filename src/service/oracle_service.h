@@ -82,6 +82,15 @@ struct ServiceConfig {
   bool delta_queries = true;
   // Fallback threshold forwarded to FaultQueryEngine::DeltaOptions.
   double delta_max_affected_fraction = 0.5;
+  // Delta-compressed scenario cache (docs/perf.md "Delta cache"): store a
+  // cache line as a baseline reference plus a sorted (vertex, hop) diff when
+  // the diff covers at most this fraction of the vertices, shrinking a warm
+  // line from O(n) to O(affected) resident bytes. Larger diffs — and entries
+  // whose engine has no baseline (delta_queries off, baseline cap reached) —
+  // keep the full vector: the escape hatch. <= 0 stores every line full;
+  // >= 1 compresses every diff. Responses are byte-identical across every
+  // setting; only resident bytes change.
+  double cache_delta_max_fraction = 0.25;
 };
 
 // A point-in-time snapshot of the serving counters (the live counters are
@@ -93,6 +102,8 @@ struct ServiceStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_lines = 0;           // resident lines right now
+  std::uint64_t cache_resident_bytes = 0;  // payload bytes across those lines
   std::uint64_t structures_built = 0;      // lazy builds
   std::uint64_t identity_served = 0;       // answers from the identity engine
   std::uint64_t point_oracle_served = 0;   // O(1) fast-path answers
@@ -108,6 +119,12 @@ struct ServiceStats {
     return total == 0 ? 0.0
                       : static_cast<double>(cache_hits) /
                             static_cast<double>(total);
+  }
+
+  [[nodiscard]] double cache_bytes_per_line() const {
+    return cache_lines == 0 ? 0.0
+                            : static_cast<double>(cache_resident_bytes) /
+                                  static_cast<double>(cache_lines);
   }
 };
 
@@ -233,10 +250,13 @@ class OracleService {
                                     const CanonicalFaultSet& canon) const;
 
   // Cache key for the canonical fault set against an entry: entry index +
-  // source + fault ids projected onto the entry's structure.
-  [[nodiscard]] std::string cache_key(const Entry& e, std::size_t entry,
-                                      Vertex source,
-                                      const CanonicalFaultSet& canon) const;
+  // source + fault ids projected onto the entry's structure, packed into
+  // `words` (a reused buffer — no heap allocation once warm) and returned as
+  // a fingerprinted non-owning view.
+  [[nodiscard]] ScenarioKeyView cache_key(
+      const Entry& e, std::size_t entry, Vertex source,
+      const CanonicalFaultSet& canon,
+      std::vector<std::uint32_t>& words) const;
 
   // Appends a published entry under the pool's exclusive lock, de-duplicating
   // the name against racing eager adds. Returns the entry index.
@@ -248,6 +268,11 @@ class OracleService {
   // Execution: runs the plan (BFS on leased scratch / cache wait / copy).
   void fill_payload(ServePlan& plan, const QueryRequest& req,
                     const CanonicalFaultSet& canon, QueryResponse& resp);
+  // Publishes a computed scenario onto its reserved line, delta-compressed
+  // against the entry's baseline when the diff fits the configured fraction.
+  void fill_scenario_line(Entry& e, Vertex source,
+                          const std::vector<std::uint32_t>& full,
+                          ShardedScenarioCache::Line& line);
 
   QueryResponse refuse(QueryResponse resp, StatusCode status,
                        std::string why);

@@ -15,6 +15,22 @@
 //     to the flat LRU it replaced whenever probes happen in a fixed order
 //     (the single-threaded and sequenced serving modes rely on this).
 //
+//   * Keys are packed binary (ScenarioKey): the id words plus a precomputed
+//     64-bit fingerprint. Probes pass a non-owning ScenarioKeyView over a
+//     caller-reused word buffer — no heap allocation and no re-hashing on
+//     the hot admission path; the owning form is materialized only when a
+//     miss actually inserts.
+//
+//   * Lines are delta-compressed (docs/perf.md "Delta cache"): a line whose
+//     scenario barely perturbs the entry's fault-free baseline stores just a
+//     sorted (vertex, hop) diff against that baseline instead of the full
+//     n-length hop vector, so a warm line is O(affected) resident bytes and
+//     effective capacity multiplies. Lines whose diff exceeds the caller's
+//     threshold (or whose entry has no baseline) keep the full vector — the
+//     escape hatch. Readers go through at()/materialize(), which overlay the
+//     diff transparently; hit/miss/eviction accounting is representation-
+//     independent.
+//
 //   * A line is inserted *pending* by the prober that will compute it
 //     (compute-once latch): concurrent requests for the same scenario find
 //     the pending line and block in wait() instead of burning a duplicate
@@ -36,21 +52,102 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
-#include <string>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "graph/graph.h"
+
 namespace ftbfs {
+
+// Non-owning probe-side scenario key: a span of id words (entry, source,
+// projected fault ids — the caller packs them into a reusable buffer) plus
+// the fingerprint precomputed over exactly those words.
+struct ScenarioKeyView {
+  std::uint64_t fingerprint = 0;
+  std::span<const std::uint32_t> words;
+};
+
+// FNV-1a over the word stream. Deterministic across runs and platforms (the
+// shard a key lands in must not depend on libstdc++'s string hash), and
+// computed exactly once per probe.
+[[nodiscard]] inline std::uint64_t scenario_fingerprint(
+    std::span<const std::uint32_t> words) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint32_t w : words) {
+    h = (h ^ w) * 1099511628211ull;
+  }
+  return h;
+}
+
+// Owning form stored in the shard maps; built from a view only when a miss
+// inserts (equality compares words, the fingerprint is a cheap pre-filter).
+struct ScenarioKey {
+  std::uint64_t fingerprint = 0;
+  std::vector<std::uint32_t> words;
+  explicit ScenarioKey(const ScenarioKeyView& view)
+      : fingerprint(view.fingerprint),
+        words(view.words.begin(), view.words.end()) {}
+};
+
+struct ScenarioKeyHash {
+  using is_transparent = void;
+  // shard_for() consumes the fingerprint's low bits (mod shard count), so
+  // the map hash remixes it — otherwise every key within a shard would share
+  // its low bits and power-of-two-bucket unordered_map implementations would
+  // populate only 1/shard_count of their buckets.
+  static std::size_t mix(std::uint64_t x) noexcept {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+  std::size_t operator()(const ScenarioKey& k) const noexcept {
+    return mix(k.fingerprint);
+  }
+  std::size_t operator()(const ScenarioKeyView& k) const noexcept {
+    return mix(k.fingerprint);
+  }
+};
+
+struct ScenarioKeyEq {
+  using is_transparent = void;
+  static bool eq(std::uint64_t fa, std::span<const std::uint32_t> a,
+                 std::uint64_t fb, std::span<const std::uint32_t> b) {
+    return fa == fb && a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+  bool operator()(const ScenarioKey& a, const ScenarioKey& b) const {
+    return eq(a.fingerprint, a.words, b.fingerprint, b.words);
+  }
+  bool operator()(const ScenarioKeyView& a, const ScenarioKey& b) const {
+    return eq(a.fingerprint, a.words, b.fingerprint, b.words);
+  }
+  bool operator()(const ScenarioKey& a, const ScenarioKeyView& b) const {
+    return eq(a.fingerprint, a.words, b.fingerprint, b.words);
+  }
+};
 
 class ShardedScenarioCache {
  public:
-  // One cached scenario: the full distance vector from the entry's source
-  // under one canonical (projected) fault set. `ready` flips exactly once,
-  // after `hops` is filled by the computing thread.
+  // One cached scenario: the distances from the entry's source under one
+  // canonical (projected) fault set, in one of two representations. `ready`
+  // flips exactly once, after the payload is filled by the computing thread.
+  //
+  //   * full (base == nullptr): `hops` holds the whole vector;
+  //   * delta (base != nullptr): `diff` holds (vertex << 32 | hop) entries,
+  //     sorted by vertex, for exactly the vertices whose distance differs
+  //     from (*base)[vertex]. `base` points at the owning engine's immutable
+  //     per-source baseline, which outlives every line.
+  //
+  // Read through at()/materialize(); never through `hops` directly.
   struct Line {
+    const std::vector<std::uint32_t>* base = nullptr;
     std::vector<std::uint32_t> hops;
+    std::vector<std::uint64_t> diff;
     std::atomic<bool> ready{false};
     std::atomic<std::uint64_t> last_used{0};
     std::mutex mutex;
@@ -75,14 +172,14 @@ class ShardedScenarioCache {
   // the caller must fill() it — waiters are blocked on it). A miss without
   // `reserve` leaves the cache untouched (the single-target fast path, where
   // an early-exit BFS beats computing a full line).
-  Probe probe(const std::string& key, bool reserve) {
+  Probe probe(const ScenarioKeyView& key, bool reserve) {
     Probe out;
     if (!enabled()) return out;
     Shard& shard = shard_for(key);
     {
       const std::shared_lock lock(shard.mutex);
       const auto it = shard.lines.find(key);
-      // A ready line with an empty vector is the poison a failed computer
+      // A ready line with an empty payload is the poison a failed computer
       // left behind (real distance vectors are never empty) — treat it as a
       // miss so the reservation path below can swap in a fresh line.
       if (it != shard.lines.end() && !is_poisoned(*it->second)) {
@@ -97,8 +194,8 @@ class ShardedScenarioCache {
     if (!reserve) return out;
     {
       const std::unique_lock lock(shard.mutex);
-      const auto [it, inserted] = shard.lines.try_emplace(key);
-      if (!inserted && is_poisoned(*it->second)) {
+      const auto it = shard.lines.find(key);
+      if (it != shard.lines.end() && is_poisoned(*it->second)) {
         // Repair: replace the poisoned line with a fresh pending one and
         // make this prober its computer. Size is unchanged (a swap, not an
         // insert); old waiters still hold their shared_ptr.
@@ -108,7 +205,7 @@ class ShardedScenarioCache {
         out.owner = true;
         return out;
       }
-      if (!inserted) {
+      if (it != shard.lines.end()) {
         // Another thread reserved this scenario between our two locks; it is
         // their BFS to run and our line to wait on. Reclassify the miss
         // counted above as the hit this probe turned into, so the counters
@@ -121,9 +218,12 @@ class ShardedScenarioCache {
         out.hit = true;
         return out;
       }
-      it->second = std::make_shared<Line>();
-      it->second->last_used.store(tick(), std::memory_order_relaxed);
-      out.line = it->second;
+      // Genuine insert: the only point the owning key is materialized (one
+      // allocation, on a path that is about to pay a BFS anyway).
+      const auto [ins, inserted] =
+          shard.lines.try_emplace(ScenarioKey(key), std::make_shared<Line>());
+      ins->second->last_used.store(tick(), std::memory_order_relaxed);
+      out.line = ins->second;
       out.owner = true;
       size_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -131,8 +231,9 @@ class ShardedScenarioCache {
     return out;
   }
 
-  // Publishes the distance vector and wakes every waiter. Called exactly once
-  // per line, by the prober that owned the reservation.
+  // Publishes the full distance vector and wakes every waiter. Called exactly
+  // once per line, by the prober that owned the reservation. An empty vector
+  // is the poison a failed computer publishes so waiters recompute locally.
   static void fill(Line& line, std::vector<std::uint32_t> hops) {
     {
       const std::lock_guard lock(line.mutex);
@@ -142,19 +243,88 @@ class ShardedScenarioCache {
     line.ready_cv.notify_all();
   }
 
-  // The line's distances, blocking until the computing thread fill()s them.
-  // The reference is valid while the caller holds a LinePtr to the line.
-  static const std::vector<std::uint32_t>& wait(Line& line) {
+  // Publishes the delta representation: `diff` holds (vertex << 32 | hop)
+  // entries sorted by vertex for exactly the vertices whose distance differs
+  // from (*base)[vertex]; `base` must outlive the cache. Same fill-exactly-
+  // once contract as fill().
+  static void fill_delta(Line& line, const std::vector<std::uint32_t>* base,
+                         std::vector<std::uint64_t> diff) {
+    {
+      const std::lock_guard lock(line.mutex);
+      line.base = base;
+      line.diff = std::move(diff);
+      line.ready.store(true, std::memory_order_release);
+    }
+    line.ready_cv.notify_all();
+  }
+
+  // Blocks until the computing thread fills the line; read the payload with
+  // poisoned()/at()/materialize() afterwards. The payload is valid while the
+  // caller holds a LinePtr to the line.
+  static void wait(Line& line) {
     if (!line.ready.load(std::memory_order_acquire)) {
       std::unique_lock lock(line.mutex);
       line.ready_cv.wait(
           lock, [&] { return line.ready.load(std::memory_order_acquire); });
     }
-    return line.hops;
+  }
+
+  // True for the empty full-form payload a failed computer left behind.
+  // Valid only after wait().
+  [[nodiscard]] static bool poisoned(const Line& line) {
+    return line.base == nullptr && line.hops.empty();
+  }
+
+  // Distance of one vertex from the line's payload (binary search of the
+  // diff in the delta form). Valid only after wait(), on a non-poisoned line.
+  [[nodiscard]] static std::uint32_t at(const Line& line, Vertex v) {
+    if (line.base == nullptr) return line.hops[v];
+    const std::uint64_t probe = static_cast<std::uint64_t>(v) << 32;
+    const auto it =
+        std::lower_bound(line.diff.begin(), line.diff.end(), probe);
+    if (it != line.diff.end() && (*it >> 32) == v) {
+      return static_cast<std::uint32_t>(*it);
+    }
+    return (*line.base)[v];
+  }
+
+  // The full distance vector of the line: baseline overlaid with the diff
+  // (delta form) or a straight copy (full form). Valid only after wait(), on
+  // a non-poisoned line.
+  static void materialize(const Line& line, std::vector<std::uint32_t>& out) {
+    if (line.base == nullptr) {
+      out = line.hops;
+      return;
+    }
+    out = *line.base;
+    for (const std::uint64_t packed : line.diff) {
+      out[packed >> 32] = static_cast<std::uint32_t>(packed);
+    }
+  }
+
+  // Resident payload bytes of one line (0 while pending).
+  [[nodiscard]] static std::size_t payload_bytes(const Line& line) {
+    return line.hops.size() * sizeof(std::uint32_t) +
+           line.diff.size() * sizeof(std::uint64_t);
   }
 
   [[nodiscard]] std::size_t size() const {
     return size_.load(std::memory_order_relaxed);
+  }
+
+  // Payload bytes currently resident across every line, by scan (stats-path
+  // only; one shard lock at a time, never two). Pending lines count as 0.
+  [[nodiscard]] std::size_t total_resident_bytes() const {
+    std::size_t total = 0;
+    for (const Shard& s : shards_) {
+      const std::shared_lock lock(s.mutex);
+      for (const auto& [key, line] : s.lines) {
+        if (line->ready.load(std::memory_order_acquire)) {
+          total += payload_bytes(*line);
+        }
+      }
+    }
+    return total;
   }
   [[nodiscard]] std::uint64_t total_hits() const {
     return sum(&Shard::hits);
@@ -168,19 +338,20 @@ class ShardedScenarioCache {
 
  private:
   struct Shard {
-    std::shared_mutex mutex;
-    std::unordered_map<std::string, LinePtr> lines;
+    mutable std::shared_mutex mutex;  // stats-path scans lock a const shard
+    std::unordered_map<ScenarioKey, LinePtr, ScenarioKeyHash, ScenarioKeyEq>
+        lines;
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};
     std::atomic<std::uint64_t> evictions{0};
   };
 
-  Shard& shard_for(const std::string& key) {
-    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  Shard& shard_for(const ScenarioKeyView& key) {
+    return shards_[key.fingerprint % shards_.size()];
   }
 
   static bool is_poisoned(const Line& line) {
-    return line.ready.load(std::memory_order_acquire) && line.hops.empty();
+    return line.ready.load(std::memory_order_acquire) && poisoned(line);
   }
 
   std::uint64_t tick() {
@@ -215,7 +386,7 @@ class ShardedScenarioCache {
       const std::lock_guard evict_lock(eviction_mutex_);
       if (size_.load(std::memory_order_relaxed) <= capacity_) return;
       Shard* victim_shard = nullptr;
-      std::string victim_key;
+      std::optional<ScenarioKey> victim_key;
       std::uint64_t victim_stamp = 0;
       for (Shard& s : shards_) {
         const std::shared_lock lock(s.mutex);
@@ -231,7 +402,7 @@ class ShardedScenarioCache {
       }
       if (victim_shard == nullptr) return;  // racing evictions drained us
       const std::unique_lock lock(victim_shard->mutex);
-      if (victim_shard->lines.erase(victim_key) > 0) {
+      if (victim_shard->lines.erase(*victim_key) > 0) {
         size_.fetch_sub(1, std::memory_order_relaxed);
         victim_shard->evictions.fetch_add(1, std::memory_order_relaxed);
       }

@@ -17,6 +17,7 @@ ServiceConfig sim_service_config(const SimConfig& config) {
   out.lazy_build = false;  // the sim routes only on its registered overlays
   out.cache_capacity = config.cache_capacity;
   out.delta_queries = config.delta_queries;
+  out.cache_delta_max_fraction = config.cache_delta_max_fraction;
   return out;
 }
 

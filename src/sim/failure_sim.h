@@ -43,6 +43,11 @@ struct SimConfig {
   // instead of re-running BFS over every overlay. Metrics are identical
   // either way; off reproduces the pre-delta serving cost.
   bool delta_queries = true;
+  // Delta-compressed scenario cache of the routing service: tick-states
+  // perturb few distances, so cached lines shrink to the affected-region
+  // diff (ServiceConfig::cache_delta_max_fraction; <= 0 keeps full vectors).
+  // Metrics are identical for every setting — only resident bytes change.
+  double cache_delta_max_fraction = 0.25;
   // Workers routing one tick's requests (ground truth + each overlay)
   // through the service concurrently. The fault process itself stays
   // sequential, so metrics are identical for every thread count; >1 simply

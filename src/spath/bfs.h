@@ -50,6 +50,12 @@ class Bfs {
 
   [[nodiscard]] const BfsResult& result() const { return result_; }
 
+  // Vertices of the last run in discovery (queue) order; valid until the next
+  // run. Complete only for full runs — run_until may stop early. The engine's
+  // delta path keeps this as the per-source baseline discovery rank, the
+  // tie-break that makes repair-path parent choices track the full BFS.
+  [[nodiscard]] std::span<const Vertex> visit_order() const { return queue_; }
+
  private:
   const Graph* graph_;
   BfsResult result_;

@@ -1,8 +1,6 @@
 #include "structure/kernel.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace ftbfs {
 
@@ -33,14 +31,17 @@ KernelGraph build_kernel(const Graph& g, const std::vector<Detour>& detours) {
   k.truncated.assign(detours.size(), false);
   k.breaker.assign(detours.size(), kNpos);
 
-  std::unordered_set<Vertex> present;
-  std::unordered_map<Vertex, std::size_t> owner;  // vertex -> first adding detour
+  // Dense scratch indexed by vertex id (vertex ids are dense): membership and
+  // first-adding-detour owner, replacing the hash set/map pair — the inner
+  // loop is a pair of array reads instead of two hash probes.
+  std::vector<char> present(g.num_vertices(), 0);
+  std::vector<std::size_t> owner(g.num_vertices(), kNpos);
 
   for (const std::size_t idx : k.order) {
     const Path& d = detours[idx].verts;
     std::size_t stop = d.size() - 1;  // default: whole detour, w = y
     for (std::size_t p = 0; p < d.size(); ++p) {
-      if (present.contains(d[p])) {
+      if (present[d[p]] != 0) {
         stop = p;
         break;
       }
@@ -49,16 +50,18 @@ KernelGraph build_kernel(const Graph& g, const std::vector<Detour>& detours) {
     k.truncated[idx] = d[stop] != detours[idx].y;
     k.prefix[idx] = subpath(d, 0, stop);
     if (k.truncated[idx]) {
-      const auto it = owner.find(d[stop]);
-      FTBFS_ENSURES(it != owner.end());
-      k.breaker[idx] = it->second;
+      FTBFS_ENSURES(owner[d[stop]] != kNpos);
+      k.breaker[idx] = owner[d[stop]];
     }
     for (std::size_t p = 0; p <= stop; ++p) {
-      if (present.insert(d[p]).second) owner.emplace(d[p], idx);
+      if (present[d[p]] == 0) {
+        present[d[p]] = 1;
+        owner[d[p]] = idx;
+        k.vertices.push_back(d[p]);
+      }
     }
   }
 
-  k.vertices.assign(present.begin(), present.end());
   std::sort(k.vertices.begin(), k.vertices.end());
   for (std::size_t i = 0; i < detours.size(); ++i) {
     const Path& pre = k.prefix[i];
@@ -76,12 +79,14 @@ KernelGraph build_kernel(const Graph& g, const std::vector<Detour>& detours) {
 std::vector<Path> kernel_regions(const Graph& g,
                                  const std::vector<Detour>& detours,
                                  const KernelGraph& kernel) {
-  // Kernel adjacency.
+  // Kernel adjacency as dense per-vertex lists (vertex ids are dense; the
+  // hash-map version paid a probe per walk step). Only kernel vertices get
+  // non-empty lists, so the O(n) spine is pointers-only.
   struct HalfEdge {
     Vertex to;
     EdgeId id;
   };
-  std::unordered_map<Vertex, std::vector<HalfEdge>> adj;
+  std::vector<std::vector<HalfEdge>> adj(g.num_vertices());
   for (const EdgeId e : kernel.edges) {
     const Edge& ed = g.edge(e);
     adj[ed.u].push_back({ed.v, e});
@@ -91,18 +96,26 @@ std::vector<Path> kernel_regions(const Graph& g,
   // Region delimiters: X1 ∪ W1 plus any vertex of kernel-degree != 2
   // (branch points always lie in W1 for y-interleaved families; including
   // them keeps the decomposition well-defined for arbitrary inputs).
-  std::unordered_set<Vertex> special;
+  // Dense membership flag plus an ordered list for the deterministic sweep.
+  std::vector<char> special(g.num_vertices(), 0);
+  std::vector<Vertex> special_list;
+  const auto mark_special = [&](Vertex v) {
+    if (special[v] == 0) {
+      special[v] = 1;
+      special_list.push_back(v);
+    }
+  };
   for (std::size_t i = 0; i < detours.size(); ++i) {
     if (!kernel.prefix[i].empty()) {
-      special.insert(detours[i].x);
-      special.insert(kernel.w[i]);
+      mark_special(detours[i].x);
+      mark_special(kernel.w[i]);
     }
   }
-  for (const auto& [v, list] : adj) {
-    if (list.size() != 2) special.insert(v);
+  for (const Vertex v : kernel.vertices) {
+    if (adj[v].size() != 2 && !adj[v].empty()) mark_special(v);
   }
 
-  std::unordered_set<EdgeId> visited;
+  std::vector<char> visited(g.num_edges(), 0);
   std::vector<Path> regions;
   auto walk = [&](Vertex start, const HalfEdge& first) {
     Path region = {start};
@@ -111,9 +124,9 @@ std::vector<Path> kernel_regions(const Graph& g,
     // The step bound guards against a (theoretically impossible) pure cycle
     // with no delimiter vertex.
     for (std::size_t steps = 0; steps <= kernel.edges.size(); ++steps) {
-      visited.insert(step.id);
+      visited[step.id] = 1;
       region.push_back(step.to);
-      if (special.contains(step.to)) break;
+      if (special[step.to] != 0) break;
       const auto& nexts = adj[step.to];
       FTBFS_ENSURES(nexts.size() == 2);
       const HalfEdge& cont = nexts[0].to == prev ? nexts[1] : nexts[0];
@@ -123,17 +136,15 @@ std::vector<Path> kernel_regions(const Graph& g,
     regions.push_back(std::move(region));
   };
 
-  for (const Vertex sp : special) {
-    const auto it = adj.find(sp);
-    if (it == adj.end()) continue;
-    for (const HalfEdge& he : it->second) {
-      if (!visited.contains(he.id)) walk(sp, he);
+  for (const Vertex sp : special_list) {
+    for (const HalfEdge& he : adj[sp]) {
+      if (visited[he.id] == 0) walk(sp, he);
     }
   }
   // Defensive: pure cycles without special vertices cannot arise from detour
   // prefixes (each prefix starts at an X1 vertex), but sweep leftovers anyway.
   for (const EdgeId e : kernel.edges) {
-    if (!visited.contains(e)) {
+    if (visited[e] == 0) {
       const Edge& ed = g.edge(e);
       walk(ed.u, HalfEdge{ed.v, e});
     }

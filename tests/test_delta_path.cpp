@@ -1,13 +1,21 @@
 // The fault-delta query path (docs/perf.md) must be *observationally
-// identical* to the pre-delta full-masked-BFS path: same distances from every
-// hops-reading API, same parents from every parent-exposing API, and same
-// response bytes through OracleService::serve. These tests pit a
-// delta-enabled engine/service against a delta-disabled twin over randomized
-// graphs × fault sets × budgets — including the threshold-fallback boundary
-// at fractions 0 (always fall back) and 1 (never) — and pin down the
-// fast/repair/full counter accounting the serving stats surface.
+// equivalent* to the pre-delta full-masked-BFS path: bit-identical distances
+// from every hops-reading API, and — for the parent-exposing APIs, which now
+// route through the parent-carrying repair BFS — a valid shortest-path tree
+// with the same hop counts (the specific parent among equal-hop candidates
+// is tie-break-dependent: BFS parentage depends on queue order, which a
+// bounded repair cannot reproduce; docs/perf.md "Parent repair"). These
+// tests pit a delta-enabled engine/service against a delta-disabled twin
+// over randomized graphs × fault sets × budgets — including the threshold-
+// fallback boundary at fractions 0 (always fall back) and 1 (never) — check
+// every repair-path parent tree and path for validity, compare serve
+// responses across delta on/off and across the delta-compressed scenario
+// cache's representation thresholds, and pin down the fast/repair/full
+// counter accounting the serving stats surface.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "engine/query_engine.h"
@@ -54,8 +62,80 @@ FaultDraw draw_faults(Rng& rng, const Graph& g, const BfsResult& tree,
   return out;
 }
 
-// One engine pair (delta on / off) over the same structure; every public
-// query API must agree exactly.
+// True iff the canonical fault set hits g-edge `ge` / vertex `v`.
+bool edge_faulted(const CanonicalFaultSet& canon, EdgeId ge) {
+  return std::binary_search(canon.edges().begin(), canon.edges().end(), ge);
+}
+bool vertex_faulted(const CanonicalFaultSet& canon, Vertex v) {
+  return std::binary_search(canon.vertices().begin(), canon.vertices().end(),
+                            v);
+}
+
+// `r` must be a valid shortest-path tree of H ∖ F with hops bit-identical to
+// the full masked BFS (`truth`): every reached non-source vertex hangs off a
+// usable H edge to a parent exactly one hop closer; the source and the
+// unreachable carry sentinel parents. `h` is the engine's structure graph
+// (H edge ids), faults are host-graph ids.
+void expect_valid_tree(const Graph& g, const Graph& h, Vertex source,
+                       const FaultSpec& faults, const BfsResult& r,
+                       const BfsResult& truth) {
+  const CanonicalFaultSet canon = faults.canonicalize();
+  ASSERT_EQ(r.hops, truth.hops);
+  for (Vertex v = 0; v < h.num_vertices(); ++v) {
+    SCOPED_TRACE("vertex " + std::to_string(v));
+    if (v == source && r.hops[v] == 0) {
+      EXPECT_EQ(r.parent[v], kInvalidVertex);
+      EXPECT_EQ(r.parent_edge[v], kInvalidEdge);
+      continue;
+    }
+    if (r.hops[v] == kInfHops) {
+      EXPECT_EQ(r.parent[v], kInvalidVertex);
+      EXPECT_EQ(r.parent_edge[v], kInvalidEdge);
+      continue;
+    }
+    const Vertex p = r.parent[v];
+    const EdgeId he = r.parent_edge[v];
+    ASSERT_NE(p, kInvalidVertex);
+    ASSERT_NE(he, kInvalidEdge);
+    ASSERT_LT(he, h.num_edges());
+    const Edge& edge = h.edge(he);
+    EXPECT_TRUE((edge.u == p && edge.v == v) || (edge.u == v && edge.v == p));
+    EXPECT_EQ(r.hops[p] + 1, r.hops[v]);
+    // The parent edge must be usable under the fault set (host ids).
+    const EdgeId ge = g.find_edge(edge.u, edge.v);
+    ASSERT_NE(ge, kInvalidEdge);
+    EXPECT_FALSE(edge_faulted(canon, ge));
+    EXPECT_FALSE(vertex_faulted(canon, p));
+    EXPECT_FALSE(vertex_faulted(canon, v));
+  }
+}
+
+// `path`, if present, must be a real shortest path: right endpoints, length
+// matching the full-BFS distance, consecutive hops along usable H edges.
+void expect_valid_path(const Graph& g, const Graph& h, Vertex source,
+                       Vertex target, const FaultSpec& faults,
+                       std::uint32_t true_hops,
+                       const std::optional<Path>& path) {
+  const CanonicalFaultSet canon = faults.canonicalize();
+  ASSERT_EQ(path.has_value(), true_hops != kInfHops);
+  if (!path.has_value()) return;
+  ASSERT_FALSE(path->empty());
+  EXPECT_EQ(path->front(), source);
+  EXPECT_EQ(path->back(), target);
+  ASSERT_EQ(path->size(), static_cast<std::size_t>(true_hops) + 1);
+  for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+    const EdgeId he = h.find_edge((*path)[i], (*path)[i + 1]);
+    ASSERT_NE(he, kInvalidEdge)
+        << "step " << (*path)[i] << "->" << (*path)[i + 1] << " not in H";
+    const EdgeId ge = g.find_edge((*path)[i], (*path)[i + 1]);
+    EXPECT_FALSE(edge_faulted(canon, ge));
+  }
+  for (const Vertex v : *path) EXPECT_FALSE(vertex_faulted(canon, v));
+}
+
+// One engine pair (delta on / off) over the same structure; every
+// hops-reading API must agree exactly, and the parent-exposing APIs must
+// produce valid shortest-path trees/paths with the full-BFS hop counts.
 void expect_engines_agree(const Graph& g, std::span<const EdgeId> h_edges,
                           Vertex source, std::uint64_t seed, int rounds,
                           double fraction) {
@@ -92,16 +172,17 @@ void expect_engines_agree(const Graph& g, std::span<const EdgeId> h_edges,
     const Vertex t = targets[r % targets.size()];
     EXPECT_EQ(delta.distance(source, t, spec), full.distance(source, t, spec));
 
-    // query: the parent-exposing primitive — hops, parents, parent edges.
-    const BfsResult& dr = delta.query(source, spec);
+    // query: the parent-exposing primitive. Hops bit-identical; parents a
+    // valid shortest-path tree (repair parents may pick a different
+    // equal-hop candidate than the full BFS's queue order did).
     const BfsResult& fr = full.query(source, spec);
-    EXPECT_EQ(dr.hops, fr.hops);
-    EXPECT_EQ(dr.parent, fr.parent);
-    EXPECT_EQ(dr.parent_edge, fr.parent_edge);
+    const BfsResult& dr = delta.query(source, spec);
+    expect_valid_tree(g, delta.structure_graph(), source, spec, dr, fr);
 
-    // shortest_path: reconstructed vertex list.
-    EXPECT_EQ(delta.shortest_path(source, t, spec),
-              full.shortest_path(source, t, spec));
+    // shortest_path: a real shortest path of the exact full-BFS length.
+    const std::optional<Path> dp = delta.shortest_path(source, t, spec);
+    expect_valid_path(g, delta.structure_graph(), source, t, spec,
+                      fr.hops[t], dp);
   }
 
   // batch: whole matrix in one call, sequential and threaded.
@@ -254,6 +335,47 @@ TEST(DeltaPath, RepairReroutesAroundDamage) {
   EXPECT_GT(delta.path_stats().repair_bfs, 0u);
 }
 
+// Small-damage parent-exposing queries must take the repair path — the full
+// BFS counter stays put. This is the PR's headline behavior change: before
+// the parent-carrying repair, any damaged query()/shortest_path() fell back
+// to the full masked BFS.
+TEST(DeltaPath, ParentQueriesTakeRepairPath) {
+  const Graph g = grid_graph(8, 8);
+  FaultQueryEngine engine(g);
+  FaultQueryEngine full(g);
+  full.set_delta_options(delta_off());
+  Bfs bfs(g);
+  const BfsResult tree = bfs.run(0);
+  const EdgeId faults[1] = {tree.parent_edge[27]};  // interior tree edge
+  const FaultSpec spec = edge_faults(faults);
+
+  // query: repaired tree, not a full BFS.
+  const BfsResult& fr = full.query(0, spec);
+  const BfsResult& dr = engine.query(0, spec);
+  expect_valid_tree(g, engine.structure_graph(), 0, spec, dr, fr);
+  FaultQueryEngine::PathStats stats = engine.path_stats();
+  EXPECT_EQ(stats.repair_bfs, 1u);
+  EXPECT_EQ(stats.full_bfs, 0u);
+
+  // shortest_path to a vertex inside the damaged subtree: repair again.
+  const std::optional<Path> into = engine.shortest_path(0, 27, spec);
+  expect_valid_path(g, engine.structure_graph(), 0, 27, spec, fr.hops[27],
+                    into);
+  stats = engine.path_stats();
+  EXPECT_EQ(stats.repair_bfs, 2u);
+  EXPECT_EQ(stats.full_bfs, 0u);
+
+  // shortest_path to an unaffected vertex: the baseline tree answers without
+  // even running the repair.
+  const std::optional<Path> outside = engine.shortest_path(0, 8, spec);
+  expect_valid_path(g, engine.structure_graph(), 0, 8, spec, fr.hops[8],
+                    outside);
+  stats = engine.path_stats();
+  EXPECT_EQ(stats.fast_path_hits, 1u);
+  EXPECT_EQ(stats.repair_bfs, 2u);
+  EXPECT_EQ(stats.full_bfs, 0u);
+}
+
 // --- through the service ----------------------------------------------------
 
 std::vector<QueryRequest> service_workload(const Graph& g, int count,
@@ -295,18 +417,51 @@ std::vector<QueryRequest> service_workload(const Graph& g, int count,
   return out;
 }
 
-TEST(DeltaPath, ServeBytesIdenticalWithDeltaOnAndOff) {
+TEST(DeltaPath, ServeMatchesFullBfsServiceWithDeltaOnAndOff) {
   const Graph g = erdos_renyi(60, 0.1, 21);
   ServiceConfig on;
   ServiceConfig off;
   off.delta_queries = false;
+  off.cache_delta_max_fraction = 0.0;
   OracleService delta_service(g, on);
   OracleService full_service(g, off);
   const std::vector<QueryRequest> requests = service_workload(g, 250, 31);
   for (const QueryRequest& req : requests) {
-    EXPECT_EQ(format_response_line(delta_service.serve(req)),
-              format_response_line(full_service.serve(req)))
-        << "request " << req.id;
+    const QueryResponse dr = delta_service.serve(req);
+    const QueryResponse fr = full_service.serve(req);
+    if (req.kind != QueryKind::kPath) {
+      // Non-path payloads are bit-identical — the wire bytes cannot drift.
+      EXPECT_EQ(format_response_line(dr), format_response_line(fr))
+          << "request " << req.id;
+      continue;
+    }
+    // Path responses: everything but the vertex lists must match (lengths
+    // included — resp.distances carries them); the delta paths themselves
+    // must be valid shortest paths, but may realize a different tie-break
+    // than the full BFS (see the file comment).
+    EXPECT_EQ(dr.status, fr.status) << "request " << req.id;
+    EXPECT_EQ(dr.exact, fr.exact);
+    EXPECT_EQ(dr.served_by, fr.served_by);
+    EXPECT_EQ(dr.cache_hit, fr.cache_hit);
+    EXPECT_EQ(dr.distances, fr.distances);
+    ASSERT_EQ(dr.paths.size(), fr.paths.size());
+    const CanonicalFaultSet canon =
+        FaultSpec{req.fault_edges, req.fault_vertices}.canonicalize();
+    for (std::size_t i = 0; i < dr.paths.size(); ++i) {
+      ASSERT_EQ(dr.paths[i].empty(), fr.paths[i].empty());
+      if (dr.paths[i].empty()) continue;
+      EXPECT_EQ(dr.paths[i].size(), fr.paths[i].size());
+      EXPECT_EQ(dr.paths[i].front(), req.source);
+      EXPECT_EQ(dr.paths[i].back(), req.targets[i]);
+      for (std::size_t j = 0; j + 1 < dr.paths[i].size(); ++j) {
+        const EdgeId ge = g.find_edge(dr.paths[i][j], dr.paths[i][j + 1]);
+        ASSERT_NE(ge, kInvalidEdge);
+        EXPECT_FALSE(edge_faulted(canon, ge));
+      }
+      for (const Vertex v : dr.paths[i]) {
+        EXPECT_FALSE(vertex_faulted(canon, v));
+      }
+    }
   }
   // The delta service actually used its fast/repair tiers (not everything
   // fell back), and the disabled twin never did.
@@ -316,6 +471,58 @@ TEST(DeltaPath, ServeBytesIdenticalWithDeltaOnAndOff) {
   EXPECT_EQ(fs.fast_path_hits, 0u);
   EXPECT_EQ(fs.repair_bfs, 0u);
   EXPECT_GT(fs.full_bfs, 0u);
+}
+
+// The delta-compressed scenario cache is a representation change only: the
+// response stream must be byte-identical with compression off (threshold 0,
+// every line a full vector), at the default, and with every diff compressed
+// (threshold ∞) — and the hit/miss/eviction counters must not move either.
+TEST(DeltaPath, ServeBytesIdenticalAcrossCacheDeltaThresholds) {
+  const Graph g = erdos_renyi(60, 0.1, 77);
+  ServiceConfig full_lines;
+  full_lines.cache_delta_max_fraction = 0.0;  // escape hatch always
+  ServiceConfig defaults;
+  ServiceConfig always_delta;
+  always_delta.cache_delta_max_fraction = 1e9;  // compress every diff
+  ServiceConfig uncached;
+  uncached.cache_capacity = 0;
+  OracleService s_full(g, full_lines);
+  OracleService s_default(g, defaults);
+  OracleService s_delta(g, always_delta);
+  OracleService s_uncached(g, uncached);
+  const std::vector<QueryRequest> requests = service_workload(g, 300, 93);
+  for (const QueryRequest& req : requests) {
+    const QueryResponse full_resp = s_full.serve(req);
+    const std::string line = format_response_line(full_resp);
+    EXPECT_EQ(line, format_response_line(s_default.serve(req)))
+        << "request " << req.id;
+    EXPECT_EQ(line, format_response_line(s_delta.serve(req)))
+        << "request " << req.id;
+    // The uncached twin must agree on everything but the cache_hit
+    // attribution flag.
+    QueryResponse raw = s_uncached.serve(req);
+    raw.cache_hit = false;
+    QueryResponse norm = full_resp;
+    norm.cache_hit = false;
+    EXPECT_EQ(format_response_line(norm), format_response_line(raw))
+        << "request " << req.id;
+  }
+  // Identical admission decisions (hit/miss/eviction accounting does not
+  // depend on the line representation)…
+  const ServiceStats full_stats = s_full.stats();
+  const ServiceStats default_stats = s_default.stats();
+  const ServiceStats delta_stats = s_delta.stats();
+  for (const ServiceStats* s : {&default_stats, &delta_stats}) {
+    EXPECT_EQ(s->cache_hits, full_stats.cache_hits);
+    EXPECT_EQ(s->cache_misses, full_stats.cache_misses);
+    EXPECT_EQ(s->cache_evictions, full_stats.cache_evictions);
+    EXPECT_EQ(s->cache_lines, full_stats.cache_lines);
+  }
+  // …while compressed lines hold a fraction of the resident bytes.
+  ASSERT_GT(full_stats.cache_lines, 0u);
+  EXPECT_GT(full_stats.cache_resident_bytes, 0u);
+  EXPECT_LT(delta_stats.cache_resident_bytes,
+            full_stats.cache_resident_bytes);
 }
 
 TEST(DeltaPath, ServiceStatsExposeQueryPathCounters) {

@@ -124,6 +124,38 @@ TEST(FailureSim, DeltaPathDoesNotChangeMetricsAndServesTicks) {
   EXPECT_GT(off_stats.full_bfs, 0u);
 }
 
+TEST(FailureSim, DeltaCacheDoesNotChangeMetricsAndShrinksLines) {
+  // The delta-compressed scenario cache is a representation change: tick
+  // metrics must be identical with compression on and off, while the cached
+  // tick-states resident bytes collapse to the affected-region diffs.
+  const Graph g = erdos_renyi(40, 0.15, 23);
+  const FtStructure h = build_cons2ftbfs(g, 0);
+  auto run_once = [&](double fraction) {
+    SimConfig cfg;
+    cfg.ticks = 120;
+    cfg.seed = 9;
+    cfg.cache_delta_max_fraction = fraction;
+    FailureSimulator sim(g, 0, cfg);
+    sim.add_overlay("cons2", h.edges, 2);
+    const auto metrics = sim.run();
+    return std::pair(metrics, sim.service_stats());
+  };
+  const auto [compressed, delta_stats] = run_once(0.25);
+  const auto [full_lines, full_stats] = run_once(0.0);
+  ASSERT_EQ(compressed.size(), full_lines.size());
+  for (std::size_t i = 0; i < compressed.size(); ++i) {
+    EXPECT_EQ(compressed[i].exact, full_lines[i].exact);
+    EXPECT_EQ(compressed[i].stretched, full_lines[i].stretched);
+    EXPECT_EQ(compressed[i].disconnected, full_lines[i].disconnected);
+    EXPECT_EQ(compressed[i].extra_hops, full_lines[i].extra_hops);
+  }
+  EXPECT_EQ(delta_stats.cache_hits, full_stats.cache_hits);
+  EXPECT_EQ(delta_stats.cache_misses, full_stats.cache_misses);
+  EXPECT_EQ(delta_stats.cache_lines, full_stats.cache_lines);
+  ASSERT_GT(full_stats.cache_lines, 0u);
+  EXPECT_LT(delta_stats.cache_resident_bytes, full_stats.cache_resident_bytes);
+}
+
 TEST(FailureSim, CapRespected) {
   const Graph g = erdos_renyi(40, 0.2, 17);
   SimConfig cfg;

@@ -443,33 +443,66 @@ TEST(Resequencer, RestoresOrderFromAnyCompletionOrder) {
   EXPECT_EQ(out.size(), 4u);
 }
 
+// One-word scenario keys for the unit tests; each word buffer must outlive
+// the probe it backs (the view is non-owning).
+ScenarioKeyView test_key(const std::uint32_t& word) {
+  return ScenarioKeyView{scenario_fingerprint({&word, 1}), {&word, 1}};
+}
+
 TEST(ShardedCache, ComputeOnceLatchAndEviction) {
+  const std::uint32_t ka = 1, kb = 2, kc = 3;
   ShardedScenarioCache cache(2, 4);
-  auto first = cache.probe("a", true);
+  auto first = cache.probe(test_key(ka), true);
   EXPECT_FALSE(first.hit);
   EXPECT_TRUE(first.owner);
   // A second prober for the same key becomes a waiter, not a second owner.
   std::atomic<bool> waited{false};
   std::thread waiter([&] {
-    auto racer = cache.probe("a", true);
+    auto racer = cache.probe(test_key(ka), true);
     EXPECT_TRUE(racer.hit);
     EXPECT_FALSE(racer.owner);
-    const auto& hops = ShardedScenarioCache::wait(*racer.line);
+    ShardedScenarioCache::wait(*racer.line);
     waited.store(true);
-    EXPECT_EQ(hops, (std::vector<std::uint32_t>{1, 2, 3}));
+    EXPECT_EQ(racer.line->hops, (std::vector<std::uint32_t>{1, 2, 3}));
   });
   ShardedScenarioCache::fill(*first.line, {1, 2, 3});
   waiter.join();
   EXPECT_TRUE(waited.load());
   // Capacity 2 with global recency: inserting c evicts the least-recent key.
-  (void)cache.probe("b", true);
-  (void)cache.probe("a", false);  // touch a — b becomes the eviction victim
-  auto c = cache.probe("c", true);
+  (void)cache.probe(test_key(kb), true);
+  (void)cache.probe(test_key(ka), false);  // touch a — b becomes the victim
+  auto c = cache.probe(test_key(kc), true);
   ShardedScenarioCache::fill(*c.line, {9});
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_TRUE(cache.probe("a", false).hit);
-  EXPECT_FALSE(cache.probe("b", false).hit);
+  EXPECT_TRUE(cache.probe(test_key(ka), false).hit);
+  EXPECT_FALSE(cache.probe(test_key(kb), false).hit);
   EXPECT_EQ(cache.total_evictions(), 1u);
+}
+
+TEST(ShardedCache, DeltaLinesOverlayTheirBaseline) {
+  const std::uint32_t kd = 4;
+  const std::vector<std::uint32_t> baseline = {0, 1, 2, 3, 4, 5};
+  ShardedScenarioCache cache(4, 2);
+  auto probe = cache.probe(test_key(kd), true);
+  ASSERT_TRUE(probe.owner);
+  // Vertices 2 and 4 diverge from the baseline (4 to unreachable).
+  ShardedScenarioCache::fill_delta(
+      *probe.line, &baseline,
+      {(std::uint64_t{2} << 32) | 7u,
+       (std::uint64_t{4} << 32) | kInfHops});
+  ShardedScenarioCache::wait(*probe.line);
+  EXPECT_FALSE(ShardedScenarioCache::poisoned(*probe.line));
+  EXPECT_EQ(ShardedScenarioCache::at(*probe.line, 0), 0u);
+  EXPECT_EQ(ShardedScenarioCache::at(*probe.line, 2), 7u);
+  EXPECT_EQ(ShardedScenarioCache::at(*probe.line, 3), 3u);
+  EXPECT_EQ(ShardedScenarioCache::at(*probe.line, 4), kInfHops);
+  std::vector<std::uint32_t> out;
+  ShardedScenarioCache::materialize(*probe.line, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1, 7, 3, kInfHops, 5}));
+  // Resident bytes count the diff (2 packed words), not the full vector.
+  EXPECT_EQ(ShardedScenarioCache::payload_bytes(*probe.line),
+            2 * sizeof(std::uint64_t));
+  EXPECT_EQ(cache.total_resident_bytes(), 2 * sizeof(std::uint64_t));
 }
 
 }  // namespace

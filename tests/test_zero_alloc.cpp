@@ -1,9 +1,11 @@
 // Steady-state serving must not allocate on the query hot path: after one
-// warm-up pass (which sizes the canon buffers, the repair scratch, the Dial
-// buckets, and the BFS target stamps), every further engine query — fast
-// path, repair path, and full-BFS fallback alike — runs on reused buffers.
-// This binary overrides the global allocator with a counting shim and
-// asserts the per-query count is exactly zero across a mixed workload.
+// warm-up pass (which sizes the canon buffers, the repair scratch — parents
+// included — the Dial buckets, and the BFS target stamps), every further
+// engine query — fast path, repair path, and full-BFS fallback alike — runs
+// on reused buffers; the scenario cache's probe/read path is equally clean
+// (packed keys into a reused word buffer, hits read through at()). This
+// binary overrides the global allocator with a counting shim and asserts
+// the per-query count is exactly zero across a mixed workload.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -14,6 +16,7 @@
 
 #include "engine/query_engine.h"
 #include "graph/generators.h"
+#include "service/shard.h"
 #include "spath/bfs.h"
 #include "util/rng.h"
 
@@ -105,6 +108,9 @@ TEST(ZeroAlloc, EngineQueriesAreAllocationFreeWhenWarm) {
       faults.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
     }
   }
+  // A faulted source is the one guaranteed full-BFS customer left now that
+  // damaged parent-exposing queries repair instead of falling back.
+  const Vertex source_fault[1] = {0};
   const auto run_workload = [&] {
     for (std::size_t i = 0; i < fault_pool.size(); ++i) {
       const FaultSpec spec = edge_faults(fault_pool[i]);
@@ -112,6 +118,7 @@ TEST(ZeroAlloc, EngineQueriesAreAllocationFreeWhenWarm) {
       (void)engine.distance(0, static_cast<Vertex>(1 + i % 90), spec);
       (void)engine.query(0, spec);
     }
+    (void)engine.all_distances(0, vertex_faults(source_fault));
   };
   run_workload();  // warm-up: baselines, repair scratch, Dial buckets
   const std::size_t count = allocations_during(run_workload);
@@ -121,6 +128,46 @@ TEST(ZeroAlloc, EngineQueriesAreAllocationFreeWhenWarm) {
   EXPECT_GT(stats.fast_path_hits, 0u);
   EXPECT_GT(stats.repair_bfs, 0u);
   EXPECT_GT(stats.full_bfs, 0u);
+}
+
+TEST(ZeroAlloc, CacheProbeAndReadPathAreAllocationFree) {
+  ShardedScenarioCache cache(64, 4);
+  // One full line and one delta line, both warm.
+  std::vector<std::uint32_t> words = {1, 0, 2, 7, 9};
+  const auto key_of = [&](std::uint32_t entry) {
+    words[0] = entry;
+    return ScenarioKeyView{scenario_fingerprint(words), words};
+  };
+  const std::vector<std::uint32_t> baseline(128, 3);
+  {
+    auto full = cache.probe(key_of(1), true);
+    ASSERT_TRUE(full.owner);
+    ShardedScenarioCache::fill(*full.line, baseline);
+    auto delta = cache.probe(key_of(2), true);
+    ASSERT_TRUE(delta.owner);
+    ShardedScenarioCache::fill_delta(*delta.line, &baseline,
+                                     {(std::uint64_t{5} << 32) | 8u});
+  }
+  std::vector<std::uint32_t> out(128, 0);  // pre-sized materialize target
+  const std::size_t count = allocations_during([&] {
+    for (int i = 0; i < 100; ++i) {
+      // Hit path: fingerprint + probe + per-target reads, no owner work.
+      auto full = cache.probe(key_of(1), false);
+      auto delta = cache.probe(key_of(2), false);
+      if (!full.hit || !delta.hit) return;  // EXPECT after the window
+      ShardedScenarioCache::wait(*full.line);
+      ShardedScenarioCache::wait(*delta.line);
+      if (ShardedScenarioCache::at(*full.line, 5) +
+              ShardedScenarioCache::at(*delta.line, 5) !=
+          3u + 8u) {
+        return;
+      }
+      ShardedScenarioCache::materialize(*delta.line, out);
+    }
+  });
+  EXPECT_EQ(count, 0u);
+  EXPECT_EQ(out[5], 8u);
+  EXPECT_EQ(out[0], 3u);
 }
 
 TEST(ZeroAlloc, LeasedQueriesAreAllocationFreeWhenWarm) {

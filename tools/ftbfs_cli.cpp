@@ -577,7 +577,8 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   const ServiceStats stats = service.stats();
   std::fprintf(stderr,
                "served %llu requests (%llu ok, %llu refused); %llu parse "
-               "errors; cache %llu/%llu hits (%.0f%%); %llu lazy builds, "
+               "errors; cache %llu/%llu hits (%.0f%%), %llu lines, "
+               "%.0f B/line; %llu lazy builds, "
                "pool size %zu; query paths %llu fast / %llu repair / "
                "%llu full\n",
                static_cast<unsigned long long>(stats.requests +
@@ -590,6 +591,8 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
                static_cast<unsigned long long>(stats.cache_hits +
                                                stats.cache_misses),
                100.0 * stats.cache_hit_rate(),
+               static_cast<unsigned long long>(stats.cache_lines),
+               stats.cache_bytes_per_line(),
                static_cast<unsigned long long>(stats.structures_built),
                service.pool_size(),
                static_cast<unsigned long long>(stats.fast_path_hits),
