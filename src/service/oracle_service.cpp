@@ -29,41 +29,6 @@ std::uint64_t pack_pool_key(Vertex source, unsigned budget, FaultModel model) {
          (model == FaultModel::kVertex ? 1u : 0u);
 }
 
-// Burns one sequencer ticket exactly once across every exit path: enter() at
-// the top of the admission section, exit() when admission work is done (the
-// long execution tail then runs unordered). Early returns — validation
-// refusals before admission, refusals inside it — burn the ticket from the
-// destructor.
-class TicketGuard {
- public:
-  TicketGuard(RequestSequencer* sequencer, std::uint64_t ticket)
-      : sequencer_(sequencer), ticket_(ticket) {}
-  TicketGuard(const TicketGuard&) = delete;
-  TicketGuard& operator=(const TicketGuard&) = delete;
-  ~TicketGuard() { exit(); }
-
-  void enter() {
-    if (sequencer_ != nullptr && !entered_) {
-      sequencer_->wait_for(ticket_);
-      entered_ = true;
-    }
-  }
-
-  void exit() {
-    if (sequencer_ != nullptr && !exited_) {
-      enter();  // a ticket skipped before admission still has to take its turn
-      sequencer_->advance();
-      exited_ = true;
-    }
-  }
-
- private:
-  RequestSequencer* sequencer_;
-  std::uint64_t ticket_;
-  bool entered_ = false;
-  bool exited_ = false;
-};
-
 }  // namespace
 
 OracleService::Entry::Entry(const Graph& g, std::span<const EdgeId> edges)
@@ -421,74 +386,78 @@ void OracleService::fill_scenario_line(Entry& e, Vertex source,
 }
 
 QueryResponse OracleService::serve(const QueryRequest& req) {
-  return serve_impl(req, nullptr, 0);
+  return execute(admit(req));
 }
 
 QueryResponse OracleService::serve(const QueryRequest& req,
                                    RequestSequencer& sequencer,
                                    std::uint64_t ticket) {
-  return serve_impl(req, &sequencer, ticket);
+  sequencer.wait_for(ticket);
+  Admission admission;
+  {
+    // Burn exactly one ticket even if admission throws (a stuck ticket would
+    // deadlock every later one).
+    struct AdvanceGuard {
+      RequestSequencer* s;
+      ~AdvanceGuard() { s->advance(); }
+    } guard{&sequencer};
+    admission = admit(req);
+  }
+  return execute(std::move(admission));
 }
 
-QueryResponse OracleService::serve_impl(const QueryRequest& req,
-                                        RequestSequencer* sequencer,
-                                        std::uint64_t ticket) {
+OracleService::Admission OracleService::admit(const QueryRequest& req) {
   counters_.requests.fetch_add(1, std::memory_order_relaxed);
-  TicketGuard turn(sequencer, ticket);
-  QueryResponse resp;
-  resp.id = req.id;
+  Admission a;
+  a.req = &req;
+  a.resp.id = req.id;
+
+  // Refusal exit: the response is final, execute() just hands it back.
+  auto refused = [&](StatusCode status, std::string why) {
+    a.resp = refuse(std::move(a.resp), status, std::move(why));
+    a.done = true;
+    return std::move(a);
+  };
 
   // --- validation: unknown ids are status codes, never aborts --------------
-  // Reads only the immutable graph, so it runs before the admission turn;
-  // the TicketGuard still burns the ticket on these early refusals.
   const Vertex n = g_->num_vertices();
   if (req.source >= n) {
-    return refuse(std::move(resp), StatusCode::kUnknownSource,
-                  "source " + std::to_string(req.source) + " out of range");
+    return refused(StatusCode::kUnknownSource,
+                   "source " + std::to_string(req.source) + " out of range");
   }
   for (const Vertex t : req.targets) {
     if (t >= n) {
-      return refuse(std::move(resp), StatusCode::kUnknownSource,
-                    "target " + std::to_string(t) + " out of range");
+      return refused(StatusCode::kUnknownSource,
+                     "target " + std::to_string(t) + " out of range");
     }
   }
   for (const EdgeId f : req.fault_edges) {
     if (f >= g_->num_edges()) {
-      return refuse(std::move(resp), StatusCode::kUnknownSource,
-                    "fault edge id " + std::to_string(f) + " out of range");
+      return refused(StatusCode::kUnknownSource,
+                     "fault edge id " + std::to_string(f) + " out of range");
     }
   }
   for (const Vertex v : req.fault_vertices) {
     if (v >= n) {
-      return refuse(std::move(resp), StatusCode::kUnknownSource,
-                    "fault vertex " + std::to_string(v) + " out of range");
+      return refused(StatusCode::kUnknownSource,
+                     "fault vertex " + std::to_string(v) + " out of range");
     }
   }
 
-  // Per-thread canonicalization scratch: serve_impl never recurses, and the
-  // canon stays valid through this thread's execution tail.
-  static thread_local CanonicalFaultSet canon;
-  canon.assign(FaultSpec{req.fault_edges, req.fault_vertices});
+  a.canon.assign(FaultSpec{req.fault_edges, req.fault_vertices});
+  const CanonicalFaultSet& canon = a.canon;
   const bool has_edge_faults = !canon.edges().empty();
   const bool has_vertex_faults = !canon.vertices().empty();
   const bool mixed = has_edge_faults && has_vertex_faults;
 
-  // --- admission: everything that reads or advances shared serving state ---
-  turn.enter();
-
-  // The one way out for served (non-refused) requests: finish admission
-  // (cache probe), release the turn, and run the execution tail.
+  // The one way out for served (non-refused) requests: finish admission with
+  // the cache probe; the execution tail runs from the plan alone.
   auto complete = [&](Entry* e, std::size_t entry, bool exact) {
-    ServePlan plan;
-    plan.e = e;
-    plan.entry = entry;
-    plan.exact = exact;
-    plan_payload(plan, req, canon);
-    turn.exit();
-    resp.exact = plan.exact;
-    fill_payload(plan, req, canon, resp);
-    counters_.served.fetch_add(1, std::memory_order_relaxed);
-    return std::move(resp);
+    a.plan.e = e;
+    a.plan.entry = entry;
+    a.plan.exact = exact;
+    plan_payload(a.plan, req, canon);
+    return std::move(a);
   };
 
   // --- pinned requests -----------------------------------------------------
@@ -501,34 +470,34 @@ QueryResponse OracleService::serve_impl(const QueryRequest& req,
       if (idx >= 0) pinned = &entries_[static_cast<std::size_t>(idx)];
     }
     if (idx < 0) {
-      return refuse(std::move(resp), StatusCode::kUnknownSource,
-                    "unknown structure '" + req.structure + "'");
+      return refused(StatusCode::kUnknownSource,
+                     "unknown structure '" + req.structure + "'");
     }
     const Entry& e = *pinned;
     const bool exact = serves_exactly(e, req.source, canon);
     if (!exact && req.consistency == Consistency::kExactOrRefuse) {
       if (e.source != req.source) {
-        return refuse(std::move(resp), StatusCode::kUnknownSource,
-                      "structure '" + e.name + "' is pinned to source " +
-                          std::to_string(e.source));
+        return refused(StatusCode::kUnknownSource,
+                       "structure '" + e.name + "' is pinned to source " +
+                           std::to_string(e.source));
       }
       if (!model_covers(e.model, has_edge_faults, has_vertex_faults)) {
-        return refuse(std::move(resp), StatusCode::kUnsupportedFaultModel,
-                      "structure '" + e.name + "' guarantees " +
-                          std::string(to_string(e.model)) +
-                          " faults only");
+        return refused(StatusCode::kUnsupportedFaultModel,
+                       "structure '" + e.name + "' guarantees " +
+                           std::string(to_string(e.model)) +
+                           " faults only");
       }
       if (!e.exact) {
-        return refuse(std::move(resp), StatusCode::kUnsupportedFaultModel,
-                      "structure '" + e.name + "' is approximate (no "
-                      "exactness guarantee); retry with best_effort "
-                      "consistency");
+        return refused(StatusCode::kUnsupportedFaultModel,
+                       "structure '" + e.name + "' is approximate (no "
+                       "exactness guarantee); retry with best_effort "
+                       "consistency");
       }
-      return refuse(std::move(resp), StatusCode::kBudgetExceeded,
-                    std::to_string(canon.size()) +
-                        " distinct faults exceed budget " +
-                        std::to_string(e.budget) + " of structure '" +
-                        e.name + "'");
+      return refused(StatusCode::kBudgetExceeded,
+                     std::to_string(canon.size()) +
+                         " distinct faults exceed budget " +
+                         std::to_string(e.budget) + " of structure '" +
+                         e.name + "'");
     }
     return complete(pinned, static_cast<std::size_t>(idx), exact);
   }
@@ -539,30 +508,10 @@ QueryResponse OracleService::serve_impl(const QueryRequest& req,
        req.kind == QueryKind::kReachability)) {
     const auto it = point_oracles_.find(req.source);
     if (it != point_oracles_.end()) {
-      turn.exit();  // const preprocessed tables; no shared serving state
-      const SingleFaultOracle& po = it->second;
-      const EdgeId down =
-          has_edge_faults ? canon.edges()[0] : kInvalidEdge;
-      std::size_t unreachable = 0;
-      for (const Vertex t : req.targets) {
-        const std::uint32_t d = down == kInvalidEdge
-                                    ? po.distance(t)
-                                    : po.distance_avoiding(t, down);
-        resp.distances.push_back(d);
-        if (req.kind == QueryKind::kReachability) {
-          resp.reachable.push_back(d != kInfHops);
-        }
-        if (d == kInfHops) ++unreachable;
-      }
-      if (req.kind == QueryKind::kDistance && !req.targets.empty() &&
-          unreachable == req.targets.size()) {
-        resp.status = StatusCode::kDisconnected;
-      }
-      resp.exact = true;
-      resp.served_by = "point_oracle";
-      counters_.point_oracle_served.fetch_add(1, std::memory_order_relaxed);
-      counters_.served.fetch_add(1, std::memory_order_relaxed);
-      return resp;
+      // Const preprocessed tables, no shared serving state: the reads happen
+      // in the (unordered) execution tail.
+      a.point = &it->second;
+      return std::move(a);
     }
   }
 
@@ -651,30 +600,68 @@ QueryResponse OracleService::serve_impl(const QueryRequest& req,
     return complete(&entry_ref(0), 0, /*exact=*/true);
   }
   if (mixed) {
-    return refuse(std::move(resp), StatusCode::kUnsupportedFaultModel,
-                  "no structure guarantees mixed edge+vertex fault sets; "
-                  "retry with best_effort consistency");
+    return refused(StatusCode::kUnsupportedFaultModel,
+                   "no structure guarantees mixed edge+vertex fault sets; "
+                   "retry with best_effort consistency");
   }
   if (!saw_source && !config_.lazy_build) {
-    return refuse(std::move(resp), StatusCode::kUnknownSource,
-                  "no structure for source " + std::to_string(req.source) +
-                      " (lazy build disabled)");
+    return refused(StatusCode::kUnknownSource,
+                   "no structure for source " + std::to_string(req.source) +
+                       " (lazy build disabled)");
   }
   if (saw_source && !saw_model) {
-    return refuse(std::move(resp), StatusCode::kUnsupportedFaultModel,
-                  saw_inexact
-                      ? "only approximate structures cover source " +
-                            std::to_string(req.source) +
-                            " for this fault model; retry with best_effort "
-                            "consistency"
-                      : "no structure for source " +
-                            std::to_string(req.source) +
-                            " guarantees this fault model");
+    return refused(StatusCode::kUnsupportedFaultModel,
+                   saw_inexact
+                       ? "only approximate structures cover source " +
+                             std::to_string(req.source) +
+                             " for this fault model; retry with best_effort "
+                             "consistency"
+                       : "no structure for source " +
+                             std::to_string(req.source) +
+                             " guarantees this fault model");
   }
-  return refuse(std::move(resp), StatusCode::kBudgetExceeded,
-                std::to_string(canon.size()) +
-                    " distinct faults exceed every available structure "
-                    "budget; retry with best_effort consistency");
+  return refused(StatusCode::kBudgetExceeded,
+                 std::to_string(canon.size()) +
+                     " distinct faults exceed every available structure "
+                     "budget; retry with best_effort consistency");
+}
+
+QueryResponse OracleService::execute(Admission admission) {
+  QueryResponse resp = std::move(admission.resp);
+  if (admission.done) return resp;
+  const QueryRequest& req = *admission.req;
+
+  if (admission.point != nullptr) {
+    const SingleFaultOracle& po = *admission.point;
+    const EdgeId down = admission.canon.edges().empty()
+                            ? kInvalidEdge
+                            : admission.canon.edges()[0];
+    std::size_t unreachable = 0;
+    for (const Vertex t : req.targets) {
+      const std::uint32_t d = down == kInvalidEdge
+                                  ? po.distance(t)
+                                  : po.distance_avoiding(t, down);
+      resp.distances.push_back(d);
+      if (req.kind == QueryKind::kReachability) {
+        resp.reachable.push_back(d != kInfHops);
+      }
+      if (d == kInfHops) ++unreachable;
+    }
+    if (req.kind == QueryKind::kDistance && !req.targets.empty() &&
+        unreachable == req.targets.size()) {
+      resp.status = StatusCode::kDisconnected;
+    }
+    resp.exact = true;
+    resp.served_by = "point_oracle";
+    counters_.point_oracle_served.fetch_add(1, std::memory_order_relaxed);
+    counters_.served.fetch_add(1, std::memory_order_relaxed);
+    return resp;
+  }
+
+  resp.exact = admission.plan.exact;
+  fill_payload(admission.plan, req, admission.canon, resp);
+  counters_.served.fetch_add(1, std::memory_order_relaxed);
+  return resp;
 }
 
 }  // namespace ftbfs

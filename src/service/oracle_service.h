@@ -72,8 +72,10 @@ struct ServiceConfig {
   std::uint64_t weight_seed = 1;  // tie-breaking weights for lazy builds
   // Lock-striping width of the scenario cache and lazy-build map. More shards
   // spread racing requests over more locks; 1 degenerates to a single lock.
-  // Hit/miss/eviction behavior is shard-count-independent (recency and
-  // capacity are accounted globally).
+  // Eviction is per-shard CLOCK over a ceil(capacity/shards) slice, so which
+  // lines stay resident — and therefore hit/miss totals near capacity —
+  // depends (approximately) on the shard count; far from capacity the
+  // accounting is shard-count-independent.
   unsigned cache_shards = 8;
   // Fault-delta query path of the pool engines (docs/perf.md): answer from
   // the per-source baseline tree when the fault set misses it, repair only
@@ -175,6 +177,27 @@ class OracleService {
                                     RequestSequencer& sequencer,
                                     std::uint64_t ticket);
 
+  // --- split serve: admit / execute ----------------------------------------
+  // serve() == execute(admit(req)). admit() runs the admission section —
+  // validation, routing, lazy-build trigger, cache probe: everything that
+  // reads or advances shared serving state — and returns a self-contained
+  // Admission; execute() runs the execution tail (BFS / cache wait / payload
+  // copy) on private state. Both are thread-safe on their own; ordering the
+  // admit() calls (by sequencer ticket) is what makes the response stream
+  // deterministic. The batched ordered serve path drains several tickets'
+  // admit() calls under ONE sequencer turn:
+  //
+  //   sequencer.wait_for(first);
+  //   for (r : batch) a.push_back(admit(r));   // dense tickets, in order
+  //   sequencer.advance_n(batch.size());
+  //   for (x : a) respond(execute(std::move(x)));
+  //
+  // `req` must outlive the matching execute() call (the Admission keeps a
+  // pointer, not a copy).
+  struct Admission;
+  [[nodiscard]] Admission admit(const QueryRequest& req);
+  [[nodiscard]] QueryResponse execute(Admission admission);
+
   // --- introspection -------------------------------------------------------
 
   [[nodiscard]] const Graph& graph() const { return *g_; }
@@ -217,6 +240,17 @@ class OracleService {
     FillObligation() = default;
     FillObligation(const FillObligation&) = delete;
     FillObligation& operator=(const FillObligation&) = delete;
+    // Movable so an Admission can carry the obligation from admit() to
+    // execute(): the moved-from line is null, so exactly one destructor can
+    // ever poison it.
+    FillObligation(FillObligation&& other) noexcept = default;
+    FillObligation& operator=(FillObligation&& other) noexcept {
+      if (this != &other) {
+        if (line != nullptr) ShardedScenarioCache::fill(*line, {});
+        line = std::move(other.line);
+      }
+      return *this;
+    }
     ~FillObligation() {
       if (line != nullptr) ShardedScenarioCache::fill(*line, {});
     }
@@ -237,6 +271,20 @@ class OracleService {
     FillObligation fill_obligation;  // armed iff fill_line
   };
 
+ public:
+  // Everything one request needs between admit() and execute(); defined here
+  // so it can carry the (private) plan types by value. Move-only. See the
+  // admit/execute contract above for the lifecycle.
+  struct Admission {
+    QueryResponse resp;  // id prefilled; final already when `done`
+    bool done = false;   // refusal — execute() just returns resp
+    const QueryRequest* req = nullptr;
+    const SingleFaultOracle* point = nullptr;  // O(1) fast path when non-null
+    CanonicalFaultSet canon;
+    ServePlan plan;
+  };
+
+ private:
   [[nodiscard]] int find_entry_locked(std::string_view name) const;
   [[nodiscard]] Entry& entry_ref(std::size_t entry);
 
@@ -276,9 +324,6 @@ class OracleService {
 
   QueryResponse refuse(QueryResponse resp, StatusCode status,
                        std::string why);
-
-  QueryResponse serve_impl(const QueryRequest& req,
-                           RequestSequencer* sequencer, std::uint64_t ticket);
 
   const Graph* g_;
   ServiceConfig config_;

@@ -404,6 +404,11 @@ std::string format_response_line(const QueryResponse& resp) {
   std::string out = "{";
   if (resp.id >= 0) {
     out += "\"id\":" + std::to_string(resp.id) + ",";
+  } else if (resp.seq >= 0) {
+    // Relaxed-mode correlation fallback for id-less requests; never emitted
+    // alongside an id, so id-bearing lines match the ordered mode byte for
+    // byte (docs/serving.md "Ordered vs relaxed").
+    out += "\"seq\":" + std::to_string(resp.seq) + ",";
   }
   out += "\"status\":\"";
   out += to_string(resp.status);
@@ -455,10 +460,13 @@ std::string format_response_line(const QueryResponse& resp) {
   return out;
 }
 
-std::string format_parse_error_line(const ParsedRequest& parsed) {
+std::string format_parse_error_line(const ParsedRequest& parsed,
+                                    std::int64_t seq) {
   std::string out = "{";
   if (parsed.request.id >= 0) {
     out += "\"id\":" + std::to_string(parsed.request.id) + ",";
+  } else if (seq >= 0) {
+    out += "\"seq\":" + std::to_string(seq) + ",";
   }
   out += "\"status\":\"parse_error\",\"error\":\"";
   json_escape_into(out, parsed.error);

@@ -58,6 +58,11 @@ struct QueryRequest {
 
 struct QueryResponse {
   std::int64_t id = -1;  // echoed from the request
+  // Input line number (0-based) of the request, stamped by the relaxed serve
+  // loop for requests that carry no "id": out-of-order responses stay
+  // correlatable. Emitted on the wire only when id < 0 — responses to
+  // id-bearing requests are byte-identical across serve modes.
+  std::int64_t seq = -1;
   StatusCode status = StatusCode::kOk;
   // True iff the answers carry an exactness guarantee (structure served
   // within its fault budget, identity engine, or point oracle).
@@ -103,7 +108,10 @@ struct ParsedRequest {
 
 // One JSONL line reporting a request that never reached the service — wire
 // status "parse_error" (distinct from the StatusCode refusals, which are
-// answers about the graph rather than about the line).
-[[nodiscard]] std::string format_parse_error_line(const ParsedRequest& parsed);
+// answers about the graph rather than about the line). `seq` >= 0 adds the
+// relaxed-mode correlation field for lines that parsed no "id" (same contract
+// as QueryResponse::seq).
+[[nodiscard]] std::string format_parse_error_line(const ParsedRequest& parsed,
+                                                  std::int64_t seq = -1);
 
 }  // namespace ftbfs

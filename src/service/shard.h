@@ -6,14 +6,21 @@
 //
 //   * ShardedScenarioCache — scenario keys hash into N shards, each a
 //     `std::shared_mutex` over a key→line map. A cache hit takes only the
-//     shard's shared lock (find + an atomic recency bump); exclusive locks
-//     are paid only to insert. Lines are handed out as shared_ptrs, so a
-//     line being evicted under a reader's feet just loses its map slot —
-//     the reader's data stays alive. Recency is a global atomic clock
-//     stamped per touch; eviction removes the globally least-recent line,
-//     which makes the sharded cache's hit/miss/eviction sequence *identical*
-//     to the flat LRU it replaced whenever probes happen in a fixed order
-//     (the single-threaded and sequenced serving modes rely on this).
+//     shard's shared lock (find + a relaxed reference-bit store); exclusive
+//     locks are paid only to insert. Lines are handed out as shared_ptrs, so
+//     a line being evicted under a reader's feet just loses its map slot —
+//     the reader's data stays alive. Eviction is decentralized: each shard
+//     owns a CLOCK (second-chance) ring over its own capacity slice, so an
+//     over-capacity insert sweeps and evicts entirely inside the shard's own
+//     exclusive lock — no global recency clock ticking on every hit, no
+//     cross-shard victim scan, no global eviction mutex. Victim choice is
+//     approximate LRU, but it is a *deterministic* function of the per-shard
+//     probe sequence, so a fixed probe order (single-threaded or sequenced
+//     serving) replays the same hit/miss/eviction stream every time — the
+//     byte-identical ordered serve mode rests on that. What changed vs the
+//     retired global-LRU design: residency now depends on the shard count
+//     (each shard caps at ceil(capacity / shards) lines), so hit/miss totals
+//     across different shard counts agree only approximately.
 //
 //   * Keys are packed binary (ScenarioKey): the id words plus a precomputed
 //     64-bit fingerprint. Probes pass a non-owning ScenarioKeyView over a
@@ -43,7 +50,10 @@
 //     is built exactly once per key under racing requests.
 //
 // Per-shard hit/miss/eviction counters are relaxed atomics aggregated on
-// read, so serving stats never take a global lock.
+// read, so serving stats never take a global lock. Each counter sits on its
+// own cache line (and each shard header is cache-line aligned): two workers
+// hitting different shards — or one hitting and one missing the same shard —
+// must not bounce a shared line between cores just to bump bookkeeping.
 #pragma once
 
 #include <algorithm>
@@ -52,7 +62,6 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <unordered_map>
@@ -149,7 +158,12 @@ class ShardedScenarioCache {
     std::vector<std::uint32_t> hops;
     std::vector<std::uint64_t> diff;
     std::atomic<bool> ready{false};
-    std::atomic<std::uint64_t> last_used{0};
+    // CLOCK reference bit: set (relaxed, under the shard's *shared* lock) by
+    // every touch, cleared by the sweeping hand during eviction (which holds
+    // the shard's exclusive lock, so no touch races the clear). Replaces the
+    // retired global recency clock — a hit no longer contends on anything
+    // shared beyond its own line.
+    std::atomic<bool> referenced{false};
     std::mutex mutex;
     std::condition_variable ready_cv;
   };
@@ -161,17 +175,29 @@ class ShardedScenarioCache {
     bool owner = false; // this caller reserved the line and must fill() it
   };
 
+  // Capacity is sliced across the shards: each shard caps its own line count
+  // at ceil(capacity / shards) and evicts within that slice, so the resident
+  // total stays within one shard-rounding of `capacity` while eviction never
+  // leaves the shard whose insert went over. (256 lines over the default 8
+  // shards = exactly 32 per shard.)
   ShardedScenarioCache(std::size_t capacity, unsigned shard_count)
       : capacity_(capacity),
-        shards_(capacity == 0 ? 1 : std::max(1u, shard_count)) {}
+        shards_(capacity == 0 ? 1 : std::max(1u, shard_count)) {
+    shard_capacity_ =
+        capacity == 0
+            ? 0
+            : std::max<std::size_t>(1, (capacity + shards_.size() - 1) /
+                                           shards_.size());
+  }
 
   [[nodiscard]] bool enabled() const { return capacity_ > 0; }
 
-  // Looks `key` up; a hit bumps recency under the shard's *shared* lock.
-  // On a miss with `reserve`, inserts a pending line (probe.owner == true;
-  // the caller must fill() it — waiters are blocked on it). A miss without
-  // `reserve` leaves the cache untouched (the single-target fast path, where
-  // an early-exit BFS beats computing a full line).
+  // Looks `key` up; a hit sets the line's reference bit under the shard's
+  // *shared* lock. On a miss with `reserve`, inserts a pending line
+  // (probe.owner == true; the caller must fill() it — waiters are blocked on
+  // it), evicting within the shard if its capacity slice is full. A miss
+  // without `reserve` leaves the cache untouched (the single-target fast
+  // path, where an early-exit BFS beats computing a full line).
   Probe probe(const ScenarioKeyView& key, bool reserve) {
     Probe out;
     if (!enabled()) return out;
@@ -183,14 +209,14 @@ class ShardedScenarioCache {
       // left behind (real distance vectors are never empty) — treat it as a
       // miss so the reservation path below can swap in a fresh line.
       if (it != shard.lines.end() && !is_poisoned(*it->second)) {
-        it->second->last_used.store(tick(), std::memory_order_relaxed);
-        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        it->second->referenced.store(true, std::memory_order_relaxed);
+        shard.hits.value.fetch_add(1, std::memory_order_relaxed);
         out.line = it->second;
         out.hit = true;
         return out;
       }
     }
-    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    shard.misses.value.fetch_add(1, std::memory_order_relaxed);
     if (!reserve) return out;
     {
       const std::unique_lock lock(shard.mutex);
@@ -198,9 +224,10 @@ class ShardedScenarioCache {
       if (it != shard.lines.end() && is_poisoned(*it->second)) {
         // Repair: replace the poisoned line with a fresh pending one and
         // make this prober its computer. Size is unchanged (a swap, not an
-        // insert); old waiters still hold their shared_ptr.
+        // insert; the clock ring's slot pointer stays valid because the map
+        // node is untouched); old waiters still hold their shared_ptr.
         it->second = std::make_shared<Line>();
-        it->second->last_used.store(tick(), std::memory_order_relaxed);
+        it->second->referenced.store(true, std::memory_order_relaxed);
         out.line = it->second;
         out.owner = true;
         return out;
@@ -211,23 +238,45 @@ class ShardedScenarioCache {
         // counted above as the hit this probe turned into, so the counters
         // keep agreeing with the per-response cache_hit flags (exactly one
         // miss per computed line).
-        shard.misses.fetch_sub(1, std::memory_order_relaxed);
-        shard.hits.fetch_add(1, std::memory_order_relaxed);
-        it->second->last_used.store(tick(), std::memory_order_relaxed);
+        shard.misses.value.fetch_sub(1, std::memory_order_relaxed);
+        shard.hits.value.fetch_add(1, std::memory_order_relaxed);
+        it->second->referenced.store(true, std::memory_order_relaxed);
         out.line = it->second;
         out.hit = true;
         return out;
       }
-      // Genuine insert: the only point the owning key is materialized (one
-      // allocation, on a path that is about to pay a BFS anyway).
+      if (shard.lines.size() >= shard_capacity_) {
+        // The shard's slice is full: sweep its clock hand for a victim (first
+        // line whose reference bit is already clear, clearing bits as it
+        // passes — each resident line gets one second chance per sweep),
+        // evict it, and hand its ring slot to the incoming line. Everything
+        // happens under this shard's exclusive lock; other shards keep
+        // serving.
+        const std::size_t slot = sweep_for_victim(shard);
+        shard.lines.erase(shard.ring[slot]->first);
+        shard.evictions.value.fetch_add(1, std::memory_order_relaxed);
+        const auto [ins, inserted] = shard.lines.try_emplace(
+            ScenarioKey(key), std::make_shared<Line>());
+        shard.ring[slot] = &*ins;
+        shard.hand = (slot + 1) % shard.ring.size();
+        out.line = ins->second;
+        out.owner = true;
+        return out;
+      }
+      // Genuine insert below capacity: the only point the owning key is
+      // materialized (one allocation, on a path that is about to pay a BFS
+      // anyway). Ring slots point at map nodes, which never move. New lines
+      // start with a clear reference bit — only *subsequent* hits count as
+      // recency, so a line probed again after insertion outlives one that
+      // never was (the inserting thread reads through its own shared_ptr
+      // and needs no residency grace).
       const auto [ins, inserted] =
           shard.lines.try_emplace(ScenarioKey(key), std::make_shared<Line>());
-      ins->second->last_used.store(tick(), std::memory_order_relaxed);
+      shard.ring.push_back(&*ins);
       out.line = ins->second;
       out.owner = true;
       size_.fetch_add(1, std::memory_order_relaxed);
     }
-    evict_over_capacity();
     return out;
   }
 
@@ -337,13 +386,29 @@ class ShardedScenarioCache {
   }
 
  private:
-  struct Shard {
+  // A relaxed counter alone on its cache line: hits, misses, and evictions
+  // are bumped from different code paths by different workers, and packing
+  // them adjacently would bounce one line between cores for three logically
+  // independent counters.
+  struct alignas(64) PaddedCounter {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  // The shard header itself is cache-line aligned so two shards never share
+  // a line (one worker's exclusive-lock insert must not stall another
+  // worker's shared-lock hit on the neighboring shard).
+  struct alignas(64) Shard {
     mutable std::shared_mutex mutex;  // stats-path scans lock a const shard
     std::unordered_map<ScenarioKey, LinePtr, ScenarioKeyHash, ScenarioKeyEq>
         lines;
-    std::atomic<std::uint64_t> hits{0};
-    std::atomic<std::uint64_t> misses{0};
-    std::atomic<std::uint64_t> evictions{0};
+    // CLOCK ring: one slot per resident line, pointing at the map node (the
+    // map is node-based, so pointers survive rehashes; only erase moves a
+    // line out, and erase always recycles the slot in the same breath).
+    std::vector<const std::pair<const ScenarioKey, LinePtr>*> ring;
+    std::size_t hand = 0;  // next ring slot the eviction sweep examines
+    PaddedCounter hits;
+    PaddedCounter misses;
+    PaddedCounter evictions;
   };
 
   Shard& shard_for(const ScenarioKeyView& key) {
@@ -354,66 +419,36 @@ class ShardedScenarioCache {
     return line.ready.load(std::memory_order_acquire) && poisoned(line);
   }
 
-  std::uint64_t tick() {
-    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Second-chance sweep, called with the shard's exclusive lock held and the
+  // ring full: advance the hand, clearing reference bits, until a line whose
+  // bit was already clear turns up — that slot is the victim. Terminates in
+  // at most two passes (the first pass clears every bit, and no concurrent
+  // touch can re-set one while we hold the exclusive lock), and the choice
+  // is a pure function of the shard's probe history, so a fixed probe order
+  // replays identical evictions.
+  static std::size_t sweep_for_victim(Shard& shard) {
+    for (;;) {
+      const std::size_t slot = shard.hand;
+      shard.hand = (shard.hand + 1) % shard.ring.size();
+      Line& line = *shard.ring[slot]->second;
+      if (!line.referenced.exchange(false, std::memory_order_relaxed)) {
+        return slot;
+      }
+    }
   }
 
-  std::uint64_t sum(std::atomic<std::uint64_t> Shard::* counter) const {
+  std::uint64_t sum(PaddedCounter Shard::* counter) const {
     std::uint64_t total = 0;
     for (const Shard& s : shards_) {
-      total += (s.*counter).load(std::memory_order_relaxed);
+      total += (s.*counter).value.load(std::memory_order_relaxed);
     }
     return total;
   }
 
-  // Capacity is accounted globally (per-shard quotas would let a tiny cache
-  // evict nothing), so eviction scans the shards for the least-recent line.
-  // Only over-capacity inserters pay this scan, one shard lock at a time —
-  // never two shard locks at once, so it cannot deadlock with probes. The
-  // eviction mutex keeps concurrent over-inserts from double-evicting.
-  //
-  // The scan is O(capacity) per over-capacity insert — a deliberate trade:
-  // any cheaper victim choice (per-shard LRU lists, sampled eviction, a
-  // recency heap) either puts a write lock on the hit path or stops picking
-  // the *global* minimum, and the byte-identical threaded serving guarantee
-  // rests on eviction choices replaying the sequential ones exactly. At the
-  // default capacity (256) the scan is noise next to the BFS the same miss
-  // just paid for; operators sizing --cache into the hundreds of thousands
-  // for all-distinct sweeps should disable caching instead (misses dominate
-  // anyway).
-  void evict_over_capacity() {
-    while (size_.load(std::memory_order_relaxed) > capacity_) {
-      const std::lock_guard evict_lock(eviction_mutex_);
-      if (size_.load(std::memory_order_relaxed) <= capacity_) return;
-      Shard* victim_shard = nullptr;
-      std::optional<ScenarioKey> victim_key;
-      std::uint64_t victim_stamp = 0;
-      for (Shard& s : shards_) {
-        const std::shared_lock lock(s.mutex);
-        for (const auto& [key, line] : s.lines) {
-          const std::uint64_t stamp =
-              line->last_used.load(std::memory_order_relaxed);
-          if (victim_shard == nullptr || stamp < victim_stamp) {
-            victim_shard = &s;
-            victim_key = key;
-            victim_stamp = stamp;
-          }
-        }
-      }
-      if (victim_shard == nullptr) return;  // racing evictions drained us
-      const std::unique_lock lock(victim_shard->mutex);
-      if (victim_shard->lines.erase(*victim_key) > 0) {
-        size_.fetch_sub(1, std::memory_order_relaxed);
-        victim_shard->evictions.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-  }
-
   std::size_t capacity_;
   std::vector<Shard> shards_;
-  std::atomic<std::uint64_t> clock_{0};
+  std::size_t shard_capacity_;  // per-shard slice: max(1, ceil(cap/shards))
   std::atomic<std::size_t> size_{0};
-  std::mutex eviction_mutex_;
 };
 
 // Exactly-once lazy builds: maps a pool key to the entry index that serves

@@ -30,6 +30,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace ftbfs {
 
@@ -48,23 +49,54 @@ class BoundedQueue {
   // False iff the queue was closed before the item could be enqueued.
   bool push(T item) {
     std::unique_lock lock(mutex_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
+    if (!closed_ && items_.size() >= capacity_) {
+      ++not_full_waiters_;
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      --not_full_waiters_;
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    // Targeted wakeup, and only when someone is actually parked: the
+    // uncontended steady state pays no notify syscall at all.
+    if (not_empty_waiters_ > 0) not_empty_.notify_one();
     return true;
   }
 
   // Oldest item, or nullopt once the queue is closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    wait_not_empty(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    if (not_full_waiters_ > 0) not_full_.notify_one();
     return item;
+  }
+
+  // Drains up to `max` oldest items under ONE lock acquisition into `out`
+  // (cleared first); blocks like pop() while the queue is empty. Returns the
+  // number taken — 0 only once the queue is closed and drained. Because the
+  // queue is FIFO, a batch is always a dense run of consecutively pushed
+  // items; the batched-admission serve path leans on that.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    out.clear();
+    std::unique_lock lock(mutex_);
+    wait_not_empty(lock);
+    const std::size_t take = std::min(max, items_.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (not_full_waiters_ > 0) {
+      // A batch frees `take` slots; one producer per slot may proceed.
+      if (take > 1) {
+        not_full_.notify_all();
+      } else if (take == 1) {
+        not_full_.notify_one();
+      }
+    }
+    return take;
   }
 
   void close() {
@@ -77,11 +109,21 @@ class BoundedQueue {
   }
 
  private:
+  void wait_not_empty(std::unique_lock<std::mutex>& lock) {
+    if (!closed_ && items_.empty()) {
+      ++not_empty_waiters_;
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      --not_empty_waiters_;
+    }
+  }
+
   std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
   std::size_t capacity_;
+  std::size_t not_full_waiters_ = 0;
+  std::size_t not_empty_waiters_ = 0;
   bool closed_ = false;
 };
 
@@ -103,6 +145,18 @@ class RequestSequencer {
     {
       const std::lock_guard lock(mutex_);
       ++turn_;
+    }
+    cv_.notify_all();
+  }
+
+  // Releases `n` consecutive tickets in one step: the batched-admission
+  // worker waits for its first ticket, runs all n admission sections
+  // back-to-back, then advances past the whole run under one lock handoff.
+  void advance_n(std::uint64_t n) {
+    if (n == 0) return;
+    {
+      const std::lock_guard lock(mutex_);
+      turn_ += n;
     }
     cv_.notify_all();
   }

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "util/rng.h"
@@ -74,12 +75,31 @@ std::vector<OverlayMetrics> FailureSimulator::run() {
   std::vector<std::vector<std::uint32_t>> routed(rows);
   const unsigned workers = std::min<unsigned>(
       std::max(1u, config_.route_threads), static_cast<unsigned>(rows));
+  // Ordered routing (SimConfig::ordered_routing): a fresh per-tick ticket
+  // lock sequences the rows' admissions in row order; empty = relaxed, the
+  // rows race. Row index doubles as the dense ticket.
+  std::optional<RequestSequencer> tick_order;
   auto route_rows = [&](const QueryRequest& skeleton, unsigned worker) {
+    std::exception_ptr row_error;
     for (std::size_t r = worker; r < rows; r += workers) {
+      if (row_error != nullptr) {
+        // A failed row must not strand this worker's later tickets — burn
+        // them so the other workers' turns still come.
+        if (tick_order.has_value()) tick_order->skip(r);
+        continue;
+      }
       QueryRequest row_req = skeleton;
       row_req.structure = r == 0 ? "identity" : overlays_[r - 1].name;
-      routed[r] = service_.serve(row_req).distances;
+      try {
+        routed[r] = (tick_order.has_value()
+                         ? service_.serve(row_req, *tick_order, r)
+                         : service_.serve(row_req))
+                        .distances;
+      } catch (...) {
+        row_error = std::current_exception();
+      }
     }
+    if (row_error != nullptr) std::rethrow_exception(row_error);
   };
 
   // Persistent routing crew: spawned once for the whole run (per-tick thread
@@ -138,6 +158,9 @@ std::vector<OverlayMetrics> FailureSimulator::run() {
     }
   } joiner{crew_mutex, crew_cv, shutdown, crew};
   auto route_tick = [&](const QueryRequest& skeleton) {
+    if (workers > 1 && config_.ordered_routing) {
+      tick_order.emplace();  // fresh dense tickets 0..rows-1 for this tick
+    }
     if (workers > 1) {
       {
         const std::lock_guard lock(crew_mutex);

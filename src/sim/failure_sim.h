@@ -54,6 +54,15 @@ struct SimConfig {
   // exercises the service's concurrent path and cuts per-tick latency when
   // several overlays are registered.
   unsigned route_threads = 1;
+  // Admission ordering of one tick's concurrent routing requests, mirroring
+  // `ftbfs serve --mode`: relaxed (false, the default) admits rows in
+  // whatever order the workers reach the service — distances and metrics are
+  // deterministic regardless, each row has its own cache key; ordered (true)
+  // runs the rows' admissions in row order through a ticket lock, so even
+  // the cache's internal hit/miss/eviction bookkeeping replays the serial
+  // stream exactly (useful when comparing service_stats() across thread
+  // counts). Irrelevant when route_threads == 1.
+  bool ordered_routing = false;
 };
 
 struct OverlayMetrics {

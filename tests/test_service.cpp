@@ -281,6 +281,9 @@ TEST(Service, LruEvictsOldScenarios) {
   const Graph g = cycle_graph(12);
   ServiceConfig config;
   config.cache_capacity = 2;
+  // Eviction is per-shard CLOCK; one shard makes the victim sequence exact
+  // (capacity 2 in one shard, third scenario evicts the oldest untouched).
+  config.cache_shards = 1;
   OracleService service(g, config);
   QueryRequest req;
   req.source = 0;

@@ -15,10 +15,15 @@
 //          [--algo <name>]
 //   serve  --graph <file> [--budget <f>] [--max-lazy <f>] [--cache <n>]
 //          [--lazy on|off] [--point-oracle <v>] [--seed <int>] [--threads <n>]
+//          [--mode ordered|relaxed] [--batch <k>]
 //          (reads JSONL QueryRequests from stdin, streams JSONL QueryResponses
 //           to stdout; wire format in docs/serving.md. --threads N serves
-//           requests on N concurrent workers with the response stream still
-//           in request order and byte-identical to --threads 1)
+//           requests on N concurrent workers. --mode ordered — the default —
+//           keeps the response stream in request order and byte-identical to
+//           --threads 1, draining up to --batch admission turns per ticket-
+//           lock acquisition; --mode relaxed emits responses as they finish,
+//           each carrying its request id (or a "seq" field when the request
+//           had none) — per-id bytes still match ordered mode)
 //
 // Structure construction is dispatched through the BuilderRegistry — any
 // registered algorithm name (or alias) works with --algo, and unknown names
@@ -34,6 +39,7 @@
 #include <iostream>
 #include <sstream>
 #include <map>
+#include <mutex>
 #include <numeric>
 #include <optional>
 #include <string>
@@ -86,8 +92,9 @@ void list_algos(std::FILE* out) {
                "              [--faults f] [--algo <name>]\n"
                "  ftbfs serve --graph <file> [--budget f] [--max-lazy f] "
                "[--cache n] [--lazy on|off]\n"
-               "              [--point-oracle v] [--seed S] [--threads n]   "
-               "(JSONL requests on stdin)\n"
+               "              [--point-oracle v] [--seed S] [--threads n] "
+               "[--mode ordered|relaxed] [--batch k]\n"
+               "              (JSONL requests on stdin)\n"
                "registered builders (--algo):\n");
   list_algos(stderr);
   std::exit(2);
@@ -446,14 +453,16 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
 
 // The response line for a request that never reaches the service — a syntax
 // error or an edge-resolution failure — or nullopt for a well-formed request.
-// Shared by the sequential and threaded serve loops so their triage (and
-// therefore their output bytes) cannot drift apart.
+// Shared by every serve loop so their triage (and therefore their output
+// bytes) cannot drift apart. `seq` >= 0 is the relaxed-mode correlation
+// stamp for id-less lines; ordered loops pass -1 (their output is in request
+// order already).
 std::optional<std::string> local_answer(
     const ParsedRequest& parsed, std::atomic<std::uint64_t>& parse_errors,
-    std::atomic<std::uint64_t>& resolve_refusals) {
+    std::atomic<std::uint64_t>& resolve_refusals, std::int64_t seq = -1) {
   if (parsed.status == ParseStatus::kSyntax) {
     parse_errors.fetch_add(1, std::memory_order_relaxed);
-    return format_parse_error_line(parsed);
+    return format_parse_error_line(parsed, seq);
   }
   if (parsed.status == ParseStatus::kResolve) {
     resolve_refusals.fetch_add(1, std::memory_order_relaxed);
@@ -461,6 +470,7 @@ std::optional<std::string> local_answer(
     // an answer about the graph, not about the line.
     QueryResponse resp;
     resp.id = parsed.request.id;
+    resp.seq = seq;
     resp.status = StatusCode::kUnknownSource;
     resp.error = parsed.error;
     return format_response_line(resp);
@@ -470,7 +480,7 @@ std::optional<std::string> local_answer(
 
 int cmd_serve(const std::map<std::string, std::string>& flags) {
   check_flags(flags, {"graph", "budget", "max-lazy", "cache", "lazy",
-                      "point-oracle", "seed", "threads"});
+                      "point-oracle", "seed", "threads", "mode", "batch"});
   const Graph g = load_graph(need(flags, "graph"));
   ServiceConfig config;
   config.default_budget =
@@ -496,6 +506,25 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     usage("--threads must be an integer in 1..256");
   }
 
+  const std::string mode = get_or(flags, "mode", "ordered");
+  if (mode != "ordered" && mode != "relaxed") {
+    usage("--mode must be ordered or relaxed");
+  }
+  const bool relaxed = mode == "relaxed";
+  // Admission turns drained per ticket-lock acquisition in ordered threaded
+  // mode (docs/serving.md "Batched admission"); relaxed workers use the same
+  // value as their queue-drain batch. 1 = the pre-batching behavior.
+  const std::string batch_text = get_or(flags, "batch", "8");
+  if (batch_text.empty() ||
+      batch_text.find_first_not_of("0123456789") != std::string::npos ||
+      batch_text.size() > 3) {
+    usage("--batch must be an integer in 1..256");
+  }
+  const std::size_t batch_size = std::stoull(batch_text);
+  if (batch_size == 0 || batch_size > 256) {
+    usage("--batch must be an integer in 1..256");
+  }
+
   OracleService service(g, config);
   if (flags.contains("point-oracle")) {
     const Vertex v =
@@ -508,26 +537,88 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   std::atomic<std::uint64_t> parse_errors{0}, resolve_refusals{0};
   if (threads == 1) {
     // One request per line in, one response per line out; responses are
-    // flushed per line so the stream works under a pipe.
+    // flushed per line so the stream works under a pipe. Relaxed mode with
+    // one thread is already in order — it differs only in stamping the
+    // correlation seq onto id-less lines, exactly as the workers would.
+    std::uint64_t seq = 0;
     while (std::getline(std::cin, line)) {
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      const std::uint64_t this_seq = seq++;
       const ParsedRequest parsed = parse_request_line(line, g);
-      std::optional<std::string> local =
-          local_answer(parsed, parse_errors, resolve_refusals);
-      const std::string out_line =
-          local.has_value()
-              ? std::move(*local)
-              : format_response_line(service.serve(parsed.request));
+      std::optional<std::string> local = local_answer(
+          parsed, parse_errors, resolve_refusals,
+          relaxed ? static_cast<std::int64_t>(this_seq) : -1);
+      std::string out_line;
+      if (local.has_value()) {
+        out_line = std::move(*local);
+      } else {
+        QueryResponse resp = service.serve(parsed.request);
+        if (relaxed) resp.seq = static_cast<std::int64_t>(this_seq);
+        out_line = format_response_line(resp);
+      }
       std::fprintf(stdout, "%s\n", out_line.c_str());
       std::fflush(stdout);
     }
+  } else if (relaxed) {
+    // Relaxed pipeline (docs/serving.md "Ordered vs relaxed"): the reader
+    // feeds a bounded FIFO and workers serve with NO cross-request ordering —
+    // no ticket lock on admission, no reorder buffer on output. Responses are
+    // written as they finish; clients correlate by id (or by the stamped seq
+    // when the request carried none). Per-id response bytes match ordered
+    // mode; only the interleaving differs.
+    struct Item {
+      std::uint64_t seq;
+      std::string line;
+    };
+    BoundedQueue<Item> queue(4 * threads);
+    std::mutex out_mutex;
+    auto worker = [&] {
+      std::vector<Item> batch;
+      while (queue.pop_batch(batch, batch_size) > 0) {
+        for (Item& item : batch) {
+          const ParsedRequest parsed = parse_request_line(item.line, g);
+          std::optional<std::string> local =
+              local_answer(parsed, parse_errors, resolve_refusals,
+                           static_cast<std::int64_t>(item.seq));
+          std::string out_line;
+          if (local.has_value()) {
+            out_line = std::move(*local);
+          } else {
+            QueryResponse resp = service.serve(parsed.request);
+            resp.seq = static_cast<std::int64_t>(item.seq);
+            out_line = format_response_line(resp);
+          }
+          const std::lock_guard lock(out_mutex);
+          std::fprintf(stdout, "%s\n", out_line.c_str());
+          std::fflush(stdout);
+        }
+      }
+    };
+    std::vector<std::thread> crew;
+    crew.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) crew.emplace_back(worker);
+    std::uint64_t seq = 0;
+    while (std::getline(std::cin, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      queue.push(Item{seq++, std::move(line)});
+      line.clear();
+    }
+    queue.close();
+    for (std::thread& t : crew) t.join();
   } else {
-    // Threaded pipeline (docs/serving.md "Concurrency"): the reader feeds a
-    // bounded FIFO, workers parse and serve concurrently — the service runs
-    // each request's admission in ticket order, so the cache and pool evolve
-    // exactly as they would sequentially — and the resequencer writes
-    // responses back in request order. The stream is byte-identical to
-    // --threads 1.
+    // Ordered threaded pipeline (docs/serving.md "Concurrency"): the reader
+    // feeds a bounded FIFO, workers parse and serve concurrently — the
+    // service runs each request's admission in ticket order, so the cache
+    // and pool evolve exactly as they would sequentially — and the
+    // resequencer writes responses back in request order. The stream is
+    // byte-identical to --threads 1.
+    //
+    // Admission is batched: a worker drains up to --batch items in one queue
+    // lock (FIFO ⇒ the batch is a dense run of consecutive tickets), parses
+    // them all OUTSIDE the ordered section, waits for the first ticket,
+    // admits the run back-to-back, and releases all its tickets in one
+    // advance_n — one ticket-lock handoff per batch instead of per request.
+    // Execution (and line formatting) then runs unordered as before.
     struct Item {
       std::uint64_t seq;
       std::string line;
@@ -543,19 +634,38 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
         },
         64 * threads);
     auto worker = [&] {
-      while (std::optional<Item> item = queue.pop()) {
-        const ParsedRequest parsed = parse_request_line(item->line, g);
-        std::optional<std::string> local =
-            local_answer(parsed, parse_errors, resolve_refusals);
-        std::string out_line;
-        if (local.has_value()) {
-          order.skip(item->seq);  // never reaches the service; burn the turn
-          out_line = std::move(*local);
-        } else {
-          out_line = format_response_line(
-              service.serve(parsed.request, order, item->seq));
+      std::vector<Item> batch;
+      std::vector<ParsedRequest> parsed;
+      std::vector<std::optional<std::string>> locals;
+      std::vector<std::optional<OracleService::Admission>> admissions;
+      while (queue.pop_batch(batch, batch_size) > 0) {
+        const std::size_t count = batch.size();
+        parsed.clear();
+        locals.clear();
+        admissions.clear();
+        admissions.resize(count);
+        for (const Item& item : batch) {
+          parsed.push_back(parse_request_line(item.line, g));
+          locals.push_back(
+              local_answer(parsed.back(), parse_errors, resolve_refusals));
         }
-        output.emit(item->seq, std::move(out_line));
+        // One ordered section for the whole dense ticket run; locally
+        // answered lines burn their tickets as part of the same advance.
+        order.wait_for(batch.front().seq);
+        for (std::size_t i = 0; i < count; ++i) {
+          if (!locals[i].has_value()) {
+            admissions[i] = service.admit(parsed[i].request);
+          }
+        }
+        order.advance_n(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          std::string out_line =
+              locals[i].has_value()
+                  ? std::move(*locals[i])
+                  : format_response_line(
+                        service.execute(std::move(*admissions[i])));
+          output.emit(batch[i].seq, std::move(out_line));
+        }
       }
     };
     std::vector<std::thread> crew;
