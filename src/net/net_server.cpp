@@ -1,0 +1,455 @@
+#include "net/net_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "service/protocol.h"
+
+namespace ftbfs {
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+void close_quiet(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+NetServer::NetServer(TenantRegistry& registry, NetServerConfig config)
+    : registry_(&registry), config_(std::move(config)) {
+  if (config_.threads == 0) config_.threads = 1;
+  if (config_.queue_capacity == 0) {
+    config_.queue_capacity = 16u * config_.threads;
+  }
+  queue_ = std::make_unique<BoundedQueue<NetJob>>(config_.queue_capacity);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) die("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("invalid listen address '" + config_.host +
+                             "' (IPv4 dotted quad expected)");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    die("bind");
+  }
+  if (::listen(listen_fd_, 512) != 0) die("listen");
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    die("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) die("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) die("eventfd");
+  if (::pipe2(sig_pipe_, O_NONBLOCK | O_CLOEXEC) != 0) die("pipe2");
+
+  auto watch = [&](int fd) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) die("epoll_ctl");
+  };
+  watch(listen_fd_);
+  watch(wake_fd_);
+  watch(sig_pipe_[0]);
+}
+
+NetServer::~NetServer() {
+  for (auto& [fd, conn] : conns_) close_quiet(conn->fd);
+  close_quiet(listen_fd_);
+  close_quiet(wake_fd_);
+  close_quiet(sig_pipe_[0]);
+  close_quiet(sig_pipe_[1]);
+  close_quiet(epoll_fd_);
+}
+
+void NetServer::request_shutdown() {
+  const char byte = 'q';
+  // Async-signal-safe; a full pipe means a shutdown is already pending.
+  [[maybe_unused]] const ssize_t n = ::write(sig_pipe_[1], &byte, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Worker side: queue → LineJob → per-connection output buffer.
+
+void NetServer::worker_main() {
+  while (auto job = queue_->pop()) {
+    std::string line;
+    const bool stamp_seq = !config_.ordered;
+    if (job->oversized) {
+      counters_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+      ParsedRequest pr;
+      pr.status = ParseStatus::kSyntax;
+      pr.error = "request line exceeds " +
+                 std::to_string(config_.max_line_bytes) + " bytes";
+      line = format_parse_error_line(
+          pr, stamp_seq ? static_cast<std::int64_t>(job->seq) : -1);
+    } else {
+      LineJob lj(*registry_, job->line, static_cast<std::int64_t>(job->seq),
+                 stamp_seq, counters_);
+      lj.admit();
+      line = lj.finish();
+    }
+    Conn* c = job->conn;
+    deliver(*c, job->seq, std::move(line));
+    // Ready-list insert must happen BEFORE the inflight decrement: the loop
+    // only frees a connection it observes with inflight == 0 && !in_ready, so
+    // this order guarantees the worker never touches a freed Conn.
+    bool expected = false;
+    if (c->in_ready.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+      const std::lock_guard lock(ready_mutex_);
+      ready_.push_back(c);
+    }
+    c->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    jobs_outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  }
+}
+
+void NetServer::deliver(Conn& c, std::uint64_t seq, std::string line) {
+  if (c.dead.load(std::memory_order_acquire)) return;
+  const std::lock_guard lock(c.out_mutex);
+  const auto append = [&](std::string& l) {
+    c.out += l;
+    c.out += '\n';
+    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+  };
+  if (!config_.ordered) {
+    append(line);
+    return;
+  }
+  if (seq != c.next_out) {
+    // Out-of-order completion: hold it back. Bounded by the jobs in flight
+    // (queue capacity + workers), all of which belong to dense seqs.
+    c.reorder.emplace(seq, std::move(line));
+    return;
+  }
+  append(line);
+  ++c.next_out;
+  while (!c.reorder.empty() && c.reorder.begin()->first == c.next_out) {
+    append(c.reorder.begin()->second);
+    c.reorder.erase(c.reorder.begin());
+    ++c.next_out;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loop side.
+
+void NetServer::update_interest(Conn& c, bool want_read, bool want_write) {
+  if (c.fd < 0 || (want_read == c.reading && want_write == c.writing)) return;
+  epoll_event ev{};
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = c.fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev) == 0) {
+    c.reading = want_read;
+    c.writing = want_write;
+  }
+}
+
+void NetServer::handle_accept() {
+  while (listen_fd_ >= 0) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN, or a transient error (ECONNABORTED, EMFILE, ...)
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::make_unique<Conn>(fd, config_.max_line_bytes));
+    conns_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool NetServer::drain_backlog(Conn& c) {
+  while (!c.backlog.empty()) {
+    NetJob& job = c.backlog.front();
+    c.inflight.fetch_add(1, std::memory_order_acq_rel);
+    if (!queue_->try_push(job)) {
+      c.inflight.fetch_sub(1, std::memory_order_acq_rel);
+      if (!c.parked_for_queue) {
+        c.parked_for_queue = true;
+        queue_waiters_.push_back(&c);
+      }
+      return false;
+    }
+    c.backlog.pop_front();
+  }
+  c.parked_for_queue = false;
+  return true;
+}
+
+void NetServer::handle_readable(Conn& c) {
+  // A parked connection can still see level-triggered EPOLLIN events that
+  // were queued before its interest was dropped; never read past a backlog.
+  if (!c.backlog.empty()) return;
+  char buf[65536];
+  while (true) {
+    const ssize_t n = ::read(c.fd, buf, sizeof buf);
+    if (n > 0) {
+      c.framer.feed(buf, static_cast<std::size_t>(n),
+                    [&](const std::string& line, bool oversized) {
+                      NetJob job;
+                      job.conn = &c;
+                      job.seq = c.next_seq++;
+                      job.oversized = oversized;
+                      job.line = line;
+                      jobs_outstanding_.fetch_add(1, std::memory_order_acq_rel);
+                      c.backlog.push_back(std::move(job));
+                    });
+      if (!drain_backlog(c)) break;  // admission ring full: park
+      bool write_parked;
+      {
+        const std::lock_guard lock(c.out_mutex);
+        write_parked = c.out.size() - c.out_off > config_.write_park_bytes;
+      }
+      if (write_parked) break;  // peer not reading its answers: park
+      continue;
+    }
+    if (n == 0) {
+      c.read_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    drop_conn(c);
+    return;
+  }
+  refresh_after_io(c);
+}
+
+bool NetServer::flush_writes(Conn& c) {
+  if (c.dead.load(std::memory_order_acquire) || c.fd < 0) return true;
+  const std::lock_guard lock(c.out_mutex);
+  while (c.out_off < c.out.size()) {
+    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    return false;  // peer gone; caller drops the connection
+  }
+  if (c.out_off == c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
+  } else if (c.out_off > (1u << 16)) {
+    c.out.erase(0, c.out_off);
+    c.out_off = 0;
+  }
+  return true;
+}
+
+void NetServer::refresh_after_io(Conn& c) {
+  if (c.dead.load(std::memory_order_relaxed) || c.fd < 0) return;
+  if (!flush_writes(c)) {
+    drop_conn(c);
+    return;
+  }
+  std::size_t pending;
+  {
+    const std::lock_guard lock(c.out_mutex);
+    pending = c.out.size() - c.out_off;
+  }
+  const bool want_read = !draining_ && !c.read_closed && c.backlog.empty() &&
+                         !c.parked_for_queue &&
+                         pending <= config_.write_park_bytes;
+  update_interest(c, want_read, pending > 0);
+  maybe_finish_conn(c);
+}
+
+void NetServer::maybe_finish_conn(Conn& c) {
+  if (c.dead.load(std::memory_order_relaxed) || c.fd < 0) return;
+  if (!c.read_closed && !draining_) return;
+  if (!c.backlog.empty()) return;
+  if (c.inflight.load(std::memory_order_acquire) != 0) return;
+  if (c.in_ready.load(std::memory_order_acquire)) return;
+  {
+    const std::lock_guard lock(c.out_mutex);
+    if (c.out_off < c.out.size() || !c.reorder.empty()) return;
+  }
+  retire_conn(c);
+}
+
+void NetServer::retire_conn(Conn& c) {
+  const int fd = c.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  c.fd = -1;
+  pending_close_.push_back(fd);
+  conns_.erase(fd);  // frees the Conn: nothing references it anymore
+}
+
+void NetServer::drop_conn(Conn& c) {
+  if (c.dead.load(std::memory_order_relaxed)) return;
+  c.dead.store(true, std::memory_order_release);
+  jobs_outstanding_.fetch_sub(c.backlog.size(), std::memory_order_acq_rel);
+  c.backlog.clear();
+  if (c.parked_for_queue) {
+    c.parked_for_queue = false;
+    std::erase(queue_waiters_, &c);
+  }
+  const int fd = c.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  c.fd = -1;
+  pending_close_.push_back(fd);
+  // Workers may still hold jobs for this connection: park it on the zombie
+  // list until its inflight count hits zero, then reap.
+  auto it = conns_.find(fd);
+  zombies_.push_back(std::move(it->second));
+  conns_.erase(it);
+}
+
+void NetServer::reap_zombies() {
+  std::erase_if(zombies_, [](const std::unique_ptr<Conn>& z) {
+    return z->inflight.load(std::memory_order_acquire) == 0 &&
+           !z->in_ready.load(std::memory_order_acquire);
+  });
+}
+
+void NetServer::process_wakeups() {
+  std::uint64_t count = 0;
+  [[maybe_unused]] const ssize_t n = ::read(wake_fd_, &count, sizeof count);
+  std::vector<Conn*> batch;
+  {
+    const std::lock_guard lock(ready_mutex_);
+    batch.swap(ready_);
+  }
+  for (Conn* c : batch) {
+    c->in_ready.store(false, std::memory_order_release);
+    if (c->dead.load(std::memory_order_relaxed)) continue;
+    refresh_after_io(*c);
+  }
+  // Every worker completion freed a queue slot: give parked connections
+  // another shot at admission.
+  std::vector<Conn*> waiters;
+  waiters.swap(queue_waiters_);
+  for (Conn* c : waiters) {
+    if (c->dead.load(std::memory_order_relaxed)) continue;
+    c->parked_for_queue = false;
+    if (drain_backlog(*c)) refresh_after_io(*c);
+  }
+  reap_zombies();
+}
+
+void NetServer::begin_drain() {
+  if (draining_) return;
+  draining_ = true;
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    close_quiet(listen_fd_);
+  }
+  // Stop reading everywhere; serve what was already framed, flush, close.
+  // Iterate over fds (not iterators): maybe_finish_conn erases from conns_.
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+  for (const int fd : fds) {
+    auto it = conns_.find(fd);
+    if (it != conns_.end()) refresh_after_io(*it->second);
+  }
+}
+
+bool NetServer::drained() const {
+  return draining_ && conns_.empty() && zombies_.empty() &&
+         jobs_outstanding_.load(std::memory_order_acquire) == 0;
+}
+
+void NetServer::run() {
+  std::vector<std::thread> workers;
+  workers.reserve(config_.threads);
+  for (unsigned i = 0; i < config_.threads; ++i) {
+    workers.emplace_back([this] { worker_main(); });
+  }
+
+  epoll_event events[64];
+  while (!drained()) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      die("epoll_wait");
+    }
+    bool wake = false;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t ev = events[i].events;
+      if (fd == wake_fd_) {
+        wake = true;
+        continue;
+      }
+      if (fd == sig_pipe_[0]) {
+        char sink[16];
+        while (::read(sig_pipe_[0], sink, sizeof sink) > 0) {
+        }
+        begin_drain();
+        continue;
+      }
+      if (fd == listen_fd_) {
+        handle_accept();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // dropped earlier in this batch
+      Conn& c = *it->second;
+      if ((ev & EPOLLERR) != 0) {
+        drop_conn(c);
+        continue;
+      }
+      if ((ev & (EPOLLIN | EPOLLHUP)) != 0) handle_readable(c);
+      // handle_readable may have dropped or retired the connection.
+      auto again = conns_.find(fd);
+      if (again == conns_.end() || again->second->fd < 0) continue;
+      if ((ev & EPOLLOUT) != 0) refresh_after_io(*again->second);
+    }
+    if (wake) process_wakeups();
+    reap_zombies();
+    for (const int fd : pending_close_) ::close(fd);
+    pending_close_.clear();
+  }
+
+  queue_->close();
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace ftbfs

@@ -1,0 +1,173 @@
+// Non-blocking socket front-end for `ftbfs serve --listen`.
+//
+// One epoll event loop (the thread that calls run()) owns every socket:
+// it accepts connections, reassembles JSONL request lines (net/framing.h),
+// and writes response bytes. A pool of worker threads owns every answer:
+// lines flow loop → BoundedQueue → workers, each worker runs the same
+// LineJob parse/admit/finish pipeline the stdin serve loops use
+// (service/tenant.h), and finished response lines flow back worker → loop
+// through per-connection buffers plus an eventfd wakeup. The loop never
+// computes and the workers never touch a socket.
+//
+// Ordering. Responses on one connection are emitted in that connection's
+// request order when `ordered` is set (a per-connection resequencer holds
+// out-of-order completions back); relaxed mode emits in completion order and
+// stamps `seq` (the connection-local request index) into responses to id-less
+// requests so they stay correlatable — exactly the stdin contract, applied
+// per connection. Cross-connection order is never defined.
+//
+// Backpressure, two rings of it, both by *parking the connection* (dropping
+// its EPOLLIN interest so the kernel's TCP window does the rest):
+//   * admission ring — the BoundedQueue is full: parsed lines wait in the
+//     connection's backlog and the loop retries on the next worker wakeup;
+//   * write ring — the peer is not reading: once the connection's pending
+//     output exceeds `write_park_bytes`, reading stops until it drains.
+// A slow or malicious client therefore costs O(its own buffers), never
+// unbounded server memory, and never stalls other connections.
+//
+// Graceful drain: request_shutdown() (async-signal-safe — one write to a
+// self-pipe) stops the listener, keeps serving every fully received line,
+// flushes every response, then run() returns. Bytes of half-received lines
+// are dropped; the client that wants its tail answered half-closes (shutdown
+// SHUT_WR) and reads to EOF.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/framing.h"
+#include "service/tenant.h"
+#include "service/work_queue.h"
+
+namespace ftbfs {
+
+struct NetServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; NetServer::port() has the result
+  unsigned threads = 1;
+  bool ordered = true;  // per-connection response order (see file comment)
+  std::size_t max_line_bytes = 1u << 20;
+  std::size_t write_park_bytes = 1u << 20;
+  std::size_t queue_capacity = 0;  // admission queue slots; 0 = 16 * threads
+};
+
+class NetServer {
+ public:
+  // Binds and listens immediately (so callers can print the port before
+  // run()); throws std::runtime_error with errno context on failure.
+  NetServer(TenantRegistry& registry, NetServerConfig config);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // The bound port (resolves config.port == 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  // Runs the event loop until request_shutdown() and the drain completes.
+  // Call from exactly one thread; worker threads are spawned and joined
+  // inside.
+  void run();
+
+  // Async-signal-safe shutdown trigger (callable from a signal handler).
+  void request_shutdown();
+
+  // --- stats (valid while running and after run() returns) -----------------
+  [[nodiscard]] const WireCounters& wire_counters() const { return counters_; }
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return conns_accepted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t responses_sent() const {
+    return responses_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // One queued request line. `conn` stays valid until the job's deliver():
+  // the connection's inflight count pins it through the zombie list.
+  struct Conn;
+  struct NetJob {
+    Conn* conn = nullptr;
+    std::uint64_t seq = 0;  // connection-local request index
+    bool oversized = false;
+    std::string line;
+  };
+
+  struct Conn {
+    explicit Conn(int fd_, std::size_t max_line)
+        : fd(fd_), framer(max_line) {}
+
+    int fd;
+    LineFramer framer;
+
+    // --- loop-thread-only state ---------------------------------------------
+    std::uint64_t next_seq = 0;        // next request index to assign
+    std::deque<NetJob> backlog;        // parsed lines the queue refused
+    bool read_closed = false;          // peer sent EOF
+    bool reading = true;               // EPOLLIN currently armed
+    bool writing = false;              // EPOLLOUT currently armed
+    bool parked_for_queue = false;     // in queue_waiters_
+
+    // --- worker/loop shared state (out_mutex) -------------------------------
+    std::mutex out_mutex;
+    std::string out;                       // bytes awaiting write()
+    std::size_t out_off = 0;               // prefix of `out` already sent
+    std::uint64_t next_out = 0;            // ordered mode: next seq to emit
+    std::map<std::uint64_t, std::string> reorder;  // ordered mode holdback
+
+    // --- cross-thread flags -------------------------------------------------
+    std::atomic<bool> dead{false};           // error/hangup: drop everything
+    std::atomic<std::uint64_t> inflight{0};  // jobs queued or being served
+    std::atomic<bool> in_ready{false};       // already on the ready list
+  };
+
+  void worker_main();
+  void deliver(Conn& c, std::uint64_t seq, std::string line);
+
+  void handle_accept();
+  void handle_readable(Conn& c);
+  bool flush_writes(Conn& c);   // false: peer gone, caller must drop
+  bool drain_backlog(Conn& c);  // false: queue full, connection parked
+  void update_interest(Conn& c, bool want_read, bool want_write);
+  void refresh_after_io(Conn& c);  // flush + recompute interest + finish
+  void drop_conn(Conn& c);      // error path: discard state, close socket
+  void retire_conn(Conn& c);    // clean path: close once fully flushed
+  void maybe_finish_conn(Conn& c);
+  void process_wakeups();
+  void reap_zombies();
+  void begin_drain();
+  [[nodiscard]] bool drained() const;
+
+  TenantRegistry* registry_;
+  NetServerConfig config_;
+  WireCounters counters_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;      // eventfd: workers → loop
+  int sig_pipe_[2] = {-1, -1};  // self-pipe: request_shutdown() → loop
+  std::uint16_t port_ = 0;
+
+  std::unique_ptr<BoundedQueue<NetJob>> queue_;
+  std::map<int, std::unique_ptr<Conn>> conns_;        // fd → live connection
+  std::vector<std::unique_ptr<Conn>> zombies_;        // closed, jobs inflight
+  std::vector<Conn*> queue_waiters_;                  // parked: queue was full
+  std::vector<int> pending_close_;  // close deferred past the event batch:
+                                    // the kernel must not reuse an fd while
+                                    // stale events for it are still queued
+
+  std::mutex ready_mutex_;
+  std::vector<Conn*> ready_;  // conns with fresh output (workers append)
+
+  bool draining_ = false;
+  std::atomic<std::uint64_t> jobs_outstanding_{0};  // framed but not delivered
+  std::atomic<std::uint64_t> conns_accepted_{0};
+  std::atomic<std::uint64_t> responses_sent_{0};
+};
+
+}  // namespace ftbfs

@@ -1,0 +1,258 @@
+#include "service/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ftbfs {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool JsonReader::parse(JsonValue& out, std::string& err) {
+  if (!parse_value(out)) {
+    err = err_;
+    return false;
+  }
+  skip_ws();
+  if (p_ != end_) {
+    err = "trailing characters after JSON value";
+    return false;
+  }
+  return true;
+}
+
+void JsonReader::skip_ws() {
+  while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+}
+
+bool JsonReader::fail(const std::string& why) {
+  if (err_.empty()) err_ = why;
+  return false;
+}
+
+// Containers recurse; a server must not let one hostile line ('[[[[…') blow
+// the stack, so nesting is capped well beyond any legitimate request.
+template <typename Fn>
+bool JsonReader::descend(Fn parse_container) {
+  if (depth_ >= 32) return fail("nesting too deep");
+  ++depth_;
+  const bool ok = parse_container();
+  --depth_;
+  return ok;
+}
+
+bool JsonReader::expect(char c) {
+  skip_ws();
+  if (p_ == end_ || *p_ != c) {
+    return fail(std::string("expected '") + c + "'");
+  }
+  ++p_;
+  return true;
+}
+
+bool JsonReader::parse_value(JsonValue& out) {
+  skip_ws();
+  if (p_ == end_) return fail("unexpected end of input");
+  switch (*p_) {
+    case '{':
+      return descend([&] { return parse_object(out); });
+    case '[':
+      return descend([&] { return parse_array(out); });
+    case '"':
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.str);
+    case 't':
+    case 'f':
+      return parse_literal(out);
+    case 'n':
+      return parse_literal(out);
+    default:
+      return parse_number(out);
+  }
+}
+
+bool JsonReader::parse_literal(JsonValue& out) {
+  auto take = [&](const char* word) {
+    const char* q = p_;
+    for (const char* w = word; *w != '\0'; ++w, ++q) {
+      if (q == end_ || *q != *w) return false;
+    }
+    p_ = q;
+    return true;
+  };
+  if (take("true")) {
+    out.kind = JsonValue::Kind::kBool;
+    out.boolean = true;
+    return true;
+  }
+  if (take("false")) {
+    out.kind = JsonValue::Kind::kBool;
+    out.boolean = false;
+    return true;
+  }
+  if (take("null")) {
+    out.kind = JsonValue::Kind::kNull;
+    return true;
+  }
+  return fail("invalid literal");
+}
+
+bool JsonReader::parse_number(JsonValue& out) {
+  // The backing string is NUL-terminated, so strtod cannot scan past end_.
+  char* after = nullptr;
+  out.number = std::strtod(p_, &after);
+  if (after == p_ || after > end_) return fail("invalid number");
+  out.kind = JsonValue::Kind::kNumber;
+  p_ = after;
+  return true;
+}
+
+bool JsonReader::parse_string(std::string& out) {
+  if (!expect('"')) return false;
+  out.clear();
+  while (p_ != end_ && *p_ != '"') {
+    char c = *p_++;
+    if (c == '\\') {
+      if (p_ == end_) return fail("unterminated escape");
+      const char esc = *p_++;
+      switch (esc) {
+        case '"': c = '"'; break;
+        case '\\': c = '\\'; break;
+        case '/': c = '/'; break;
+        case 'b': c = '\b'; break;
+        case 'f': c = '\f'; break;
+        case 'n': c = '\n'; break;
+        case 'r': c = '\r'; break;
+        case 't': c = '\t'; break;
+        case 'u': {
+          // \uXXXX, UTF-8-encoded into the output. Our own writer only emits
+          // \u00XX (control bytes), but the reader accepts the full BMP so
+          // round-tripping any response line through the reader works.
+          if (end_ - p_ < 4) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("invalid \\u escape");
+            }
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          continue;
+        }
+        default:
+          return fail("unsupported string escape");
+      }
+    }
+    out.push_back(c);
+  }
+  if (p_ == end_) return fail("unterminated string");
+  ++p_;  // closing quote
+  return true;
+}
+
+bool JsonReader::parse_array(JsonValue& out) {
+  if (!expect('[')) return false;
+  out.kind = JsonValue::Kind::kArray;
+  skip_ws();
+  if (p_ != end_ && *p_ == ']') {
+    ++p_;
+    return true;
+  }
+  while (true) {
+    JsonValue elem;
+    if (!parse_value(elem)) return false;
+    out.array.push_back(std::move(elem));
+    skip_ws();
+    if (p_ != end_ && *p_ == ',') {
+      ++p_;
+      continue;
+    }
+    return expect(']');
+  }
+}
+
+bool JsonReader::parse_object(JsonValue& out) {
+  if (!expect('{')) return false;
+  out.kind = JsonValue::Kind::kObject;
+  skip_ws();
+  if (p_ != end_ && *p_ == '}') {
+    ++p_;
+    return true;
+  }
+  while (true) {
+    std::string key;
+    if (!parse_string(key)) return false;
+    if (!expect(':')) return false;
+    JsonValue value;
+    if (!parse_value(value)) return false;
+    out.object.emplace_back(std::move(key), std::move(value));
+    skip_ws();
+    if (p_ != end_ && *p_ == ',') {
+      ++p_;
+      continue;
+    }
+    return expect('}');
+  }
+}
+
+bool json_read_uint(const JsonValue& v, std::uint64_t& out) {
+  // The range guard must run BEFORE the cast: converting a double at or
+  // beyond 2^64 (or NaN/inf — "1e999" parses to inf) to uint64_t is undefined
+  // behavior. NaN fails the >= 0 comparison; 18446744073709551616.0 is
+  // exactly 2^64 in double.
+  if (v.kind != JsonValue::Kind::kNumber ||
+      !(v.number >= 0.0 && v.number < 18446744073709551616.0)) {
+    return false;
+  }
+  const std::uint64_t u = static_cast<std::uint64_t>(v.number);
+  if (v.number != static_cast<double>(u)) return false;  // fractional
+  out = u;
+  return true;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Raw control bytes inside a JSON string are invalid JSON; echoing
+          // hostile input must not let the response line become unparseable.
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace ftbfs

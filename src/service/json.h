@@ -1,0 +1,74 @@
+// Minimal JSON reader shared by the serving layer's parsers — the JSONL wire
+// protocol (protocol.cpp) and the tenant manifest loader (tenant.cpp).
+//
+// Just enough JSON for flat request/config objects: strings, numbers,
+// booleans, null, arrays, nested objects. No external dependency,
+// deterministic errors, and hardened against hostile input: nesting is
+// depth-capped (a '[[[[…' bomb must not blow the server's stack) and numbers
+// are parsed without ever invoking undefined behavior on overflow. This is a
+// *reader*, not a validator — it accepts the JSON it needs and rejects the
+// rest with a one-line reason.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ftbfs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  // Object member lookup (first match); nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+class JsonReader {
+ public:
+  // `text` must outlive the reader (the parse borrows its bytes). std::string
+  // guarantees NUL termination, which the number parser relies on.
+  explicit JsonReader(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  // Parses exactly one JSON value covering the whole input. On failure `err`
+  // holds the first error encountered.
+  bool parse(JsonValue& out, std::string& err);
+
+ private:
+  void skip_ws();
+  bool fail(const std::string& why);
+  template <typename Fn>
+  bool descend(Fn parse_container);
+  bool expect(char c);
+  bool parse_value(JsonValue& out);
+  bool parse_literal(JsonValue& out);
+  bool parse_number(JsonValue& out);
+  bool parse_string(std::string& out);
+  bool parse_array(JsonValue& out);
+  bool parse_object(JsonValue& out);
+
+  const char* p_;
+  const char* end_;
+  int depth_ = 0;
+  std::string err_;
+};
+
+// Reads a JSON number as a non-negative integer id; false on anything else —
+// including values at or beyond 2^64, NaN, and infinities, none of which may
+// reach the (otherwise undefined) double→uint64 cast.
+[[nodiscard]] bool json_read_uint(const JsonValue& v, std::uint64_t& out);
+
+// Appends `s` JSON-string-escaped into `out`. Control bytes below 0x20 are
+// emitted as \u00XX so hostile input echoed back (error messages, warnings)
+// can never produce an unparseable response line; bytes >= 0x80 pass through
+// untouched (the wire treats strings as bytes).
+void json_escape_into(std::string& out, const std::string& s);
+
+}  // namespace ftbfs

@@ -1,9 +1,8 @@
 #include "service/protocol.h"
 
-#include <cctype>
-#include <cstdlib>
 #include <limits>
 
+#include "service/json.h"
 #include "spath/bfs.h"
 
 namespace ftbfs {
@@ -20,6 +19,10 @@ const char* to_string(StatusCode s) {
       return "unsupported_fault_model";
     case StatusCode::kDisconnected:
       return "disconnected";
+    case StatusCode::kUnknownTenant:
+      return "unknown_tenant";
+    case StatusCode::kQuotaExceeded:
+      return "quota_exceeded";
   }
   return "?";
 }
@@ -44,215 +47,6 @@ const char* to_string(Consistency c) {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON reader — just enough for the flat request objects of the wire
-// format (strings, integers, booleans, null, arrays, one object level). No
-// external dependency, deterministic errors.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text)
-      : p_(text.data()), end_(text.data() + text.size()) {}
-
-  bool parse(JsonValue& out, std::string& err) {
-    if (!parse_value(out)) {
-      err = err_;
-      return false;
-    }
-    skip_ws();
-    if (p_ != end_) {
-      err = "trailing characters after JSON value";
-      return false;
-    }
-    return true;
-  }
-
- private:
-  void skip_ws() {
-    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
-  }
-
-  bool fail(const std::string& why) {
-    if (err_.empty()) err_ = why;
-    return false;
-  }
-
-  // Containers recurse; a server must not let one hostile line ('[[[[…')
-  // blow the stack, so nesting is capped well beyond any legitimate request.
-  template <typename Fn>
-  bool descend(Fn parse_container) {
-    if (depth_ >= 32) return fail("nesting too deep");
-    ++depth_;
-    const bool ok = parse_container();
-    --depth_;
-    return ok;
-  }
-
-  bool expect(char c) {
-    skip_ws();
-    if (p_ == end_ || *p_ != c) {
-      return fail(std::string("expected '") + c + "'");
-    }
-    ++p_;
-    return true;
-  }
-
-  bool parse_value(JsonValue& out) {
-    skip_ws();
-    if (p_ == end_) return fail("unexpected end of input");
-    switch (*p_) {
-      case '{':
-        return descend([&] { return parse_object(out); });
-      case '[':
-        return descend([&] { return parse_array(out); });
-      case '"':
-        out.kind = JsonValue::Kind::kString;
-        return parse_string(out.str);
-      case 't':
-      case 'f':
-        return parse_literal(out);
-      case 'n':
-        return parse_literal(out);
-      default:
-        return parse_number(out);
-    }
-  }
-
-  bool parse_literal(JsonValue& out) {
-    auto take = [&](const char* word) {
-      const char* q = p_;
-      for (const char* w = word; *w != '\0'; ++w, ++q) {
-        if (q == end_ || *q != *w) return false;
-      }
-      p_ = q;
-      return true;
-    };
-    if (take("true")) {
-      out.kind = JsonValue::Kind::kBool;
-      out.boolean = true;
-      return true;
-    }
-    if (take("false")) {
-      out.kind = JsonValue::Kind::kBool;
-      out.boolean = false;
-      return true;
-    }
-    if (take("null")) {
-      out.kind = JsonValue::Kind::kNull;
-      return true;
-    }
-    return fail("invalid literal");
-  }
-
-  bool parse_number(JsonValue& out) {
-    char* after = nullptr;
-    out.number = std::strtod(p_, &after);
-    if (after == p_ || after > end_) return fail("invalid number");
-    out.kind = JsonValue::Kind::kNumber;
-    p_ = after;
-    return true;
-  }
-
-  bool parse_string(std::string& out) {
-    if (!expect('"')) return false;
-    out.clear();
-    while (p_ != end_ && *p_ != '"') {
-      char c = *p_++;
-      if (c == '\\') {
-        if (p_ == end_) return fail("unterminated escape");
-        const char esc = *p_++;
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'b': c = '\b'; break;
-          case 'f': c = '\f'; break;
-          case 'n': c = '\n'; break;
-          case 'r': c = '\r'; break;
-          case 't': c = '\t'; break;
-          default:
-            return fail("unsupported string escape");
-        }
-      }
-      out.push_back(c);
-    }
-    if (p_ == end_) return fail("unterminated string");
-    ++p_;  // closing quote
-    return true;
-  }
-
-  bool parse_array(JsonValue& out) {
-    if (!expect('[')) return false;
-    out.kind = JsonValue::Kind::kArray;
-    skip_ws();
-    if (p_ != end_ && *p_ == ']') {
-      ++p_;
-      return true;
-    }
-    while (true) {
-      JsonValue elem;
-      if (!parse_value(elem)) return false;
-      out.array.push_back(std::move(elem));
-      skip_ws();
-      if (p_ != end_ && *p_ == ',') {
-        ++p_;
-        continue;
-      }
-      return expect(']');
-    }
-  }
-
-  bool parse_object(JsonValue& out) {
-    if (!expect('{')) return false;
-    out.kind = JsonValue::Kind::kObject;
-    skip_ws();
-    if (p_ != end_ && *p_ == '}') {
-      ++p_;
-      return true;
-    }
-    while (true) {
-      std::string key;
-      if (!parse_string(key)) return false;
-      if (!expect(':')) return false;
-      JsonValue value;
-      if (!parse_value(value)) return false;
-      out.object.emplace_back(std::move(key), std::move(value));
-      skip_ws();
-      if (p_ != end_ && *p_ == ',') {
-        ++p_;
-        continue;
-      }
-      return expect('}');
-    }
-  }
-
-  const char* p_;
-  const char* end_;
-  int depth_ = 0;
-  std::string err_;
-};
-
-// Reads a JSON number as a non-negative integer id; false on anything else.
-bool read_uint(const JsonValue& v, std::uint64_t& out) {
-  if (v.kind != JsonValue::Kind::kNumber || v.number < 0 ||
-      v.number != static_cast<double>(static_cast<std::uint64_t>(v.number))) {
-    return false;
-  }
-  out = static_cast<std::uint64_t>(v.number);
-  return true;
-}
-
 // Narrows a wire id to a graph id. Values beyond 32 bits clamp to the
 // all-ones invalid id instead of wrapping — a wrapped id would alias a valid
 // vertex/edge and be *answered*, where the clamped one is refused by the
@@ -268,23 +62,10 @@ ParsedRequest syntax_error(std::string why) {
   return out;
 }
 
-void json_escape_into(std::string& out, const std::string& s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        out.push_back(c);
-    }
-  }
-}
-
 }  // namespace
 
-ParsedRequest parse_request_line(const std::string& line, const Graph& g) {
+ParsedRequest parse_request_line(const std::string& line,
+                                 const GraphResolver& resolve) {
   JsonValue root;
   std::string err;
   if (!JsonReader(line).parse(root, err)) return syntax_error(err);
@@ -295,21 +76,24 @@ ParsedRequest parse_request_line(const std::string& line, const Graph& g) {
   ParsedRequest out;
   QueryRequest& req = out.request;
   bool have_source = false;
-  // Endpoint pairs are collected first and resolved against the graph only
-  // after the whole object is parsed — key order is arbitrary, and a
-  // resolution failure must still see a later "id" key to echo it.
+  // Endpoint pairs are collected first and resolved only after the whole
+  // object is parsed — key order is arbitrary: a resolution failure must
+  // still see a later "id" key to echo it, and the graph to resolve against
+  // is only known once a (possibly trailing) "tenant" key has been seen.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> edge_pairs;
   for (const auto& [key, value] : root.object) {
     std::uint64_t u = 0;
     if (key == "id") {
-      if (!read_uint(value, u) ||
+      if (!json_read_uint(value, u) ||
           u > static_cast<std::uint64_t>(
                   std::numeric_limits<std::int64_t>::max())) {
         return syntax_error("\"id\" must be a non-negative integer");
       }
       req.id = static_cast<std::int64_t>(u);
     } else if (key == "source") {
-      if (!read_uint(value, u)) return syntax_error("\"source\" must be a vertex id");
+      if (!json_read_uint(value, u)) {
+        return syntax_error("\"source\" must be a vertex id");
+      }
       req.source = narrow_id(u);
       have_source = true;
     } else if (key == "targets") {
@@ -317,7 +101,9 @@ ParsedRequest parse_request_line(const std::string& line, const Graph& g) {
         return syntax_error("\"targets\" must be an array of vertex ids");
       }
       for (const JsonValue& t : value.array) {
-        if (!read_uint(t, u)) return syntax_error("\"targets\" must be an array of vertex ids");
+        if (!json_read_uint(t, u)) {
+          return syntax_error("\"targets\" must be an array of vertex ids");
+        }
         req.targets.push_back(narrow_id(u));
       }
     } else if (key == "fault_vertices") {
@@ -325,8 +111,9 @@ ParsedRequest parse_request_line(const std::string& line, const Graph& g) {
         return syntax_error("\"fault_vertices\" must be an array of vertex ids");
       }
       for (const JsonValue& t : value.array) {
-        if (!read_uint(t, u)) {
-          return syntax_error("\"fault_vertices\" must be an array of vertex ids");
+        if (!json_read_uint(t, u)) {
+          return syntax_error(
+              "\"fault_vertices\" must be an array of vertex ids");
         }
         req.fault_vertices.push_back(narrow_id(u));
       }
@@ -337,13 +124,16 @@ ParsedRequest parse_request_line(const std::string& line, const Graph& g) {
       for (const JsonValue& pair : value.array) {
         std::uint64_t eu = 0, ev = 0;
         if (pair.kind != JsonValue::Kind::kArray || pair.array.size() != 2 ||
-            !read_uint(pair.array[0], eu) || !read_uint(pair.array[1], ev)) {
+            !json_read_uint(pair.array[0], eu) ||
+            !json_read_uint(pair.array[1], ev)) {
           return syntax_error("\"fault_edges\" must be an array of [u,v] pairs");
         }
         edge_pairs.emplace_back(eu, ev);
       }
     } else if (key == "kind") {
-      if (value.kind != JsonValue::Kind::kString) return syntax_error("\"kind\" must be a string");
+      if (value.kind != JsonValue::Kind::kString) {
+        return syntax_error("\"kind\" must be a string");
+      }
       if (value.str == "distance") {
         req.kind = QueryKind::kDistance;
       } else if (value.str == "path") {
@@ -371,25 +161,40 @@ ParsedRequest parse_request_line(const std::string& line, const Graph& g) {
         return syntax_error("\"structure\" must be a string");
       }
       req.structure = value.str;
+    } else if (key == "tenant") {
+      if (value.kind != JsonValue::Kind::kString) {
+        return syntax_error("\"tenant\" must be a string");
+      }
+      out.tenant = value.str;
     } else {
-      // A silently ignored key would answer a question the client did not ask.
-      return syntax_error("unknown request key \"" + key + "\"");
+      // Unknown keys are echoed as warnings rather than rejected (or worse,
+      // silently ignored): the client learns its field did nothing, but a
+      // request from one protocol revision ahead still gets an answer.
+      out.warnings.push_back("unknown request key \"" + key + "\"");
     }
   }
   if (!have_source) return syntax_error("request is missing \"source\"");
+
+  const Graph* g = resolve(out.tenant);
+  if (g == nullptr) {
+    out.status = ParseStatus::kResolve;
+    out.resolve_status = StatusCode::kUnknownTenant;
+    out.error = "unknown tenant '" + out.tenant + "'";
+    return out;
+  }
   for (const auto& [eu, ev] : edge_pairs) {
     std::string edge_name = "(";
     edge_name += std::to_string(eu);
     edge_name += ",";
     edge_name += std::to_string(ev);
     edge_name += ")";
-    if (eu >= g.num_vertices() || ev >= g.num_vertices()) {
+    if (eu >= g->num_vertices() || ev >= g->num_vertices()) {
       out.status = ParseStatus::kResolve;
       out.error = "fault edge " + edge_name + " endpoint out of range";
       return out;
     }
     const EdgeId e =
-        g.find_edge(static_cast<Vertex>(eu), static_cast<Vertex>(ev));
+        g->find_edge(static_cast<Vertex>(eu), static_cast<Vertex>(ev));
     if (e == kInvalidEdge) {
       out.status = ParseStatus::kResolve;
       out.error = "fault edge " + edge_name + " not in graph";
@@ -398,6 +203,13 @@ ParsedRequest parse_request_line(const std::string& line, const Graph& g) {
     req.fault_edges.push_back(e);
   }
   return out;
+}
+
+ParsedRequest parse_request_line(const std::string& line, const Graph& g) {
+  return parse_request_line(
+      line, [&g](const std::string& tenant) -> const Graph* {
+        return tenant.empty() ? &g : nullptr;
+      });
 }
 
 std::string format_response_line(const QueryResponse& resp) {
@@ -448,6 +260,16 @@ std::string format_response_line(const QueryResponse& resp) {
     for (std::size_t i = 0; i < resp.reachable.size(); ++i) {
       if (i > 0) out += ",";
       out += resp.reachable[i] ? "true" : "false";
+    }
+    out += "]";
+  }
+  if (!resp.warnings.empty()) {
+    out += ",\"warnings\":[";
+    for (std::size_t i = 0; i < resp.warnings.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      json_escape_into(out, resp.warnings[i]);
+      out += "\"";
     }
     out += "]";
   }

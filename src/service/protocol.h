@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,8 @@ enum class StatusCode {
   kUnknownSource,          // unknown source/target/fault/structure id
   kUnsupportedFaultModel,  // no structure guarantees this fault model
   kDisconnected,           // served, but every requested target is unreachable
+  kUnknownTenant,          // "tenant" names a graph this process does not host
+  kQuotaExceeded,          // the tenant is over its configured request quota
 };
 
 enum class QueryKind {
@@ -76,6 +79,10 @@ struct QueryResponse {
   // --- serving stats -------------------------------------------------------
   std::string served_by;  // pool entry name, "identity", or "point_oracle"
   bool cache_hit = false;
+  // Non-fatal notes about the *request* — today: unknown request keys, which
+  // are echoed back instead of silently ignored (and instead of rejecting the
+  // line, so a client one protocol revision ahead still gets its answer).
+  std::vector<std::string> warnings;
   std::string error;  // human-readable reason for refusals
 };
 
@@ -87,18 +94,41 @@ struct QueryResponse {
 
 // Outcome of parsing one request line. kSyntax means the line is not a valid
 // request object (the caller should emit a parse_error line); kResolve means
-// the request parsed but referenced an id that does not exist in the graph
-// (the caller should answer kUnknownSource, echoing `request.id`).
+// the request parsed but referenced something that does not exist — an edge
+// absent from the graph, or a tenant this process does not host. The caller
+// should answer with `resolve_status`, echoing `request.id`.
 enum class ParseStatus { kOk, kSyntax, kResolve };
 
 struct ParsedRequest {
   ParseStatus status = ParseStatus::kOk;
   QueryRequest request;
+  // Tenant name the line routed to ("" = the default tenant). Resolved during
+  // parsing — fault-edge endpoints can only be translated to edge ids against
+  // the named tenant's graph, so tenancy routes *before* everything else.
+  std::string tenant;
+  // Unknown request keys, echoed into QueryResponse::warnings by the serve
+  // loops (the request is still served).
+  std::vector<std::string> warnings;
+  // Status a kResolve refusal should carry (kUnknownSource for unresolvable
+  // edges, kUnknownTenant for an unknown "tenant").
+  StatusCode resolve_status = StatusCode::kUnknownSource;
   std::string error;  // filled unless status == kOk
 };
 
+// Maps a tenant name ("" = default) to the graph faults should resolve
+// against, or nullptr when no such tenant exists. TenantRegistry::resolver()
+// is the multi-graph implementation; single-graph callers use the Graph&
+// overload below.
+using GraphResolver = std::function<const Graph*(const std::string& tenant)>;
+
 // Parses one JSONL request line. Fault edges arrive as endpoint pairs
-// ("fault_edges": [[u,v],...]) and are resolved to edge ids of `g`.
+// ("fault_edges": [[u,v],...]) and are resolved to edge ids of the graph the
+// line's "tenant" field routes to.
+[[nodiscard]] ParsedRequest parse_request_line(const std::string& line,
+                                               const GraphResolver& resolve);
+
+// Single-graph convenience: every line resolves against `g`; a "tenant" field
+// naming anything but the default is an unknown tenant.
 [[nodiscard]] ParsedRequest parse_request_line(const std::string& line,
                                                const Graph& g);
 

@@ -1,0 +1,226 @@
+#include "service/tenant.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "graph/io.h"
+#include "service/json.h"
+
+namespace ftbfs {
+
+Tenant& TenantRegistry::add(std::string name, Graph graph,
+                            ServiceConfig config, TenantQuotas quotas) {
+  if (name.empty()) {
+    throw GraphIoError(0, "tenant name must be non-empty");
+  }
+  if (find(name) != nullptr) {
+    throw GraphIoError(0, "duplicate tenant name '" + name + "'");
+  }
+  return tenants_.emplace_back(std::move(name), std::move(graph), config,
+                               quotas);
+}
+
+Tenant* TenantRegistry::find(std::string_view name) {
+  if (name.empty()) return default_tenant();
+  for (Tenant& t : tenants_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+GraphResolver TenantRegistry::resolver() {
+  return [this](const std::string& tenant) -> const Graph* {
+    Tenant* t = find(tenant);
+    return t == nullptr ? nullptr : &t->graph;
+  };
+}
+
+namespace {
+
+void accumulate(ServiceStats& into, const ServiceStats& s) {
+  into.requests += s.requests;
+  into.served += s.served;
+  into.refused += s.refused;
+  into.cache_hits += s.cache_hits;
+  into.cache_misses += s.cache_misses;
+  into.cache_evictions += s.cache_evictions;
+  into.cache_lines += s.cache_lines;
+  into.cache_resident_bytes += s.cache_resident_bytes;
+  into.structures_built += s.structures_built;
+  into.identity_served += s.identity_served;
+  into.point_oracle_served += s.point_oracle_served;
+  into.fast_path_hits += s.fast_path_hits;
+  into.repair_bfs += s.repair_bfs;
+  into.full_bfs += s.full_bfs;
+}
+
+// Manifest errors reuse GraphIoError (the CLI already reports it as a load
+// failure); there is no meaningful line number for semantic errors, so 0.
+[[noreturn]] void manifest_error(const std::string& why) {
+  throw GraphIoError(0, "tenant manifest: " + why);
+}
+
+}  // namespace
+
+std::vector<TenantStats> TenantRegistry::stats() const {
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const Tenant& t : tenants_) {
+    TenantStats s;
+    s.name = t.name;
+    s.service = t.service.stats();
+    s.quota_refused = t.quota_refused.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TenantStats TenantRegistry::global_stats() const {
+  TenantStats total;
+  for (const TenantStats& s : stats()) {
+    accumulate(total.service, s.service);
+    total.quota_refused += s.quota_refused;
+  }
+  return total;
+}
+
+void TenantRegistry::load_manifest(const std::string& path,
+                                   const ServiceConfig& base) {
+  std::ifstream in(path);
+  if (!in) manifest_error("cannot open '" + path + "'");
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  const std::string text = slurp.str();
+
+  JsonValue root;
+  std::string err;
+  if (!JsonReader(text).parse(root, err)) manifest_error(err);
+  // Two accepted shapes: a bare array of tenant entries, or an object with a
+  // "tenants" key (room for future top-level settings).
+  const JsonValue* tenants = &root;
+  if (root.kind == JsonValue::Kind::kObject) {
+    for (const auto& [key, value] : root.object) {
+      if (key != "tenants") {
+        manifest_error("unknown top-level key \"" + key + "\"");
+      }
+    }
+    tenants = root.find("tenants");
+    if (tenants == nullptr) manifest_error("missing \"tenants\" array");
+  }
+  if (tenants->kind != JsonValue::Kind::kArray) {
+    manifest_error("top level must be a tenant array or {\"tenants\": [...]}");
+  }
+
+  for (const JsonValue& entry : tenants->array) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      manifest_error("each tenant must be an object");
+    }
+    std::string name;
+    std::string graph_path;
+    ServiceConfig config = base;
+    TenantQuotas quotas;
+    for (const auto& [key, value] : entry.object) {
+      std::uint64_t u = 0;
+      if (key == "name") {
+        if (value.kind != JsonValue::Kind::kString || value.str.empty()) {
+          manifest_error("\"name\" must be a non-empty string");
+        }
+        name = value.str;
+      } else if (key == "graph") {
+        if (value.kind != JsonValue::Kind::kString) {
+          manifest_error("\"graph\" must be a file path");
+        }
+        graph_path = value.str;
+      } else if (key == "budget") {
+        if (!json_read_uint(value, u)) manifest_error("\"budget\" must be an integer");
+        config.default_budget = static_cast<unsigned>(u);
+      } else if (key == "max_lazy") {
+        if (!json_read_uint(value, u)) manifest_error("\"max_lazy\" must be an integer");
+        config.max_lazy_budget = static_cast<unsigned>(u);
+      } else if (key == "cache") {
+        if (!json_read_uint(value, u)) manifest_error("\"cache\" must be an integer");
+        config.cache_capacity = static_cast<std::size_t>(u);
+      } else if (key == "lazy") {
+        if (value.kind != JsonValue::Kind::kBool) manifest_error("\"lazy\" must be a boolean");
+        config.lazy_build = value.boolean;
+      } else if (key == "seed") {
+        if (!json_read_uint(value, u)) manifest_error("\"seed\" must be an integer");
+        config.weight_seed = u;
+      } else if (key == "max_requests") {
+        if (!json_read_uint(value, u)) {
+          manifest_error("\"max_requests\" must be an integer");
+        }
+        quotas.max_requests = u;
+      } else {
+        // The manifest is operator config, not client traffic: a typo here
+        // should stop the process, not silently serve with defaults.
+        manifest_error("unknown tenant key \"" + key + "\"");
+      }
+    }
+    if (name.empty()) manifest_error("tenant entry is missing \"name\"");
+    if (graph_path.empty()) {
+      manifest_error("tenant \"" + name + "\" is missing \"graph\"");
+    }
+    add(std::move(name), load_graph(graph_path), config, quotas);
+  }
+  if (tenants_.empty()) manifest_error("\"tenants\" names no tenants");
+}
+
+LineJob::LineJob(TenantRegistry& registry, const std::string& line,
+                 std::int64_t seq, bool stamp_seq, WireCounters& counters)
+    : registry_(&registry),
+      counters_(&counters),
+      seq_(seq),
+      stamp_seq_(stamp_seq) {
+  parsed_ = std::make_unique<ParsedRequest>(
+      parse_request_line(line, registry.resolver()));
+  switch (parsed_->status) {
+    case ParseStatus::kSyntax:
+      counters_->parse_errors.fetch_add(1, std::memory_order_relaxed);
+      local_ = format_parse_error_line(*parsed_, stamp_seq_ ? seq_ : -1);
+      return;
+    case ParseStatus::kResolve: {
+      counters_->resolve_refusals.fetch_add(1, std::memory_order_relaxed);
+      QueryResponse resp;
+      resp.id = parsed_->request.id;
+      resp.seq = stamp_seq_ ? seq_ : -1;
+      resp.status = parsed_->resolve_status;
+      resp.warnings = std::move(parsed_->warnings);
+      resp.error = parsed_->error;
+      local_ = format_response_line(resp);
+      return;
+    }
+    case ParseStatus::kOk:
+      // The resolver just found this tenant; the registry is immutable while
+      // serving, so the pointer stays valid for the job's life.
+      tenant_ = registry_->find(parsed_->tenant);
+      return;
+  }
+}
+
+void LineJob::admit() {
+  if (local_.has_value()) return;  // answered at parse time
+  if (!tenant_->try_admit()) {
+    counters_->quota_refusals.fetch_add(1, std::memory_order_relaxed);
+    QueryResponse resp;
+    resp.id = parsed_->request.id;
+    resp.seq = stamp_seq_ ? seq_ : -1;
+    resp.status = StatusCode::kQuotaExceeded;
+    resp.warnings = std::move(parsed_->warnings);
+    resp.error = "tenant '" + tenant_->name + "' is over its request quota";
+    local_ = format_response_line(resp);
+    return;
+  }
+  admission_ = tenant_->service.admit(parsed_->request);
+}
+
+std::string LineJob::finish() {
+  if (local_.has_value()) return std::move(*local_);
+  QueryResponse resp = tenant_->service.execute(std::move(*admission_));
+  resp.seq = stamp_seq_ ? seq_ : -1;
+  resp.warnings = std::move(parsed_->warnings);
+  return format_response_line(resp);
+}
+
+}  // namespace ftbfs

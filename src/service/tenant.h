@@ -1,0 +1,174 @@
+// Multi-graph tenancy for the serving layer.
+//
+// One process can host many named graphs, each with its own OracleService —
+// structure pool, scenario-cache capacity slice, lazy-build settings — plus
+// per-tenant quotas and stats. A TenantRegistry owns the tenants; requests
+// carry an optional "tenant" field that routes *before* admission (fault
+// endpoints can only be resolved against the named tenant's graph), the
+// default tenant serving every line that names none. Tenants are registered
+// during setup, before any serving thread starts; from then on the registry
+// is immutable and every lookup is lock-free.
+//
+// LineJob is the one request-line serving pipeline shared by every front-end
+// (the stdin loops in ftbfs_cli and the socket workers in src/net/): it
+// splits a raw JSONL line into the same three phases OracleService exposes —
+//   parse   (JSON + tenant route + fault resolution; thread-private)
+//   admit   (quota gate + OracleService::admit — everything that reads or
+//            advances shared serving state; ordered serve modes run this
+//            slice under their sequencer turn)
+//   finish  (OracleService::execute + response formatting; thread-private)
+// — so ordered, relaxed, batched, stdin, and socket serving cannot drift
+// apart in how they answer a line.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "service/oracle_service.h"
+#include "service/protocol.h"
+
+namespace ftbfs {
+
+// Per-tenant serving limits. 0 = unlimited. Quota refusals are *answers*
+// (StatusCode::kQuotaExceeded), never errors, and never touch the tenant's
+// service — an over-quota tenant cannot perturb anyone's cache or pool.
+struct TenantQuotas {
+  // Ceiling on admitted requests over the tenant's lifetime (parse errors and
+  // unknown-tenant lines never reach the gate; refusals the service itself
+  // issues do count — they consumed admission work).
+  std::uint64_t max_requests = 0;
+};
+
+struct Tenant {
+  std::string name;  // "" never occurs; the default tenant has a real name
+  Graph graph;       // owned — the service borrows it for life
+  TenantQuotas quotas;
+  OracleService service;
+
+  Tenant(std::string name_, Graph graph_, ServiceConfig config,
+         TenantQuotas quotas_)
+      : name(std::move(name_)),
+        graph(std::move(graph_)),
+        quotas(quotas_),
+        service(graph, config) {}
+
+  Tenant(const Tenant&) = delete;
+  Tenant& operator=(const Tenant&) = delete;
+
+  // Admission gate: false once the request quota is exhausted. Monotone
+  // fetch_add keeps it one relaxed RMW; `admit_attempts` therefore counts
+  // attempts, not admissions — admitted traffic is `service.stats().requests`.
+  bool try_admit() {
+    const std::uint64_t prev =
+        admit_attempts.fetch_add(1, std::memory_order_relaxed);
+    if (quotas.max_requests != 0 && prev >= quotas.max_requests) {
+      quota_refused.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  std::atomic<std::uint64_t> admit_attempts{0};
+  std::atomic<std::uint64_t> quota_refused{0};
+};
+
+// Point-in-time stats for one tenant (see OracleService::stats()).
+struct TenantStats {
+  std::string name;
+  ServiceStats service;
+  std::uint64_t quota_refused = 0;
+};
+
+class TenantRegistry {
+ public:
+  TenantRegistry() = default;
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  // Registers a tenant owning `graph`. The first tenant added is the default
+  // (requests naming no tenant route to it). Names must be unique and
+  // non-empty. NOT thread-safe — registration happens before serving starts;
+  // afterwards the registry is read-only and lookups take no lock.
+  Tenant& add(std::string name, Graph graph, ServiceConfig config = {},
+              TenantQuotas quotas = {});
+
+  // Registers every tenant named in a JSON manifest file (see docs/serving.md
+  // "Network serving & tenants"):
+  //   {"tenants": [{"name": "alpha", "graph": "a.txt", "cache": 256,
+  //                 "budget": 2, "max_lazy": 3, "lazy": true, "seed": 1,
+  //                 "max_requests": 0}, ...]}
+  // `name` and `graph` are required; everything else defaults to `base`.
+  // Throws GraphIoError on unreadable/malformed manifests or graphs.
+  void load_manifest(const std::string& path, const ServiceConfig& base = {});
+
+  // nullptr when unknown; "" resolves to the default tenant.
+  [[nodiscard]] Tenant* find(std::string_view name);
+  [[nodiscard]] Tenant* default_tenant() {
+    return tenants_.empty() ? nullptr : &tenants_.front();
+  }
+  [[nodiscard]] std::size_t size() const { return tenants_.size(); }
+  [[nodiscard]] std::deque<Tenant>& tenants() { return tenants_; }
+
+  // Adapter for parse_request_line: tenant name → graph to resolve against.
+  [[nodiscard]] GraphResolver resolver();
+
+  // Per-tenant snapshots, and their sum — the process-wide serving picture.
+  // global_stats() is exactly the field-wise sum of stats(): per-tenant
+  // accounting never loses a request.
+  [[nodiscard]] std::vector<TenantStats> stats() const;
+  [[nodiscard]] TenantStats global_stats() const;
+
+ private:
+  // deque: tenants are address-stable (services own mutexes and are pinned).
+  std::deque<Tenant> tenants_;
+};
+
+// Wire-level counters every serve loop shares (requests that never reach a
+// service): parse errors, resolution refusals (bad edges / unknown tenants),
+// and quota refusals.
+struct WireCounters {
+  std::atomic<std::uint64_t> parse_errors{0};
+  std::atomic<std::uint64_t> resolve_refusals{0};
+  std::atomic<std::uint64_t> quota_refusals{0};
+};
+
+// One request line moving through parse → admit → finish. See the file
+// comment for the phase contract. `stamp_seq` mirrors the relaxed serve
+// modes: the response carries `seq` so id-less lines stay correlatable.
+class LineJob {
+ public:
+  // Parse phase. Runs anywhere; touches no shared serving state beyond the
+  // (immutable) registry and the wire counters.
+  LineJob(TenantRegistry& registry, const std::string& line, std::int64_t seq,
+          bool stamp_seq, WireCounters& counters);
+
+  // Admission phase: quota gate + OracleService::admit. Ordered serve modes
+  // call this under their sequencer turn; no-op when the line was already
+  // answered at parse time. Must be called exactly once before finish().
+  void admit();
+
+  // Execution phase: OracleService::execute + formatting. Returns the
+  // response line (no trailing newline).
+  [[nodiscard]] std::string finish();
+
+ private:
+  TenantRegistry* registry_;
+  WireCounters* counters_;
+  Tenant* tenant_ = nullptr;
+  // Heap-pinned: OracleService::Admission keeps a pointer to the request
+  // across admit() → finish(), so the request must not move with the job.
+  std::unique_ptr<ParsedRequest> parsed_;
+  std::optional<OracleService::Admission> admission_;
+  std::optional<std::string> local_;  // final line decided before execution
+  std::int64_t seq_;
+  bool stamp_seq_;
+};
+
+}  // namespace ftbfs

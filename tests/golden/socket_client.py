@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Golden replay over a loopback socket.
+
+Launches `ftbfs serve --listen 127.0.0.1:0`, parses the bound port from the
+"listening on host:port" stderr line, pipelines the golden request stream over
+one TCP connection, half-closes, and reads responses to EOF. Then SIGTERMs
+the server and requires a clean drain (exit code 0, "drained:" summary).
+
+Comparison modes:
+  exact       byte-identical to the golden response stream (single worker:
+              socket serving must be indistinguishable from stdin serving).
+  normalized  positional per-line diff with cache_hit normalized on both
+              sides (multi-worker ordered mode: responses keep request order
+              per connection, but which of two racing requests for one
+              scenario gets the cache hit is the scheduler's choice).
+  relaxed     order-free: id-bearing lines must match the golden per id
+              (cache_hit-normalized); id-less lines must carry a "seq"
+              correlation field and, seq stripped, equal the golden id-less
+              lines as a multiset.
+
+Usage:
+  socket_client.py --binary ./build/ftbfs --graph G.txt \
+      --requests reqs.jsonl --golden resp.jsonl \
+      --compare exact|normalized|relaxed [--threads N] [--mode relaxed]
+"""
+
+import argparse
+import re
+import signal
+import socket
+import subprocess
+import sys
+
+WINDOW = 64  # max pipelined-unread requests; unbounded flooding can deadlock
+             # against the server's write backpressure, by design
+
+
+def parse_listen_line(proc):
+    for raw in proc.stderr:
+        line = raw.decode(errors="replace").strip()
+        if line.startswith("listening on "):
+            host, _, port = line[len("listening on "):].rpartition(":")
+            return host, int(port)
+    raise SystemExit("server exited before printing its listen address")
+
+
+def pipeline(host, port, requests):
+    responses = []
+    with socket.create_connection((host, port)) as sock:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        buf = b""
+        sent = 0
+        received = [0]
+
+        def drain_ready(block):
+            nonlocal buf
+            sock.setblocking(block)
+            try:
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        return False
+                    buf += chunk
+                    while b"\n" in buf:
+                        line, buf = buf.split(b"\n", 1)
+                        responses.append(line.decode())
+                        received[0] += 1
+                    if not block or received[0] >= sent:
+                        return True
+            except BlockingIOError:
+                return True
+            finally:
+                sock.setblocking(True)
+
+        for line in requests:
+            sock.sendall(line.encode() + b"\n")
+            sent += 1
+            if sent - received[0] >= WINDOW and not drain_ready(block=True):
+                raise SystemExit("server closed mid-stream")
+            drain_ready(block=False)
+        sock.shutdown(socket.SHUT_WR)
+        while drain_ready(block=True):
+            pass
+    return responses
+
+
+def normalize(line):
+    return line.replace('"cache_hit":true', '"cache_hit":false')
+
+
+def check_exact(got, golden, normalized):
+    if normalized:
+        got, golden = [normalize(l) for l in got], [normalize(l) for l in golden]
+    if got == golden:
+        return
+    for i, (g, w) in enumerate(zip(golden, got)):
+        if g != w:
+            raise SystemExit(f"line {i + 1} differs:\n  golden: {g}\n  socket: {w}")
+    raise SystemExit(f"line count differs: golden {len(golden)}, socket {len(got)}")
+
+
+def by_id(lines):
+    out = {}
+    for line in lines:
+        m = re.match(r'\{"id":(\d+),', line)
+        if m:
+            out[int(m.group(1))] = normalize(line)
+    return out
+
+
+def check_relaxed(got, golden):
+    if len(got) != len(golden):
+        raise SystemExit(f"line count differs: golden {len(golden)}, socket {len(got)}")
+    gold_ids, got_ids = by_id(golden), by_id(got)
+    if gold_ids.keys() != got_ids.keys():
+        raise SystemExit(f"id sets differ: {sorted(gold_ids) } vs {sorted(got_ids)}")
+    for i, line in gold_ids.items():
+        if got_ids[i] != line:
+            raise SystemExit(f"id {i}: {got_ids[i]} != {line}")
+    gold_rest = sorted(l for l in golden if not re.match(r'\{"id":', l))
+    got_rest = []
+    for line in got:
+        if re.match(r'\{"id":', line):
+            continue
+        if '"seq":' not in line:
+            raise SystemExit(f"id-less line without seq: {line}")
+        got_rest.append(re.sub(r'"seq":\d+,', "", line, count=1))
+    if sorted(got_rest) != gold_rest:
+        raise SystemExit("id-less lines diverged:\n" + "\n".join(got_rest))
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--binary", required=True)
+    ap.add_argument("--graph", required=True)
+    ap.add_argument("--requests", required=True)
+    ap.add_argument("--golden", required=True)
+    ap.add_argument("--compare", required=True,
+                    choices=["exact", "normalized", "relaxed"])
+    ap.add_argument("--threads", type=int, default=1)
+    ap.add_argument("--mode", default="ordered")
+    args = ap.parse_args()
+
+    requests = open(args.requests).read().splitlines()
+    golden = open(args.golden).read().splitlines()
+
+    cmd = [args.binary, "serve", "--graph", args.graph,
+           "--threads", str(args.threads), "--mode", args.mode,
+           "--listen", "127.0.0.1:0"]
+    proc = subprocess.Popen(cmd, stderr=subprocess.PIPE)
+    try:
+        host, port = parse_listen_line(proc)
+        got = pipeline(host, port, requests)
+        if args.compare == "exact":
+            check_exact(got, golden, normalized=False)
+        elif args.compare == "normalized":
+            check_exact(got, golden, normalized=True)
+        else:
+            check_relaxed(got, golden)
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=30)
+        tail = proc.stderr.read().decode(errors="replace")
+        if code != 0:
+            raise SystemExit(f"server exited {code} after SIGTERM:\n{tail}")
+        if "drained:" not in tail:
+            raise SystemExit(f"no drain summary on stderr:\n{tail}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait()
+    print(f"socket golden OK ({args.compare}, --threads {args.threads}, "
+          f"--mode {args.mode}): {len(got)} responses")
+
+
+if __name__ == "__main__":
+    main()

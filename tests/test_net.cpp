@@ -1,0 +1,467 @@
+// End-to-end tests for the epoll socket front-end (src/net/): socket serving
+// must be answer-identical to stdin serving, survive hostile framing, route
+// between tenants, enforce quotas without perturbing the innocent tenant, and
+// hold up under hundreds of concurrent pipelined connections (the stress test
+// also runs under TSan in CI). Clients here are plain blocking sockets with
+// *windowed* pipelining — a client that pipelines an unbounded number of
+// requests without reading responses can deadlock against the server's write
+// backpressure by design, so the clients behave like real ones.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "net/net_server.h"
+#include "service/json.h"
+#include "service/tenant.h"
+
+namespace ftbfs {
+namespace {
+
+// --- tiny blocking client --------------------------------------------------
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0) << std::strerror(errno);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// Reads exactly `count` newline-terminated lines (newline stripped).
+std::vector<std::string> recv_lines(int fd, std::size_t count) {
+  std::vector<std::string> lines;
+  std::string buf;
+  char chunk[4096];
+  while (lines.size() < count) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;  // EOF/error: return what we have; caller asserts
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while (lines.size() < count &&
+           (nl = buf.find('\n')) != std::string::npos) {
+      lines.push_back(buf.substr(0, nl));
+      buf.erase(0, nl + 1);
+    }
+  }
+  return lines;
+}
+
+// Reads to EOF, asserting no further bytes beyond complete lines.
+bool recv_eof(int fd) {
+  char c;
+  return ::recv(fd, &c, 1, 0) == 0;
+}
+
+std::string field(const std::string& line, const char* key) {
+  JsonValue v;
+  std::string err;
+  if (!JsonReader(line).parse(v, err)) return "<unparseable: " + err + ">";
+  const JsonValue* f = v.find(key);
+  if (f == nullptr) return "<absent>";
+  if (f->kind == JsonValue::Kind::kString) return f->str;
+  if (f->kind == JsonValue::Kind::kNumber) {
+    return std::to_string(static_cast<long long>(f->number));
+  }
+  return "<other>";
+}
+
+// A server running on its own thread for the duration of one test.
+struct RunningServer {
+  RunningServer(TenantRegistry& registry, NetServerConfig config)
+      : server(registry, config), thread([this] { server.run(); }) {}
+  ~RunningServer() { shutdown_and_join(); }
+  void shutdown_and_join() {
+    server.request_shutdown();
+    if (thread.joinable()) thread.join();
+  }
+  NetServer server;
+  std::thread thread;
+};
+
+std::string distance_request(int id, unsigned target,
+                             const std::string& tenant = "") {
+  std::string line = "{\"id\":" + std::to_string(id) +
+                     ",\"source\":0,\"targets\":[" + std::to_string(target) +
+                     "]";
+  if (!tenant.empty()) line += ",\"tenant\":\"" + tenant + "\"";
+  line += "}\n";
+  return line;
+}
+
+// --- answer-identity against the in-process pipeline -----------------------
+
+TEST(NetServer, OrderedSocketMatchesInProcessServing) {
+  TenantRegistry registry;
+  registry.add("default", cycle_graph(24));
+  // Reference answers from the exact same pipeline, run in-process.
+  TenantRegistry reference;
+  reference.add("default", cycle_graph(24));
+  WireCounters ref_counters;
+
+  NetServerConfig config;
+  config.threads = 1;  // single worker: admission order == request order
+  RunningServer rs(registry, config);
+  const int fd = connect_loopback(rs.server.port());
+
+  std::string stream;
+  std::vector<std::string> expected;
+  for (int i = 0; i < 40; ++i) {
+    const std::string line = distance_request(i, 1 + (i * 7) % 23);
+    stream += line;
+    LineJob job(reference, line.substr(0, line.size() - 1),
+                static_cast<std::int64_t>(i), false, ref_counters);
+    job.admit();
+    expected.push_back(job.finish());
+  }
+  send_all(fd, stream);
+  const std::vector<std::string> got = recv_lines(fd, expected.size());
+  // Byte-identical, cache_hit flags included: one worker admits in arrival
+  // order, exactly like the sequential stdin loop.
+  EXPECT_EQ(got, expected);
+  ::close(fd);
+}
+
+TEST(NetServer, ByteAtATimeFramingAndHalfCloseDrain) {
+  TenantRegistry registry;
+  registry.add("default", cycle_graph(12));
+  NetServerConfig config;
+  config.threads = 2;
+  RunningServer rs(registry, config);
+  const int fd = connect_loopback(rs.server.port());
+
+  const std::string stream =
+      distance_request(1, 3) + "{\"id\":2,\"source\":0,\"targets\":[6]}\r\n";
+  for (const char c : stream) send_all(fd, std::string(1, c));
+  // Half-close: the tail (all fully framed lines) must still be answered,
+  // then the server closes its side — the per-connection drain contract.
+  ::shutdown(fd, SHUT_WR);
+  const std::vector<std::string> got = recv_lines(fd, 2);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(field(got[0], "id"), "1");
+  EXPECT_EQ(field(got[1], "id"), "2");
+  EXPECT_EQ(field(got[0], "status"), "ok");
+  EXPECT_EQ(field(got[1], "status"), "ok");
+  EXPECT_TRUE(recv_eof(fd));
+  ::close(fd);
+}
+
+TEST(NetServer, OversizedLineAnsweredWithoutKillingTheConnection) {
+  TenantRegistry registry;
+  registry.add("default", cycle_graph(8));
+  NetServerConfig config;
+  config.threads = 1;
+  config.max_line_bytes = 128;
+  RunningServer rs(registry, config);
+  const int fd = connect_loopback(rs.server.port());
+
+  // A 1 MB line: server must answer with a parse error using O(128) memory,
+  // and the next request on the same connection must still be served.
+  std::string bomb(1u << 20, 'x');
+  bomb += '\n';
+  send_all(fd, bomb);
+  send_all(fd, distance_request(7, 3));
+  const std::vector<std::string> got = recv_lines(fd, 2);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(field(got[0], "status"), "parse_error");
+  EXPECT_NE(got[0].find("exceeds"), std::string::npos) << got[0];
+  EXPECT_EQ(field(got[1], "id"), "7");
+  EXPECT_EQ(field(got[1], "status"), "ok");
+  ::close(fd);
+}
+
+TEST(NetServer, RelaxedModeStampsSeqAndAnswersEveryRequest) {
+  TenantRegistry registry;
+  registry.add("default", cycle_graph(16));
+  NetServerConfig config;
+  config.threads = 4;
+  config.ordered = false;
+  RunningServer rs(registry, config);
+  const int fd = connect_loopback(rs.server.port());
+
+  std::string stream;
+  for (int i = 0; i < 20; ++i) stream += distance_request(100 + i, 1 + i % 15);
+  stream += "{\"source\":0,\"targets\":[2]}\n";  // id-less: must carry seq
+  send_all(fd, stream);
+  ::shutdown(fd, SHUT_WR);
+  const std::vector<std::string> got = recv_lines(fd, 21);
+  ASSERT_EQ(got.size(), 21u);
+  std::vector<bool> seen(20, false);
+  bool seq_line = false;
+  for (const std::string& line : got) {
+    const std::string id = field(line, "id");
+    if (id == "<absent>") {
+      // The id-less request is correlated by its connection-local seq (20:
+      // it was the 21st line on this connection).
+      EXPECT_EQ(field(line, "seq"), "20") << line;
+      seq_line = true;
+      continue;
+    }
+    const int idx = std::stoi(id) - 100;
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, 20);
+    EXPECT_FALSE(seen[idx]) << "duplicate response " << line;
+    seen[idx] = true;
+    EXPECT_EQ(field(line, "status"), "ok") << line;
+  }
+  EXPECT_TRUE(seq_line);
+  for (const bool s : seen) EXPECT_TRUE(s);
+  EXPECT_TRUE(recv_eof(fd));
+  ::close(fd);
+}
+
+// --- tenancy ---------------------------------------------------------------
+
+TEST(NetServer, RoutesBetweenTenantsAndRefusesUnknownOnes) {
+  TenantRegistry registry;
+  registry.add("rings", cycle_graph(10));   // dist(0,5) = 5
+  registry.add("lines", path_graph(10));    // dist(0,5) = 5, but faults differ
+  NetServerConfig config;
+  config.threads = 2;
+  RunningServer rs(registry, config);
+  const int fd = connect_loopback(rs.server.port());
+
+  std::string stream;
+  stream += distance_request(1, 5, "rings");
+  stream += distance_request(2, 5, "lines");
+  stream += distance_request(3, 5);  // no tenant: default = first registered
+  stream +=
+      "{\"id\":4,\"source\":0,\"targets\":[5],\"tenant\":\"ghost\"}\n";
+  // Fault edge (0,9) exists in the 10-cycle but not the 10-path: the same
+  // line must succeed on one tenant and fail resolution on the other.
+  stream +=
+      "{\"id\":5,\"source\":0,\"targets\":[5],\"tenant\":\"rings\","
+      "\"fault_edges\":[[0,9]]}\n";
+  stream +=
+      "{\"id\":6,\"source\":0,\"targets\":[5],\"tenant\":\"lines\","
+      "\"fault_edges\":[[0,9]]}\n";
+  send_all(fd, stream);
+  ::shutdown(fd, SHUT_WR);
+  const std::vector<std::string> got = recv_lines(fd, 6);
+  ASSERT_EQ(got.size(), 6u);
+  EXPECT_EQ(field(got[0], "status"), "ok");
+  EXPECT_EQ(field(got[1], "status"), "ok");
+  EXPECT_EQ(field(got[2], "status"), "ok");
+  EXPECT_EQ(field(got[3], "status"), "unknown_tenant");
+  EXPECT_EQ(field(got[4], "status"), "ok");
+  EXPECT_NE(got[4].find("\"distances\":[5]"), std::string::npos) << got[4];
+  EXPECT_EQ(field(got[5], "status"), "unknown_source");
+  ::close(fd);
+
+  rs.shutdown_and_join();
+  const std::vector<TenantStats> stats = registry.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "rings");
+  EXPECT_EQ(stats[0].service.requests, 3u);  // ids 1, 3 (default), 5
+  EXPECT_EQ(stats[1].service.requests, 1u);  // id 2; 6 failed resolution
+  const TenantStats total = registry.global_stats();
+  EXPECT_EQ(total.service.requests,
+            stats[0].service.requests + stats[1].service.requests);
+}
+
+TEST(NetServer, QuotaRefusalsDoNotPerturbTheOtherTenant) {
+  TenantRegistry registry;
+  registry.add("big", cycle_graph(12));
+  TenantQuotas small_quota;
+  small_quota.max_requests = 3;
+  registry.add("small", cycle_graph(12), {}, small_quota);
+  NetServerConfig config;
+  config.threads = 2;
+  RunningServer rs(registry, config);
+  const int fd = connect_loopback(rs.server.port());
+
+  std::string stream;
+  for (int i = 0; i < 6; ++i) {
+    stream += distance_request(10 + i, 1 + i, "small");
+    stream += distance_request(20 + i, 1 + i, "big");
+  }
+  send_all(fd, stream);
+  ::shutdown(fd, SHUT_WR);
+  const std::vector<std::string> got = recv_lines(fd, 12);
+  ASSERT_EQ(got.size(), 12u);
+  int small_ok = 0, small_quota_refused = 0;
+  for (const std::string& line : got) {
+    const int id = std::stoi(field(line, "id"));
+    if (id >= 20) {
+      EXPECT_EQ(field(line, "status"), "ok") << line;  // big is unperturbed
+    } else if (field(line, "status") == "ok") {
+      ++small_ok;
+    } else {
+      EXPECT_EQ(field(line, "status"), "quota_exceeded") << line;
+      ++small_quota_refused;
+    }
+  }
+  EXPECT_EQ(small_ok, 3);
+  EXPECT_EQ(small_quota_refused, 3);
+  ::close(fd);
+
+  rs.shutdown_and_join();
+  const std::vector<TenantStats> stats = registry.stats();
+  EXPECT_EQ(stats[0].quota_refused, 0u);
+  EXPECT_EQ(stats[1].quota_refused, 3u);
+  EXPECT_EQ(stats[1].service.requests, 3u);  // refusals never reached it
+  EXPECT_EQ(stats[0].service.requests, 6u);
+  const TenantStats total = registry.global_stats();
+  EXPECT_EQ(total.quota_refused, 3u);
+  EXPECT_EQ(total.service.requests, 9u);
+  EXPECT_EQ(rs.server.wire_counters().quota_refusals.load(), 3u);
+}
+
+// --- drain -----------------------------------------------------------------
+
+TEST(NetServer, GracefulShutdownFlushesInFlightAndCloses) {
+  TenantRegistry registry;
+  registry.add("default", cycle_graph(16));
+  NetServerConfig config;
+  config.threads = 2;
+  RunningServer rs(registry, config);
+  const int fd = connect_loopback(rs.server.port());
+
+  std::string stream;
+  for (int i = 0; i < 8; ++i) stream += distance_request(i, 1 + i);
+  send_all(fd, stream);
+  // Read every response first so the requests are provably in flight, then
+  // trigger the drain with the connection still open and idle.
+  const std::vector<std::string> got = recv_lines(fd, 8);
+  ASSERT_EQ(got.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(field(got[i], "id"), std::to_string(i));
+  rs.server.request_shutdown();
+  EXPECT_TRUE(recv_eof(fd));  // drain closed the idle connection
+  ::close(fd);
+  rs.shutdown_and_join();  // run() must have returned (join would hang)
+  EXPECT_EQ(rs.server.responses_sent(), 8u);
+}
+
+// --- concurrency stress (runs under TSan in CI) ----------------------------
+
+TEST(NetServer, HammerManyConcurrentPipelinedConnectionsAcrossTenants) {
+  constexpr unsigned kClientThreads = 16;
+  constexpr unsigned kConnsPerThread = 16;  // 256 concurrent connections
+  constexpr unsigned kRequestsPerConn = 12;
+  constexpr unsigned kWindow = 6;
+  constexpr unsigned kN = 64;
+
+  TenantRegistry registry;
+  registry.add("alpha", cycle_graph(kN));
+  registry.add("beta", cycle_graph(kN));
+  NetServerConfig config;
+  config.threads = 4;
+  RunningServer rs(registry, config);
+  const std::uint16_t port = rs.server.port();
+
+  std::atomic<std::uint64_t> ok_responses{0};
+  std::atomic<int> failures{0};
+  auto client_thread = [&](unsigned tid) {
+    struct ConnState {
+      int fd;
+      unsigned sent = 0;
+      unsigned received = 0;
+      std::string buf;
+      std::string tenant;
+    };
+    std::vector<ConnState> conns(kConnsPerThread);
+    for (unsigned c = 0; c < kConnsPerThread; ++c) {
+      conns[c].fd = connect_loopback(port);
+      conns[c].tenant = (tid + c) % 2 == 0 ? "alpha" : "beta";
+    }
+    // Windowed pipelining per connection, round-robin across connections so
+    // all of this thread's 16 connections are concurrently in flight.
+    bool work_left = true;
+    while (work_left) {
+      work_left = false;
+      for (unsigned c = 0; c < kConnsPerThread; ++c) {
+        ConnState& cs = conns[c];
+        while (cs.sent < kRequestsPerConn && cs.sent - cs.received < kWindow) {
+          const unsigned target = 1 + (tid * 31 + c * 7 + cs.sent) % (kN - 1);
+          const int id = static_cast<int>(cs.sent * 1000 + target);
+          send_all(cs.fd, distance_request(id, target, cs.tenant));
+          ++cs.sent;
+        }
+        if (cs.received < cs.sent) {
+          char chunk[4096];
+          const ssize_t n = ::recv(cs.fd, chunk, sizeof chunk, 0);
+          if (n <= 0) {
+            ++failures;
+            cs.received = cs.sent = kRequestsPerConn;
+            continue;
+          }
+          cs.buf.append(chunk, static_cast<std::size_t>(n));
+          std::size_t nl;
+          while ((nl = cs.buf.find('\n')) != std::string::npos) {
+            const std::string line = cs.buf.substr(0, nl);
+            cs.buf.erase(0, nl + 1);
+            // Ordered mode: responses arrive in request order; the id's
+            // encoded target must match the analytic cycle distance.
+            const unsigned expect_target =
+                1 + (tid * 31 + c * 7 + cs.received) % (kN - 1);
+            const int expect_id =
+                static_cast<int>(cs.received * 1000 + expect_target);
+            const unsigned expect_dist =
+                std::min(expect_target, kN - expect_target);
+            if (field(line, "id") != std::to_string(expect_id) ||
+                line.find("\"distances\":[" + std::to_string(expect_dist) +
+                          "]") == std::string::npos) {
+              ++failures;
+            } else {
+              ok_responses.fetch_add(1, std::memory_order_relaxed);
+            }
+            ++cs.received;
+          }
+        }
+        if (cs.received < kRequestsPerConn) work_left = true;
+      }
+    }
+    for (ConnState& cs : conns) ::close(cs.fd);
+  };
+
+  std::vector<std::thread> clients;
+  for (unsigned t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back(client_thread, t);
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ok_responses.load(),
+            std::uint64_t{kClientThreads} * kConnsPerThread * kRequestsPerConn);
+  rs.shutdown_and_join();
+  EXPECT_EQ(rs.server.connections_accepted(),
+            std::uint64_t{kClientThreads} * kConnsPerThread);
+  EXPECT_EQ(rs.server.responses_sent(),
+            std::uint64_t{kClientThreads} * kConnsPerThread * kRequestsPerConn);
+  // Per-tenant accounting never loses a request: the two tenants' stats sum
+  // to the global picture, and every request reached a tenant.
+  const TenantStats total = registry.global_stats();
+  EXPECT_EQ(total.service.requests,
+            std::uint64_t{kClientThreads} * kConnsPerThread * kRequestsPerConn);
+  const std::vector<TenantStats> per = registry.stats();
+  EXPECT_EQ(per[0].service.requests + per[1].service.requests,
+            total.service.requests);
+  EXPECT_GT(per[0].service.requests, 0u);
+  EXPECT_GT(per[1].service.requests, 0u);
+}
+
+}  // namespace
+}  // namespace ftbfs

@@ -452,8 +452,6 @@ TEST(Protocol, RejectsMalformedLines) {
   EXPECT_EQ(parse_request_line("not json", g).status, ParseStatus::kSyntax);
   EXPECT_EQ(parse_request_line(R"({"targets":[1]})", g).status,
             ParseStatus::kSyntax);  // missing source
-  EXPECT_EQ(parse_request_line(R"({"source":0,"tragets":[1]})", g).status,
-            ParseStatus::kSyntax);  // typo'd key must not be ignored
   EXPECT_EQ(parse_request_line(R"({"source":0,"kind":"warp"})", g).status,
             ParseStatus::kSyntax);
   // An edge the graph does not have parses but fails resolution.
@@ -477,6 +475,62 @@ TEST(Protocol, RejectsMalformedLines) {
   ASSERT_EQ(huge.status, ParseStatus::kOk);
   OracleService service(g);
   EXPECT_EQ(service.serve(huge.request).status, StatusCode::kUnknownSource);
+}
+
+TEST(Protocol, UnknownKeysBecomeWarningsNotErrors) {
+  const Graph g = cycle_graph(6);
+  // A typo'd (or future-revision) key must neither reject the line nor be
+  // silently ignored: the request is served and the key is echoed back.
+  const ParsedRequest parsed =
+      parse_request_line(R"({"source":0,"tragets":[1],"teleport":true})", g);
+  ASSERT_EQ(parsed.status, ParseStatus::kOk) << parsed.error;
+  ASSERT_EQ(parsed.warnings.size(), 2u);
+  EXPECT_EQ(parsed.warnings[0], "unknown request key \"tragets\"");
+  EXPECT_EQ(parsed.warnings[1], "unknown request key \"teleport\"");
+
+  QueryResponse resp;
+  resp.id = 5;
+  resp.status = StatusCode::kOk;
+  resp.exact = true;
+  resp.warnings = parsed.warnings;
+  EXPECT_EQ(format_response_line(resp),
+            R"({"id":5,"status":"ok","exact":true,"cache_hit":false,)"
+            R"("warnings":["unknown request key \"tragets\"",)"
+            R"("unknown request key \"teleport\""]})");
+}
+
+TEST(Protocol, TenantFieldRoutesThroughResolver) {
+  const Graph cyc = cycle_graph(6);
+  const Graph path = path_graph(4);
+  const auto resolve = [&](const std::string& tenant) -> const Graph* {
+    if (tenant.empty() || tenant == "rings") return &cyc;
+    if (tenant == "lines") return &path;
+    return nullptr;
+  };
+  // Fault-edge endpoints resolve against the graph the tenant names: (0,5)
+  // is an edge of the 6-cycle but not of the 4-path.
+  const ParsedRequest on_cycle = parse_request_line(
+      R"({"source":0,"targets":[3],"tenant":"rings","fault_edges":[[0,5]]})",
+      resolve);
+  ASSERT_EQ(on_cycle.status, ParseStatus::kOk) << on_cycle.error;
+  EXPECT_EQ(on_cycle.tenant, "rings");
+  EXPECT_EQ(on_cycle.request.fault_edges[0], cyc.find_edge(0, 5));
+  const ParsedRequest on_path = parse_request_line(
+      R"({"source":0,"targets":[3],"tenant":"lines","fault_edges":[[0,5]]})",
+      resolve);
+  EXPECT_EQ(on_path.status, ParseStatus::kResolve);
+  EXPECT_EQ(on_path.resolve_status, StatusCode::kUnknownSource);
+  // An unknown tenant is its own refusal — kUnknownTenant, id still echoed.
+  const ParsedRequest nowhere = parse_request_line(
+      R"({"id":9,"source":0,"tenant":"ghost"})", resolve);
+  EXPECT_EQ(nowhere.status, ParseStatus::kResolve);
+  EXPECT_EQ(nowhere.resolve_status, StatusCode::kUnknownTenant);
+  EXPECT_EQ(nowhere.request.id, 9);
+  // The single-graph overload treats any named tenant as unknown.
+  EXPECT_EQ(parse_request_line(R"({"source":0,"tenant":"x"})", cyc).status,
+            ParseStatus::kResolve);
+  EXPECT_EQ(parse_request_line(R"({"source":0,"tenant":""})", cyc).status,
+            ParseStatus::kOk);
 }
 
 TEST(Protocol, FormatsResponseLine) {

@@ -13,9 +13,10 @@
 //   query  --graph <file> --source <int> --target <int>
 //          [--fault-edges u-v,u-v | --fault-vertices v1,v2] [--faults <int>]
 //          [--algo <name>]
-//   serve  --graph <file> [--budget <f>] [--max-lazy <f>] [--cache <n>]
-//          [--lazy on|off] [--point-oracle <v>] [--seed <int>] [--threads <n>]
-//          [--mode ordered|relaxed] [--batch <k>]
+//   serve  [--graph <file>] [--tenants <manifest.json>] [--budget <f>]
+//          [--max-lazy <f>] [--cache <n>] [--lazy on|off] [--point-oracle <v>]
+//          [--seed <int>] [--threads <n>] [--mode ordered|relaxed]
+//          [--batch <k>] [--max-requests <n>] [--listen <host:port>]
 //          (reads JSONL QueryRequests from stdin, streams JSONL QueryResponses
 //           to stdout; wire format in docs/serving.md. --threads N serves
 //           requests on N concurrent workers. --mode ordered — the default —
@@ -23,7 +24,12 @@
 //           --threads 1, draining up to --batch admission turns per ticket-
 //           lock acquisition; --mode relaxed emits responses as they finish,
 //           each carrying its request id (or a "seq" field when the request
-//           had none) — per-id bytes still match ordered mode)
+//           had none) — per-id bytes still match ordered mode.
+//           --tenants hosts several named graphs in one process (requests
+//           route with a "tenant" field); --listen serves the same protocol
+//           over a TCP socket per connection instead of stdin — see
+//           docs/serving.md "Network serving & tenants". SIGINT/SIGTERM
+//           drain in-flight requests and print the summary before exiting)
 //
 // Structure construction is dispatched through the BuilderRegistry — any
 // registered algorithm name (or alias) works with --algo, and unknown names
@@ -32,6 +38,7 @@
 // structure pool with scenario caching. Structures are exchanged as edge-list
 // files of the kept subgraph.
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,8 +59,10 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "lowerbound/gstar.h"
+#include "net/net_server.h"
 #include "service/oracle_service.h"
 #include "service/protocol.h"
+#include "service/tenant.h"
 #include "service/work_queue.h"
 #include "util/timer.h"
 
@@ -90,11 +99,14 @@ void list_algos(std::FILE* out) {
                "  ftbfs query --graph <file> --source <v> --target <v> "
                "[--fault-edges u-v,u-v | --fault-vertices v1,v2]\n"
                "              [--faults f] [--algo <name>]\n"
-               "  ftbfs serve --graph <file> [--budget f] [--max-lazy f] "
-               "[--cache n] [--lazy on|off]\n"
-               "              [--point-oracle v] [--seed S] [--threads n] "
-               "[--mode ordered|relaxed] [--batch k]\n"
-               "              (JSONL requests on stdin)\n"
+               "  ftbfs serve [--graph <file>] [--tenants <manifest.json>] "
+               "[--budget f] [--max-lazy f]\n"
+               "              [--cache n] [--lazy on|off] [--point-oracle v] "
+               "[--seed S] [--threads n]\n"
+               "              [--mode ordered|relaxed] [--batch k] "
+               "[--max-requests n] [--listen host:port]\n"
+               "              (JSONL requests on stdin, or per TCP connection "
+               "with --listen)\n"
                "registered builders (--algo):\n");
   list_algos(stderr);
   std::exit(2);
@@ -451,37 +463,115 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-// The response line for a request that never reaches the service — a syntax
-// error or an edge-resolution failure — or nullopt for a well-formed request.
-// Shared by every serve loop so their triage (and therefore their output
-// bytes) cannot drift apart. `seq` >= 0 is the relaxed-mode correlation
-// stamp for id-less lines; ordered loops pass -1 (their output is in request
-// order already).
-std::optional<std::string> local_answer(
-    const ParsedRequest& parsed, std::atomic<std::uint64_t>& parse_errors,
-    std::atomic<std::uint64_t>& resolve_refusals, std::int64_t seq = -1) {
-  if (parsed.status == ParseStatus::kSyntax) {
-    parse_errors.fetch_add(1, std::memory_order_relaxed);
-    return format_parse_error_line(parsed, seq);
+// Stop signal plumbing (satellite of docs/serving.md "Graceful shutdown"):
+// SIGINT/SIGTERM set the flag and nudge the socket server's self-pipe. The
+// handlers are installed WITHOUT SA_RESTART so a stdin serve loop blocked in
+// getline fails with EINTR, winds down through the normal
+// close-queue/join-workers path (flushing the resequencer), and prints its
+// summary — instead of dying mid-stream.
+volatile std::sig_atomic_t g_stop = 0;
+NetServer* g_net_server = nullptr;  // set before handlers are installed
+
+void handle_stop_signal(int) {
+  g_stop = 1;
+  if (g_net_server != nullptr) g_net_server->request_shutdown();
+}
+
+void install_stop_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads must return EINTR
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+// The serve summary, reconciled against the response stream: refusals include
+// the wire-level ones (edge-resolution failures, unknown tenants, quota) that
+// never reach a service, and parse errors are reported separately. With more
+// than one tenant, a per-tenant breakdown follows — the per-tenant rows sum
+// to the global line by construction.
+void print_serve_summary(TenantRegistry& registry, const WireCounters& wire) {
+  const std::uint64_t parse_errors =
+      wire.parse_errors.load(std::memory_order_relaxed);
+  const std::uint64_t resolve_refusals =
+      wire.resolve_refusals.load(std::memory_order_relaxed);
+  const std::uint64_t quota_refusals =
+      wire.quota_refusals.load(std::memory_order_relaxed);
+  const TenantStats total = registry.global_stats();
+  const ServiceStats& stats = total.service;
+  std::size_t pool_size = 0;
+  for (const Tenant& t : registry.tenants()) pool_size += t.service.pool_size();
+  std::fprintf(stderr,
+               "served %llu requests (%llu ok, %llu refused); %llu parse "
+               "errors; cache %llu/%llu hits (%.0f%%), %llu lines, "
+               "%.0f B/line; %llu lazy builds, "
+               "pool size %zu; query paths %llu fast / %llu repair / "
+               "%llu full\n",
+               static_cast<unsigned long long>(stats.requests +
+                                               resolve_refusals +
+                                               quota_refusals),
+               static_cast<unsigned long long>(stats.served),
+               static_cast<unsigned long long>(stats.refused +
+                                               resolve_refusals +
+                                               quota_refusals),
+               static_cast<unsigned long long>(parse_errors),
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.cache_hits +
+                                               stats.cache_misses),
+               100.0 * stats.cache_hit_rate(),
+               static_cast<unsigned long long>(stats.cache_lines),
+               stats.cache_bytes_per_line(),
+               static_cast<unsigned long long>(stats.structures_built),
+               pool_size,
+               static_cast<unsigned long long>(stats.fast_path_hits),
+               static_cast<unsigned long long>(stats.repair_bfs),
+               static_cast<unsigned long long>(stats.full_bfs));
+  if (registry.size() > 1) {
+    for (const TenantStats& ts : registry.stats()) {
+      std::fprintf(
+          stderr,
+          "  tenant %-12s %llu requests (%llu ok, %llu refused, %llu "
+          "quota-refused); cache %llu/%llu hits; %llu lazy builds\n",
+          ts.name.c_str(),
+          static_cast<unsigned long long>(ts.service.requests +
+                                          ts.quota_refused),
+          static_cast<unsigned long long>(ts.service.served),
+          static_cast<unsigned long long>(ts.service.refused +
+                                          ts.quota_refused),
+          static_cast<unsigned long long>(ts.quota_refused),
+          static_cast<unsigned long long>(ts.service.cache_hits),
+          static_cast<unsigned long long>(ts.service.cache_hits +
+                                          ts.service.cache_misses),
+          static_cast<unsigned long long>(ts.service.structures_built));
+    }
   }
-  if (parsed.status == ParseStatus::kResolve) {
-    resolve_refusals.fetch_add(1, std::memory_order_relaxed);
-    // The line parsed but names an edge the graph does not have — that is
-    // an answer about the graph, not about the line.
-    QueryResponse resp;
-    resp.id = parsed.request.id;
-    resp.seq = seq;
-    resp.status = StatusCode::kUnknownSource;
-    resp.error = parsed.error;
-    return format_response_line(resp);
+}
+
+// Parses --listen "host:port", ":port", or bare "port" (host defaults to
+// 127.0.0.1; port 0 asks the kernel for an ephemeral port, printed on the
+// "listening on" stderr line).
+void parse_listen(const std::string& spec, NetServerConfig& nc) {
+  const std::size_t colon = spec.rfind(':');
+  std::string host;
+  std::string port = spec;
+  if (colon != std::string::npos) {
+    host = spec.substr(0, colon);
+    port = spec.substr(colon + 1);
   }
-  return std::nullopt;
+  if (!host.empty()) nc.host = host;
+  if (port.empty() ||
+      port.find_first_not_of("0123456789") != std::string::npos ||
+      port.size() > 5 || std::stoul(port) > 65535) {
+    usage("--listen expects host:port (port 0..65535)");
+  }
+  nc.port = static_cast<std::uint16_t>(std::stoul(port));
 }
 
 int cmd_serve(const std::map<std::string, std::string>& flags) {
-  check_flags(flags, {"graph", "budget", "max-lazy", "cache", "lazy",
-                      "point-oracle", "seed", "threads", "mode", "batch"});
-  const Graph g = load_graph(need(flags, "graph"));
+  check_flags(flags, {"graph", "tenants", "budget", "max-lazy", "cache",
+                      "lazy", "point-oracle", "seed", "threads", "mode",
+                      "batch", "max-requests", "listen"});
   ServiceConfig config;
   config.default_budget =
       static_cast<unsigned>(std::stoul(get_or(flags, "budget", "2")));
@@ -525,37 +615,74 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     usage("--batch must be an integer in 1..256");
   }
 
-  OracleService service(g, config);
+  // The tenant registry: --graph hosts the default tenant (named "default"),
+  // --tenants adds every manifest tenant after it. With --tenants alone, the
+  // manifest's first tenant is the default. Registration happens entirely
+  // before serving starts — the registry is immutable from here on.
+  TenantRegistry registry;
+  if (flags.contains("graph")) {
+    TenantQuotas quotas;
+    quotas.max_requests = std::stoull(get_or(flags, "max-requests", "0"));
+    registry.add("default", load_graph(flags.at("graph")), config, quotas);
+  } else if (flags.contains("max-requests")) {
+    usage("--max-requests applies to --graph's default tenant; per-tenant "
+          "quotas live in the --tenants manifest");
+  }
+  if (flags.contains("tenants")) {
+    registry.load_manifest(flags.at("tenants"), config);
+  }
+  if (registry.size() == 0) usage("serve needs --graph and/or --tenants");
+
   if (flags.contains("point-oracle")) {
+    Tenant& t = *registry.default_tenant();
     const Vertex v =
         static_cast<Vertex>(std::stoul(flags.at("point-oracle")));
-    if (v >= g.num_vertices()) usage("--point-oracle vertex out of range");
-    service.enable_point_oracle(v);
+    if (v >= t.graph.num_vertices()) {
+      usage("--point-oracle vertex out of range");
+    }
+    t.service.enable_point_oracle(v);
   }
 
+  WireCounters counters;
+
+  if (flags.contains("listen")) {
+    // Socket front-end: same protocol, same LineJob pipeline, one JSONL
+    // stream per connection (src/net/net_server.h). Ordered mode means
+    // per-connection request order; relaxed stamps per-connection seqs.
+    NetServerConfig nc;
+    parse_listen(flags.at("listen"), nc);
+    nc.threads = threads;
+    nc.ordered = !relaxed;
+    NetServer server(registry, nc);
+    g_net_server = &server;
+    install_stop_handlers();
+    std::fprintf(stderr, "listening on %s:%u\n", nc.host.c_str(),
+                 static_cast<unsigned>(server.port()));
+    std::fflush(stderr);
+    server.run();
+    g_net_server = nullptr;
+    std::fprintf(stderr,
+                 "drained: %llu connections, %llu responses\n",
+                 static_cast<unsigned long long>(server.connections_accepted()),
+                 static_cast<unsigned long long>(server.responses_sent()));
+    print_serve_summary(registry, server.wire_counters());
+    return 0;
+  }
+
+  install_stop_handlers();
   std::string line;
-  std::atomic<std::uint64_t> parse_errors{0}, resolve_refusals{0};
   if (threads == 1) {
     // One request per line in, one response per line out; responses are
     // flushed per line so the stream works under a pipe. Relaxed mode with
     // one thread is already in order — it differs only in stamping the
     // correlation seq onto id-less lines, exactly as the workers would.
     std::uint64_t seq = 0;
-    while (std::getline(std::cin, line)) {
+    while (!g_stop && std::getline(std::cin, line)) {
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      const std::uint64_t this_seq = seq++;
-      const ParsedRequest parsed = parse_request_line(line, g);
-      std::optional<std::string> local = local_answer(
-          parsed, parse_errors, resolve_refusals,
-          relaxed ? static_cast<std::int64_t>(this_seq) : -1);
-      std::string out_line;
-      if (local.has_value()) {
-        out_line = std::move(*local);
-      } else {
-        QueryResponse resp = service.serve(parsed.request);
-        if (relaxed) resp.seq = static_cast<std::int64_t>(this_seq);
-        out_line = format_response_line(resp);
-      }
+      LineJob job(registry, line, static_cast<std::int64_t>(seq++), relaxed,
+                  counters);
+      job.admit();
+      const std::string out_line = job.finish();
       std::fprintf(stdout, "%s\n", out_line.c_str());
       std::fflush(stdout);
     }
@@ -576,18 +703,11 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
       std::vector<Item> batch;
       while (queue.pop_batch(batch, batch_size) > 0) {
         for (Item& item : batch) {
-          const ParsedRequest parsed = parse_request_line(item.line, g);
-          std::optional<std::string> local =
-              local_answer(parsed, parse_errors, resolve_refusals,
-                           static_cast<std::int64_t>(item.seq));
-          std::string out_line;
-          if (local.has_value()) {
-            out_line = std::move(*local);
-          } else {
-            QueryResponse resp = service.serve(parsed.request);
-            resp.seq = static_cast<std::int64_t>(item.seq);
-            out_line = format_response_line(resp);
-          }
+          LineJob job(registry, item.line,
+                      static_cast<std::int64_t>(item.seq), /*stamp_seq=*/true,
+                      counters);
+          job.admit();
+          const std::string out_line = job.finish();
           const std::lock_guard lock(out_mutex);
           std::fprintf(stdout, "%s\n", out_line.c_str());
           std::fflush(stdout);
@@ -598,7 +718,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     crew.reserve(threads);
     for (unsigned w = 0; w < threads; ++w) crew.emplace_back(worker);
     std::uint64_t seq = 0;
-    while (std::getline(std::cin, line)) {
+    while (!g_stop && std::getline(std::cin, line)) {
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
       queue.push(Item{seq++, std::move(line)});
       line.clear();
@@ -635,36 +755,25 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
         64 * threads);
     auto worker = [&] {
       std::vector<Item> batch;
-      std::vector<ParsedRequest> parsed;
-      std::vector<std::optional<std::string>> locals;
-      std::vector<std::optional<OracleService::Admission>> admissions;
+      std::vector<LineJob> jobs;
       while (queue.pop_batch(batch, batch_size) > 0) {
         const std::size_t count = batch.size();
-        parsed.clear();
-        locals.clear();
-        admissions.clear();
-        admissions.resize(count);
+        jobs.clear();
+        jobs.reserve(count);
         for (const Item& item : batch) {
-          parsed.push_back(parse_request_line(item.line, g));
-          locals.push_back(
-              local_answer(parsed.back(), parse_errors, resolve_refusals));
+          // Parse phase runs OUTSIDE the ordered section.
+          jobs.emplace_back(registry, item.line,
+                            static_cast<std::int64_t>(item.seq),
+                            /*stamp_seq=*/false, counters);
         }
-        // One ordered section for the whole dense ticket run; locally
+        // One ordered section for the whole dense ticket run — admissions
+        // (quota gate included) happen in strict request order; locally
         // answered lines burn their tickets as part of the same advance.
         order.wait_for(batch.front().seq);
-        for (std::size_t i = 0; i < count; ++i) {
-          if (!locals[i].has_value()) {
-            admissions[i] = service.admit(parsed[i].request);
-          }
-        }
+        for (LineJob& job : jobs) job.admit();
         order.advance_n(count);
         for (std::size_t i = 0; i < count; ++i) {
-          std::string out_line =
-              locals[i].has_value()
-                  ? std::move(*locals[i])
-                  : format_response_line(
-                        service.execute(std::move(*admissions[i])));
-          output.emit(batch[i].seq, std::move(out_line));
+          output.emit(batch[i].seq, jobs[i].finish());
         }
       }
     };
@@ -672,7 +781,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     crew.reserve(threads);
     for (unsigned w = 0; w < threads; ++w) crew.emplace_back(worker);
     std::uint64_t seq = 0;
-    while (std::getline(std::cin, line)) {
+    while (!g_stop && std::getline(std::cin, line)) {
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
       queue.push(Item{seq++, std::move(line)});
       line.clear();
@@ -681,33 +790,10 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     for (std::thread& t : crew) t.join();
   }
 
-  // The summary reconciles against the response stream: refusals include
-  // the locally answered edge-resolution failures, which never reach the
-  // service, and parse errors are reported separately.
-  const ServiceStats stats = service.stats();
-  std::fprintf(stderr,
-               "served %llu requests (%llu ok, %llu refused); %llu parse "
-               "errors; cache %llu/%llu hits (%.0f%%), %llu lines, "
-               "%.0f B/line; %llu lazy builds, "
-               "pool size %zu; query paths %llu fast / %llu repair / "
-               "%llu full\n",
-               static_cast<unsigned long long>(stats.requests +
-                                               resolve_refusals),
-               static_cast<unsigned long long>(stats.served),
-               static_cast<unsigned long long>(stats.refused +
-                                               resolve_refusals),
-               static_cast<unsigned long long>(parse_errors),
-               static_cast<unsigned long long>(stats.cache_hits),
-               static_cast<unsigned long long>(stats.cache_hits +
-                                               stats.cache_misses),
-               100.0 * stats.cache_hit_rate(),
-               static_cast<unsigned long long>(stats.cache_lines),
-               stats.cache_bytes_per_line(),
-               static_cast<unsigned long long>(stats.structures_built),
-               service.pool_size(),
-               static_cast<unsigned long long>(stats.fast_path_hits),
-               static_cast<unsigned long long>(stats.repair_bfs),
-               static_cast<unsigned long long>(stats.full_bfs));
+  if (g_stop != 0) {
+    std::fprintf(stderr, "interrupted: drained in-flight requests\n");
+  }
+  print_serve_summary(registry, counters);
   return 0;
 }
 
@@ -728,6 +814,10 @@ int main(int argc, char** argv) {
     if (cmd == "query") return cmd_query(flags);
     if (cmd == "serve") return cmd_serve(flags);
   } catch (const GraphIoError& err) {
+    std::fprintf(stderr, "ftbfs: %s\n", err.what());
+    return 1;
+  } catch (const std::exception& err) {
+    // Socket setup failures (bind in use, bad address) land here.
     std::fprintf(stderr, "ftbfs: %s\n", err.what());
     return 1;
   }
