@@ -54,6 +54,19 @@ Graph GraphBuilder::build() && {
   return g;
 }
 
+Graph Graph::from_csr_unchecked(Vertex num_vertices, std::vector<Edge> edges,
+                                std::vector<std::uint32_t> offsets,
+                                std::vector<Arc> arcs) {
+  FTBFS_EXPECTS(offsets.size() == static_cast<std::size_t>(num_vertices) + 1);
+  FTBFS_EXPECTS(arcs.size() == 2 * edges.size());
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.edges_ = std::move(edges);
+  g.offsets_ = std::move(offsets);
+  g.arcs_ = std::move(arcs);
+  return g;
+}
+
 EdgeId Graph::find_edge(Vertex u, Vertex v) const {
   FTBFS_EXPECTS(u < num_vertices_ && v < num_vertices_);
   const auto nbrs = neighbors(u);

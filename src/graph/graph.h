@@ -108,6 +108,16 @@ class Graph {
 
   [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
 
+  // Adopts already-built CSR arrays without re-validating them. The snapshot
+  // loader (src/persist/) is the only intended caller: it has just proven the
+  // arrays consistent (canonical edges, monotone offsets, sorted arcs that
+  // agree with the edge list), so rebuilding them through GraphBuilder would
+  // only repeat O((n + m) log n) work the validation already did.
+  [[nodiscard]] static Graph from_csr_unchecked(Vertex num_vertices,
+                                                std::vector<Edge> edges,
+                                                std::vector<std::uint32_t> offsets,
+                                                std::vector<Arc> arcs);
+
  private:
   friend class GraphBuilder;
 

@@ -108,9 +108,14 @@ std::size_t OracleService::build_structure(std::string name, Vertex source,
   FTBFS_EXPECTS(reg.unsupported_reason(chosen, req).empty());
   const BuildResult built = reg.build(chosen, req);
   const BuilderTraits* traits = reg.find(built.algorithm);
-  return add_structure(std::move(name), source, fault_budget, model,
-                       built.structure.edges,
-                       traits == nullptr || traits->exact);
+  const std::size_t idx =
+      add_structure(std::move(name), source, fault_budget, model,
+                    built.structure.edges, traits == nullptr || traits->exact);
+  {
+    const std::unique_lock lock(pool_mutex_);
+    entries_[idx].algorithm = built.algorithm;
+  }
+  return idx;
 }
 
 void OracleService::enable_point_oracle(Vertex source) {
@@ -566,6 +571,7 @@ OracleService::Admission OracleService::admit(const QueryRequest& req) {
           Entry entry(*g_, result.structure.edges);
           entry.name = algo + "@s" + std::to_string(req.source) + "f" +
                        std::to_string(budget);
+          entry.algorithm = result.algorithm;
           entry.source = req.source;
           entry.budget = budget;
           entry.model = model;

@@ -211,8 +211,16 @@ class OracleService {
   [[nodiscard]] FaultQueryEngine& engine(std::size_t entry);
 
  private:
+  // Snapshot persistence (src/persist/service_io.cpp) walks the pool and the
+  // scenario cache to export an image, and rebuilds both from one.
+  friend struct PersistAccess;
+
   struct Entry {
     std::string name;
+    // BuilderRegistry name that produced the structure; empty for prebuilt
+    // edge sets of unknown provenance. Snapshots carry it so a restore can
+    // cross-check the entry against the registry this build ships.
+    std::string algorithm;
     Vertex source = 0;
     unsigned budget = 0;
     FaultModel model = FaultModel::kEdge;

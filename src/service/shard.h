@@ -361,6 +361,42 @@ class ShardedScenarioCache {
     return size_.load(std::memory_order_relaxed);
   }
 
+  // Visits every ready, non-poisoned line (key words + payload) under one
+  // shard's shared lock at a time. Snapshot-export path (src/persist/): the
+  // traversal order is per-shard insertion order, which is deterministic for
+  // a fixed probe history. `fn(words, line)`.
+  template <typename Fn>
+  void for_each_line(Fn&& fn) const {
+    for (const Shard& s : shards_) {
+      const std::shared_lock lock(s.mutex);
+      for (const auto& [key, line] : s.lines) {
+        if (line->ready.load(std::memory_order_acquire) && !poisoned(*line)) {
+          fn(std::span<const std::uint32_t>(key.words), *line);
+        }
+      }
+    }
+  }
+
+  // Inserts a line for `key` without waking the serving counters: no hit or
+  // miss is recorded, nothing is ever evicted to make room, and the caller
+  // must fill()/fill_delta() the returned line before traffic starts.
+  // Snapshot-restore path (cache warming happens before the first request,
+  // so the counter stream the golden replay checks stays untouched). Returns
+  // null when the cache is disabled, the key is already present, or the
+  // shard's capacity slice is full (warming never displaces anything).
+  LinePtr warm_insert(const ScenarioKeyView& key) {
+    if (!enabled()) return nullptr;
+    Shard& shard = shard_for(key);
+    const std::unique_lock lock(shard.mutex);
+    if (shard.lines.find(key) != shard.lines.end()) return nullptr;
+    if (shard.lines.size() >= shard_capacity_) return nullptr;
+    const auto [ins, inserted] =
+        shard.lines.try_emplace(ScenarioKey(key), std::make_shared<Line>());
+    shard.ring.push_back(&*ins);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return ins->second;
+  }
+
   // Payload bytes currently resident across every line, by scan (stats-path
   // only; one shard lock at a time, never two). Pending lines count as 0.
   [[nodiscard]] std::size_t total_resident_bytes() const {

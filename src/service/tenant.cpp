@@ -1,10 +1,13 @@
 #include "service/tenant.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "graph/io.h"
+#include "persist/service_io.h"
+#include "persist/snapshot.h"
 #include "service/json.h"
 
 namespace ftbfs {
@@ -19,6 +22,28 @@ Tenant& TenantRegistry::add(std::string name, Graph graph,
   }
   return tenants_.emplace_back(std::move(name), std::move(graph), config,
                                quotas);
+}
+
+Tenant& TenantRegistry::add_from_snapshot(std::string name,
+                                          const std::string& snapshot_path,
+                                          ServiceConfig config,
+                                          TenantQuotas quotas, bool warm_cache,
+                                          const std::string& graph_path) {
+  SnapshotLoadOptions opts;
+  GraphFingerprint expect;
+  Graph graph_file;
+  if (!graph_path.empty()) {
+    // Fail-closed cross-check: a snapshot built from a different graph is
+    // rejected (kGraphMismatch) before any tenant exists.
+    graph_file = load_graph(graph_path);
+    expect = fingerprint_of(graph_file);
+    opts.expect = &expect;
+  }
+  SnapshotImage image = load_snapshot(snapshot_path, opts);
+  Graph host = std::move(image.graph);
+  Tenant& t = add(std::move(name), std::move(host), config, quotas);
+  PersistAccess::restore_service(t.service, image, warm_cache);
+  return t;
 }
 
 Tenant* TenantRegistry::find(std::string_view name) {
@@ -96,12 +121,28 @@ void TenantRegistry::load_manifest(const std::string& path,
   JsonValue root;
   std::string err;
   if (!JsonReader(text).parse(root, err)) manifest_error(err);
-  // Two accepted shapes: a bare array of tenant entries, or an object with a
-  // "tenants" key (room for future top-level settings).
+  // Two accepted shapes: a bare array of tenant entries (legacy, schema 1),
+  // or an object with a "tenants" key and an optional "schema" version.
+  // Schema 1 (the PR 6 surface) has no snapshot keys and treats unknown keys
+  // as fatal; schema 2 adds "snapshot"/"cache_warm" and downgrades unknown
+  // keys to stderr warnings (the PR 7 convention: surface, don't refuse).
+  std::uint64_t schema = 1;
   const JsonValue* tenants = &root;
   if (root.kind == JsonValue::Kind::kObject) {
+    if (const JsonValue* sv = root.find("schema")) {
+      if (!json_read_uint(*sv, schema) || schema < 1 || schema > 2) {
+        manifest_error(
+            "\"schema\" must be 1 or 2 (this build understands up to 2)");
+      }
+    }
     for (const auto& [key, value] : root.object) {
-      if (key != "tenants") {
+      if (key == "tenants" || key == "schema") continue;
+      if (schema >= 2) {
+        std::fprintf(stderr,
+                     "ftbfs: warning: tenant manifest: ignoring unknown "
+                     "top-level key \"%s\"\n",
+                     key.c_str());
+      } else {
         manifest_error("unknown top-level key \"" + key + "\"");
       }
     }
@@ -111,6 +152,13 @@ void TenantRegistry::load_manifest(const std::string& path,
   if (tenants->kind != JsonValue::Kind::kArray) {
     manifest_error("top level must be a tenant array or {\"tenants\": [...]}");
   }
+  if (schema < 2) {
+    std::fprintf(stderr,
+                 "ftbfs: warning: tenant manifest '%s' parsed as schema 1 "
+                 "(deprecated); add \"schema\": 2 — see the schema table in "
+                 "docs/serving.md\n",
+                 path.c_str());
+  }
 
   for (const JsonValue& entry : tenants->array) {
     if (entry.kind != JsonValue::Kind::kObject) {
@@ -118,6 +166,8 @@ void TenantRegistry::load_manifest(const std::string& path,
     }
     std::string name;
     std::string graph_path;
+    std::string snapshot_path;
+    bool cache_warm = false;
     ServiceConfig config = base;
     TenantQuotas quotas;
     for (const auto& [key, value] : entry.object) {
@@ -152,17 +202,50 @@ void TenantRegistry::load_manifest(const std::string& path,
           manifest_error("\"max_requests\" must be an integer");
         }
         quotas.max_requests = u;
+      } else if (key == "snapshot") {
+        if (schema < 2) {
+          manifest_error("\"snapshot\" needs \"schema\": 2");
+        }
+        if (value.kind != JsonValue::Kind::kString || value.str.empty()) {
+          manifest_error("\"snapshot\" must be a file path");
+        }
+        snapshot_path = value.str;
+      } else if (key == "cache_warm") {
+        if (schema < 2) {
+          manifest_error("\"cache_warm\" needs \"schema\": 2");
+        }
+        if (value.kind != JsonValue::Kind::kBool) {
+          manifest_error("\"cache_warm\" must be a boolean");
+        }
+        cache_warm = value.boolean;
+      } else if (schema >= 2) {
+        std::fprintf(stderr,
+                     "ftbfs: warning: tenant manifest: ignoring unknown "
+                     "tenant key \"%s\"\n",
+                     key.c_str());
       } else {
-        // The manifest is operator config, not client traffic: a typo here
+        // Schema 1 is operator config with no warnings channel: a typo here
         // should stop the process, not silently serve with defaults.
         manifest_error("unknown tenant key \"" + key + "\"");
       }
     }
     if (name.empty()) manifest_error("tenant entry is missing \"name\"");
-    if (graph_path.empty()) {
-      manifest_error("tenant \"" + name + "\" is missing \"graph\"");
+    if (cache_warm && snapshot_path.empty()) {
+      manifest_error("tenant \"" + name + "\": \"cache_warm\" needs "
+                     "\"snapshot\"");
     }
-    add(std::move(name), load_graph(graph_path), config, quotas);
+    if (!snapshot_path.empty()) {
+      // With both keys, the graph file is the fingerprint cross-check; the
+      // tenant's graph is the snapshot's either way.
+      add_from_snapshot(std::move(name), snapshot_path, config, quotas,
+                        cache_warm, graph_path);
+    } else if (graph_path.empty()) {
+      manifest_error("tenant \"" + name + "\" is missing \"graph\"" +
+                     (schema >= 2 ? std::string(" (or \"snapshot\")")
+                                  : std::string()));
+    } else {
+      add(std::move(name), load_graph(graph_path), config, quotas);
+    }
   }
   if (tenants_.empty()) manifest_error("\"tenants\" names no tenants");
 }

@@ -99,13 +99,32 @@ class TenantRegistry {
   Tenant& add(std::string name, Graph graph, ServiceConfig config = {},
               TenantQuotas quotas = {});
 
-  // Registers every tenant named in a JSON manifest file (see docs/serving.md
-  // "Network serving & tenants"):
-  //   {"tenants": [{"name": "alpha", "graph": "a.txt", "cache": 256,
+  // Registers a tenant whose graph and structure pool come from a .ftb
+  // snapshot (src/persist/): the snapshot's graph becomes the tenant's, its
+  // entries/baselines are restored into the service, and `warm_cache`
+  // pre-fills the scenario cache from the snapshot's cache image. When
+  // `graph_path` is non-empty, that file is loaded first and its fingerprint
+  // must match the snapshot's — a snapshot built from a different graph is
+  // rejected (SnapshotError, kGraphMismatch) before the tenant exists, never
+  // served against. Throws SnapshotError on any snapshot rejection.
+  Tenant& add_from_snapshot(std::string name, const std::string& snapshot_path,
+                            ServiceConfig config = {}, TenantQuotas quotas = {},
+                            bool warm_cache = false,
+                            const std::string& graph_path = {});
+
+  // Registers every tenant named in a JSON manifest file (see the schema
+  // table in docs/serving.md "Network serving & tenants"). Schema 2:
+  //   {"schema": 2,
+  //    "tenants": [{"name": "alpha", "graph": "a.txt", "cache": 256,
   //                 "budget": 2, "max_lazy": 3, "lazy": true, "seed": 1,
-  //                 "max_requests": 0}, ...]}
-  // `name` and `graph` are required; everything else defaults to `base`.
-  // Throws GraphIoError on unreadable/malformed manifests or graphs.
+  //                 "max_requests": 0, "snapshot": "a.ftb",
+  //                 "cache_warm": false}, ...]}
+  // `name` plus one of `graph`/`snapshot` are required (both = fingerprint
+  // cross-check); everything else defaults to `base`. Unknown keys warn on
+  // stderr under schema 2. Manifests without "schema" (or with "schema": 1)
+  // parse with schema-1 semantics — no snapshot keys, unknown keys fatal —
+  // plus a deprecation warning. Throws GraphIoError on unreadable/malformed
+  // manifests or graphs, SnapshotError on snapshot rejections.
   void load_manifest(const std::string& path, const ServiceConfig& base = {});
 
   // nullptr when unknown; "" resolves to the default tenant.

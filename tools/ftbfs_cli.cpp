@@ -1,42 +1,32 @@
 // ftbfs — command-line front end for the library.
 //
-// Subcommands:
-//   algos  (lists the registered structure builders)
-//   gen    --family <er|grid|cycle|path|hypercube|barbell|gstar1|gstar2>
-//          --n <int> [--seed <int>] [--p <float>] --out <file>
-//   build  --graph <file> --source <int> --faults <int>
-//          [--algo <registered name>] [--fault-model edge|vertex]
-//          [--sources v1,v2,...] [--out <file>] [--stats plain|json]
-//   verify --graph <file> --structure <file> --source <int> --faults <int>
-//          [--mode exhaustive|sampled] [--samples <int>]
-//          [--fault-model edge|vertex]
-//   query  --graph <file> --source <int> --target <int>
-//          [--fault-edges u-v,u-v | --fault-vertices v1,v2] [--faults <int>]
-//          [--algo <name>]
-//   serve  [--graph <file>] [--tenants <manifest.json>] [--budget <f>]
-//          [--max-lazy <f>] [--cache <n>] [--lazy on|off] [--point-oracle <v>]
-//          [--seed <int>] [--threads <n>] [--mode ordered|relaxed]
-//          [--batch <k>] [--max-requests <n>] [--listen <host:port>]
-//          (reads JSONL QueryRequests from stdin, streams JSONL QueryResponses
-//           to stdout; wire format in docs/serving.md. --threads N serves
-//           requests on N concurrent workers. --mode ordered — the default —
-//           keeps the response stream in request order and byte-identical to
-//           --threads 1, draining up to --batch admission turns per ticket-
-//           lock acquisition; --mode relaxed emits responses as they finish,
-//           each carrying its request id (or a "seq" field when the request
-//           had none) — per-id bytes still match ordered mode.
-//           --tenants hosts several named graphs in one process (requests
-//           route with a "tenant" field); --listen serves the same protocol
-//           over a TCP socket per connection instead of stdin — see
-//           docs/serving.md "Network serving & tenants". SIGINT/SIGTERM
-//           drain in-flight requests and print the summary before exiting)
+// Subcommands (each has `--help` with the full flag table):
+//   gen      generate a benchmark graph family to an edge-list file
+//   build    construct an FT-BFS structure; --out writes the kept edges, or a
+//            versioned .ftb snapshot (graph CSR + structures + baselines —
+//            docs/persistence.md) when the path ends in .ftb
+//   verify   check a structure file against its fault-tolerance contract
+//   query    one-shot distance/path under a fault set
+//   serve    JSONL oracle service over stdin or TCP (docs/serving.md);
+//            --load restores the structure pool from a snapshot instead of
+//            rebuilding, --save writes one at drain
+//   algos    list the registered structure builders
+//   version  print the tool and snapshot-format versions
+//   help     subcommand listing (help <command> = that command's --help)
+//
+// Flags follow one convention (tools/cli_flags.h): `--flag value` or
+// `--flag=value`, strict typed validation, unknown flags rejected. Old
+// spellings from earlier releases (--faults, --cache, --max-lazy) keep
+// working behind a stderr deprecation warning. Exit codes: 0 success,
+// 1 runtime failure (I/O, snapshot rejection, socket setup), 2 usage.
 //
 // Structure construction is dispatched through the BuilderRegistry — any
 // registered algorithm name (or alias) works with --algo, and unknown names
 // list the registry. One-shot queries are served by a FaultQueryEngine over
 // the built structure; `serve` runs an OracleService over a lazily built
-// structure pool with scenario caching. Structures are exchanged as edge-list
-// files of the kept subgraph.
+// structure pool with scenario caching.
+#include <sys/stat.h>
+
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -45,14 +35,13 @@
 #include <cmath>
 #include <iostream>
 #include <sstream>
-#include <map>
 #include <mutex>
-#include <numeric>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cli_flags.h"
 #include "core/verify.h"
 #include "engine/query_engine.h"
 #include "engine/registry.h"
@@ -60,15 +49,23 @@
 #include "graph/io.h"
 #include "lowerbound/gstar.h"
 #include "net/net_server.h"
+#include "persist/service_io.h"
+#include "persist/snapshot.h"
 #include "service/oracle_service.h"
 #include "service/protocol.h"
 #include "service/tenant.h"
 #include "service/work_queue.h"
 #include "util/timer.h"
 
+#ifndef FTBFS_CLI_VERSION
+#define FTBFS_CLI_VERSION "0.0.0-dev"
+#endif
+
 namespace {
 
 using namespace ftbfs;
+using cli::FlagParser;
+using cli::UsageError;
 
 void list_algos(std::FILE* out) {
   for (const BuilderTraits& t : BuilderRegistry::instance().traits()) {
@@ -82,88 +79,210 @@ void list_algos(std::FILE* out) {
   }
 }
 
-[[noreturn]] void usage(const char* why) {
-  std::fprintf(stderr, "ftbfs: %s\n", why);
-  std::fprintf(stderr,
-               "usage:\n"
-               "  ftbfs algos\n"
-               "  ftbfs gen --family <name> --n <int> [--seed S] [--p P] "
-               "--out <file>\n"
-               "  ftbfs build --graph <file> --source <v> --faults <f> "
-               "[--algo <name>] [--fault-model edge|vertex]\n"
-               "              [--sources v1,v2,...] [--out <file>] "
-               "[--stats plain|json]\n"
-               "  ftbfs verify --graph <file> --structure <file> --source <v> "
-               "--faults <f> [--mode exhaustive|sampled] [--samples N]\n"
-               "               [--fault-model edge|vertex]\n"
-               "  ftbfs query --graph <file> --source <v> --target <v> "
-               "[--fault-edges u-v,u-v | --fault-vertices v1,v2]\n"
-               "              [--faults f] [--algo <name>]\n"
-               "  ftbfs serve [--graph <file>] [--tenants <manifest.json>] "
-               "[--budget f] [--max-lazy f]\n"
-               "              [--cache n] [--lazy on|off] [--point-oracle v] "
-               "[--seed S] [--threads n]\n"
-               "              [--mode ordered|relaxed] [--batch k] "
-               "[--max-requests n] [--listen host:port]\n"
-               "              (JSONL requests on stdin, or per TCP connection "
-               "with --listen)\n"
-               "registered builders (--algo):\n");
+void global_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: ftbfs <command> [flags]\n"
+               "commands:\n"
+               "  gen      generate a benchmark graph family\n"
+               "  build    construct an FT-BFS structure (--out file.ftb "
+               "writes a snapshot)\n"
+               "  verify   check a structure against its fault-tolerance "
+               "contract\n"
+               "  query    one-shot distance/path under a fault set\n"
+               "  serve    JSONL oracle service over stdin or TCP "
+               "(--load/--save snapshots)\n"
+               "  algos    list registered structure builders\n"
+               "  version  print tool and snapshot-format versions\n"
+               "  help     this listing; `ftbfs help <command>` shows its "
+               "flags\n"
+               "run `ftbfs <command> --help` for the flag table; registered "
+               "builders (--algo):\n");
+  list_algos(out);
+}
+
+// Unknown/unsupported algorithm names end with the registry listing so the
+// user can pick a real one; this is a usage error (exit 2) like any other.
+[[noreturn]] void registry_fail(const std::string& reason) {
+  std::fprintf(stderr, "ftbfs: %s\nregistered builders:\n", reason.c_str());
   list_algos(stderr);
   std::exit(2);
 }
 
-// Tiny flag parser: --key value pairs after the subcommand.
-std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               int start) {
-  std::map<std::string, std::string> flags;
-  for (int i = start; i < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) != 0) usage("expected --flag value");
-    if (i + 1 >= argc) {
-      usage(("--" + std::string(argv[i] + 2) + " requires a value").c_str());
-    }
-    flags[argv[i] + 2] = argv[i + 1];
+// --- per-subcommand flag surfaces ------------------------------------------
+
+FlagParser gen_parser() {
+  FlagParser p("gen", "generate a benchmark graph family to an edge-list file");
+  p.required("family", "<name>",
+             "er|grid|cycle|path|hypercube|barbell|gstar1|gstar2");
+  p.required("n", "<int>", "target vertex count");
+  p.required("out", "<file>", "output edge-list path");
+  p.optional("seed", "<int>", "generator seed", "1");
+  p.optional("p", "<float>", "er edge probability", "0.1");
+  return p;
+}
+
+FlagParser build_parser() {
+  FlagParser p("build",
+               "construct an FT-BFS structure through the BuilderRegistry");
+  p.required("graph", "<file>", "host graph (edge-list file)");
+  p.required("budget", "<f>", "fault budget the structure must survive");
+  p.optional("source", "<v>", "BFS source vertex");
+  p.optional("sources", "<v1,v2,...>", "multiple sources (multi-source build)");
+  p.optional("algo", "<name>", "builder name or alias (see `ftbfs algos`)",
+             "auto");
+  p.optional("fault-model", "edge|vertex", "fault kind the budget covers",
+             "edge");
+  p.optional("out", "<file>",
+             "write the kept edges; a .ftb path writes a snapshot instead "
+             "(graph + structures + baselines, docs/persistence.md)");
+  p.optional("stats", "plain|json", "build report format", "plain");
+  p.optional("seed", "<int>", "tie-breaking weight seed", "1");
+  p.deprecated("faults", "budget");
+  return p;
+}
+
+FlagParser verify_parser() {
+  FlagParser p("verify",
+               "check a structure file against its fault-tolerance contract");
+  p.required("graph", "<file>", "host graph (edge-list file)");
+  p.required("structure", "<file>", "structure edge-list to validate");
+  p.required("source", "<v>", "BFS source the structure serves");
+  p.required("budget", "<f>", "fault budget to check");
+  p.optional("mode", "exhaustive|sampled", "fault-set enumeration strategy",
+             "exhaustive");
+  p.optional("samples", "<int>", "fault sets drawn in sampled mode", "1000");
+  p.optional("fault-model", "edge|vertex", "fault kind", "edge");
+  p.deprecated("faults", "budget");
+  return p;
+}
+
+FlagParser query_parser() {
+  FlagParser p("query", "one-shot distance/path under a fault set");
+  p.required("graph", "<file>", "host graph (edge-list file)");
+  p.required("source", "<v>", "path source");
+  p.required("target", "<v>", "path target");
+  p.optional("fault-edges", "<u-v,u-v>", "failed edges (endpoints)");
+  p.optional("fault-vertices", "<v1,v2>", "failed vertices");
+  p.optional("budget", "<f>", "structure fault budget", "fault count");
+  p.optional("algo", "<name>", "builder name or alias", "auto");
+  p.optional("fault-model", "edge|vertex", "fault kind", "edge");
+  p.optional("seed", "<int>", "tie-breaking weight seed", "1");
+  p.deprecated("faults", "budget");
+  return p;
+}
+
+FlagParser serve_parser() {
+  FlagParser p("serve",
+               "JSONL oracle service: requests on stdin (or per TCP "
+               "connection with --listen), responses on stdout");
+  p.optional("graph", "<file>", "host graph for the default tenant");
+  p.optional("load", "<snap.ftb>",
+             "restore the default tenant's pool/baselines from a snapshot "
+             "(with --graph, the graph fingerprints must match)");
+  p.optional("save", "<snap.ftb>",
+             "write the default tenant's pool + warm cache as a snapshot at "
+             "drain");
+  p.optional("warm-cache", "on|off",
+             "pre-fill the scenario cache from the loaded snapshot (cache_hit "
+             "flags then differ from a cold run)",
+             "off");
+  p.optional("tenants", "<manifest.json>",
+             "host additional named graphs (docs/serving.md schema table)");
+  p.optional("budget", "<f>", "fault budget targeted by lazy builds", "2");
+  p.optional("max-lazy-budget", "<f>", "largest budget a lazy build accepts",
+             "3");
+  p.optional("cache-capacity", "<n>", "scenario-cache lines (0 disables)",
+             "256");
+  p.optional("lazy", "on|off", "build pool entries on demand", "on");
+  p.optional("point-oracle", "<v>",
+             "precompute the O(1) single-fault oracle for this source");
+  p.optional("seed", "<int>", "tie-breaking weight seed for lazy builds", "1");
+  p.optional("threads", "<n>", "worker threads (1..256)", "1");
+  p.optional("mode", "ordered|relaxed",
+             "response ordering contract (docs/serving.md)", "ordered");
+  p.optional("batch", "<k>", "admission turns drained per ticket acquisition",
+             "8");
+  p.optional("max-requests", "<n>", "default tenant request quota (0 = off)",
+             "0");
+  p.optional("listen", "<host:port>", "serve over TCP instead of stdin");
+  p.deprecated("cache", "cache-capacity");
+  p.deprecated("max-lazy", "max-lazy-budget");
+  return p;
+}
+
+// `ftbfs help <command>` renders the same table as `ftbfs <command> --help`.
+bool print_command_help(const std::string& cmd, std::FILE* out) {
+  if (cmd == "gen") gen_parser().print_help(out);
+  else if (cmd == "build") build_parser().print_help(out);
+  else if (cmd == "verify") verify_parser().print_help(out);
+  else if (cmd == "query") query_parser().print_help(out);
+  else if (cmd == "serve") serve_parser().print_help(out);
+  else return false;
+  return true;
+}
+
+// --- shared helpers ---------------------------------------------------------
+
+// Parses a delimiter-separated list of unsigned integers; any trailing or
+// embedded garbage is a usage error. Shared by --sources, --fault-edges, and
+// --fault-vertices.
+std::vector<Vertex> parse_uint_list(const FlagParser& p, std::string spec,
+                                    const std::string& delims,
+                                    const char* error) {
+  for (char& c : spec) {
+    if (delims.find(c) != std::string::npos) c = ' ';
   }
-  return flags;
+  std::istringstream in(spec);
+  std::vector<Vertex> out;
+  Vertex v;
+  while (in >> v) out.push_back(v);
+  if (!in.eof()) p.fail(error);
+  return out;
 }
 
-// Rejects typo'd flag names up front — a silently ignored flag would answer a
-// question the user did not ask.
-void check_flags(const std::map<std::string, std::string>& flags,
-                 std::initializer_list<const char*> allowed) {
-  for (const auto& [key, value] : flags) {
-    bool known = false;
-    for (const char* a : allowed) {
-      if (key == a) {
-        known = true;
-        break;
-      }
-    }
-    if (!known) usage(("unknown flag --" + key).c_str());
+// The flags build/query share: budget, seed, fault model.
+BuildRequest base_request(const Graph& g, const FlagParser& p,
+                          std::uint64_t default_budget) {
+  BuildRequest req;
+  req.graph = &g;
+  req.fault_budget = static_cast<unsigned>(
+      p.get_uint("budget", default_budget, 0, 1u << 20));
+  req.weight_seed = p.get_uint("seed", 1);
+  const std::string model = p.get("fault-model", "edge");
+  if (model == "vertex") {
+    req.fault_model = FaultModel::kVertex;
+  } else if (model != "edge") {
+    p.fail("--fault-model must be edge or vertex");
   }
+  return req;
 }
 
-std::string need(const std::map<std::string, std::string>& flags,
-                 const std::string& key) {
-  const auto it = flags.find(key);
-  if (it == flags.end()) usage(("missing --" + key).c_str());
-  return it->second;
+// Dispatches through the registry, exiting with the name listing on any
+// unknown name or unsupported request.
+BuildResult registry_build(const BuildRequest& req, const std::string& algo) {
+  const BuilderRegistry& reg = BuilderRegistry::instance();
+  const std::string reason = reg.unsupported_reason(algo, req);
+  if (!reason.empty()) registry_fail(reason);
+  return reg.build(algo, req);
 }
 
-std::string get_or(const std::map<std::string, std::string>& flags,
-                   const std::string& key, const std::string& fallback) {
-  const auto it = flags.find(key);
-  return it == flags.end() ? fallback : it->second;
+std::uint64_t file_size_bytes(const std::string& path) {
+  struct stat st = {};
+  return ::stat(path.c_str(), &st) == 0
+             ? static_cast<std::uint64_t>(st.st_size)
+             : 0;
 }
 
-int cmd_gen(const std::map<std::string, std::string>& flags) {
-  check_flags(flags, {"family", "n", "seed", "p", "out"});
-  const std::string family = need(flags, "family");
-  const Vertex n = static_cast<Vertex>(std::stoul(need(flags, "n")));
-  const std::uint64_t seed = std::stoull(get_or(flags, "seed", "1"));
-  const double p = std::stod(get_or(flags, "p", "0.1"));
+// --- gen ---------------------------------------------------------------------
+
+int cmd_gen(const FlagParser& p) {
+  const std::string family = p.get("family");
+  const Vertex n = static_cast<Vertex>(p.get_uint("n", 0, 1, 0xFFFFFFFFull));
+  const std::uint64_t seed = p.get_uint("seed", 1);
+  const double prob = p.get_double("p", 0.1);
   Graph g;
   if (family == "er") {
-    g = erdos_renyi(n, p, seed);
+    g = erdos_renyi(n, prob, seed);
   } else if (family == "grid") {
     const Vertex side = static_cast<Vertex>(std::max(1.0, std::sqrt(n)));
     g = grid_graph(side, side);
@@ -182,67 +301,14 @@ int cmd_gen(const std::map<std::string, std::string>& flags) {
   } else if (family == "gstar2") {
     g = build_gstar(2, n).graph;
   } else {
-    usage("unknown family");
+    p.fail("unknown family '" + family + "'");
   }
-  save_graph(need(flags, "out"), g);
-  std::printf("wrote %s: %s\n", need(flags, "out").c_str(),
-              describe(g).c_str());
+  save_graph(p.get("out"), g);
+  std::printf("wrote %s: %s\n", p.get("out").c_str(), describe(g).c_str());
   return 0;
 }
 
-// Parses a delimiter-separated list of unsigned integers; any trailing or
-// embedded garbage is a usage error. Shared by --sources, --fault-edges, and
-// --fault-vertices.
-std::vector<Vertex> parse_uint_list(std::string spec,
-                                    const std::string& delims,
-                                    const char* error) {
-  for (char& c : spec) {
-    if (delims.find(c) != std::string::npos) c = ' ';
-  }
-  std::istringstream in(spec);
-  std::vector<Vertex> out;
-  Vertex v;
-  while (in >> v) out.push_back(v);
-  if (!in.eof()) usage(error);
-  return out;
-}
-
-// Builds a BuildRequest from the shared build/query flags.
-BuildRequest parse_build_request(
-    const Graph& g, const std::map<std::string, std::string>& flags) {
-  BuildRequest req;
-  req.graph = &g;
-  req.fault_budget =
-      static_cast<unsigned>(std::stoul(get_or(flags, "faults", "2")));
-  req.weight_seed = std::stoull(get_or(flags, "seed", "1"));
-  const std::string model = get_or(flags, "fault-model", "edge");
-  if (model == "vertex") {
-    req.fault_model = FaultModel::kVertex;
-  } else if (model != "edge") {
-    usage("--fault-model must be edge or vertex");
-  }
-  if (flags.contains("sources")) {
-    req.sources = parse_uint_list(flags.at("sources"), ",",
-                                  "malformed --sources (expected v1,v2,...)");
-  } else {
-    req.sources = {static_cast<Vertex>(std::stoul(need(flags, "source")))};
-  }
-  if (req.sources.empty()) usage("--sources is empty");
-  return req;
-}
-
-// Dispatches through the registry, exiting with the name listing on any
-// unknown name or unsupported request.
-BuildResult registry_build(const BuildRequest& req, const std::string& algo) {
-  const BuilderRegistry& reg = BuilderRegistry::instance();
-  const std::string reason = reg.unsupported_reason(algo, req);
-  if (!reason.empty()) {
-    std::fprintf(stderr, "ftbfs: %s\nregistered builders:\n", reason.c_str());
-    list_algos(stderr);
-    std::exit(2);
-  }
-  return reg.build(algo, req);
-}
+// --- build -------------------------------------------------------------------
 
 void print_stats_json(const Graph& g, const BuildResult& r) {
   const FtBfsStats& st = r.structure.stats;
@@ -266,23 +332,112 @@ void print_stats_json(const Graph& g, const BuildResult& r) {
   std::printf("}\n");
 }
 
-int cmd_build(const std::map<std::string, std::string>& flags) {
-  check_flags(flags, {"graph", "source", "sources", "faults", "algo",
-                      "fault-model", "out", "stats", "seed"});
-  const Graph g = load_graph(need(flags, "graph"));
-  (void)need(flags, "faults");  // mandatory here; query defaults it instead
-  const std::string stats_mode = get_or(flags, "stats", "plain");
-  if (stats_mode != "plain" && stats_mode != "json") {
-    usage("--stats must be plain or json");  // fail before the build runs
+// `build --out snap.ftb`: build one structure per source through a quiesced
+// OracleService (so pool entry names/indices match what `serve` would create
+// lazily), prebuild each per-source baseline tree, and export the whole pool
+// as a snapshot. `serve --load snap.ftb` then reaches first-response
+// readiness with zero construction work.
+int build_snapshot(const Graph& g, const FlagParser& p, const BuildRequest& req,
+                   const std::string& out, const std::string& stats_mode) {
+  const BuilderRegistry& reg = BuilderRegistry::instance();
+  std::string chosen = p.get("algo", "");
+  if (chosen.empty()) {
+    chosen = BuilderRegistry::default_builder(req.fault_budget, req.fault_model,
+                                              1);
   }
-  BuildRequest req = parse_build_request(g, flags);
+  if (const BuilderTraits* traits = reg.find(chosen)) {
+    chosen = traits->name;  // canonical name — matches lazy-build entry naming
+  }
+  std::vector<Vertex> sources;  // input order, duplicates collapsed
+  for (const Vertex s : req.sources) {
+    if (std::find(sources.begin(), sources.end(), s) == sources.end()) {
+      sources.push_back(s);
+    }
+  }
+
+  ServiceConfig sc;
+  sc.default_budget = req.fault_budget;
+  sc.max_lazy_budget = std::max(3u, req.fault_budget);
+  sc.lazy_build = false;
+  sc.cache_capacity = 0;
+  sc.weight_seed = req.weight_seed;
+  OracleService service(g, sc);
+
+  Timer timer;
+  for (const Vertex s : sources) {
+    BuildRequest one = req;
+    one.sources = {s};
+    const std::string reason = reg.unsupported_reason(chosen, one);
+    if (!reason.empty()) registry_fail(reason);
+    service.build_structure(chosen + "@s" + std::to_string(s) + "f" +
+                                std::to_string(req.fault_budget),
+                            s, req.fault_budget, req.fault_model, chosen);
+  }
+  // Entry i+1 is sources[i] (entry 0 is the identity engine); prebuilding the
+  // per-source baselines is what makes a loaded snapshot fast-path-ready
+  // without a warmup query.
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    (void)service.engine(i + 1).baseline_hops(sources[i]);
+  }
+  const double build_seconds = timer.seconds();
+
+  const SnapshotImage image = PersistAccess::export_service(service, false);
+  save_snapshot(out, image);
+  const std::uint64_t bytes = file_size_bytes(out);
+
+  if (stats_mode == "json") {
+    std::printf("{\"snapshot\":\"%s\",\"algorithm\":\"%s\",\"n\":%u,"
+                "\"m\":%u,\"entries\":%zu,\"baselines\":%zu,\"bytes\":%llu,"
+                "\"resident_bytes\":%llu,\"seconds\":%.6f}\n",
+                out.c_str(), chosen.c_str(), g.num_vertices(), g.num_edges(),
+                image.entries.size(), image.baselines.size(),
+                static_cast<unsigned long long>(bytes),
+                static_cast<unsigned long long>(image_resident_bytes(image)),
+                build_seconds);
+  } else {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      std::printf("%s: kept %llu / %u edges\n",
+                  service.entry_name(i + 1).c_str(),
+                  static_cast<unsigned long long>(service.entry_edges(i + 1)),
+                  g.num_edges());
+    }
+    std::printf("wrote snapshot %s: %zu structures, %zu baselines, %llu bytes "
+                "(%.2fs)\n",
+                out.c_str(), image.entries.size(), image.baselines.size(),
+                static_cast<unsigned long long>(bytes), build_seconds);
+  }
+  return 0;
+}
+
+int cmd_build(const FlagParser& p) {
+  const Graph g = load_graph(p.get("graph"));
+  const std::string stats_mode = p.get("stats", "plain");
+  if (stats_mode != "plain" && stats_mode != "json") {
+    p.fail("--stats must be plain or json");  // fail before the build runs
+  }
+  BuildRequest req = base_request(g, p, 2);
+  if (p.has("sources")) {
+    req.sources = parse_uint_list(p, p.get("sources"), ",",
+                                  "malformed --sources (expected v1,v2,...)");
+  } else if (p.has("source")) {
+    req.sources = {
+        static_cast<Vertex>(p.get_uint("source", 0, 0, 0xFFFFFFFFull))};
+  } else {
+    p.fail("build needs --source or --sources");
+  }
+  if (req.sources.empty()) p.fail("--sources is empty");
+
+  if (p.has("out") && p.get("out").ends_with(".ftb")) {
+    return build_snapshot(g, p, req, p.get("out"), stats_mode);
+  }
+
   // JSON stats are for machines; include the optional instrumentation
   // (e.g. Cons2 path classification) in that mode.
   req.collect_stats = stats_mode == "json";
   const std::string algo =
-      get_or(flags, "algo",
-             BuilderRegistry::default_builder(req.fault_budget, req.fault_model,
-                                              req.sources.size()));
+      p.get("algo",
+            BuilderRegistry::default_builder(req.fault_budget, req.fault_model,
+                                             req.sources.size()));
   const BuildResult r = registry_build(req, algo);
 
   if (stats_mode == "json") {
@@ -294,14 +449,16 @@ int cmd_build(const std::map<std::string, std::string>& flags) {
                     std::max(1u, g.num_edges()),
                 r.build_seconds);
   }
-  if (flags.contains("out")) {
-    save_graph(flags.at("out"), materialize(g, r.structure));
+  if (p.has("out")) {
+    save_graph(p.get("out"), materialize(g, r.structure));
     if (stats_mode != "json") {
-      std::printf("wrote structure to %s\n", flags.at("out").c_str());
+      std::printf("wrote structure to %s\n", p.get("out").c_str());
     }
   }
   return 0;
 }
+
+// --- verify ------------------------------------------------------------------
 
 // Maps the edges of a structure file back onto ids of the host graph.
 std::vector<EdgeId> structure_edge_ids(const Graph& g, const Graph& h) {
@@ -318,24 +475,24 @@ std::vector<EdgeId> structure_edge_ids(const Graph& g, const Graph& h) {
   return ids;
 }
 
-int cmd_verify(const std::map<std::string, std::string>& flags) {
-  check_flags(flags, {"graph", "structure", "source", "faults", "mode",
-                      "samples", "fault-model"});
-  const Graph g = load_graph(need(flags, "graph"));
-  const Graph h = load_graph(need(flags, "structure"));
-  const Vertex s = static_cast<Vertex>(std::stoul(need(flags, "source")));
-  const unsigned f = static_cast<unsigned>(std::stoul(need(flags, "faults")));
-  const std::string mode = get_or(flags, "mode", "exhaustive");
-  const std::string model = get_or(flags, "fault-model", "edge");
+int cmd_verify(const FlagParser& p) {
+  const Graph g = load_graph(p.get("graph"));
+  const Graph h = load_graph(p.get("structure"));
+  const Vertex s =
+      static_cast<Vertex>(p.get_uint("source", 0, 0, 0xFFFFFFFFull));
+  const unsigned f =
+      static_cast<unsigned>(p.get_uint("budget", 0, 0, 1u << 20));
+  const std::string mode = p.get("mode", "exhaustive");
+  const std::string model = p.get("fault-model", "edge");
   if (model != "edge" && model != "vertex") {
-    usage("--fault-model must be edge or vertex");
+    p.fail("--fault-model must be edge or vertex");
   }
   // Keep library contract violations out of reach of user input.
   if (mode == "exhaustive" && f > 3) {
-    usage("--mode exhaustive supports --faults 0..3");
+    p.fail("--mode exhaustive supports --budget 0..3");
   }
   if (mode == "sampled" && f == 0) {
-    usage("--mode sampled requires --faults >= 1");
+    p.fail("--mode sampled requires --budget >= 1");
   }
   const std::vector<EdgeId> ids = structure_edge_ids(g, h);
   const std::vector<Vertex> sources = {s};
@@ -344,17 +501,16 @@ int cmd_verify(const std::map<std::string, std::string>& flags) {
   std::optional<Violation> violation;
   if (model == "vertex") {
     if (mode != "exhaustive") {
-      usage("--fault-model vertex supports --mode exhaustive only");
+      p.fail("--fault-model vertex supports --mode exhaustive only");
     }
     violation = verify_exhaustive_vertex(g, ids, sources, f);
   } else if (mode == "exhaustive") {
     violation = verify_exhaustive(g, ids, sources, f);
   } else if (mode == "sampled") {
-    const std::uint64_t samples =
-        std::stoull(get_or(flags, "samples", "1000"));
+    const std::uint64_t samples = p.get_uint("samples", 1000, 1);
     violation = verify_sampled(g, ids, sources, f, samples, 1);
   } else {
-    usage("unknown mode");
+    p.fail("--mode must be exhaustive or sampled");
   }
   if (violation) {
     std::printf("INVALID: %s\n", violation->describe(g).c_str());
@@ -365,68 +521,68 @@ int cmd_verify(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_query(const std::map<std::string, std::string>& flags) {
-  check_flags(flags, {"graph", "source", "sources", "target", "fault-edges",
-                      "fault-vertices", "faults", "algo", "fault-model",
-                      "seed"});
-  const Graph g = load_graph(need(flags, "graph"));
-  const Vertex s = static_cast<Vertex>(std::stoul(need(flags, "source")));
-  const Vertex t = static_cast<Vertex>(std::stoul(need(flags, "target")));
-  if (t >= g.num_vertices()) usage("--target out of range");
+// --- query -------------------------------------------------------------------
+
+int cmd_query(const FlagParser& p) {
+  const Graph g = load_graph(p.get("graph"));
+  const Vertex s =
+      static_cast<Vertex>(p.get_uint("source", 0, 0, 0xFFFFFFFFull));
+  const Vertex t =
+      static_cast<Vertex>(p.get_uint("target", 0, 0, 0xFFFFFFFFull));
+  if (t >= g.num_vertices()) p.fail("--target out of range");
   std::vector<EdgeId> faults;
-  if (flags.contains("fault-edges")) {
+  if (p.has("fault-edges")) {
     const char* err = "malformed --fault-edges (expected u-v,u-v)";
     const std::vector<Vertex> ends =
-        parse_uint_list(flags.at("fault-edges"), ",-", err);
-    if (ends.size() % 2 != 0) usage(err);
+        parse_uint_list(p, p.get("fault-edges"), ",-", err);
+    if (ends.size() % 2 != 0) p.fail(err);
     for (std::size_t i = 0; i < ends.size(); i += 2) {
       if (ends[i] >= g.num_vertices() || ends[i + 1] >= g.num_vertices()) {
-        usage("fault edge endpoint out of range");
+        p.fail("fault edge endpoint out of range");
       }
       const EdgeId e = g.find_edge(ends[i], ends[i + 1]);
-      if (e == kInvalidEdge) usage("fault edge not in graph");
+      if (e == kInvalidEdge) p.fail("fault edge not in graph");
       faults.push_back(e);
     }
   }
   std::vector<Vertex> fault_verts;
-  if (flags.contains("fault-vertices")) {
+  if (p.has("fault-vertices")) {
     fault_verts =
-        parse_uint_list(flags.at("fault-vertices"), ",",
+        parse_uint_list(p, p.get("fault-vertices"), ",",
                         "malformed --fault-vertices (expected v1,v2,...)");
     for (const Vertex v : fault_verts) {
-      if (v >= g.num_vertices()) usage("fault vertex out of range");
+      if (v >= g.num_vertices()) p.fail("fault vertex out of range");
     }
-  }
-  if (flags.contains("sources")) {
-    usage("query routes from one --source; --sources is a build flag");
   }
   // The structure's fault model must match the kind of faults queried — an
   // edge-fault structure does not cover vertex deletions and vice versa.
   if (!fault_verts.empty() && !faults.empty()) {
-    usage("mixing --fault-edges and --fault-vertices is unsupported");
+    p.fail("mixing --fault-edges and --fault-vertices is unsupported");
   }
   const bool vertex_model = !fault_verts.empty() ||
-                            get_or(flags, "fault-model", "edge") == "vertex";
+                            p.get("fault-model", "edge") == "vertex";
   if (vertex_model && !faults.empty()) {
-    usage("--fault-model vertex queries take --fault-vertices, not "
-          "--fault-edges");
+    p.fail("--fault-model vertex queries take --fault-vertices, not "
+           "--fault-edges");
   }
-  if (!fault_verts.empty() && get_or(flags, "fault-model", "vertex") == "edge") {
-    usage("--fault-vertices requires --fault-model vertex (or omit the flag)");
+  if (!fault_verts.empty() && p.get("fault-model", "vertex") == "edge") {
+    p.fail("--fault-vertices requires --fault-model vertex (or omit the "
+           "flag)");
   }
   const std::size_t fault_count = faults.size() + fault_verts.size();
 
-  BuildRequest req = parse_build_request(g, flags);
+  BuildRequest req = base_request(g, p, 2);
+  req.sources = {s};
   if (vertex_model) req.fault_model = FaultModel::kVertex;
-  std::string algo = get_or(flags, "algo", "");
-  if (!flags.contains("faults")) {
+  std::string algo = p.get("algo", "");
+  if (!p.has("budget")) {
     // Default budget: the fault count, raised to an explicit --algo's
-    // declared minimum so e.g. `--algo swap` works without --faults.
+    // declared minimum so e.g. `--algo swap` works without --budget.
     std::size_t budget = fault_count;
     if (!algo.empty()) {
-      const BuilderTraits* t = BuilderRegistry::instance().find(algo);
-      if (t != nullptr) {
-        budget = std::max<std::size_t>(budget, t->min_fault_budget);
+      const BuilderTraits* traits = BuilderRegistry::instance().find(algo);
+      if (traits != nullptr) {
+        budget = std::max<std::size_t>(budget, traits->min_fault_budget);
       }
     }
     req.fault_budget = static_cast<unsigned>(budget);
@@ -435,7 +591,7 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
     algo = BuilderRegistry::default_builder(req.fault_budget, req.fault_model);
   }
   if (fault_count > req.fault_budget) {
-    usage("more fault edges/vertices than the structure's --faults budget");
+    p.fail("more fault edges/vertices than the structure's --budget");
   }
   const BuildResult built = registry_build(req, algo);
   FaultQueryEngine engine(g, built.structure);
@@ -463,12 +619,14 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-// Stop signal plumbing (satellite of docs/serving.md "Graceful shutdown"):
-// SIGINT/SIGTERM set the flag and nudge the socket server's self-pipe. The
-// handlers are installed WITHOUT SA_RESTART so a stdin serve loop blocked in
-// getline fails with EINTR, winds down through the normal
-// close-queue/join-workers path (flushing the resequencer), and prints its
-// summary — instead of dying mid-stream.
+// --- serve -------------------------------------------------------------------
+
+// Stop signal plumbing (docs/serving.md "Graceful shutdown"): SIGINT/SIGTERM
+// set the flag and nudge the socket server's self-pipe. The handlers are
+// installed WITHOUT SA_RESTART so a stdin serve loop blocked in getline fails
+// with EINTR, winds down through the normal close-queue/join-workers path
+// (flushing the resequencer), and prints its summary — instead of dying
+// mid-stream.
 volatile std::sig_atomic_t g_stop = 0;
 NetServer* g_net_server = nullptr;  // set before handlers are installed
 
@@ -551,7 +709,8 @@ void print_serve_summary(TenantRegistry& registry, const WireCounters& wire) {
 // Parses --listen "host:port", ":port", or bare "port" (host defaults to
 // 127.0.0.1; port 0 asks the kernel for an ephemeral port, printed on the
 // "listening on" stderr line).
-void parse_listen(const std::string& spec, NetServerConfig& nc) {
+void parse_listen(const FlagParser& p, const std::string& spec,
+                  NetServerConfig& nc) {
   const std::size_t colon = spec.rfind(':');
   std::string host;
   std::string port = spec;
@@ -563,94 +722,105 @@ void parse_listen(const std::string& spec, NetServerConfig& nc) {
   if (port.empty() ||
       port.find_first_not_of("0123456789") != std::string::npos ||
       port.size() > 5 || std::stoul(port) > 65535) {
-    usage("--listen expects host:port (port 0..65535)");
+    p.fail("--listen expects host:port (port 0..65535)");
   }
   nc.port = static_cast<std::uint16_t>(std::stoul(port));
 }
 
-int cmd_serve(const std::map<std::string, std::string>& flags) {
-  check_flags(flags, {"graph", "tenants", "budget", "max-lazy", "cache",
-                      "lazy", "point-oracle", "seed", "threads", "mode",
-                      "batch", "max-requests", "listen"});
+int cmd_serve(const FlagParser& p) {
   ServiceConfig config;
   config.default_budget =
-      static_cast<unsigned>(std::stoul(get_or(flags, "budget", "2")));
-  config.max_lazy_budget = static_cast<unsigned>(
-      std::stoul(get_or(flags, "max-lazy", "3")));
-  config.cache_capacity = std::stoull(get_or(flags, "cache", "256"));
-  config.weight_seed = std::stoull(get_or(flags, "seed", "1"));
-  const std::string lazy = get_or(flags, "lazy", "on");
-  if (lazy != "on" && lazy != "off") usage("--lazy must be on or off");
-  config.lazy_build = lazy == "on";
+      static_cast<unsigned>(p.get_uint("budget", 2, 0, 1u << 20));
+  config.max_lazy_budget =
+      static_cast<unsigned>(p.get_uint("max-lazy-budget", 3, 0, 1u << 20));
+  config.cache_capacity = p.get_uint("cache-capacity", 256);
+  config.weight_seed = p.get_uint("seed", 1);
+  config.lazy_build = p.get_switch("lazy", true);
 
-  // Parsed strictly (std::stoul accepts "-1" by wrapping): digits only, and
-  // capped so a typo cannot ask for a few billion worker threads.
-  const std::string threads_text = get_or(flags, "threads", "1");
-  if (threads_text.empty() ||
-      threads_text.find_first_not_of("0123456789") != std::string::npos ||
-      threads_text.size() > 3) {
-    usage("--threads must be an integer in 1..256");
-  }
-  const unsigned threads = static_cast<unsigned>(std::stoul(threads_text));
-  if (threads == 0 || threads > 256) {
-    usage("--threads must be an integer in 1..256");
-  }
-
-  const std::string mode = get_or(flags, "mode", "ordered");
+  const unsigned threads =
+      static_cast<unsigned>(p.get_uint("threads", 1, 1, 256));
+  const std::string mode = p.get("mode", "ordered");
   if (mode != "ordered" && mode != "relaxed") {
-    usage("--mode must be ordered or relaxed");
+    p.fail("--mode must be ordered or relaxed");
   }
   const bool relaxed = mode == "relaxed";
   // Admission turns drained per ticket-lock acquisition in ordered threaded
   // mode (docs/serving.md "Batched admission"); relaxed workers use the same
   // value as their queue-drain batch. 1 = the pre-batching behavior.
-  const std::string batch_text = get_or(flags, "batch", "8");
-  if (batch_text.empty() ||
-      batch_text.find_first_not_of("0123456789") != std::string::npos ||
-      batch_text.size() > 3) {
-    usage("--batch must be an integer in 1..256");
-  }
-  const std::size_t batch_size = std::stoull(batch_text);
-  if (batch_size == 0 || batch_size > 256) {
-    usage("--batch must be an integer in 1..256");
+  const std::size_t batch_size = p.get_uint("batch", 8, 1, 256);
+
+  const bool warm_cache = p.get_switch("warm-cache", false);
+  if (p.has("warm-cache") && !p.has("load")) {
+    p.fail("--warm-cache needs --load (there is no snapshot to warm from)");
   }
 
-  // The tenant registry: --graph hosts the default tenant (named "default"),
-  // --tenants adds every manifest tenant after it. With --tenants alone, the
-  // manifest's first tenant is the default. Registration happens entirely
-  // before serving starts — the registry is immutable from here on.
+  // The tenant registry: --graph and/or --load host the default tenant
+  // (named "default"), --tenants adds every manifest tenant after it. With
+  // --tenants alone, the manifest's first tenant is the default. Registration
+  // happens entirely before serving starts — the registry is immutable from
+  // here on.
   TenantRegistry registry;
-  if (flags.contains("graph")) {
-    TenantQuotas quotas;
-    quotas.max_requests = std::stoull(get_or(flags, "max-requests", "0"));
-    registry.add("default", load_graph(flags.at("graph")), config, quotas);
-  } else if (flags.contains("max-requests")) {
-    usage("--max-requests applies to --graph's default tenant; per-tenant "
-          "quotas live in the --tenants manifest");
+  TenantQuotas quotas;
+  quotas.max_requests = p.get_uint("max-requests", 0);
+  if (p.has("load")) {
+    // With --graph too, the fingerprints must match — a snapshot built from
+    // a different graph is rejected (kGraphMismatch, exit 1), never served.
+    Tenant& t = registry.add_from_snapshot(
+        "default", p.get("load"), config, quotas, warm_cache,
+        p.get("graph", ""));
+    std::fprintf(stderr, "loaded snapshot %s: %zu structures, %llu warm "
+                         "cache lines\n",
+                 p.get("load").c_str(), t.service.pool_size() - 1,
+                 static_cast<unsigned long long>(
+                     t.service.stats().cache_lines));
+  } else if (p.has("graph")) {
+    registry.add("default", load_graph(p.get("graph")), config, quotas);
+  } else if (p.has("max-requests")) {
+    p.fail("--max-requests applies to the default tenant (--graph/--load); "
+           "per-tenant quotas live in the --tenants manifest");
   }
-  if (flags.contains("tenants")) {
-    registry.load_manifest(flags.at("tenants"), config);
+  if (p.has("tenants")) {
+    registry.load_manifest(p.get("tenants"), config);
   }
-  if (registry.size() == 0) usage("serve needs --graph and/or --tenants");
+  if (registry.size() == 0) {
+    p.fail("serve needs --graph, --load, and/or --tenants");
+  }
 
-  if (flags.contains("point-oracle")) {
+  if (p.has("point-oracle")) {
     Tenant& t = *registry.default_tenant();
     const Vertex v =
-        static_cast<Vertex>(std::stoul(flags.at("point-oracle")));
+        static_cast<Vertex>(p.get_uint("point-oracle", 0, 0, 0xFFFFFFFFull));
     if (v >= t.graph.num_vertices()) {
-      usage("--point-oracle vertex out of range");
+      p.fail("--point-oracle vertex out of range");
     }
     t.service.enable_point_oracle(v);
   }
 
+  // Runs at drain, after the last response is flushed and before the
+  // summary: the saved snapshot captures the pool the workload actually
+  // built (lazy entries included) plus the warm cache.
+  const auto save_at_drain = [&] {
+    if (!p.has("save")) return;
+    const SnapshotImage image = PersistAccess::export_service(
+        registry.default_tenant()->service, /*include_cache=*/true);
+    save_snapshot(p.get("save"), image);
+    std::fprintf(stderr,
+                 "saved snapshot %s: %zu structures, %zu baselines, %zu cache "
+                 "lines, %llu bytes\n",
+                 p.get("save").c_str(), image.entries.size(),
+                 image.baselines.size(), image.cache_lines.size(),
+                 static_cast<unsigned long long>(
+                     file_size_bytes(p.get("save"))));
+  };
+
   WireCounters counters;
 
-  if (flags.contains("listen")) {
+  if (p.has("listen")) {
     // Socket front-end: same protocol, same LineJob pipeline, one JSONL
     // stream per connection (src/net/net_server.h). Ordered mode means
     // per-connection request order; relaxed stamps per-connection seqs.
     NetServerConfig nc;
-    parse_listen(flags.at("listen"), nc);
+    parse_listen(p, p.get("listen"), nc);
     nc.threads = threads;
     nc.ordered = !relaxed;
     NetServer server(registry, nc);
@@ -665,6 +835,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
                  "drained: %llu connections, %llu responses\n",
                  static_cast<unsigned long long>(server.connections_accepted()),
                  static_cast<unsigned long long>(server.responses_sent()));
+    save_at_drain();
     print_serve_summary(registry, server.wire_counters());
     return 0;
   }
@@ -793,6 +964,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   if (g_stop != 0) {
     std::fprintf(stderr, "interrupted: drained in-flight requests\n");
   }
+  save_at_drain();
   print_serve_summary(registry, counters);
   return 0;
 }
@@ -800,19 +972,51 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) usage("missing subcommand");
+  if (argc < 2) {
+    global_usage(stderr);
+    return 2;
+  }
   const std::string cmd = argv[1];
-  const auto flags = parse_flags(argc, argv, 2);
   try {
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+      if (argc >= 3 && print_command_help(argv[2], stdout)) return 0;
+      global_usage(stdout);
+      return 0;
+    }
+    if (cmd == "version" || cmd == "--version") {
+      std::printf("ftbfs %s (snapshot format v%u)\n", FTBFS_CLI_VERSION,
+                  kSnapshotVersion);
+      return 0;
+    }
     if (cmd == "algos") {
       list_algos(stdout);
       return 0;
     }
-    if (cmd == "gen") return cmd_gen(flags);
-    if (cmd == "build") return cmd_build(flags);
-    if (cmd == "verify") return cmd_verify(flags);
-    if (cmd == "query") return cmd_query(flags);
-    if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "gen" || cmd == "build" || cmd == "verify" || cmd == "query" ||
+        cmd == "serve") {
+      FlagParser p = cmd == "gen"      ? gen_parser()
+                     : cmd == "build"  ? build_parser()
+                     : cmd == "verify" ? verify_parser()
+                     : cmd == "query"  ? query_parser()
+                                       : serve_parser();
+      if (p.parse(argc, argv, 2) == false) return 0;  // --help handled
+      if (cmd == "gen") return cmd_gen(p);
+      if (cmd == "build") return cmd_build(p);
+      if (cmd == "verify") return cmd_verify(p);
+      if (cmd == "query") return cmd_query(p);
+      return cmd_serve(p);
+    }
+  } catch (const UsageError& err) {
+    std::fprintf(stderr, "ftbfs %s: %s\n", err.command().c_str(), err.what());
+    std::fprintf(stderr, "run `ftbfs %s --help` for the flag table\n",
+                 err.command().c_str());
+    return 2;
+  } catch (const SnapshotError& err) {
+    // Typed snapshot rejections (corruption, version skew, graph mismatch)
+    // fail closed before any serving starts.
+    std::fprintf(stderr, "ftbfs: %s [%s]\n", err.what(),
+                 to_string(err.status()));
+    return 1;
   } catch (const GraphIoError& err) {
     std::fprintf(stderr, "ftbfs: %s\n", err.what());
     return 1;
@@ -821,5 +1025,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ftbfs: %s\n", err.what());
     return 1;
   }
-  usage("unknown subcommand");
+  std::fprintf(stderr, "ftbfs: unknown command '%s'\n", cmd.c_str());
+  global_usage(stderr);
+  return 2;
 }
