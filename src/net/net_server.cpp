@@ -10,12 +10,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "service/json.h"
 #include "service/protocol.h"
+#include "util/failpoint.h"
 
 namespace ftbfs {
 
@@ -30,6 +33,28 @@ void close_quiet(int& fd) {
     ::close(fd);
     fd = -1;
   }
+}
+
+std::int64_t ms_since(std::chrono::steady_clock::time_point since,
+                      std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(now - since)
+      .count();
+}
+
+// Best-effort "id" extraction from a raw request line the server is about to
+// shed without parsing properly. Shedding is rare and loop-side; one JSON
+// parse per shed line is cheap next to the BFS it replaces.
+std::int64_t peek_request_id(const std::string& line) {
+  JsonValue root;
+  std::string err;
+  if (!JsonReader(line).parse(root, err) ||
+      root.kind != JsonValue::Kind::kObject) {
+    return -1;
+  }
+  const JsonValue* id = root.find("id");
+  std::uint64_t u = 0;
+  if (id == nullptr || !json_read_uint(*id, u) || u > (1ull << 62)) return -1;
+  return static_cast<std::int64_t>(u);
 }
 
 }  // namespace
@@ -82,6 +107,10 @@ NetServer::NetServer(TenantRegistry& registry, NetServerConfig config)
   watch(listen_fd_);
   watch(wake_fd_);
   watch(sig_pipe_[0]);
+
+  // The EMFILE escape hatch (see shed_via_spare_fd). Failing to reserve it is
+  // survivable — the server just loses the shedding behavior at the limit.
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 }
 
 NetServer::~NetServer() {
@@ -90,12 +119,18 @@ NetServer::~NetServer() {
   close_quiet(wake_fd_);
   close_quiet(sig_pipe_[0]);
   close_quiet(sig_pipe_[1]);
+  close_quiet(spare_fd_);
   close_quiet(epoll_fd_);
 }
 
 void NetServer::request_shutdown() {
   const char byte = 'q';
   // Async-signal-safe; a full pipe means a shutdown is already pending.
+  [[maybe_unused]] const ssize_t n = ::write(sig_pipe_[1], &byte, 1);
+}
+
+void NetServer::request_reload() {
+  const char byte = 'r';
   [[maybe_unused]] const ssize_t n = ::write(sig_pipe_[1], &byte, 1);
 }
 
@@ -116,7 +151,7 @@ void NetServer::worker_main() {
           pr, stamp_seq ? static_cast<std::int64_t>(job->seq) : -1);
     } else {
       LineJob lj(*registry_, job->line, static_cast<std::int64_t>(job->seq),
-                 stamp_seq, counters_);
+                 stamp_seq, counters_, job->arrival);
       lj.admit();
       line = lj.finish();
     }
@@ -179,13 +214,41 @@ void NetServer::update_interest(Conn& c, bool want_read, bool want_write) {
   }
 }
 
+void NetServer::shed_via_spare_fd() {
+  // At the fd limit, accept() fails without consuming the pending connection,
+  // so a level-triggered loop would spin on EPOLLIN forever. Releasing the
+  // reserved fd makes room to accept the connection — then we close it
+  // immediately (shed: the client sees a clean RST/EOF, not a dead server)
+  // and re-reserve.
+  if (spare_fd_ < 0) return;  // reserve failed at startup: nothing to shed with
+  close_quiet(spare_fd_);
+  const int pending =
+      ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (pending >= 0) {
+    ::close(pending);
+    conns_shed_fdlimit_.fetch_add(1, std::memory_order_relaxed);
+  }
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+}
+
 void NetServer::handle_accept() {
+  static fp::Failpoint& fp_accept = fp::site("net.accept");
   while (listen_fd_ >= 0) {
-    const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    int fd;
+    if (const int e = fp::fail_errno(fp_accept); e != 0) {
+      fd = -1;
+      errno = e;
+    } else {
+      fd = ::accept4(listen_fd_, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    }
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // EAGAIN, or a transient error (ECONNABORTED, EMFILE, ...)
+      if (errno == EMFILE || errno == ENFILE) {
+        shed_via_spare_fd();
+        continue;
+      }
+      break;  // EAGAIN, or a transient error (ECONNABORTED, ...)
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -209,6 +272,7 @@ bool NetServer::drain_backlog(Conn& c) {
       c.inflight.fetch_sub(1, std::memory_order_acq_rel);
       if (!c.parked_for_queue) {
         c.parked_for_queue = true;
+        c.park_since = std::chrono::steady_clock::now();
         queue_waiters_.push_back(&c);
       }
       return false;
@@ -219,13 +283,48 @@ bool NetServer::drain_backlog(Conn& c) {
   return true;
 }
 
+void NetServer::shed_backlog(Conn& c) {
+  // The admission FIFO has been full past the shed budget: parking longer
+  // only converts load into queueing latency the client never asked for.
+  // Answer every parked line `overloaded` from the loop thread — the lines
+  // were already framed and seq-stamped, so responses take the normal
+  // (ordered) deliver path and interleave correctly with worker output.
+  while (!c.backlog.empty()) {
+    NetJob job = std::move(c.backlog.front());
+    c.backlog.pop_front();
+    counters_.overload_sheds.fetch_add(1, std::memory_order_relaxed);
+    QueryResponse resp;
+    resp.status = StatusCode::kOverloaded;
+    resp.error = "server overloaded: admission queue full past shed budget";
+    resp.id = job.oversized ? -1 : peek_request_id(job.line);
+    if (resp.id < 0 && !config_.ordered) {
+      resp.seq = static_cast<std::int64_t>(job.seq);
+    }
+    deliver(c, job.seq, format_response_line(resp));
+    jobs_outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  if (c.parked_for_queue) {
+    c.parked_for_queue = false;
+    std::erase(queue_waiters_, &c);
+  }
+  refresh_after_io(c);
+}
+
 void NetServer::handle_readable(Conn& c) {
   // A parked connection can still see level-triggered EPOLLIN events that
   // were queued before its interest was dropped; never read past a backlog.
   if (!c.backlog.empty()) return;
+  static fp::Failpoint& fp_read = fp::site("net.read");
+  const auto now = std::chrono::steady_clock::now();
   char buf[65536];
   while (true) {
-    const ssize_t n = ::read(c.fd, buf, sizeof buf);
+    ssize_t n;
+    if (const int e = fp::fail_errno(fp_read); e != 0) {
+      n = -1;
+      errno = e;
+    } else {
+      n = ::read(c.fd, buf, sizeof buf);
+    }
     if (n > 0) {
       c.framer.feed(buf, static_cast<std::size_t>(n),
                     [&](const std::string& line, bool oversized) {
@@ -234,6 +333,7 @@ void NetServer::handle_readable(Conn& c) {
                       job.seq = c.next_seq++;
                       job.oversized = oversized;
                       job.line = line;
+                      job.arrival = now;
                       jobs_outstanding_.fetch_add(1, std::memory_order_acq_rel);
                       c.backlog.push_back(std::move(job));
                     });
@@ -260,12 +360,26 @@ void NetServer::handle_readable(Conn& c) {
 
 bool NetServer::flush_writes(Conn& c) {
   if (c.dead.load(std::memory_order_acquire) || c.fd < 0) return true;
+  static fp::Failpoint& fp_write = fp::site("net.write");
+  bool progressed = false;
   const std::lock_guard lock(c.out_mutex);
   while (c.out_off < c.out.size()) {
-    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
-                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+    std::size_t want = c.out.size() - c.out_off;
+    ssize_t n;
+    const fp::Outcome o = fp::eval(fp_write);
+    if (o.kind == fp::Outcome::Kind::kErr) {
+      n = -1;
+      errno = o.err;
+    } else {
+      if (o.kind == fp::Outcome::Kind::kShortWrite) want = (want + 1) / 2;
+      if (o.kind == fp::Outcome::Kind::kSleep) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(o.ms));
+      }
+      n = ::send(c.fd, c.out.data() + c.out_off, want, MSG_NOSIGNAL);
+    }
     if (n > 0) {
       c.out_off += static_cast<std::size_t>(n);
+      progressed = true;
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -278,6 +392,28 @@ bool NetServer::flush_writes(Conn& c) {
   } else if (c.out_off > (1u << 16)) {
     c.out.erase(0, c.out_off);
     c.out_off = 0;
+  }
+  // Stall bookkeeping (loop-only state, but cheap to keep under the lock):
+  // "stalled" means this flush left bytes pending — the peer's receive
+  // window cannot take everything we owe it. The clock resets on any
+  // progress, so a merely slow reader never accumulates toward eviction.
+  // The conn must stay in the stalled set as long as bytes are pending, even
+  // across a flush that progressed: a peer that stops reading entirely
+  // generates no further epoll events, so sweep_timers() (driven by the
+  // 20ms loop timeout that `stalled_conns_ > 0` keeps alive) is the only
+  // thing left that can notice the deadline passing.
+  const bool blocked = c.out_off < c.out.size();
+  if (!blocked) {
+    if (c.stalled) {
+      c.stalled = false;
+      --stalled_conns_;
+    }
+  } else if (!c.stalled) {
+    c.stalled = true;
+    c.stall_since = std::chrono::steady_clock::now();
+    ++stalled_conns_;
+  } else if (progressed) {
+    c.stall_since = std::chrono::steady_clock::now();
   }
   return true;
 }
@@ -314,6 +450,10 @@ void NetServer::maybe_finish_conn(Conn& c) {
 }
 
 void NetServer::retire_conn(Conn& c) {
+  if (c.stalled) {
+    c.stalled = false;
+    --stalled_conns_;
+  }
   const int fd = c.fd;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   c.fd = -1;
@@ -326,6 +466,10 @@ void NetServer::drop_conn(Conn& c) {
   c.dead.store(true, std::memory_order_release);
   jobs_outstanding_.fetch_sub(c.backlog.size(), std::memory_order_acq_rel);
   c.backlog.clear();
+  if (c.stalled) {
+    c.stalled = false;
+    --stalled_conns_;
+  }
   if (c.parked_for_queue) {
     c.parked_for_queue = false;
     std::erase(queue_waiters_, &c);
@@ -346,6 +490,9 @@ void NetServer::reap_zombies() {
     return z->inflight.load(std::memory_order_acquire) == 0 &&
            !z->in_ready.load(std::memory_order_acquire);
   });
+  // After a reload, tenants the new manifest dropped sit retired until their
+  // last pinned request finishes; sweep them out alongside zombie conns.
+  if (reload_happened_) registry_->reap_retired();
 }
 
 void NetServer::process_wakeups() {
@@ -396,6 +543,60 @@ bool NetServer::drained() const {
          jobs_outstanding_.load(std::memory_order_acquire) == 0;
 }
 
+void NetServer::do_reload() {
+  if (!config_.on_reload) return;
+  try {
+    config_.on_reload();
+    reload_happened_ = true;
+    reloads_completed_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& ex) {
+    // A bad manifest must not take the server down: keep serving under the
+    // previous configuration (TenantRegistry::reload is all-or-nothing).
+    std::fprintf(stderr, "ftbfs serve: manifest reload failed: %s\n",
+                 ex.what());
+  }
+}
+
+void NetServer::sweep_timers() {
+  const bool any_parked = !queue_waiters_.empty() && config_.shed_after_ms > 0;
+  const bool any_stalled = stalled_conns_ > 0 && config_.write_stall_ms > 0;
+  if (!any_parked && !any_stalled) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (any_parked) {
+    // Copy: shed_backlog unparks (mutates queue_waiters_).
+    const std::vector<Conn*> waiters = queue_waiters_;
+    for (Conn* c : waiters) {
+      if (c->dead.load(std::memory_order_relaxed) || !c->parked_for_queue) {
+        continue;
+      }
+      if (ms_since(c->park_since, now) >= config_.shed_after_ms) {
+        shed_backlog(*c);
+      }
+    }
+  }
+  if (any_stalled) {
+    std::vector<Conn*> victims;
+    for (const auto& [fd, conn] : conns_) {
+      if (conn->stalled &&
+          ms_since(conn->stall_since, now) >= config_.write_stall_ms) {
+        victims.push_back(conn.get());
+      }
+    }
+    for (Conn* c : victims) {
+      conns_evicted_stalled_.fetch_add(1, std::memory_order_relaxed);
+      drop_conn(*c);
+    }
+  }
+}
+
+int NetServer::loop_timeout_ms() const {
+  // Block indefinitely unless some connection's degradation timer is running:
+  // a healthy or idle server never wakes up just to look at a clock.
+  const bool parked = !queue_waiters_.empty() && config_.shed_after_ms > 0;
+  const bool stalled = stalled_conns_ > 0 && config_.write_stall_ms > 0;
+  return (parked || stalled) ? 20 : -1;
+}
+
 void NetServer::run() {
   std::vector<std::thread> workers;
   workers.reserve(config_.threads);
@@ -405,7 +606,7 @@ void NetServer::run() {
 
   epoll_event events[64];
   while (!drained()) {
-    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    const int n = ::epoll_wait(epoll_fd_, events, 64, loop_timeout_ms());
     if (n < 0) {
       if (errno == EINTR) continue;
       die("epoll_wait");
@@ -420,9 +621,20 @@ void NetServer::run() {
       }
       if (fd == sig_pipe_[0]) {
         char sink[16];
-        while (::read(sig_pipe_[0], sink, sizeof sink) > 0) {
+        bool want_drain = false;
+        bool want_reload = false;
+        ssize_t got;
+        while ((got = ::read(sig_pipe_[0], sink, sizeof sink)) > 0) {
+          for (ssize_t j = 0; j < got; ++j) {
+            if (sink[j] == 'r') {
+              want_reload = true;
+            } else {
+              want_drain = true;
+            }
+          }
         }
-        begin_drain();
+        if (want_reload && !draining_) do_reload();
+        if (want_drain) begin_drain();
         continue;
       }
       if (fd == listen_fd_) {
@@ -443,6 +655,7 @@ void NetServer::run() {
       if ((ev & EPOLLOUT) != 0) refresh_after_io(*again->second);
     }
     if (wake) process_wakeups();
+    sweep_timers();
     reap_zombies();
     for (const int fd : pending_close_) ::close(fd);
     pending_close_.clear();

@@ -30,11 +30,27 @@
 // flushes every response, then run() returns. Bytes of half-received lines
 // are dropped; the client that wants its tail answered half-closes (shutdown
 // SHUT_WR) and reads to EOF.
+//
+// Degradation (docs/robustness.md). Parking is bounded: a connection whose
+// backlog has waited on a full admission FIFO past `shed_after_ms` gets its
+// backlog answered `overloaded` from the loop thread instead of parking
+// forever; a connection whose write buffer has made no progress for
+// `write_stall_ms` (the peer stopped reading) is evicted. Both timers run on
+// a coarse epoll-timeout sweep that only ticks while some connection is
+// parked or stalled — an idle or healthy server still blocks indefinitely.
+//
+// Reload: request_reload() (async-signal-safe, the SIGHUP path) runs
+// `on_reload` on the loop thread — the CLI points it at
+// TenantRegistry::reload, so tenants appear/retire/re-quota without a
+// restart while workers keep serving; in-flight requests pin their tenant
+// until they finish (service/tenant.h).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -55,6 +71,16 @@ struct NetServerConfig {
   std::size_t max_line_bytes = 1u << 20;
   std::size_t write_park_bytes = 1u << 20;
   std::size_t queue_capacity = 0;  // admission queue slots; 0 = 16 * threads
+  // Queue-pressure budget: a backlog parked on a full admission FIFO longer
+  // than this is answered `overloaded` instead of waiting. 0 = park forever
+  // (the pre-PR-9 behavior).
+  std::int64_t shed_after_ms = 2000;
+  // Slow-client eviction: a connection whose pending output makes no progress
+  // for this long is dropped. 0 = never evict.
+  std::int64_t write_stall_ms = 30000;
+  // Invoked on the loop thread when request_reload() fires (the SIGHUP path).
+  // Exceptions are caught and logged; the server keeps serving either way.
+  std::function<void()> on_reload;
 };
 
 class NetServer {
@@ -78,6 +104,10 @@ class NetServer {
   // Async-signal-safe shutdown trigger (callable from a signal handler).
   void request_shutdown();
 
+  // Async-signal-safe reload trigger: schedules config_.on_reload on the
+  // loop thread (callable from a SIGHUP handler).
+  void request_reload();
+
   // --- stats (valid while running and after run() returns) -----------------
   [[nodiscard]] const WireCounters& wire_counters() const { return counters_; }
   [[nodiscard]] std::uint64_t connections_accepted() const {
@@ -85,6 +115,15 @@ class NetServer {
   }
   [[nodiscard]] std::uint64_t responses_sent() const {
     return responses_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t connections_shed_fd_limit() const {
+    return conns_shed_fdlimit_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t connections_evicted_stalled() const {
+    return conns_evicted_stalled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t reloads_completed() const {
+    return reloads_completed_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -96,6 +135,9 @@ class NetServer {
     std::uint64_t seq = 0;  // connection-local request index
     bool oversized = false;
     std::string line;
+    // When the bytes arrived — the moment the request's deadline clock
+    // started, covering queue wait as well as execution.
+    std::chrono::steady_clock::time_point arrival{};
   };
 
   struct Conn {
@@ -112,6 +154,9 @@ class NetServer {
     bool reading = true;               // EPOLLIN currently armed
     bool writing = false;              // EPOLLOUT currently armed
     bool parked_for_queue = false;     // in queue_waiters_
+    bool stalled = false;              // pending output, no write progress
+    std::chrono::steady_clock::time_point park_since{};   // parked_for_queue
+    std::chrono::steady_clock::time_point stall_since{};  // stalled
 
     // --- worker/loop shared state (out_mutex) -------------------------------
     std::mutex out_mutex;
@@ -130,9 +175,11 @@ class NetServer {
   void deliver(Conn& c, std::uint64_t seq, std::string line);
 
   void handle_accept();
+  void shed_via_spare_fd();     // EMFILE/ENFILE: accept+close one connection
   void handle_readable(Conn& c);
   bool flush_writes(Conn& c);   // false: peer gone, caller must drop
   bool drain_backlog(Conn& c);  // false: queue full, connection parked
+  void shed_backlog(Conn& c);   // answer the backlog `overloaded`, unpark
   void update_interest(Conn& c, bool want_read, bool want_write);
   void refresh_after_io(Conn& c);  // flush + recompute interest + finish
   void drop_conn(Conn& c);      // error path: discard state, close socket
@@ -141,6 +188,9 @@ class NetServer {
   void process_wakeups();
   void reap_zombies();
   void begin_drain();
+  void do_reload();
+  void sweep_timers();          // shed overdue parks, evict stalled writers
+  [[nodiscard]] int loop_timeout_ms() const;
   [[nodiscard]] bool drained() const;
 
   TenantRegistry* registry_;
@@ -150,7 +200,10 @@ class NetServer {
   int epoll_fd_ = -1;
   int listen_fd_ = -1;
   int wake_fd_ = -1;      // eventfd: workers → loop
-  int sig_pipe_[2] = {-1, -1};  // self-pipe: request_shutdown() → loop
+  int sig_pipe_[2] = {-1, -1};  // self-pipe: shutdown/reload signals → loop
+  // Reserved fd: released under EMFILE/ENFILE so the pending connection can
+  // be accepted and closed (shed) instead of spinning at the fd limit.
+  int spare_fd_ = -1;
   std::uint16_t port_ = 0;
 
   std::unique_ptr<BoundedQueue<NetJob>> queue_;
@@ -165,9 +218,14 @@ class NetServer {
   std::vector<Conn*> ready_;  // conns with fresh output (workers append)
 
   bool draining_ = false;
+  bool reload_happened_ = false;  // enables retired-tenant reaping in sweeps
+  std::size_t stalled_conns_ = 0;  // conns with `stalled` set (loop-only)
   std::atomic<std::uint64_t> jobs_outstanding_{0};  // framed but not delivered
   std::atomic<std::uint64_t> conns_accepted_{0};
   std::atomic<std::uint64_t> responses_sent_{0};
+  std::atomic<std::uint64_t> conns_shed_fdlimit_{0};
+  std::atomic<std::uint64_t> conns_evicted_stalled_{0};
+  std::atomic<std::uint64_t> reloads_completed_{0};
 };
 
 }  // namespace ftbfs

@@ -5,14 +5,18 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <span>
+#include <thread>
 #include <utility>
+
+#include "util/failpoint.h"
 
 namespace ftbfs {
 
@@ -221,7 +225,12 @@ class FileBytes {
     }
     size_ = static_cast<std::size_t>(st.st_size);
     if (try_mmap && size_ > 0) {
-      void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      // Failpoint `persist.mmap`: simulate mmap failing (filesystem without
+      // mapping support) so the buffered fallback below stays exercised.
+      static fp::Failpoint& fp_mmap = fp::site("persist.mmap");
+      void* map = fp::fail_errno(fp_mmap) != 0
+                      ? MAP_FAILED
+                      : ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
       if (map != MAP_FAILED) {
         map_ = map;
         data_ = static_cast<const unsigned char*>(map);
@@ -734,23 +743,84 @@ void save_snapshot(const std::string& path, const SnapshotImage& image) {
     std::memcpy(file.data(), header.data(), kHeaderWithCrc);
   }
 
-  // Atomic publish: write a sibling temp file, fsync-free rename into place.
+  // Durable atomic publish: write a sibling temp file, fsync it, rename into
+  // place, then fsync the parent directory so the rename itself survives a
+  // crash. Without the two fsyncs a power loss after "success" could publish
+  // a torn file or make the new name vanish — docs/persistence.md "Atomicity
+  // and durability". Failpoints `persist.write` / `persist.fsync` drive the
+  // error branches (and, via sleep, the crash-recovery test's SIGKILL
+  // window). On any failure the temp file is unlinked: no `.tmp` debris.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      fail(SnapshotStatus::kIoError, "cannot open '" + tmp + "' for writing");
+  static fp::Failpoint& fp_write = fp::site("persist.write");
+  static fp::Failpoint& fp_fsync = fp::site("persist.fsync");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    fail(SnapshotStatus::kIoError,
+         "cannot open '" + tmp + "' for writing: " + std::strerror(errno));
+  }
+  const auto fail_unlink = [&](const std::string& why) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail(SnapshotStatus::kIoError, why);
+  };
+  std::size_t off = 0;
+  while (off < file.size()) {
+    std::size_t want = file.size() - off;
+    ssize_t n = -1;
+    const fp::Outcome o = fp::eval(fp_write);
+    switch (o.kind) {
+      case fp::Outcome::Kind::kErr:
+        n = -1;
+        errno = o.err;
+        break;
+      case fp::Outcome::Kind::kShortWrite:
+        // Truncated but successful write: the loop must absorb it.
+        want = std::max<std::size_t>(1, want / 2);
+        [[fallthrough]];
+      case fp::Outcome::Kind::kSleep:
+        if (o.kind == fp::Outcome::Kind::kSleep) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(o.ms));
+        }
+        [[fallthrough]];
+      case fp::Outcome::Kind::kNone:
+        n = ::write(fd, file.data() + off, want);
+        break;
     }
-    out.write(file.data(), static_cast<std::streamsize>(file.size()));
-    if (!out) {
-      fail(SnapshotStatus::kIoError, "short write to '" + tmp + "'");
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
     }
+    if (n < 0 && errno == EINTR) continue;  // retried, never surfaced
+    const int err = errno;
+    fail_unlink("cannot write '" + tmp + "': " +
+                std::strerror(n < 0 ? err : EIO));
+  }
+  if (fp::fail_errno(fp_fsync) != 0 || ::fsync(fd) != 0) {
+    fail_unlink("cannot fsync '" + tmp + "': " + std::strerror(errno));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail(SnapshotStatus::kIoError,
+         "cannot close '" + tmp + "': " + std::strerror(errno));
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     const int err = errno;
-    std::remove(tmp.c_str());
+    ::unlink(tmp.c_str());
     fail(SnapshotStatus::kIoError,
          "cannot rename '" + tmp + "' into place: " + std::strerror(err));
+  }
+  // The rename lives in the directory, not the file: sync it too. A directory
+  // that cannot be opened or synced (exotic filesystems) downgrades to the
+  // pre-PR-9 semantics rather than failing a save that is otherwise complete.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
 }
 

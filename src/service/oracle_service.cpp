@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <limits>
 #include <mutex>
+#include <new>
 #include <utility>
 
 #include "engine/registry.h"
 #include "spath/bfs.h"
+#include "util/failpoint.h"
 
 namespace ftbfs {
 
@@ -516,7 +518,7 @@ OracleService::Admission OracleService::admit(const QueryRequest& req) {
       // Const preprocessed tables, no shared serving state: the reads happen
       // in the (unordered) execution tail.
       a.point = &it->second;
-      return std::move(a);
+      return a;
     }
   }
 
@@ -564,6 +566,15 @@ OracleService::Admission OracleService::admit(const QueryRequest& req) {
       if (claim.owner) {
         int built = -1;
         try {
+          {
+            // Chaos hook: a lazy build is the largest allocation burst on the
+            // serving path; err() here simulates it failing under memory
+            // pressure, exercising the kOverloaded refusal below.
+            static fp::Failpoint& fp_build = fp::site("service.build_alloc");
+            if (fp::eval(fp_build).kind == fp::Outcome::Kind::kErr) {
+              throw std::bad_alloc();
+            }
+          }
           const BuildResult result =
               BuilderRegistry::instance().build(algo, breq);
           const BuilderTraits* traits =
@@ -579,19 +590,27 @@ OracleService::Admission OracleService::admit(const QueryRequest& req) {
           configure_engine(entry);
           built = static_cast<int>(publish_entry(std::move(entry)));
           counters_.structures_built.fetch_add(1, std::memory_order_relaxed);
-        } catch (...) {
-          // Publish the failure so racers fall through to their refusal
-          // paths instead of hanging on the cell, then drop the key so a
-          // later request retries the build (a transient failure must not
-          // refuse this shape forever).
+        } catch (const std::exception& ex) {
+          // Publish the failure so racers wake instead of hanging on the
+          // cell, then drop the key so a later request retries the build (a
+          // transient failure must not refuse this shape forever). The build
+          // failing is a *load* condition — answer kOverloaded, never crash
+          // the serving thread.
           BuildOnceMap::publish(*claim.cell, built);
           lazy_builds_.forget(pool_key);
-          throw;
+          return refused(StatusCode::kOverloaded,
+                         std::string("lazy structure build failed (") +
+                             ex.what() + "); retry later");
         }
         BuildOnceMap::publish(*claim.cell, built);
         best = built;
       } else {
         best = BuildOnceMap::wait(*claim.cell);
+        if (best < 0) {
+          return refused(StatusCode::kOverloaded,
+                         "lazy structure build failed in a racing request; "
+                         "retry later");
+        }
       }
     }
   }

@@ -23,6 +23,12 @@ const char* to_string(StatusCode s) {
       return "unknown_tenant";
     case StatusCode::kQuotaExceeded:
       return "quota_exceeded";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kRateLimited:
+      return "rate_limited";
   }
   return "?";
 }
@@ -166,6 +172,13 @@ ParsedRequest parse_request_line(const std::string& line,
         return syntax_error("\"tenant\" must be a string");
       }
       out.tenant = value.str;
+    } else if (key == "deadline_ms") {
+      if (!json_read_uint(value, u) ||
+          u > static_cast<std::uint64_t>(
+                  std::numeric_limits<std::int64_t>::max())) {
+        return syntax_error("\"deadline_ms\" must be a non-negative integer");
+      }
+      req.deadline_ms = static_cast<std::int64_t>(u);
     } else {
       // Unknown keys are echoed as warnings rather than rejected (or worse,
       // silently ignored): the client learns its field did nothing, but a

@@ -31,6 +31,9 @@ enum class StatusCode {
   kDisconnected,           // served, but every requested target is unreachable
   kUnknownTenant,          // "tenant" names a graph this process does not host
   kQuotaExceeded,          // the tenant is over its configured request quota
+  kDeadlineExceeded,       // the request's deadline passed before execution
+  kOverloaded,             // shed under pressure (queue full / build failed)
+  kRateLimited,            // the tenant's token bucket is empty right now
 };
 
 enum class QueryKind {
@@ -57,6 +60,12 @@ struct QueryRequest {
   // Non-empty: pin the request to the named pool entry ("identity" is always
   // available) instead of letting the service route it.
   std::string structure;
+  // Wire field "deadline_ms": answer within this many milliseconds of arrival
+  // or refuse with kDeadlineExceeded — checked at admission and again before
+  // execution, never mid-BFS. <= 0 means no request deadline (the tenant's
+  // default, if any, applies). Refusing is cheaper than answering late: the
+  // client has already stopped caring.
+  std::int64_t deadline_ms = 0;
 };
 
 struct QueryResponse {

@@ -9,57 +9,19 @@
 #include "persist/service_io.h"
 #include "persist/snapshot.h"
 #include "service/json.h"
+#include "util/failpoint.h"
 
 namespace ftbfs {
 
-Tenant& TenantRegistry::add(std::string name, Graph graph,
-                            ServiceConfig config, TenantQuotas quotas) {
-  if (name.empty()) {
-    throw GraphIoError(0, "tenant name must be non-empty");
-  }
-  if (find(name) != nullptr) {
-    throw GraphIoError(0, "duplicate tenant name '" + name + "'");
-  }
-  return tenants_.emplace_back(std::move(name), std::move(graph), config,
-                               quotas);
-}
-
-Tenant& TenantRegistry::add_from_snapshot(std::string name,
-                                          const std::string& snapshot_path,
-                                          ServiceConfig config,
-                                          TenantQuotas quotas, bool warm_cache,
-                                          const std::string& graph_path) {
-  SnapshotLoadOptions opts;
-  GraphFingerprint expect;
-  Graph graph_file;
-  if (!graph_path.empty()) {
-    // Fail-closed cross-check: a snapshot built from a different graph is
-    // rejected (kGraphMismatch) before any tenant exists.
-    graph_file = load_graph(graph_path);
-    expect = fingerprint_of(graph_file);
-    opts.expect = &expect;
-  }
-  SnapshotImage image = load_snapshot(snapshot_path, opts);
-  Graph host = std::move(image.graph);
-  Tenant& t = add(std::move(name), std::move(host), config, quotas);
-  PersistAccess::restore_service(t.service, image, warm_cache);
-  return t;
-}
-
-Tenant* TenantRegistry::find(std::string_view name) {
-  if (name.empty()) return default_tenant();
-  for (Tenant& t : tenants_) {
-    if (t.name == name) return &t;
-  }
-  return nullptr;
-}
-
-GraphResolver TenantRegistry::resolver() {
-  return [this](const std::string& tenant) -> const Graph* {
-    Tenant* t = find(tenant);
-    return t == nullptr ? nullptr : &t->graph;
-  };
-}
+// One manifest entry, parsed and validated but not yet loaded or applied.
+struct TenantRegistry::PendingTenant {
+  std::string name;
+  std::string graph_path;
+  std::string snapshot_path;
+  bool cache_warm = false;
+  ServiceConfig config;
+  TenantQuotas quotas;
+};
 
 namespace {
 
@@ -86,18 +48,132 @@ void accumulate(ServiceStats& into, const ServiceStats& s) {
   throw GraphIoError(0, "tenant manifest: " + why);
 }
 
+std::unique_ptr<Tenant> make_tenant_from_graph(std::string name, Graph graph,
+                                               const ServiceConfig& config,
+                                               const TenantQuotas& quotas) {
+  if (name.empty()) {
+    throw GraphIoError(0, "tenant name must be non-empty");
+  }
+  return std::make_unique<Tenant>(std::move(name), std::move(graph), config,
+                                  quotas);
+}
+
+std::unique_ptr<Tenant> make_tenant_from_snapshot(
+    std::string name, const std::string& snapshot_path,
+    const ServiceConfig& config, const TenantQuotas& quotas, bool warm_cache,
+    const std::string& graph_path) {
+  SnapshotLoadOptions opts;
+  GraphFingerprint expect;
+  Graph graph_file;
+  if (!graph_path.empty()) {
+    // Fail-closed cross-check: a snapshot built from a different graph is
+    // rejected (kGraphMismatch) before any tenant exists.
+    graph_file = load_graph(graph_path);
+    expect = fingerprint_of(graph_file);
+    opts.expect = &expect;
+  }
+  SnapshotImage image = load_snapshot(snapshot_path, opts);
+  auto t = make_tenant_from_graph(std::move(name), std::move(image.graph),
+                                  config, quotas);
+  PersistAccess::restore_service(t->service, image, warm_cache);
+  return t;
+}
+
 }  // namespace
 
+Tenant& TenantRegistry::adopt(std::unique_ptr<Tenant> t) {
+  const std::unique_lock lock(mutex_);
+  for (const auto& live : tenants_) {
+    if (live->name == t->name) {
+      throw GraphIoError(0, "duplicate tenant name '" + t->name + "'");
+    }
+  }
+  tenants_.push_back(std::move(t));
+  return *tenants_.back();
+}
+
+Tenant& TenantRegistry::add(std::string name, Graph graph,
+                            ServiceConfig config, TenantQuotas quotas) {
+  return adopt(
+      make_tenant_from_graph(std::move(name), std::move(graph), config,
+                             quotas));
+}
+
+Tenant& TenantRegistry::add_from_snapshot(std::string name,
+                                          const std::string& snapshot_path,
+                                          ServiceConfig config,
+                                          TenantQuotas quotas, bool warm_cache,
+                                          const std::string& graph_path) {
+  auto t = make_tenant_from_snapshot(std::move(name), snapshot_path, config,
+                                     quotas, warm_cache, graph_path);
+  t->snapshot_path = snapshot_path;
+  t->graph_path = graph_path;
+  return adopt(std::move(t));
+}
+
+Tenant* TenantRegistry::find(std::string_view name) {
+  const std::shared_lock lock(mutex_);
+  if (name.empty()) {
+    return tenants_.empty() ? nullptr : tenants_.front().get();
+  }
+  for (const auto& t : tenants_) {
+    if (t->name == name) return t.get();
+  }
+  return nullptr;
+}
+
+Tenant* TenantRegistry::find_and_pin(std::string_view name) {
+  const std::shared_lock lock(mutex_);
+  Tenant* found = nullptr;
+  if (name.empty()) {
+    found = tenants_.empty() ? nullptr : tenants_.front().get();
+  } else {
+    for (const auto& t : tenants_) {
+      if (t->name == name) {
+        found = t.get();
+        break;
+      }
+    }
+  }
+  // Pinned under the shared lock: a racing reload cannot retire-and-reap the
+  // tenant between the scan and the increment.
+  if (found != nullptr) found->pins.fetch_add(1, std::memory_order_acq_rel);
+  return found;
+}
+
+Tenant* TenantRegistry::default_tenant() {
+  const std::shared_lock lock(mutex_);
+  return tenants_.empty() ? nullptr : tenants_.front().get();
+}
+
+std::size_t TenantRegistry::size() const {
+  const std::shared_lock lock(mutex_);
+  return tenants_.size();
+}
+
+GraphResolver TenantRegistry::resolver() {
+  return [this](const std::string& tenant) -> const Graph* {
+    Tenant* t = find(tenant);
+    return t == nullptr ? nullptr : &t->graph;
+  };
+}
+
 std::vector<TenantStats> TenantRegistry::stats() const {
+  const std::shared_lock lock(mutex_);
   std::vector<TenantStats> out;
-  out.reserve(tenants_.size());
-  for (const Tenant& t : tenants_) {
+  out.reserve(tenants_.size() + retired_.size());
+  const auto snap = [&](const Tenant& t, bool retired) {
     TenantStats s;
     s.name = t.name;
     s.service = t.service.stats();
     s.quota_refused = t.quota_refused.load(std::memory_order_relaxed);
+    s.rate_refused = t.rate_refused.load(std::memory_order_relaxed);
+    s.deadline_refused = t.deadline_refused.load(std::memory_order_relaxed);
+    s.retired = retired;
     out.push_back(std::move(s));
-  }
+  };
+  for (const auto& t : tenants_) snap(*t, false);
+  for (const auto& t : retired_) snap(*t, true);
   return out;
 }
 
@@ -106,12 +182,14 @@ TenantStats TenantRegistry::global_stats() const {
   for (const TenantStats& s : stats()) {
     accumulate(total.service, s.service);
     total.quota_refused += s.quota_refused;
+    total.rate_refused += s.rate_refused;
+    total.deadline_refused += s.deadline_refused;
   }
   return total;
 }
 
-void TenantRegistry::load_manifest(const std::string& path,
-                                   const ServiceConfig& base) {
+std::vector<TenantRegistry::PendingTenant> TenantRegistry::parse_manifest(
+    const std::string& path, const ServiceConfig& base) {
   std::ifstream in(path);
   if (!in) manifest_error("cannot open '" + path + "'");
   std::ostringstream slurp;
@@ -124,8 +202,9 @@ void TenantRegistry::load_manifest(const std::string& path,
   // Two accepted shapes: a bare array of tenant entries (legacy, schema 1),
   // or an object with a "tenants" key and an optional "schema" version.
   // Schema 1 (the PR 6 surface) has no snapshot keys and treats unknown keys
-  // as fatal; schema 2 adds "snapshot"/"cache_warm" and downgrades unknown
-  // keys to stderr warnings (the PR 7 convention: surface, don't refuse).
+  // as fatal; schema 2 adds "snapshot"/"cache_warm" plus the rate-limit and
+  // deadline quotas, and downgrades unknown keys to stderr warnings (the
+  // PR 7 convention: surface, don't refuse).
   std::uint64_t schema = 1;
   const JsonValue* tenants = &root;
   if (root.kind == JsonValue::Kind::kObject) {
@@ -160,64 +239,78 @@ void TenantRegistry::load_manifest(const std::string& path,
                  path.c_str());
   }
 
+  std::vector<PendingTenant> out;
   for (const JsonValue& entry : tenants->array) {
     if (entry.kind != JsonValue::Kind::kObject) {
       manifest_error("each tenant must be an object");
     }
-    std::string name;
-    std::string graph_path;
-    std::string snapshot_path;
-    bool cache_warm = false;
-    ServiceConfig config = base;
-    TenantQuotas quotas;
+    PendingTenant p;
+    p.config = base;
+    const auto needs_schema2 = [&](const std::string& key) {
+      if (schema < 2) manifest_error("\"" + key + "\" needs \"schema\": 2");
+    };
     for (const auto& [key, value] : entry.object) {
       std::uint64_t u = 0;
       if (key == "name") {
         if (value.kind != JsonValue::Kind::kString || value.str.empty()) {
           manifest_error("\"name\" must be a non-empty string");
         }
-        name = value.str;
+        p.name = value.str;
       } else if (key == "graph") {
         if (value.kind != JsonValue::Kind::kString) {
           manifest_error("\"graph\" must be a file path");
         }
-        graph_path = value.str;
+        p.graph_path = value.str;
       } else if (key == "budget") {
         if (!json_read_uint(value, u)) manifest_error("\"budget\" must be an integer");
-        config.default_budget = static_cast<unsigned>(u);
+        p.config.default_budget = static_cast<unsigned>(u);
       } else if (key == "max_lazy") {
         if (!json_read_uint(value, u)) manifest_error("\"max_lazy\" must be an integer");
-        config.max_lazy_budget = static_cast<unsigned>(u);
+        p.config.max_lazy_budget = static_cast<unsigned>(u);
       } else if (key == "cache") {
         if (!json_read_uint(value, u)) manifest_error("\"cache\" must be an integer");
-        config.cache_capacity = static_cast<std::size_t>(u);
+        p.config.cache_capacity = static_cast<std::size_t>(u);
       } else if (key == "lazy") {
         if (value.kind != JsonValue::Kind::kBool) manifest_error("\"lazy\" must be a boolean");
-        config.lazy_build = value.boolean;
+        p.config.lazy_build = value.boolean;
       } else if (key == "seed") {
         if (!json_read_uint(value, u)) manifest_error("\"seed\" must be an integer");
-        config.weight_seed = u;
+        p.config.weight_seed = u;
       } else if (key == "max_requests") {
         if (!json_read_uint(value, u)) {
           manifest_error("\"max_requests\" must be an integer");
         }
-        quotas.max_requests = u;
-      } else if (key == "snapshot") {
-        if (schema < 2) {
-          manifest_error("\"snapshot\" needs \"schema\": 2");
+        p.quotas.max_requests = u;
+      } else if (key == "rate_limit_rps") {
+        needs_schema2(key);
+        if (value.kind != JsonValue::Kind::kNumber || value.number < 0.0) {
+          manifest_error("\"rate_limit_rps\" must be a non-negative number");
         }
+        p.quotas.rate_limit_rps = value.number;
+      } else if (key == "burst") {
+        needs_schema2(key);
+        if (!json_read_uint(value, u)) {
+          manifest_error("\"burst\" must be an integer");
+        }
+        p.quotas.rate_limit_burst = u;
+      } else if (key == "deadline_ms") {
+        needs_schema2(key);
+        if (!json_read_uint(value, u) || u > (1ull << 40)) {
+          manifest_error("\"deadline_ms\" must be a non-negative integer");
+        }
+        p.quotas.deadline_ms = static_cast<std::int64_t>(u);
+      } else if (key == "snapshot") {
+        needs_schema2(key);
         if (value.kind != JsonValue::Kind::kString || value.str.empty()) {
           manifest_error("\"snapshot\" must be a file path");
         }
-        snapshot_path = value.str;
+        p.snapshot_path = value.str;
       } else if (key == "cache_warm") {
-        if (schema < 2) {
-          manifest_error("\"cache_warm\" needs \"schema\": 2");
-        }
+        needs_schema2(key);
         if (value.kind != JsonValue::Kind::kBool) {
           manifest_error("\"cache_warm\" must be a boolean");
         }
-        cache_warm = value.boolean;
+        p.cache_warm = value.boolean;
       } else if (schema >= 2) {
         std::fprintf(stderr,
                      "ftbfs: warning: tenant manifest: ignoring unknown "
@@ -229,35 +322,148 @@ void TenantRegistry::load_manifest(const std::string& path,
         manifest_error("unknown tenant key \"" + key + "\"");
       }
     }
-    if (name.empty()) manifest_error("tenant entry is missing \"name\"");
-    if (cache_warm && snapshot_path.empty()) {
-      manifest_error("tenant \"" + name + "\": \"cache_warm\" needs "
+    if (p.name.empty()) manifest_error("tenant entry is missing \"name\"");
+    if (p.cache_warm && p.snapshot_path.empty()) {
+      manifest_error("tenant \"" + p.name + "\": \"cache_warm\" needs "
                      "\"snapshot\"");
     }
-    if (!snapshot_path.empty()) {
-      // With both keys, the graph file is the fingerprint cross-check; the
-      // tenant's graph is the snapshot's either way.
-      add_from_snapshot(std::move(name), snapshot_path, config, quotas,
-                        cache_warm, graph_path);
-    } else if (graph_path.empty()) {
-      manifest_error("tenant \"" + name + "\" is missing \"graph\"" +
+    if (p.snapshot_path.empty() && p.graph_path.empty()) {
+      manifest_error("tenant \"" + p.name + "\" is missing \"graph\"" +
                      (schema >= 2 ? std::string(" (or \"snapshot\")")
                                   : std::string()));
+    }
+    for (const PendingTenant& seen : out) {
+      if (seen.name == p.name) {
+        manifest_error("duplicate tenant name '" + p.name + "'");
+      }
+    }
+    out.push_back(std::move(p));
+  }
+  if (out.empty()) manifest_error("\"tenants\" names no tenants");
+  return out;
+}
+
+void TenantRegistry::load_manifest(const std::string& path,
+                                   const ServiceConfig& base) {
+  for (PendingTenant& p : parse_manifest(path, base)) {
+    if (!p.snapshot_path.empty()) {
+      // With both keys, the graph file is the fingerprint cross-check; the
+      // tenant's graph is the snapshot's either way.
+      add_from_snapshot(std::move(p.name), p.snapshot_path, p.config, p.quotas,
+                        p.cache_warm, p.graph_path);
     } else {
-      add(std::move(name), load_graph(graph_path), config, quotas);
+      Tenant& t = add(std::move(p.name), load_graph(p.graph_path), p.config,
+                      p.quotas);
+      t.graph_path = p.graph_path;
     }
   }
-  if (tenants_.empty()) manifest_error("\"tenants\" names no tenants");
+}
+
+ReloadSummary TenantRegistry::reload(const std::string& path,
+                                     const ServiceConfig& base) {
+  // Phase 1 — parse and load with NO live mutation: any throw (malformed
+  // manifest, unreadable graph, rejected snapshot) leaves the old
+  // configuration serving untouched.
+  std::vector<PendingTenant> specs = parse_manifest(path, base);
+
+  // Classify against the live set. name/graph_path/snapshot_path are
+  // immutable after construction, so the shared lock only fences membership.
+  std::vector<bool> in_place(specs.size(), false);
+  {
+    const std::shared_lock lock(mutex_);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      for (const auto& t : tenants_) {
+        if (t->name == specs[i].name &&
+            t->graph_path == specs[i].graph_path &&
+            t->snapshot_path == specs[i].snapshot_path &&
+            !(t->graph_path.empty() && t->snapshot_path.empty())) {
+          // Same sources → hot re-quota. Service config changes (cache size,
+          // budgets, ...) do NOT apply in place — docs/robustness.md.
+          in_place[i] = true;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<std::unique_ptr<Tenant>> built(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (in_place[i]) continue;
+    PendingTenant& p = specs[i];
+    if (!p.snapshot_path.empty()) {
+      built[i] = make_tenant_from_snapshot(p.name, p.snapshot_path, p.config,
+                                           p.quotas, p.cache_warm,
+                                           p.graph_path);
+    } else {
+      built[i] = make_tenant_from_graph(p.name, load_graph(p.graph_path),
+                                        p.config, p.quotas);
+    }
+    built[i]->graph_path = p.graph_path;
+    built[i]->snapshot_path = p.snapshot_path;
+  }
+
+  // Phase 2 — swap memberships under the exclusive lock. Manifest order
+  // becomes the live order, so the first manifest entry is the new default.
+  ReloadSummary summary;
+  {
+    const std::unique_lock lock(mutex_);
+    std::vector<std::unique_ptr<Tenant>> next;
+    next.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (in_place[i]) {
+        for (auto& t : tenants_) {
+          if (t != nullptr && t->name == specs[i].name) {
+            t->set_quotas(specs[i].quotas);
+            next.push_back(std::move(t));
+            ++summary.updated;
+            break;
+          }
+        }
+      } else {
+        next.push_back(std::move(built[i]));
+        ++summary.added;
+      }
+    }
+    for (auto& t : tenants_) {
+      if (t == nullptr) continue;  // moved into `next`
+      t->retired.store(true, std::memory_order_release);
+      retired_.push_back(std::move(t));
+      ++summary.retired;
+    }
+    tenants_ = std::move(next);
+  }
+  summary.reaped = reap_retired();
+  return summary;
+}
+
+std::size_t TenantRegistry::reap_retired() {
+  const std::unique_lock lock(mutex_);
+  const std::size_t before = retired_.size();
+  // A retired tenant is unroutable, so pins can only drain; once zero under
+  // the exclusive lock, no request can ever reference it again.
+  std::erase_if(retired_, [](const std::unique_ptr<Tenant>& t) {
+    return t->pins.load(std::memory_order_acquire) == 0;
+  });
+  return before - retired_.size();
 }
 
 LineJob::LineJob(TenantRegistry& registry, const std::string& line,
-                 std::int64_t seq, bool stamp_seq, WireCounters& counters)
+                 std::int64_t seq, bool stamp_seq, WireCounters& counters,
+                 std::chrono::steady_clock::time_point arrival)
     : registry_(&registry),
       counters_(&counters),
+      arrival_(arrival),
       seq_(seq),
       stamp_seq_(stamp_seq) {
-  parsed_ = std::make_unique<ParsedRequest>(
-      parse_request_line(line, registry.resolver()));
+  // The resolver runs at most once per line, after the object scan; pinning
+  // inside it makes route-and-pin atomic against a racing reload (the graph
+  // pointer the fault resolution uses stays valid for the job's life).
+  parsed_ = std::make_unique<ParsedRequest>(parse_request_line(
+      line, [this](const std::string& tenant) -> const Graph* {
+        Tenant* t = registry_->find_and_pin(tenant);
+        pin_ = TenantPin(t);
+        tenant_ = t;
+        return t == nullptr ? nullptr : &t->graph;
+      }));
   switch (parsed_->status) {
     case ParseStatus::kSyntax:
       counters_->parse_errors.fetch_add(1, std::memory_order_relaxed);
@@ -275,24 +481,55 @@ LineJob::LineJob(TenantRegistry& registry, const std::string& line,
       return;
     }
     case ParseStatus::kOk:
-      // The resolver just found this tenant; the registry is immutable while
-      // serving, so the pointer stays valid for the job's life.
-      tenant_ = registry_->find(parsed_->tenant);
       return;
   }
 }
 
+std::string LineJob::refuse_line(StatusCode status, std::string why) {
+  QueryResponse resp;
+  resp.id = parsed_->request.id;
+  resp.seq = stamp_seq_ ? seq_ : -1;
+  resp.status = status;
+  resp.warnings = std::move(parsed_->warnings);
+  resp.error = std::move(why);
+  return format_response_line(resp);
+}
+
+void LineJob::resolve_deadline() {
+  std::int64_t ms = parsed_->request.deadline_ms;
+  if (ms <= 0) ms = tenant_->deadline_default();
+  if (ms > 0) deadline_ = arrival_ + std::chrono::milliseconds(ms);
+}
+
 void LineJob::admit() {
   if (local_.has_value()) return;  // answered at parse time
+  // Gate order: deadline (an expired request must not consume tokens or
+  // quota), then rate limit, then the lifetime quota, then the service.
+  resolve_deadline();
+  if (deadline_.has_value() &&
+      std::chrono::steady_clock::now() > *deadline_) {
+    counters_->deadline_refusals.fetch_add(1, std::memory_order_relaxed);
+    tenant_->deadline_refused.fetch_add(1, std::memory_order_relaxed);
+    local_ = refuse_line(StatusCode::kDeadlineExceeded,
+                         "deadline of " +
+                             std::to_string(parsed_->request.deadline_ms > 0
+                                                ? parsed_->request.deadline_ms
+                                                : tenant_->deadline_default()) +
+                             " ms expired before admission");
+    return;
+  }
+  if (!tenant_->try_acquire_token_now()) {
+    counters_->rate_limit_refusals.fetch_add(1, std::memory_order_relaxed);
+    local_ = refuse_line(StatusCode::kRateLimited,
+                         "tenant '" + tenant_->name +
+                             "' is over its request rate; retry later");
+    return;
+  }
   if (!tenant_->try_admit()) {
     counters_->quota_refusals.fetch_add(1, std::memory_order_relaxed);
-    QueryResponse resp;
-    resp.id = parsed_->request.id;
-    resp.seq = stamp_seq_ ? seq_ : -1;
-    resp.status = StatusCode::kQuotaExceeded;
-    resp.warnings = std::move(parsed_->warnings);
-    resp.error = "tenant '" + tenant_->name + "' is over its request quota";
-    local_ = format_response_line(resp);
+    local_ = refuse_line(StatusCode::kQuotaExceeded,
+                         "tenant '" + tenant_->name +
+                             "' is over its request quota");
     return;
   }
   admission_ = tenant_->service.admit(parsed_->request);
@@ -300,6 +537,23 @@ void LineJob::admit() {
 
 std::string LineJob::finish() {
   if (local_.has_value()) return std::move(*local_);
+  {
+    // Chaos/latency hook: a sleep armed on `service.execute` models a slow
+    // backend without touching real serving code paths.
+    static fp::Failpoint& fp_exec = fp::site("service.execute");
+    (void)fp::fail_errno(fp_exec);
+  }
+  if (deadline_.has_value() && !admission_->done &&
+      std::chrono::steady_clock::now() > *deadline_) {
+    // Too late to be worth computing. Dropping the admission is safe: its
+    // fill obligation (if any) poisons the reserved cache line so waiters
+    // recompute for themselves.
+    admission_.reset();
+    counters_->deadline_refusals.fetch_add(1, std::memory_order_relaxed);
+    tenant_->deadline_refused.fetch_add(1, std::memory_order_relaxed);
+    return refuse_line(StatusCode::kDeadlineExceeded,
+                       "deadline expired while queued for execution");
+  }
   QueryResponse resp = tenant_->service.execute(std::move(*admission_));
   resp.seq = stamp_seq_ ? seq_ : -1;
   resp.warnings = std::move(parsed_->warnings);

@@ -1,0 +1,260 @@
+#include "util/failpoint.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ftbfs::fp {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  // Stable addresses: sites are interned once and never removed.
+  std::map<std::string, std::unique_ptr<Failpoint>> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives every static caller
+  return *r;
+}
+
+// splitmix64: full-period, seedable from any value including 0.
+std::uint64_t next_rng(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int errno_by_name(const std::string& s) {
+  if (s == "EAGAIN") return EAGAIN;
+  if (s == "EINTR") return EINTR;
+  if (s == "ENOSPC") return ENOSPC;
+  if (s == "EMFILE") return EMFILE;
+  if (s == "ENFILE") return ENFILE;
+  if (s == "ECONNRESET") return ECONNRESET;
+  if (s == "EPIPE") return EPIPE;
+  if (s == "EIO") return EIO;
+  if (s == "ENOMEM") return ENOMEM;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v <= 0 || v > 4096) return -1;
+  return static_cast<int>(v);
+}
+
+// Parses one `key=value` action parameter into `a`; false on a bad one.
+bool apply_param(Failpoint::Action& a, const std::string& key,
+                 const std::string& value) {
+  char* end = nullptr;
+  if (key == "p") {
+    const double p = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      return false;
+    }
+    a.p = p;
+    return true;
+  }
+  const unsigned long long u = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') return false;
+  if (key == "seed") {
+    a.seed = u;
+    return true;
+  }
+  if (key == "count") {
+    a.count = u;
+    return true;
+  }
+  if (key == "ms") {
+    if (u > 600000) return false;  // cap: a typo must not hang a harness
+    a.sleep_ms = static_cast<std::uint32_t>(u);
+    return true;
+  }
+  return false;
+}
+
+// Parses `action(args)` into `a`; false with *why on malformed input.
+bool parse_action(const std::string& text, Failpoint::Action& a,
+                  std::string* why) {
+  const std::size_t open = text.find('(');
+  if (open == std::string::npos || text.back() != ')') {
+    *why = "action '" + text + "' must look like name(args)";
+    return false;
+  }
+  const std::string verb = text.substr(0, open);
+  const std::string args = text.substr(open + 1, text.size() - open - 2);
+  if (verb == "err") {
+    a.kind = Outcome::Kind::kErr;
+  } else if (verb == "shortwrite") {
+    a.kind = Outcome::Kind::kShortWrite;
+  } else if (verb == "sleep") {
+    a.kind = Outcome::Kind::kSleep;
+  } else {
+    *why = "unknown action '" + verb + "' (err | shortwrite | sleep)";
+    return false;
+  }
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= args.size() && !args.empty()) {
+    const std::size_t comma = args.find(',', start);
+    parts.push_back(args.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  bool have_errno = false;
+  for (const std::string& part : parts) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      if (a.kind != Outcome::Kind::kErr || have_errno) {
+        *why = "unexpected bare argument '" + part + "'";
+        return false;
+      }
+      a.err = errno_by_name(part);
+      if (a.err < 0) {
+        *why = "unknown errno '" + part + "'";
+        return false;
+      }
+      have_errno = true;
+      continue;
+    }
+    if (!apply_param(a, part.substr(0, eq), part.substr(eq + 1))) {
+      *why = "bad parameter '" + part + "'";
+      return false;
+    }
+  }
+  if (a.kind == Outcome::Kind::kErr && !have_errno) {
+    *why = "err() needs an errno, e.g. err(EAGAIN)";
+    return false;
+  }
+  if (a.kind == Outcome::Kind::kSleep && a.sleep_ms == 0) {
+    *why = "sleep() needs ms=N";
+    return false;
+  }
+  a.rng = a.seed;
+  a.spec = text;
+  return true;
+}
+
+}  // namespace
+
+Failpoint& site(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard lock(r.mutex);
+  auto it = r.sites.find(name);
+  if (it == r.sites.end()) {
+    it = r.sites.emplace(name, std::make_unique<Failpoint>(name)).first;
+  }
+  return *it->second;
+}
+
+Outcome eval_armed(Failpoint& f) {
+  const std::lock_guard lock(f.mutex_);
+  Failpoint::Action& a = f.action_;
+  if (!f.armed_.load(std::memory_order_relaxed)) return {};  // raced disarm
+  if (a.count != 0 && a.fired >= a.count) return {};
+  if (a.p < 1.0) {
+    // Top 53 bits → uniform double in [0,1): deterministic per (seed, call#).
+    const double roll =
+        static_cast<double>(next_rng(a.rng) >> 11) * 0x1.0p-53;
+    if (roll >= a.p) return {};
+  }
+  ++a.fired;
+  Outcome out;
+  out.kind = a.kind;
+  out.err = a.err;
+  out.ms = a.sleep_ms;
+  return out;
+}
+
+int fail_errno(Failpoint& f) {
+  const Outcome o = eval(f);
+  switch (o.kind) {
+    case Outcome::Kind::kErr:
+      return o.err;
+    case Outcome::Kind::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(o.ms));
+      return 0;
+    case Outcome::Kind::kShortWrite:
+    case Outcome::Kind::kNone:
+      return 0;
+  }
+  return 0;
+}
+
+bool arm(const std::string& schedule, std::string* error) {
+  // Parse the whole schedule before arming anything: a malformed tail must
+  // not leave a half-armed chaos run behind.
+  std::vector<std::pair<std::string, Failpoint::Action>> parsed;
+  std::size_t start = 0;
+  while (start < schedule.size()) {
+    std::size_t semi = schedule.find(';', start);
+    if (semi == std::string::npos) semi = schedule.size();
+    const std::string entry = schedule.substr(start, semi - start);
+    start = semi + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error != nullptr) {
+        *error = "failpoint entry '" + entry + "' must look like name=action";
+      }
+      return false;
+    }
+    Failpoint::Action a;
+    std::string why;
+    if (!parse_action(entry.substr(eq + 1), a, &why)) {
+      if (error != nullptr) *error = entry.substr(0, eq) + ": " + why;
+      return false;
+    }
+    parsed.emplace_back(entry.substr(0, eq), std::move(a));
+  }
+  for (auto& [name, action] : parsed) {
+    Failpoint& f = site(name);
+    const std::lock_guard lock(f.mutex_);
+    f.action_ = std::move(action);
+    f.armed_.store(true, std::memory_order_release);
+  }
+  return true;
+}
+
+std::string arm_from_env() {
+  const char* env = std::getenv("FTBFS_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return {};
+  std::string error;
+  if (!arm(env, &error)) {
+    throw std::runtime_error("FTBFS_FAILPOINTS: " + error);
+  }
+  return env;
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  const std::lock_guard lock(r.mutex);
+  for (auto& [name, f] : r.sites) {
+    const std::lock_guard point_lock(f->mutex_);
+    f->armed_.store(false, std::memory_order_release);
+    f->action_ = Failpoint::Action{};
+  }
+}
+
+std::string active_schedule() {
+  Registry& r = registry();
+  const std::lock_guard lock(r.mutex);
+  std::string out;
+  for (auto& [name, f] : r.sites) {
+    const std::lock_guard point_lock(f->mutex_);
+    if (!f->armed_.load(std::memory_order_relaxed)) continue;
+    if (!out.empty()) out += ';';
+    out += name;
+    out += '=';
+    out += f->action_.spec;
+  }
+  return out;
+}
+
+}  // namespace ftbfs::fp

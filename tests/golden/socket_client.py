@@ -17,15 +17,31 @@ Comparison modes:
               (cache_hit-normalized); id-less lines must carry a "seq"
               correlation field and, seq stripped, equal the golden id-less
               lines as a multiset.
+  tolerant    chaos mode (use with --failpoints): every response must be a
+              well-formed single-line JSON object with a documented typed
+              status, and the answered id set must equal the golden id set —
+              payload bytes are NOT compared, since injected faults may
+              legitimately change cache_hit patterns or degrade statuses.
+
+Reload scenario (--reload-body, instead of a golden compare): launches the
+server from a tenant manifest (--manifest), pipelines a burst of requests,
+rewrites the manifest and SIGHUPs while they are in flight, and requires
+(a) every in-flight response intact and in order, and (b) a tenant that only
+exists in the new manifest answering on the SAME connection, no reconnect.
 
 Usage:
   socket_client.py --binary ./build/ftbfs --graph G.txt \
       --requests reqs.jsonl --golden resp.jsonl \
-      --compare exact|normalized|relaxed [--threads N] [--mode relaxed]
+      --compare exact|normalized|relaxed|tolerant \
+      [--threads N] [--mode relaxed] [--failpoints SCHEDULE]
+  socket_client.py --binary ./build/ftbfs --manifest M.json \
+      --reload-body NEW.json --reload-tenant NAME [--threads N]
 """
 
 import argparse
+import json
 import re
+import shutil
 import signal
 import socket
 import subprocess
@@ -129,34 +145,130 @@ def check_relaxed(got, golden):
         raise SystemExit("id-less lines diverged:\n" + "\n".join(got_rest))
 
 
+TYPED_STATUSES = {
+    "ok", "budget_exceeded", "unknown_source", "disconnected",
+    "unknown_tenant", "quota_exceeded", "deadline_exceeded", "overloaded",
+    "rate_limited", "unsupported_fault_model", "parse_error",
+}
+
+
+def check_tolerant(got, golden):
+    for line in got:
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            raise SystemExit(f"unparseable response under chaos: {line}")
+        if obj.get("status") not in TYPED_STATUSES:
+            raise SystemExit(f"untyped status under chaos: {line}")
+    if by_id(got).keys() != by_id(golden).keys():
+        raise SystemExit(
+            f"answered id set diverged under chaos: "
+            f"{sorted(by_id(golden))} vs {sorted(by_id(got))}")
+
+
+def recv_lines(sock, count):
+    lines, buf = [], b""
+    while len(lines) < count:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise SystemExit(
+                f"connection closed after {len(lines)}/{count} responses")
+        buf += chunk
+        while b"\n" in buf and len(lines) < count:
+            line, buf = buf.split(b"\n", 1)
+            lines.append(line.decode())
+    if buf:
+        raise SystemExit(f"trailing bytes beyond expected responses: {buf!r}")
+    return lines
+
+
+def reload_scenario(proc, host, port, args):
+    """SIGHUP mid-stream: in-flight responses intact, new tenant routable."""
+    inflight = [
+        '{"id":%d,"source":0,"targets":[%d]}' % (i, 1 + i % 5)
+        for i in range(40)
+    ]
+    with socket.create_connection((host, port)) as sock:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.sendall(("\n".join(inflight) + "\n").encode())
+        # Swap the manifest under the server and reload while the burst above
+        # is still being served.
+        shutil.copyfile(args.reload_body, args.manifest)
+        proc.send_signal(signal.SIGHUP)
+        got = recv_lines(sock, len(inflight))
+        for i, line in enumerate(got):
+            obj = json.loads(line)
+            if obj.get("id") != i or obj.get("status") != "ok":
+                raise SystemExit(
+                    f"in-flight response {i} damaged by reload: {line}")
+        # The tenant that exists only in the new manifest must answer on this
+        # same connection — routing picks up the reload without reconnect.
+        probe_id = 9001
+        sock.sendall(('{"id":%d,"tenant":"%s","source":0,"targets":[1]}\n'
+                      % (probe_id, args.reload_tenant)).encode())
+        line = recv_lines(sock, 1)[0]
+        obj = json.loads(line)
+        if obj.get("id") != probe_id or obj.get("status") != "ok":
+            raise SystemExit(f"new tenant not routable after reload: {line}")
+        sock.shutdown(socket.SHUT_WR)
+        if sock.recv(1):
+            raise SystemExit("unexpected bytes after half-close")
+    return len(inflight) + 1
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--binary", required=True)
-    ap.add_argument("--graph", required=True)
-    ap.add_argument("--requests", required=True)
-    ap.add_argument("--golden", required=True)
-    ap.add_argument("--compare", required=True,
-                    choices=["exact", "normalized", "relaxed"])
+    ap.add_argument("--graph")
+    ap.add_argument("--requests")
+    ap.add_argument("--golden")
+    ap.add_argument("--compare",
+                    choices=["exact", "normalized", "relaxed", "tolerant"])
     ap.add_argument("--threads", type=int, default=1)
     ap.add_argument("--mode", default="ordered")
+    ap.add_argument("--failpoints",
+                    help="failpoint schedule passed to the server; pair with "
+                         "--compare tolerant")
+    ap.add_argument("--manifest",
+                    help="tenant manifest; server starts with --tenants")
+    ap.add_argument("--reload-body",
+                    help="file whose contents replace --manifest mid-stream "
+                         "before SIGHUP (enables the reload scenario)")
+    ap.add_argument("--reload-tenant", default="gamma",
+                    help="tenant that must answer only after the reload")
     args = ap.parse_args()
 
-    requests = open(args.requests).read().splitlines()
-    golden = open(args.golden).read().splitlines()
+    reload_mode = args.reload_body is not None
+    if reload_mode and not args.manifest:
+        ap.error("--reload-body requires --manifest")
+    if not reload_mode and not (args.graph and args.requests and args.golden
+                                and args.compare):
+        ap.error("golden mode requires --graph/--requests/--golden/--compare")
 
-    cmd = [args.binary, "serve", "--graph", args.graph,
-           "--threads", str(args.threads), "--mode", args.mode,
-           "--listen", "127.0.0.1:0"]
+    cmd = [args.binary, "serve", "--threads", str(args.threads),
+           "--mode", args.mode, "--listen", "127.0.0.1:0"]
+    cmd += ["--tenants", args.manifest] if args.manifest else \
+           ["--graph", args.graph]
+    if args.failpoints:
+        cmd += ["--failpoints", args.failpoints]
     proc = subprocess.Popen(cmd, stderr=subprocess.PIPE)
     try:
         host, port = parse_listen_line(proc)
-        got = pipeline(host, port, requests)
-        if args.compare == "exact":
-            check_exact(got, golden, normalized=False)
-        elif args.compare == "normalized":
-            check_exact(got, golden, normalized=True)
+        if reload_mode:
+            count = reload_scenario(proc, host, port, args)
         else:
-            check_relaxed(got, golden)
+            requests = open(args.requests).read().splitlines()
+            golden = open(args.golden).read().splitlines()
+            got = pipeline(host, port, requests)
+            count = len(got)
+            if args.compare == "exact":
+                check_exact(got, golden, normalized=False)
+            elif args.compare == "normalized":
+                check_exact(got, golden, normalized=True)
+            elif args.compare == "relaxed":
+                check_relaxed(got, golden)
+            else:
+                check_tolerant(got, golden)
         proc.send_signal(signal.SIGTERM)
         code = proc.wait(timeout=30)
         tail = proc.stderr.read().decode(errors="replace")
@@ -164,12 +276,18 @@ def main():
             raise SystemExit(f"server exited {code} after SIGTERM:\n{tail}")
         if "drained:" not in tail:
             raise SystemExit(f"no drain summary on stderr:\n{tail}")
+        if reload_mode and "reloaded" not in tail:
+            raise SystemExit(f"no reload summary on stderr:\n{tail}")
     finally:
         if proc.poll() is None:
             proc.kill()
         proc.wait()
-    print(f"socket golden OK ({args.compare}, --threads {args.threads}, "
-          f"--mode {args.mode}): {len(got)} responses")
+    if reload_mode:
+        print(f"socket reload OK (--threads {args.threads}): "
+              f"{count} responses across SIGHUP")
+    else:
+        print(f"socket golden OK ({args.compare}, --threads {args.threads}, "
+              f"--mode {args.mode}): {count} responses")
 
 
 if __name__ == "__main__":

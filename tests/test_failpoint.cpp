@@ -1,0 +1,138 @@
+// Unit tests for the failpoint registry (src/util/failpoint.h): schedule
+// grammar round-trips, deterministic seeded firing, count limits, and the
+// all-or-nothing arming contract. Failpoint state is process-global, so every
+// test disarms on exit (and gtest runs tests sequentially).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <string>
+#include <vector>
+
+#include "util/failpoint.h"
+
+namespace ftbfs::fp {
+namespace {
+
+struct DisarmOnExit {
+  ~DisarmOnExit() { disarm_all(); }
+};
+
+TEST(Failpoint, DisarmedEvaluatesToNone) {
+  DisarmOnExit guard;
+  Failpoint& f = site("test.disarmed");
+  EXPECT_FALSE(f.armed());
+  const Outcome o = eval(f);
+  EXPECT_EQ(o.kind, Outcome::Kind::kNone);
+  EXPECT_EQ(fail_errno(f), 0);
+}
+
+TEST(Failpoint, SiteInternsStableAddresses) {
+  Failpoint& a = site("test.intern");
+  Failpoint& b = site("test.intern");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.name(), "test.intern");
+}
+
+TEST(Failpoint, ErrActionInjectsNamedErrno) {
+  DisarmOnExit guard;
+  ASSERT_TRUE(arm("test.err=err(ENOSPC)"));
+  Failpoint& f = site("test.err");
+  EXPECT_TRUE(f.armed());
+  EXPECT_EQ(fail_errno(f), ENOSPC);
+  EXPECT_EQ(fail_errno(f), ENOSPC);  // p defaults to 1: fires every time
+}
+
+TEST(Failpoint, NumericErrnoAccepted) {
+  DisarmOnExit guard;
+  ASSERT_TRUE(arm("test.num=err(5)"));  // EIO on linux
+  EXPECT_EQ(fail_errno(site("test.num")), 5);
+}
+
+TEST(Failpoint, CountLimitsFirings) {
+  DisarmOnExit guard;
+  ASSERT_TRUE(arm("test.count=err(EAGAIN,count=3)"));
+  Failpoint& f = site("test.count");
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(fail_errno(f), EAGAIN) << i;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fail_errno(f), 0) << i;
+}
+
+TEST(Failpoint, ProbabilityIsDeterministicPerSeed) {
+  DisarmOnExit guard;
+  const auto run = [](const char* schedule) {
+    disarm_all();
+    std::string err;
+    EXPECT_TRUE(arm(schedule, &err)) << err;
+    Failpoint& f = site("test.prob");
+    std::vector<bool> fired;
+    fired.reserve(200);
+    for (int i = 0; i < 200; ++i) fired.push_back(fail_errno(f) != 0);
+    return fired;
+  };
+  const std::vector<bool> a = run("test.prob=err(EIO,p=0.25,seed=42)");
+  const std::vector<bool> b = run("test.prob=err(EIO,p=0.25,seed=42)");
+  const std::vector<bool> c = run("test.prob=err(EIO,p=0.25,seed=43)");
+  EXPECT_EQ(a, b);  // same seed, same firing pattern — chaos runs reproduce
+  EXPECT_NE(a, c);  // a different seed is a different schedule
+  const int hits = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(hits, 20);   // ~50 expected; bounds are loose, the RNG is fixed
+  EXPECT_LT(hits, 100);
+}
+
+TEST(Failpoint, ShortWriteAndSleepOutcomes) {
+  DisarmOnExit guard;
+  ASSERT_TRUE(arm("test.sw=shortwrite();test.sl=sleep(ms=1)"));
+  const Outcome sw = eval(site("test.sw"));
+  EXPECT_EQ(sw.kind, Outcome::Kind::kShortWrite);
+  const Outcome sl = eval(site("test.sl"));
+  EXPECT_EQ(sl.kind, Outcome::Kind::kSleep);
+  EXPECT_EQ(sl.ms, 1u);
+  // fail_errno treats a sleep as "delay, then proceed", never an error.
+  EXPECT_EQ(fail_errno(site("test.sl")), 0);
+}
+
+TEST(Failpoint, ActiveScheduleRoundTrips) {
+  DisarmOnExit guard;
+  ASSERT_TRUE(arm("test.a=err(EAGAIN,p=0.5,seed=7);test.b=sleep(ms=20)"));
+  const std::string active = active_schedule();
+  EXPECT_NE(active.find("test.a=err(EAGAIN,p=0.5,seed=7)"), std::string::npos)
+      << active;
+  EXPECT_NE(active.find("test.b=sleep(ms=20)"), std::string::npos) << active;
+  // The normalized schedule re-arms to an equivalent configuration — the CI
+  // chaos job uploads it as the reproduction artifact.
+  disarm_all();
+  EXPECT_EQ(active_schedule(), "");
+  ASSERT_TRUE(arm(active));
+  EXPECT_EQ(active_schedule(), active);
+}
+
+TEST(Failpoint, MalformedSchedulesRejectedAtomically) {
+  DisarmOnExit guard;
+  std::string err;
+  // Second entry is malformed: the first must NOT end up armed.
+  EXPECT_FALSE(arm("test.good=err(EAGAIN);test.bad=explode()", &err));
+  EXPECT_NE(err.find("test.bad"), std::string::npos) << err;
+  EXPECT_FALSE(site("test.good").armed());
+
+  EXPECT_FALSE(arm("test.bad=err()", &err));          // err needs an errno
+  EXPECT_FALSE(arm("test.bad=sleep()", &err));        // sleep needs ms
+  EXPECT_FALSE(arm("test.bad=err(EAGAIN,p=1.5)", &err));  // p out of range
+  EXPECT_FALSE(arm("test.bad=err(ENOENT_TYPO)", &err));
+  EXPECT_FALSE(arm("noaction", &err));
+  EXPECT_FALSE(arm("=err(EIO)", &err));
+  EXPECT_TRUE(arm(""));   // empty schedule arms nothing, legally
+  EXPECT_TRUE(arm(";"));  // so do empty entries
+}
+
+TEST(Failpoint, RearmReplacesAction) {
+  DisarmOnExit guard;
+  ASSERT_TRUE(arm("test.rearm=err(EAGAIN)"));
+  EXPECT_EQ(fail_errno(site("test.rearm")), EAGAIN);
+  ASSERT_TRUE(arm("test.rearm=err(EIO)"));
+  EXPECT_EQ(fail_errno(site("test.rearm")), EIO);
+  disarm_all();
+  EXPECT_EQ(fail_errno(site("test.rearm")), 0);
+}
+
+}  // namespace
+}  // namespace ftbfs::fp

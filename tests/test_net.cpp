@@ -14,15 +14,19 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "graph/generators.h"
+#include "graph/io.h"
 #include "net/net_server.h"
 #include "service/json.h"
 #include "service/tenant.h"
+#include "util/failpoint.h"
 
 namespace ftbfs {
 namespace {
@@ -461,6 +465,288 @@ TEST(NetServer, HammerManyConcurrentPipelinedConnectionsAcrossTenants) {
             total.service.requests);
   EXPECT_GT(per[0].service.requests, 0u);
   EXPECT_GT(per[1].service.requests, 0u);
+}
+
+// --- robustness: failpoints, degradation, reload (docs/robustness.md) ------
+
+// Failpoint state is process-global; every armed test must disarm on exit.
+struct DisarmOnExit {
+  ~DisarmOnExit() { fp::disarm_all(); }
+};
+
+TEST(NetRobustness, SurvivesInjectedReadAndWriteFaults) {
+  DisarmOnExit guard;
+  // Transient read errors and truncated writes at 30% each: every request
+  // must still be answered correctly — the syscall loops absorb the faults.
+  std::string err;
+  ASSERT_TRUE(fp::arm(
+      "net.read=err(EAGAIN,p=0.3,seed=7);net.write=shortwrite(p=0.3,seed=9)",
+      &err))
+      << err;
+
+  TenantRegistry registry;
+  registry.add("default", cycle_graph(24));
+  NetServerConfig config;
+  config.threads = 2;
+  RunningServer rs(registry, config);
+  const int fd = connect_loopback(rs.server.port());
+
+  std::string stream;
+  for (int i = 0; i < 40; ++i) stream += distance_request(i, 1 + (i * 5) % 23);
+  send_all(fd, stream);
+  ::shutdown(fd, SHUT_WR);
+  const std::vector<std::string> got = recv_lines(fd, 40);
+  ASSERT_EQ(got.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(field(got[i], "id"), std::to_string(i));
+    EXPECT_EQ(field(got[i], "status"), "ok") << got[i];
+  }
+  EXPECT_TRUE(recv_eof(fd));
+  ::close(fd);
+}
+
+TEST(NetRobustness, EmfileOnAcceptShedsViaSpareFdInsteadOfSpinning) {
+  DisarmOnExit guard;
+  // One injected EMFILE: the server must release its reserved fd, accept the
+  // pending connection, and close it cleanly (the client sees EOF) — then the
+  // next connection is served normally.
+  ASSERT_TRUE(fp::arm("net.accept=err(EMFILE,count=1)"));
+
+  TenantRegistry registry;
+  registry.add("default", cycle_graph(12));
+  NetServerConfig config;
+  config.threads = 1;
+  RunningServer rs(registry, config);
+
+  const int shed = connect_loopback(rs.server.port());
+  EXPECT_TRUE(recv_eof(shed));  // shed: clean close, not a hung connect
+  ::close(shed);
+
+  const int fd = connect_loopback(rs.server.port());
+  send_all(fd, distance_request(1, 3));
+  const std::vector<std::string> got = recv_lines(fd, 1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(field(got[0], "status"), "ok");
+  ::close(fd);
+  rs.shutdown_and_join();
+  EXPECT_EQ(rs.server.connections_shed_fd_limit(), 1u);
+}
+
+TEST(NetRobustness, QueuePressureShedsOverloadedInsteadOfParkingForever) {
+  DisarmOnExit guard;
+  // One worker, a 2-slot queue, and a 100 ms execution sleep: pipelining 12
+  // requests parks the backlog on a full admission FIFO past the 50 ms shed
+  // budget. Every line must still be answered — some ok, the parked tail
+  // `overloaded` — and the connection must survive.
+  ASSERT_TRUE(fp::arm("service.execute=sleep(ms=100,count=3)"));
+
+  TenantRegistry registry;
+  registry.add("default", cycle_graph(16));
+  NetServerConfig config;
+  config.threads = 1;
+  config.queue_capacity = 2;
+  config.shed_after_ms = 50;
+  RunningServer rs(registry, config);
+  const int fd = connect_loopback(rs.server.port());
+
+  std::string stream;
+  for (int i = 0; i < 12; ++i) stream += distance_request(i, 1 + i);
+  send_all(fd, stream);
+  ::shutdown(fd, SHUT_WR);
+  const std::vector<std::string> got = recv_lines(fd, 12);
+  ASSERT_EQ(got.size(), 12u);
+  int ok = 0, overloaded = 0;
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(field(got[i], "id"), std::to_string(i)) << got[i];
+    const std::string status = field(got[i], "status");
+    if (status == "ok") ++ok;
+    else if (status == "overloaded") ++overloaded;
+    else ADD_FAILURE() << "unexpected status: " << got[i];
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(overloaded, 0);
+  EXPECT_EQ(ok + overloaded, 12);
+  EXPECT_TRUE(recv_eof(fd));
+  ::close(fd);
+  rs.shutdown_and_join();
+  EXPECT_EQ(rs.server.wire_counters().overload_sheds.load(),
+            static_cast<std::uint64_t>(overloaded));
+}
+
+TEST(NetRobustness, DeadlineExceededIsTypedAndPerRequest) {
+  DisarmOnExit guard;
+  // The first execution sleeps 100 ms; the request carries deadline_ms=40, so
+  // the pre-execution recheck must refuse it as deadline_exceeded. The second
+  // request (no deadline, no sleep left) must be served normally.
+  ASSERT_TRUE(fp::arm("service.execute=sleep(ms=100,count=1)"));
+
+  TenantRegistry registry;
+  registry.add("default", cycle_graph(16));
+  NetServerConfig config;
+  config.threads = 1;
+  RunningServer rs(registry, config);
+  const int fd = connect_loopback(rs.server.port());
+
+  send_all(fd,
+           "{\"id\":1,\"source\":0,\"targets\":[5],\"deadline_ms\":40}\n");
+  send_all(fd, distance_request(2, 5));
+  ::shutdown(fd, SHUT_WR);
+  const std::vector<std::string> got = recv_lines(fd, 2);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(field(got[0], "status"), "deadline_exceeded") << got[0];
+  EXPECT_EQ(field(got[1], "status"), "ok") << got[1];
+  ::close(fd);
+  rs.shutdown_and_join();
+  EXPECT_EQ(rs.server.wire_counters().deadline_refusals.load(), 1u);
+}
+
+TEST(NetRobustness, RateLimitRefusesBeyondBurstWithTypedStatus) {
+  TenantRegistry registry;
+  TenantQuotas quotas;
+  quotas.rate_limit_rps = 0.001;  // refill ~1 token per 1000 s: burst only
+  registry.add("default", cycle_graph(12), {}, quotas);
+  NetServerConfig config;
+  config.threads = 1;
+  RunningServer rs(registry, config);
+  const int fd = connect_loopback(rs.server.port());
+
+  std::string stream;
+  for (int i = 0; i < 3; ++i) stream += distance_request(i, 2 + i);
+  send_all(fd, stream);
+  ::shutdown(fd, SHUT_WR);
+  const std::vector<std::string> got = recv_lines(fd, 3);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(field(got[0], "status"), "ok");  // burst = max(1, ceil(rps)) = 1
+  EXPECT_EQ(field(got[1], "status"), "rate_limited") << got[1];
+  EXPECT_EQ(field(got[2], "status"), "rate_limited") << got[2];
+  ::close(fd);
+  rs.shutdown_and_join();
+  EXPECT_EQ(rs.server.wire_counters().rate_limit_refusals.load(), 2u);
+}
+
+TEST(NetRobustness, WriteStallEvictsTheClientThatStoppedReading) {
+  // A client that pipelines heavy requests and never reads: once the kernel
+  // buffers fill, the server's writes make no progress and the connection
+  // must be evicted after write_stall_ms — instead of holding its output
+  // buffer forever.
+  TenantRegistry registry;
+  registry.add("default", cycle_graph(128));
+  NetServerConfig config;
+  config.threads = 2;
+  config.write_stall_ms = 200;
+  RunningServer rs(registry, config);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int tiny = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof tiny);
+  // If the server parks our reads under backpressure, a blocking send() would
+  // hang this test; a send timeout turns that into a clean loop exit.
+  const timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(rs.server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+  // Every request repeats one cached scenario (source 0, no faults) over a
+  // deliberately repetitive 2048-entry target list, so responses are cheap
+  // to compute (~7 KB of distances each) but their aggregate ~10 MB
+  // overflows the kernel's send-buffer autotuning ceiling
+  // (net.ipv4.tcp_wmem max, typically 4 MB) — the server's flushes are
+  // guaranteed to hit EAGAIN with bytes still pending, a true stall, not
+  // just a slow drain. The graph stays small because the first query pays
+  // the per-source structure build, which grows steeply with n.
+  std::string many_targets;
+  for (unsigned t = 0; t < 2048; ++t) {
+    many_targets += (t == 0 ? "" : ",") + std::to_string(1 + t % 127);
+  }
+  for (int i = 0; i < 1500; ++i) {
+    const std::string line = "{\"id\":" + std::to_string(i) +
+                             ",\"source\":0,\"targets\":[" + many_targets +
+                             "]}\n";
+    const ssize_t n = ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+    if (n <= 0) break;  // server already parked reads or evicted us
+  }
+  // Never read. The server must evict this connection on its own.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+  while (rs.server.connections_evicted_stalled() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(rs.server.connections_evicted_stalled(), 1u);
+  ::close(fd);
+  rs.shutdown_and_join();  // and the drain must not hang on the evicted conn
+}
+
+TEST(NetRobustness, HotReloadAddsRemovesAndRequotasTenants) {
+  // Manifest-driven registry + on_reload wired exactly like the CLI does it:
+  // SIGHUP's request_reload() must add/retire/re-quota tenants while the
+  // server keeps answering on an open connection.
+  const std::string dir = ::testing::TempDir();
+  const std::string graph_a = dir + "net_reload_a.txt";
+  const std::string graph_b = dir + "net_reload_b.txt";
+  const std::string manifest = dir + "net_reload_manifest.json";
+  save_graph(graph_a, cycle_graph(10));
+  save_graph(graph_b, cycle_graph(20));
+  const auto write_manifest = [&](const std::string& body) {
+    std::FILE* f = std::fopen(manifest.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+  };
+  write_manifest("{\"schema\": 2, \"tenants\": ["
+                 "{\"name\": \"alpha\", \"graph\": \"" + graph_a + "\"},"
+                 "{\"name\": \"beta\", \"graph\": \"" + graph_b + "\"}]}");
+
+  TenantRegistry registry;
+  registry.load_manifest(manifest);
+  NetServerConfig config;
+  config.threads = 1;
+  config.on_reload = [&registry, manifest] { registry.reload(manifest); };
+  RunningServer rs(registry, config);
+  const int fd = connect_loopback(rs.server.port());
+
+  send_all(fd, distance_request(1, 5, "alpha"));
+  send_all(fd, distance_request(2, 5, "beta"));
+  std::vector<std::string> got = recv_lines(fd, 2);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(field(got[0], "status"), "ok");
+  EXPECT_EQ(field(got[1], "status"), "ok");
+
+  // New manifest: beta gone, gamma added, alpha re-quota'd to 1 more request.
+  write_manifest("{\"schema\": 2, \"tenants\": ["
+                 "{\"name\": \"alpha\", \"graph\": \"" + graph_a + "\","
+                 " \"max_requests\": 2},"
+                 "{\"name\": \"gamma\", \"graph\": \"" + graph_b + "\"}]}");
+  rs.server.request_reload();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (rs.server.reloads_completed() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(rs.server.reloads_completed(), 1u);
+
+  // Same connection, no reconnect: gamma routable, beta now unknown, alpha's
+  // tightened lifetime quota (2, of which 1 is already spent) bites on its
+  // second post-reload request.
+  send_all(fd, distance_request(3, 7, "gamma"));
+  send_all(fd, distance_request(4, 5, "beta"));
+  send_all(fd, distance_request(5, 5, "alpha"));
+  send_all(fd, distance_request(6, 5, "alpha"));
+  ::shutdown(fd, SHUT_WR);
+  got = recv_lines(fd, 4);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(field(got[0], "status"), "ok") << got[0];
+  EXPECT_NE(got[0].find("\"distances\":[7]"), std::string::npos) << got[0];
+  EXPECT_EQ(field(got[1], "status"), "unknown_tenant") << got[1];
+  EXPECT_EQ(field(got[2], "status"), "ok") << got[2];
+  EXPECT_EQ(field(got[3], "status"), "quota_exceeded") << got[3];
+  EXPECT_TRUE(recv_eof(fd));
+  ::close(fd);
 }
 
 }  // namespace

@@ -11,12 +11,20 @@
 // legitimately load; it must then decode to exactly the original image).
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -27,6 +35,7 @@
 #include "service/oracle_service.h"
 #include "service/protocol.h"
 #include "service/tenant.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace ftbfs {
@@ -556,6 +565,136 @@ TEST_F(PersistManifest, SchemaOneUnknownKeysStayFatal) {
                                  "\"graph\": \"" + graph_path_ + "\", "
                                  "\"color\": \"blue\"}]}")),
                GraphIoError);
+}
+
+// --- injected I/O faults on the save/load path (docs/robustness.md) ---------
+
+// Failpoint state is process-global; every armed test must disarm on exit.
+struct DisarmOnExit {
+  ~DisarmOnExit() { fp::disarm_all(); }
+};
+
+// A small snapshot image + the bytes of a clean save of it.
+class PersistFaults : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = cycle_graph(24);
+    OracleService service(graph_, test_config());
+    for (const QueryRequest& req : make_requests(graph_, 13)) {
+      (void)service.serve(req);
+    }
+    image_ = PersistAccess::export_service(service, true);
+    path_ = temp_path("faults.ftb");
+    save_snapshot(path_, image_);
+    clean_bytes_ = slurp(path_);
+    ASSERT_FALSE(clean_bytes_.empty());
+  }
+
+  [[nodiscard]] bool tmp_exists() const {
+    return ::access((path_ + ".tmp").c_str(), F_OK) == 0;
+  }
+
+  Graph graph_;
+  SnapshotImage image_;
+  std::string path_;
+  std::string clean_bytes_;
+};
+
+TEST_F(PersistFaults, EintrOnWriteIsRetriedTransparently) {
+  DisarmOnExit guard;
+  ASSERT_TRUE(fp::arm("persist.write=err(EINTR,p=0.5,seed=11)"));
+  save_snapshot(path_, image_);  // must neither throw nor corrupt
+  EXPECT_EQ(slurp(path_), clean_bytes_);
+  EXPECT_FALSE(tmp_exists());
+}
+
+TEST_F(PersistFaults, ShortWritesAreAbsorbedByTheWriteLoop) {
+  DisarmOnExit guard;
+  // 70% of writes truncated to half: the loop must converge (each truncated
+  // write still makes progress) and the published file must be byte-identical
+  // to a clean save.
+  ASSERT_TRUE(fp::arm("persist.write=shortwrite(p=0.7,seed=3)"));
+  save_snapshot(path_, image_);
+  EXPECT_EQ(slurp(path_), clean_bytes_);
+  EXPECT_FALSE(tmp_exists());
+}
+
+TEST_F(PersistFaults, EnospcFailsTypedKeepsPriorSnapshotAndUnlinksTmp) {
+  DisarmOnExit guard;
+  // The disk is full: the save must fail with a typed IO error, the
+  // previously published snapshot must be untouched (the rename never ran),
+  // and the half-written temp file must be unlinked — no debris.
+  ASSERT_TRUE(fp::arm("persist.write=err(ENOSPC)"));
+  try {
+    save_snapshot(path_, image_);
+    FAIL() << "save with injected ENOSPC succeeded";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.status(), SnapshotStatus::kIoError);
+    EXPECT_NE(std::string(e.what()).find("cannot write"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(slurp(path_), clean_bytes_);
+  EXPECT_FALSE(tmp_exists());
+}
+
+TEST_F(PersistFaults, FsyncFailureFailsTypedAndUnlinksTmp) {
+  DisarmOnExit guard;
+  // count=1: the temp-file fsync fails (a real durability failure → typed
+  // error); the later parent-directory fsync is best-effort by design and is
+  // not reached here.
+  ASSERT_TRUE(fp::arm("persist.fsync=err(EIO,count=1)"));
+  try {
+    save_snapshot(path_, image_);
+    FAIL() << "save with injected fsync failure succeeded";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.status(), SnapshotStatus::kIoError);
+  }
+  EXPECT_EQ(slurp(path_), clean_bytes_);
+  EXPECT_FALSE(tmp_exists());
+}
+
+TEST_F(PersistFaults, MmapFailureFallsBackToBufferedRead) {
+  DisarmOnExit guard;
+  // A filesystem without mmap support: load must silently take the read()
+  // path and produce the same image.
+  ASSERT_TRUE(fp::arm("persist.mmap=err(ENOMEM)"));
+  SnapshotLoadOptions options;
+  options.use_mmap = true;
+  SnapshotImage loaded = load_snapshot(path_, options);
+  EXPECT_EQ(fingerprint_of(loaded.graph), fingerprint_of(graph_));
+  EXPECT_EQ(loaded.entries.size(), image_.entries.size());
+}
+
+TEST_F(PersistFaults, SigkillMidSaveLeavesPriorSnapshotIntact) {
+  DisarmOnExit guard;
+  // The crash-recovery contract: a process killed between open(tmp) and
+  // rename() must leave the previously published snapshot byte-identical.
+  // The sleep failpoint holds the child inside the write loop so the kill
+  // window is deterministic; fork() inherits the armed schedule.
+  ASSERT_TRUE(fp::arm("persist.write=sleep(ms=20000,count=1)"));
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0) << std::strerror(errno);
+  if (child == 0) {
+    save_snapshot(path_, image_);  // parked in the first write's sleep
+    ::_exit(0);                    // not reached: the parent kills us
+  }
+  // Give the child time to open the temp file and enter the stalled write.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFSIGNALED(status));
+  fp::disarm_all();
+
+  // The publish rename never ran: the prior snapshot is untouched and loads.
+  EXPECT_EQ(slurp(path_), clean_bytes_);
+  SnapshotImage loaded = load_snapshot(path_);
+  EXPECT_EQ(fingerprint_of(loaded.graph), fingerprint_of(graph_));
+  // The kill left temp-file debris (nothing could unlink it); the next clean
+  // save must clobber it, publish, and leave no .tmp behind.
+  save_snapshot(path_, image_);
+  EXPECT_EQ(slurp(path_), clean_bytes_);
+  EXPECT_FALSE(tmp_exists());
 }
 
 }  // namespace

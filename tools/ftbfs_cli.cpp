@@ -28,6 +28,7 @@
 #include <sys/stat.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +56,7 @@
 #include "service/protocol.h"
 #include "service/tenant.h"
 #include "service/work_queue.h"
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 #ifndef FTBFS_CLI_VERSION
@@ -204,7 +206,24 @@ FlagParser serve_parser() {
              "8");
   p.optional("max-requests", "<n>", "default tenant request quota (0 = off)",
              "0");
+  p.optional("deadline-ms", "<n>",
+             "default tenant per-request deadline (0 = off)", "0");
+  p.optional("rate-limit-rps", "<r>",
+             "default tenant token-bucket rate limit (0 = off)", "0");
+  p.optional("rate-limit-burst", "<n>",
+             "token-bucket burst (0 = max(1, ceil(rps)))", "0");
   p.optional("listen", "<host:port>", "serve over TCP instead of stdin");
+  p.optional("shed-after-ms", "<n>",
+             "answer `overloaded` after parking this long on a full admission "
+             "queue (--listen; 0 = park forever)",
+             "2000");
+  p.optional("write-stall-ms", "<n>",
+             "evict a connection whose writes make no progress this long "
+             "(--listen; 0 = never)",
+             "30000");
+  p.optional("failpoints", "<schedule>",
+             "arm fault-injection points (docs/robustness.md grammar; also "
+             "read from $FTBFS_FAILPOINTS)");
   p.deprecated("cache", "cache-capacity");
   p.deprecated("max-lazy", "max-lazy-budget");
   return p;
@@ -635,6 +654,13 @@ void handle_stop_signal(int) {
   if (g_net_server != nullptr) g_net_server->request_shutdown();
 }
 
+// SIGHUP = hot manifest reload (docs/robustness.md "Hot reload"), socket mode
+// only: the stdin loops have no reload hook, so there SIGHUP keeps its
+// default meaning.
+void handle_reload_signal(int) {
+  if (g_net_server != nullptr) g_net_server->request_reload();
+}
+
 void install_stop_handlers() {
   struct sigaction sa = {};
   sa.sa_handler = handle_stop_signal;
@@ -642,6 +668,14 @@ void install_stop_handlers() {
   sa.sa_flags = 0;  // no SA_RESTART: blocked reads must return EINTR
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+void install_reload_handler() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_reload_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;  // reload must not abort anything mid-read
+  ::sigaction(SIGHUP, &sa, nullptr);
 }
 
 // The serve summary, reconciled against the response stream: refusals include
@@ -656,10 +690,22 @@ void print_serve_summary(TenantRegistry& registry, const WireCounters& wire) {
       wire.resolve_refusals.load(std::memory_order_relaxed);
   const std::uint64_t quota_refusals =
       wire.quota_refusals.load(std::memory_order_relaxed);
+  const std::uint64_t rate_refusals =
+      wire.rate_limit_refusals.load(std::memory_order_relaxed);
+  const std::uint64_t deadline_refusals =
+      wire.deadline_refusals.load(std::memory_order_relaxed);
+  const std::uint64_t overload_sheds =
+      wire.overload_sheds.load(std::memory_order_relaxed);
+  // Pre-admission refusals (rate limit, deadline-at-admission) and loop-side
+  // sheds never reach a service: fold them into the request/refusal totals so
+  // the summary reconciles with the response stream.
+  const std::uint64_t degraded =
+      rate_refusals + deadline_refusals + overload_sheds;
   const TenantStats total = registry.global_stats();
   const ServiceStats& stats = total.service;
   std::size_t pool_size = 0;
-  for (const Tenant& t : registry.tenants()) pool_size += t.service.pool_size();
+  registry.for_each(
+      [&](const Tenant& t) { pool_size += t.service.pool_size(); });
   std::fprintf(stderr,
                "served %llu requests (%llu ok, %llu refused); %llu parse "
                "errors; cache %llu/%llu hits (%.0f%%), %llu lines, "
@@ -668,11 +714,11 @@ void print_serve_summary(TenantRegistry& registry, const WireCounters& wire) {
                "%llu full\n",
                static_cast<unsigned long long>(stats.requests +
                                                resolve_refusals +
-                                               quota_refusals),
+                                               quota_refusals + degraded),
                static_cast<unsigned long long>(stats.served),
                static_cast<unsigned long long>(stats.refused +
                                                resolve_refusals +
-                                               quota_refusals),
+                                               quota_refusals + degraded),
                static_cast<unsigned long long>(parse_errors),
                static_cast<unsigned long long>(stats.cache_hits),
                static_cast<unsigned long long>(stats.cache_hits +
@@ -685,6 +731,14 @@ void print_serve_summary(TenantRegistry& registry, const WireCounters& wire) {
                static_cast<unsigned long long>(stats.fast_path_hits),
                static_cast<unsigned long long>(stats.repair_bfs),
                static_cast<unsigned long long>(stats.full_bfs));
+  if (degraded > 0) {
+    std::fprintf(stderr,
+                 "degraded: %llu rate-limited, %llu deadline-exceeded, "
+                 "%llu overload-shed\n",
+                 static_cast<unsigned long long>(rate_refusals),
+                 static_cast<unsigned long long>(deadline_refusals),
+                 static_cast<unsigned long long>(overload_sheds));
+  }
   if (registry.size() > 1) {
     for (const TenantStats& ts : registry.stats()) {
       std::fprintf(
@@ -728,6 +782,17 @@ void parse_listen(const FlagParser& p, const std::string& spec,
 }
 
 int cmd_serve(const FlagParser& p) {
+  if (p.has("failpoints")) {
+    std::string fp_err;
+    if (!fp::arm(p.get("failpoints"), &fp_err)) {
+      p.fail("--failpoints: " + fp_err);
+    }
+  }
+  const std::string armed = fp::active_schedule();
+  if (!armed.empty()) {
+    std::fprintf(stderr, "failpoints armed: %s\n", armed.c_str());
+  }
+
   ServiceConfig config;
   config.default_budget =
       static_cast<unsigned>(p.get_uint("budget", 2, 0, 1u << 20));
@@ -762,6 +827,11 @@ int cmd_serve(const FlagParser& p) {
   TenantRegistry registry;
   TenantQuotas quotas;
   quotas.max_requests = p.get_uint("max-requests", 0);
+  quotas.deadline_ms =
+      static_cast<std::int64_t>(p.get_uint("deadline-ms", 0, 0, 1ull << 40));
+  quotas.rate_limit_rps = p.get_double("rate-limit-rps", 0.0);
+  if (quotas.rate_limit_rps < 0.0) p.fail("--rate-limit-rps must be >= 0");
+  quotas.rate_limit_burst = p.get_uint("rate-limit-burst", 0);
   if (p.has("load")) {
     // With --graph too, the fingerprints must match — a snapshot built from
     // a different graph is rejected (kGraphMismatch, exit 1), never served.
@@ -775,9 +845,11 @@ int cmd_serve(const FlagParser& p) {
                      t.service.stats().cache_lines));
   } else if (p.has("graph")) {
     registry.add("default", load_graph(p.get("graph")), config, quotas);
-  } else if (p.has("max-requests")) {
-    p.fail("--max-requests applies to the default tenant (--graph/--load); "
-           "per-tenant quotas live in the --tenants manifest");
+  } else if (p.has("max-requests") || p.has("deadline-ms") ||
+             p.has("rate-limit-rps") || p.has("rate-limit-burst")) {
+    p.fail("--max-requests/--deadline-ms/--rate-limit-* apply to the default "
+           "tenant (--graph/--load); per-tenant quotas live in the --tenants "
+           "manifest");
   }
   if (p.has("tenants")) {
     registry.load_manifest(p.get("tenants"), config);
@@ -823,9 +895,28 @@ int cmd_serve(const FlagParser& p) {
     parse_listen(p, p.get("listen"), nc);
     nc.threads = threads;
     nc.ordered = !relaxed;
+    nc.shed_after_ms = static_cast<std::int64_t>(
+        p.get_uint("shed-after-ms", 2000, 0, 1ull << 40));
+    nc.write_stall_ms = static_cast<std::int64_t>(
+        p.get_uint("write-stall-ms", 30000, 0, 1ull << 40));
+    if (p.has("tenants")) {
+      // SIGHUP → re-read the manifest the server started with. Captures
+      // `registry` by reference (outlives the server) and the path/config by
+      // value; runs on the loop thread, so it may fprintf freely.
+      const std::string manifest_path = p.get("tenants");
+      nc.on_reload = [&registry, manifest_path, config] {
+        const ReloadSummary rs = registry.reload(manifest_path, config);
+        std::fprintf(stderr,
+                     "reloaded %s: %zu added, %zu updated, %zu retired, "
+                     "%zu reaped\n",
+                     manifest_path.c_str(), rs.added, rs.updated, rs.retired,
+                     rs.reaped);
+      };
+    }
     NetServer server(registry, nc);
     g_net_server = &server;
     install_stop_handlers();
+    install_reload_handler();
     std::fprintf(stderr, "listening on %s:%u\n", nc.host.c_str(),
                  static_cast<unsigned>(server.port()));
     std::fflush(stderr);
@@ -867,6 +958,9 @@ int cmd_serve(const FlagParser& p) {
     struct Item {
       std::uint64_t seq;
       std::string line;
+      // Read time: the deadline clock must cover queue wait, not start when a
+      // worker finally picks the line up.
+      std::chrono::steady_clock::time_point arrival;
     };
     BoundedQueue<Item> queue(4 * threads);
     std::mutex out_mutex;
@@ -876,7 +970,7 @@ int cmd_serve(const FlagParser& p) {
         for (Item& item : batch) {
           LineJob job(registry, item.line,
                       static_cast<std::int64_t>(item.seq), /*stamp_seq=*/true,
-                      counters);
+                      counters, item.arrival);
           job.admit();
           const std::string out_line = job.finish();
           const std::lock_guard lock(out_mutex);
@@ -891,7 +985,7 @@ int cmd_serve(const FlagParser& p) {
     std::uint64_t seq = 0;
     while (!g_stop && std::getline(std::cin, line)) {
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      queue.push(Item{seq++, std::move(line)});
+      queue.push(Item{seq++, std::move(line), std::chrono::steady_clock::now()});
       line.clear();
     }
     queue.close();
@@ -913,6 +1007,7 @@ int cmd_serve(const FlagParser& p) {
     struct Item {
       std::uint64_t seq;
       std::string line;
+      std::chrono::steady_clock::time_point arrival;  // read time (see above)
     };
     BoundedQueue<Item> queue(4 * threads);
     RequestSequencer order;
@@ -935,7 +1030,7 @@ int cmd_serve(const FlagParser& p) {
           // Parse phase runs OUTSIDE the ordered section.
           jobs.emplace_back(registry, item.line,
                             static_cast<std::int64_t>(item.seq),
-                            /*stamp_seq=*/false, counters);
+                            /*stamp_seq=*/false, counters, item.arrival);
         }
         // One ordered section for the whole dense ticket run — admissions
         // (quota gate included) happen in strict request order; locally
@@ -954,7 +1049,7 @@ int cmd_serve(const FlagParser& p) {
     std::uint64_t seq = 0;
     while (!g_stop && std::getline(std::cin, line)) {
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      queue.push(Item{seq++, std::move(line)});
+      queue.push(Item{seq++, std::move(line), std::chrono::steady_clock::now()});
       line.clear();
     }
     queue.close();
@@ -978,6 +1073,10 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   try {
+    // $FTBFS_FAILPOINTS arms fault injection for any subcommand (the chaos
+    // harness sets it around `serve --save` runs); malformed schedules are a
+    // startup error, never a silently-disarmed one.
+    fp::arm_from_env();
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
       if (argc >= 3 && print_command_help(argv[2], stdout)) return 0;
       global_usage(stdout);
