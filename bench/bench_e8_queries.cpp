@@ -39,6 +39,7 @@
 #include "engine/registry.h"
 #include "service/oracle_service.h"
 #include "service/work_queue.h"
+#include "util/concurrency.h"
 #include "util/rng.h"
 
 namespace {
@@ -670,7 +671,7 @@ int main(int argc, char** argv) {
     std::printf("{\"bench\":\"e8_queries\",\"hardware_threads\":%u,"
                 "\"families\":[%s],\"thread_sweep\":{\"family\":\"%s\","
                 "\"n\":%u,\"queries\":%d,\"rows\":[",
-                std::thread::hardware_concurrency(), families_json.c_str(),
+                hardware_workers(), families_json.c_str(),
                 sweep_family.name.c_str(), sweep_n, sweep_queries);
     for (std::size_t i = 0; i < sweep.size(); ++i) {
       const SweepRow& r = sweep[i];

@@ -31,6 +31,7 @@
 #include "graph/generators.h"
 #include "net/net_server.h"
 #include "service/tenant.h"
+#include "util/concurrency.h"
 #include "util/timer.h"
 
 namespace {
@@ -231,7 +232,7 @@ int main(int argc, char** argv) {
             : std::vector<unsigned>{1, 64, 1024};
   const unsigned total_requests = small ? 16384 : 65536;
   const unsigned server_threads =
-      std::max(2u, std::min(8u, std::thread::hardware_concurrency() / 2));
+      std::max(2u, std::min(8u, hardware_workers() / 2));
 
   std::vector<CellResult> cells;
   for (const unsigned conns : conn_counts) {

@@ -274,12 +274,12 @@ int main(int argc, char** argv) {
   } else {
     std::printf("persistence: cold build vs snapshot load "
                 "(time to first response)\n");
-    std::printf("%-14s %8s %8s %10s %10s %10s %8s %7s\n", "algo", "n", "m",
-                "cold s", "load s", "speedup", "MiB", "ratio");
+    std::printf("%-14s %8s %8s %10s %10s %10s %10s %8s %7s\n", "algo", "n",
+                "m", "cold s", "save s", "load s", "speedup", "MiB", "ratio");
     for (const Row& row : rows) {
       const char* bound = row.cold_completed ? " " : ">";
-      std::printf("%-14s %8u %8u %s%9.3f %10.3f %s%8.1fx %8.2f %7.3f%s\n",
-                  row.algo.c_str(), row.n, row.m, bound, row.cold_s,
+      std::printf("%-14s %8u %8u %s%9.3f %10.3f %10.3f %s%8.1fx %8.2f %7.3f%s\n",
+                  row.algo.c_str(), row.n, row.m, bound, row.cold_s, row.save_s,
                   row.load_s, bound, row.speedup,
                   static_cast<double>(row.snapshot_bytes) / (1024.0 * 1024.0),
                   row.bytes_ratio, row.mismatches == 0 ? "" : "  MISMATCH");

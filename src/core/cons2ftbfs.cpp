@@ -1,22 +1,40 @@
 #include "core/cons2ftbfs.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/selector.h"
 #include "structure/newending.h"
+#include "util/concurrency.h"
 
 namespace ftbfs {
 namespace {
 
-// All state for constructing H(v) for one target vertex v.
+// Everything one target contributes, recorded against a frozen H and applied
+// to the shared state by the ordered commit (build_parallel.h). Every edge in
+// `added` is incident to the target — the locality the conflict check relies
+// on.
+struct VertexOutcome {
+  std::vector<EdgeId> added;  // kept last edges, in keep order
+  std::vector<NewEndingRecord> records;
+  PathClassCounts classes;  // classification of `records` (when enabled)
+  Path pi;                  // π(s,v), kept for the record_sink call
+  std::uint64_t fault_pairs = 0;
+  std::uint64_t dijkstra = 0;
+  std::uint64_t fallbacks = 0;
+};
+
+// All state for constructing H(v) for one target vertex v. Reads the shared
+// kept-edge set through a const snapshot plus its own additions; never writes
+// shared state — the commit step replays the outcome in target order.
 class PerVertexRun {
  public:
   PerVertexRun(const Graph& g, PathSelector& sel, VertexIndexMap& pi_pos,
                VertexIndexMap& aux_pos, Vertex s, Vertex v, Path pi,
-               std::vector<bool>& in_h, FtBfsStats& stats,
-               const Cons2Options& opt)
+               const std::vector<bool>& in_h, bool classify)
       : g_(g),
         sel_(sel),
         pi_pos_(pi_pos),
@@ -25,9 +43,7 @@ class PerVertexRun {
         v_(v),
         pi_(std::move(pi)),
         in_h_(in_h),
-        stats_(stats),
-        classify_(opt.classify_paths),
-        record_sink_(opt.record_sink ? &opt.record_sink : nullptr) {
+        classify_(classify) {
     pi_pos_.bind(pi_);
     // E_0(v) starts as every v-incident edge already in H (= E(v,T0) here,
     // since steps run before any other edge of v can exist).
@@ -36,28 +52,17 @@ class PerVertexRun {
     }
   }
 
-  std::uint64_t run() {
+  VertexOutcome run() {
+    const std::uint64_t d0 = sel_.dijkstra_runs();
     step1();
     step2();
     step3();
     if (classify_) {
-      const PathClassCounts c = classify_new_ending(g_, pi_, records_);
-      stats_.classes.single += c.single;
-      stats_.classes.a_pi_pi += c.a_pi_pi;
-      stats_.classes.b_nodet += c.b_nodet;
-      stats_.classes.c_indep += c.c_indep;
-      stats_.classes.d_pi_interf += c.d_pi_interf;
-      stats_.classes.e_d_interf += c.e_d_interf;
-      PathClassCounts& m = stats_.max_classes_per_vertex;
-      m.single = std::max(m.single, c.single);
-      m.a_pi_pi = std::max(m.a_pi_pi, c.a_pi_pi);
-      m.b_nodet = std::max(m.b_nodet, c.b_nodet);
-      m.c_indep = std::max(m.c_indep, c.c_indep);
-      m.d_pi_interf = std::max(m.d_pi_interf, c.d_pi_interf);
-      m.e_d_interf = std::max(m.e_d_interf, c.e_d_interf);
-      if (record_sink_ != nullptr) (*record_sink_)(v_, pi_, records_);
+      out_.classes = classify_new_ending(g_, pi_, out_.records);
     }
-    return new_edges_here_;
+    out_.dijkstra = sel_.dijkstra_runs() - d0;
+    out_.pi = std::move(pi_);
+    return std::move(out_);
   }
 
  private:
@@ -69,16 +74,22 @@ class PerVertexRun {
     return e;
   }
 
+  // Whether `le` is already kept, in the snapshot or by this run. Every
+  // queried edge is v-incident, and this run's additions are few, so the
+  // linear scan of `added` stays cheap.
+  [[nodiscard]] bool kept(EdgeId le) const {
+    return in_h_[le] || std::find(out_.added.begin(), out_.added.end(), le) !=
+                            out_.added.end();
+  }
+
   // Adds the last edge of a selected replacement path to H(v); returns true
   // if the edge was new. Bookkeeps E_τ(v) (v-incident whitelist).
   bool keep_last_edge(const Path& p, NewEndingRecord::Kind kind, EdgeId f1,
                       EdgeId f2, const SingleFaultSelection* det) {
     const EdgeId le = last_edge(g_, p);
-    if (in_h_[le]) return false;
-    in_h_[le] = true;
+    if (kept(le)) return false;
+    out_.added.push_back(le);
     allowed_v_edges_.push_back(le);
-    ++stats_.new_edges;
-    ++new_edges_here_;
     if (classify_) {
       NewEndingRecord rec;
       rec.kind = kind;
@@ -89,7 +100,7 @@ class PerVertexRun {
         rec.detour = det->detour;
         rec.detour_y_pi_index = det->y_pi_index;
       }
-      records_.push_back(std::move(rec));
+      out_.records.push_back(std::move(rec));
     }
     return true;
   }
@@ -108,7 +119,7 @@ class PerVertexRun {
     const std::size_t len = pi_.size() - 1;
     selections_.assign(len, std::nullopt);
     for (std::size_t i = 0; i < len; ++i) {
-      ++stats_.fault_pairs_considered;
+      ++out_.fault_pairs;
       selections_[i] = select_single_fault(sel_, pi_, pi_pos_, i);
       if (selections_[i]) {
         keep_last_edge(selections_[i]->path, NewEndingRecord::Kind::kSingle,
@@ -132,7 +143,7 @@ class PerVertexRun {
     const std::size_t len = pi_.size() - 1;
     for (std::size_t i = 0; i < len; ++i) {
       for (std::size_t j = i + 1; j < len; ++j) {
-        ++stats_.fault_pairs_considered;
+        ++out_.fault_pairs;
         // Cheap satisfiability: if one single-fault path avoids the other
         // fault, it is itself an optimal replacement path for the pair and
         // its last edge is already in H(v).
@@ -208,7 +219,7 @@ class PerVertexRun {
       if (!selections_[i]) continue;
       const Path& detour = selections_[i]->detour;
       for (std::size_t r = detour.size() - 1; r-- > 0;) {
-        ++stats_.fault_pairs_considered;
+        ++out_.fault_pairs;
         handle_pi_d_pair(i, r);
       }
     }
@@ -263,7 +274,7 @@ class PerVertexRun {
     // (the optimal path diverges above e and rejoins π only at v). Keep a
     // defensive fallback for the (theoretically impossible) infeasible case.
     if (!feasible_k(i)) {
-      ++stats_.divergence_fallbacks;
+      ++out_.fallbacks;
       m.clear();
       m.block_edge(e);
       m.block_edge(t);
@@ -304,7 +315,7 @@ class PerVertexRun {
     };
     if (!feasible_l(r)) {
       // Theoretically impossible (Lemma 3.1); fall back to the G(u_k0,v) path.
-      ++stats_.divergence_fallbacks;
+      ++out_.fallbacks;
       return rp->verts;
     }
     std::size_t dlo = 0, dhi = r;
@@ -331,18 +342,30 @@ class PerVertexRun {
   Vertex s_;
   Vertex v_;
   Path pi_;
-  std::vector<bool>& in_h_;
-  FtBfsStats& stats_;
+  const std::vector<bool>& in_h_;
   bool classify_;
-  const std::function<void(Vertex, const Path&,
-                           const std::vector<NewEndingRecord>&)>* record_sink_ =
-      nullptr;
 
   std::vector<std::optional<SingleFaultSelection>> selections_;
   std::vector<EdgeId> allowed_v_edges_;  // E_τ(v)
-  std::vector<NewEndingRecord> records_;
-  std::uint64_t new_edges_here_ = 0;
+  VertexOutcome out_;
 };
+
+struct Cons2Workspace {
+  PathSelector sel;
+  VertexIndexMap pi_pos;
+  VertexIndexMap aux_pos;
+  Cons2Workspace(const Graph& g, const WeightAssignment& w)
+      : sel(g, w), pi_pos(g.num_vertices()), aux_pos(g.num_vertices()) {}
+};
+
+void max_classes(PathClassCounts& m, const PathClassCounts& c) {
+  m.single = std::max(m.single, c.single);
+  m.a_pi_pi = std::max(m.a_pi_pi, c.a_pi_pi);
+  m.b_nodet = std::max(m.b_nodet, c.b_nodet);
+  m.c_indep = std::max(m.c_indep, c.c_indep);
+  m.d_pi_interf = std::max(m.d_pi_interf, c.d_pi_interf);
+  m.e_d_interf = std::max(m.e_d_interf, c.e_d_interf);
+}
 
 }  // namespace
 
@@ -357,28 +380,105 @@ FtStructure build_cons2ftbfs(const Graph& g, Vertex s,
 
   FtStructure h;
   std::vector<bool> in_h(g.num_edges(), false);
+  std::vector<Vertex> targets;
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    if (v != s && tree.reached(v) && !in_h[tree.parent_edge[v]]) {
-      in_h[tree.parent_edge[v]] = true;
-      ++h.stats.tree_edges;
+    if (v != s && tree.reached(v)) {
+      targets.push_back(v);
+      if (!in_h[tree.parent_edge[v]]) {
+        in_h[tree.parent_edge[v]] = true;
+        ++h.stats.tree_edges;
+      }
     }
   }
+  h.stats.dijkstra_runs = sel.dijkstra_runs();  // the tree W-SSSP
 
-  VertexIndexMap pi_pos(g.num_vertices());
-  VertexIndexMap aux_pos(g.num_vertices());
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    if (v == s || !tree.reached(v)) continue;
-    PerVertexRun run(g, sel, pi_pos, aux_pos, s, v, extract_path(tree, v),
-                     in_h, h.stats, opt);
-    const std::uint64_t new_here = run.run();
+  // Conflict tracking for the speculative schedule: a target is dirty iff a
+  // commit since the current block's snapshot added an edge incident to it.
+  std::vector<std::uint32_t> dirty(g.num_vertices(), 0);
+  std::uint32_t dirty_epoch = 0;
+
+  auto run_target = [&](Cons2Workspace& ws, Vertex v) {
+    PerVertexRun run(g, ws.sel, ws.pi_pos, ws.aux_pos, s, v,
+                     extract_path(tree, v), in_h, opt.classify_paths);
+    return run.run();
+  };
+
+  auto commit_outcome = [&](Vertex v, VertexOutcome&& out) {
+    for (const EdgeId e : out.added) {
+      FTBFS_ENSURES(!in_h[e]);
+      in_h[e] = true;
+      const Edge& ed = g.edge(e);
+      dirty[ed.u] = dirty_epoch;
+      dirty[ed.v] = dirty_epoch;
+    }
+    h.stats.new_edges += out.added.size();
     h.stats.max_new_per_vertex =
-        std::max(h.stats.max_new_per_vertex, new_here);
+        std::max(h.stats.max_new_per_vertex,
+                 static_cast<std::uint64_t>(out.added.size()));
+    h.stats.fault_pairs_considered += out.fault_pairs;
+    h.stats.dijkstra_runs += out.dijkstra;
+    h.stats.divergence_fallbacks += out.fallbacks;
+    if (opt.classify_paths) {
+      h.stats.classes.single += out.classes.single;
+      h.stats.classes.a_pi_pi += out.classes.a_pi_pi;
+      h.stats.classes.b_nodet += out.classes.b_nodet;
+      h.stats.classes.c_indep += out.classes.c_indep;
+      h.stats.classes.d_pi_interf += out.classes.d_pi_interf;
+      h.stats.classes.e_d_interf += out.classes.e_d_interf;
+      max_classes(h.stats.max_classes_per_vertex, out.classes);
+      if (opt.record_sink) opt.record_sink(v, out.pi, out.records);
+    }
+  };
+  auto bump_progress = [&] {
+    if (opt.progress != nullptr) {
+      opt.progress->fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  const unsigned workers = resolve_jobs(opt.jobs, targets.size());
+  ParallelBuildReport report;
+  Cons2Workspace main_ws{g, w};
+  if (workers <= 1) {
+    for (const Vertex v : targets) {
+      commit_outcome(v, run_target(main_ws, v));
+      bump_progress();
+    }
+  } else {
+    std::vector<std::unique_ptr<Cons2Workspace>> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) {
+      pool.push_back(std::make_unique<Cons2Workspace>(g, w));
+    }
+    std::vector<VertexOutcome> slots(speculative_block_size(workers));
+    run_speculate_commit(
+        targets.size(), workers, /*on_block_start=*/[&] { ++dirty_epoch; },
+        [&](unsigned worker, std::size_t idx, std::size_t slot) {
+          slots[slot] = run_target(*pool[worker], targets[idx]);
+          // Progress counts finished per-target work, not commits — block
+          // commits land together, which would quantize the sampled rate the
+          // bench_e13 windowed sweep reads from outside the process.
+          bump_progress();
+        },
+        [&](std::size_t idx, std::size_t slot) {
+          const Vertex v = targets[idx];
+          VertexOutcome out = std::move(slots[slot]);
+          if (dirty[v] == dirty_epoch) {
+            // An earlier commit in this block touched a v-incident edge: the
+            // speculative run may have seen a stale E(v,H). Re-run against
+            // the true state — the sequential semantics, exactly.
+            ++report.conflicts;
+            out = run_target(main_ws, v);
+          }
+          commit_outcome(v, std::move(out));
+        },
+        &report);
   }
+  report.workers = workers;
+  if (opt.parallel_report != nullptr) *opt.parallel_report = report;
 
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     if (in_h[e]) h.edges.push_back(e);
   }
-  h.stats.dijkstra_runs = sel.dijkstra_runs();
   return h;
 }
 

@@ -15,10 +15,12 @@
 // H is the union of the BFS tree T0(s) and all kept last edges.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "core/build_parallel.h"
 #include "core/ftbfs_common.h"
 #include "graph/graph.h"
 #include "spath/path.h"
@@ -36,9 +38,24 @@ struct Cons2Options {
   // π(s,v) and the new-ending records of that vertex (valid only during the
   // call). Requires classify_paths. Used by the property tests and the
   // structural experiments; has no effect on the constructed structure.
+  // Always invoked in ascending target order, at any job count.
   std::function<void(Vertex v, const Path& pi,
                      const std::vector<NewEndingRecord>& records)>
       record_sink;
+  // Worker threads for the per-target loop; 0 = auto (hardware), 1 =
+  // sequential. Targets are speculated in parallel against a frozen H and
+  // committed in target order, with conflicted targets (an earlier commit
+  // added an edge incident to them — the only state a target can observe)
+  // re-run sequentially, so the structure and every stats field are
+  // byte-identical at any value (build_parallel.h).
+  unsigned jobs = 1;
+  // Optional: incremented once per target vertex as its construction work
+  // finishes (speculation in the parallel schedule, commit sequentially).
+  // Lets long builds report throughput without block-commit quantization
+  // (the bench_e13 n=10^5 jobs sweep samples it from a forked child).
+  std::atomic<std::uint64_t>* progress = nullptr;
+  // Optional: filled with the parallel schedule actually used.
+  ParallelBuildReport* parallel_report = nullptr;
 };
 
 // Builds a dual-failure FT-BFS structure rooted at s. Vertices unreachable

@@ -37,6 +37,15 @@ FtMbfsResult build_union(const Graph& g, std::span<const Vertex> sources,
   return out;
 }
 
+// Folds one per-source schedule into the union's aggregate: workers is the
+// largest crew any source used, the work counters sum.
+void merge_report(ParallelBuildReport& agg, const ParallelBuildReport& one) {
+  agg.workers = std::max(agg.workers, one.workers);
+  agg.blocks += one.blocks;
+  agg.speculated += one.speculated;
+  agg.conflicts += one.conflicts;
+}
+
 }  // namespace
 
 FtMbfsResult build_cons2ftmbfs(const Graph& g,
@@ -45,9 +54,18 @@ FtMbfsResult build_cons2ftmbfs(const Graph& g,
   Cons2Options one;
   one.weight_seed = opt.weight_seed;
   one.classify_paths = false;
-  return build_union(g, sources, [&](Vertex s) {
-    return build_cons2ftbfs(g, s, one);
+  one.jobs = opt.jobs;
+  one.progress = opt.progress;
+  ParallelBuildReport agg;
+  ParallelBuildReport inner;
+  one.parallel_report = &inner;
+  FtMbfsResult out = build_union(g, sources, [&](Vertex s) {
+    FtStructure h = build_cons2ftbfs(g, s, one);
+    merge_report(agg, inner);
+    return h;
   });
+  if (opt.parallel_report != nullptr) *opt.parallel_report = agg;
+  return out;
 }
 
 FtMbfsResult build_single_ftmbfs(const Graph& g,
@@ -55,9 +73,18 @@ FtMbfsResult build_single_ftmbfs(const Graph& g,
                                  const FtMbfsOptions& opt) {
   SingleFtbfsOptions one;
   one.weight_seed = opt.weight_seed;
-  return build_union(g, sources, [&](Vertex s) {
-    return build_single_ftbfs(g, s, one);
+  one.jobs = opt.jobs;
+  one.progress = opt.progress;
+  ParallelBuildReport agg;
+  ParallelBuildReport inner;
+  one.parallel_report = &inner;
+  FtMbfsResult out = build_union(g, sources, [&](Vertex s) {
+    FtStructure h = build_single_ftbfs(g, s, one);
+    merge_report(agg, inner);
+    return h;
   });
+  if (opt.parallel_report != nullptr) *opt.parallel_report = agg;
+  return out;
 }
 
 }  // namespace ftbfs

@@ -6,8 +6,11 @@
 // closer on benign inputs (shared edges collapse in the union).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 
+#include "core/build_parallel.h"
 #include "core/ftbfs_common.h"
 #include "graph/graph.h"
 
@@ -15,6 +18,16 @@ namespace ftbfs {
 
 struct FtMbfsOptions {
   std::uint64_t weight_seed = 1;
+  // Worker threads forwarded into each per-source build; the outer union loop
+  // stays sequential in source order, so the union is byte-identical at any
+  // job count (each inner build already is — single_ftbfs.h / cons2ftbfs.h).
+  unsigned jobs = 1;
+  // Optional: incremented once per finished target vertex across all
+  // per-source builds (single_ftbfs.h semantics).
+  std::atomic<std::uint64_t>* progress = nullptr;
+  // Optional: the schedules of the per-source builds, aggregated — workers is
+  // the maximum crew used, blocks/speculated/conflicts are summed.
+  ParallelBuildReport* parallel_report = nullptr;
 };
 
 struct FtMbfsResult {

@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "util/concurrency.h"
+
 namespace ftbfs {
 
 CanonicalFaultSet FaultSpec::canonicalize() const {
@@ -491,12 +493,7 @@ std::vector<std::uint32_t> FaultQueryEngine::batch(
 
   // Clamp to the row count and the machine: extra workers would only allocate
   // idle (mask, BFS) scratch slots they never use.
-  unsigned hardware = std::thread::hardware_concurrency();
-  if (hardware == 0) hardware = 1;  // unknown — be conservative
-  const unsigned workers = std::max(
-      1u, std::min({threads, static_cast<unsigned>(std::min<std::size_t>(
-                                 rows, std::numeric_limits<unsigned>::max())),
-                    hardware}));
+  const unsigned workers = clamp_workers(threads, rows);
 
   auto run_rows = [&](std::size_t begin, std::size_t end) {
     // Leased scratch, not a fixed slot: batch may run concurrently with

@@ -8,16 +8,31 @@
 #include "core/kfail_ftbfs.h"
 #include "core/single_ftbfs.h"
 #include "core/swap_ftbfs.h"
+#include "util/concurrency.h"
 #include "util/timer.h"
 
 namespace ftbfs {
 namespace {
 
+// Registry counters describing the parallel schedule a builder actually ran
+// (worker count after clamping, speculation conflicts re-run sequentially).
+void add_parallel_counters(BuildResult& out, const ParallelBuildReport& r) {
+  out.counters.emplace_back("build_workers", r.workers);
+  if (r.workers > 1) {
+    out.counters.emplace_back("spec_blocks", r.blocks);
+    out.counters.emplace_back("spec_conflicts", r.conflicts);
+  }
+}
+
 BuildResult build_single(const BuildRequest& req) {
   SingleFtbfsOptions opt;
   opt.weight_seed = req.weight_seed;
+  opt.jobs = req.options.jobs;
+  ParallelBuildReport report;
+  opt.parallel_report = &report;
   BuildResult out;
   out.structure = build_single_ftbfs(*req.graph, req.sources[0], opt);
+  add_parallel_counters(out, report);
   return out;
 }
 
@@ -25,8 +40,12 @@ BuildResult build_cons2(const BuildRequest& req) {
   Cons2Options opt;
   opt.weight_seed = req.weight_seed;
   opt.classify_paths = req.collect_stats;
+  opt.jobs = req.options.jobs;
+  ParallelBuildReport report;
+  opt.parallel_report = &report;
   BuildResult out;
   out.structure = build_cons2ftbfs(*req.graph, req.sources[0], opt);
+  add_parallel_counters(out, report);
   out.counters.emplace_back("fault_pairs_considered",
                             out.structure.stats.fault_pairs_considered);
   if (req.collect_stats) {
@@ -60,6 +79,9 @@ BuildResult build_kfail(const BuildRequest& req) {
 BuildResult build_ftmbfs(const BuildRequest& req) {
   FtMbfsOptions opt;
   opt.weight_seed = req.weight_seed;
+  opt.jobs = req.options.jobs;
+  ParallelBuildReport report;
+  opt.parallel_report = &report;
   FtMbfsResult r =
       req.fault_budget == 1
           ? build_single_ftmbfs(*req.graph, req.sources, opt)
@@ -69,6 +91,7 @@ BuildResult build_ftmbfs(const BuildRequest& req) {
   std::uint64_t before_union = 0;
   for (const std::uint64_t s : r.per_source_size) before_union += s;
   out.counters.emplace_back("edges_before_union", before_union);
+  add_parallel_counters(out, report);
   return out;
 }
 
@@ -103,6 +126,7 @@ BuilderRegistry make_default_registry() {
     t.summary = "single-failure FT-BFS of [10], O(n^{3/2}) edges";
     t.aliases = {"single"};
     t.min_fault_budget = t.max_fault_budget = 1;
+    t.parallel_build = true;
     reg.add(std::move(t), &build_single);
   }
   {
@@ -111,6 +135,7 @@ BuilderRegistry make_default_registry() {
     t.summary = "dual-failure Cons2FTBFS (Thm 1.1), O(n^{5/3}) edges";
     t.aliases = {"cons2", "dual"};
     t.min_fault_budget = t.max_fault_budget = 2;
+    t.parallel_build = true;
     reg.add(std::move(t), &build_cons2);
   }
   {
@@ -129,6 +154,7 @@ BuilderRegistry make_default_registry() {
     t.min_fault_budget = 1;
     t.max_fault_budget = 2;
     t.multi_source = true;
+    t.parallel_build = true;
     reg.add(std::move(t), &build_ftmbfs);
   }
   {
@@ -228,6 +254,10 @@ BuildResult BuilderRegistry::build(std::string_view name,
   BuildResult out = fn(req);
   out.build_seconds = timer.seconds();
   out.algorithm = t->name;
+  if (!t->parallel_build &&
+      resolve_jobs(req.options.jobs, req.graph->num_vertices()) > 1) {
+    out.counters.emplace_back("parallel_fallback_sequential", 1);
+  }
   return out;
 }
 

@@ -27,6 +27,16 @@ namespace ftbfs {
 inline constexpr unsigned kUnboundedFaults =
     std::numeric_limits<unsigned>::max();
 
+// Execution knobs that never change the built structure.
+struct BuildOptions {
+  // Worker threads for parallel construction: 0 = auto (clamped hardware
+  // concurrency), 1 = sequential. Builders with a parallel path (declared by
+  // BuilderTraits::parallel_build) produce byte-identical structures and
+  // stats at any value; the rest run sequentially and the registry reports a
+  // `parallel_fallback_sequential` counter when jobs would exceed 1.
+  unsigned jobs = 1;
+};
+
 // One construction request. `graph` must outlive the call.
 struct BuildRequest {
   const Graph* graph = nullptr;
@@ -37,6 +47,7 @@ struct BuildRequest {
   // Enables optional instrumentation (e.g. Cons2FTBFS path classification);
   // costs time, never changes the structure.
   bool collect_stats = false;
+  BuildOptions options;
 };
 
 // One construction result: the structure plus uniform bookkeeping.
@@ -63,6 +74,10 @@ struct BuilderTraits {
   // Construction cost is superpolynomial in practice (e.g. Θ(σ·m^f) fault-set
   // enumeration); benches and sweeps should use reduced instance sizes.
   bool heavy_construction = false;
+  // Honors BuildOptions::jobs with byte-identical output at any job count
+  // (the speculate-and-commit schedule of core/build_parallel.h). Builders
+  // without it ignore jobs and build sequentially.
+  bool parallel_build = false;
 };
 
 class BuilderRegistry {

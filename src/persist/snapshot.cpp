@@ -16,6 +16,7 @@
 #include <thread>
 #include <utility>
 
+#include "util/concurrency.h"
 #include "util/failpoint.h"
 
 namespace ftbfs {
@@ -666,32 +667,60 @@ std::string describe(const GraphFingerprint& fp) {
   return buf;
 }
 
-void save_snapshot(const std::string& path, const SnapshotImage& image) {
-  // Encode every section first; the header needs the final offsets.
+void save_snapshot(const std::string& path, const SnapshotImage& image,
+                   unsigned jobs) {
+  // Encode every section first; the header needs the final offsets. The
+  // sections are independent until the TOC, so their encoders and CRC-32
+  // passes run on a small crew; the layout below stays sequential and the
+  // file bytes are identical at any job count.
   struct Section {
     std::uint32_t tag;
     ByteWriter payload;
+    std::uint32_t crc = 0;
   };
   std::vector<Section> sections;
-  {
-    Section s{kSectionGraph, {}};
-    encode_graph(s.payload, image.graph);
-    sections.push_back(std::move(s));
-  }
-  {
-    Section s{kSectionEntries, {}};
-    encode_entries(s.payload, image.entries);
-    sections.push_back(std::move(s));
-  }
-  {
-    Section s{kSectionBaselines, {}};
-    encode_baselines(s.payload, image.baselines);
-    sections.push_back(std::move(s));
-  }
+  sections.push_back({kSectionGraph, {}, 0});
+  sections.push_back({kSectionEntries, {}, 0});
+  sections.push_back({kSectionBaselines, {}, 0});
   if (!image.cache_lines.empty()) {
-    Section s{kSectionCache, {}};
-    encode_cache(s.payload, image.cache_lines);
-    sections.push_back(std::move(s));
+    sections.push_back({kSectionCache, {}, 0});
+  }
+  auto encode_section = [&](Section& s) {
+    switch (s.tag) {
+      case kSectionGraph:
+        encode_graph(s.payload, image.graph);
+        break;
+      case kSectionEntries:
+        encode_entries(s.payload, image.entries);
+        break;
+      case kSectionBaselines:
+        encode_baselines(s.payload, image.baselines);
+        break;
+      default:
+        encode_cache(s.payload, image.cache_lines);
+        break;
+    }
+    s.crc = crc32(s.payload.bytes.data(), s.payload.bytes.size());
+  };
+  const unsigned workers =
+      clamp_workers(jobs == 0 ? hardware_workers() : jobs, sections.size(),
+                    /*cap_to_hardware=*/jobs == 0);
+  if (workers <= 1) {
+    for (Section& s : sections) encode_section(s);
+  } else {
+    std::vector<std::thread> crew;
+    crew.reserve(workers - 1);
+    for (unsigned t = 1; t < workers; ++t) {
+      crew.emplace_back([&, t] {
+        for (std::size_t i = t; i < sections.size(); i += workers) {
+          encode_section(sections[i]);
+        }
+      });
+    }
+    for (std::size_t i = 0; i < sections.size(); i += workers) {
+      encode_section(sections[i]);
+    }
+    for (std::thread& th : crew) th.join();
   }
 
   const GraphFingerprint fp = fingerprint_of(image.graph);
@@ -706,7 +735,7 @@ void save_snapshot(const std::string& path, const SnapshotImage& image) {
     e.tag = s.tag;
     e.offset = file.size();
     e.bytes = s.payload.bytes.size();
-    e.crc = crc32(s.payload.bytes.data(), s.payload.bytes.size());
+    e.crc = s.crc;
     toc.push_back(e);
     file.insert(file.end(), s.payload.bytes.begin(), s.payload.bytes.end());
     s.payload.bytes.clear();

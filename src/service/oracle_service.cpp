@@ -107,6 +107,7 @@ std::size_t OracleService::build_structure(std::string name, Vertex source,
   req.fault_budget = fault_budget;
   req.fault_model = model;
   req.weight_seed = config_.weight_seed;
+  req.options.jobs = config_.build_jobs;
   FTBFS_EXPECTS(reg.unsupported_reason(chosen, req).empty());
   const BuildResult built = reg.build(chosen, req);
   const BuilderTraits* traits = reg.find(built.algorithm);
@@ -557,6 +558,7 @@ OracleService::Admission OracleService::admit(const QueryRequest& req) {
     breq.fault_budget = budget;
     breq.fault_model = model;
     breq.weight_seed = config_.weight_seed;
+    breq.options.jobs = config_.build_jobs;
     if (BuilderRegistry::instance().unsupported_reason(algo, breq).empty()) {
       // Exactly-once under racing requests: the first claimant builds (with
       // no lock held — racing requests for other keys keep flowing), racers

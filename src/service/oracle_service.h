@@ -70,6 +70,13 @@ struct ServiceConfig {
   // Scenario-cache capacity in (entry, fault set) lines; 0 disables caching.
   std::size_t cache_capacity = 256;
   std::uint64_t weight_seed = 1;  // tie-breaking weights for lazy builds
+  // Worker threads for structure builds — eager build_structure() and the
+  // lazy builds a cold request triggers — forwarded as BuildOptions::jobs.
+  // 0 = auto (clamped hardware concurrency), 1 = sequential. Built structures
+  // are byte-identical at any value (BuilderTraits::parallel_build), so
+  // responses and goldens never depend on it; only the first-request build
+  // stall shrinks.
+  unsigned build_jobs = 0;
   // Lock-striping width of the scenario cache and lazy-build map. More shards
   // spread racing requests over more locks; 1 degenerates to a single lock.
   // Eviction is per-shard CLOCK over a ceil(capacity/shards) slice, so which

@@ -7,6 +7,7 @@
 #include <optional>
 #include <thread>
 
+#include "util/concurrency.h"
 #include "util/rng.h"
 
 namespace ftbfs {
@@ -73,8 +74,10 @@ std::vector<OverlayMetrics> FailureSimulator::run() {
   // differently from serial.
   const std::size_t rows = 1 + overlays_.size();
   std::vector<std::vector<std::uint32_t>> routed(rows);
-  const unsigned workers = std::min<unsigned>(
-      std::max(1u, config_.route_threads), static_cast<unsigned>(rows));
+  // No hardware cap: the simulator's row partitioning is deterministic, and
+  // oversubscribing is how the concurrency tests exercise interleavings.
+  const unsigned workers =
+      clamp_workers(config_.route_threads, rows, /*cap_to_hardware=*/false);
   // Ordered routing (SimConfig::ordered_routing): a fresh per-tick ticket
   // lock sequences the rows' admissions in row order; empty = relaxed, the
   // rows race. Row index doubles as the dense ticket.

@@ -1,0 +1,26 @@
+#include "util/concurrency.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace ftbfs {
+
+unsigned hardware_workers() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1u : hardware;
+}
+
+unsigned clamp_workers(unsigned requested, std::size_t work,
+                       bool cap_to_hardware) {
+  unsigned workers = std::max(1u, requested);
+  if (work < workers) workers = static_cast<unsigned>(std::max<std::size_t>(1, work));
+  if (cap_to_hardware) workers = std::min(workers, hardware_workers());
+  return workers;
+}
+
+unsigned resolve_jobs(unsigned jobs, std::size_t work) {
+  if (jobs == 0) return clamp_workers(hardware_workers(), work);
+  return clamp_workers(std::min(jobs, kMaxJobs), work, /*cap_to_hardware=*/false);
+}
+
+}  // namespace ftbfs

@@ -139,6 +139,10 @@ FlagParser build_parser() {
              "(graph + structures + baselines, docs/persistence.md)");
   p.optional("stats", "plain|json", "build report format", "plain");
   p.optional("seed", "<int>", "tie-breaking weight seed", "1");
+  p.optional("jobs", "<n>",
+             "parallel construction workers; the structure is byte-identical "
+             "at any value (0 = auto)",
+             "0");
   p.deprecated("faults", "budget");
   return p;
 }
@@ -199,6 +203,10 @@ FlagParser serve_parser() {
   p.optional("point-oracle", "<v>",
              "precompute the O(1) single-fault oracle for this source");
   p.optional("seed", "<int>", "tie-breaking weight seed for lazy builds", "1");
+  p.optional("build-jobs", "<n>",
+             "parallel construction workers for lazy builds (0 = auto; "
+             "structures are byte-identical at any value)",
+             "0");
   p.optional("threads", "<n>", "worker threads (1..256)", "1");
   p.optional("mode", "ordered|relaxed",
              "response ordering contract (docs/serving.md)", "ordered");
@@ -380,6 +388,7 @@ int build_snapshot(const Graph& g, const FlagParser& p, const BuildRequest& req,
   sc.lazy_build = false;
   sc.cache_capacity = 0;
   sc.weight_seed = req.weight_seed;
+  sc.build_jobs = req.options.jobs;
   OracleService service(g, sc);
 
   Timer timer;
@@ -401,7 +410,7 @@ int build_snapshot(const Graph& g, const FlagParser& p, const BuildRequest& req,
   const double build_seconds = timer.seconds();
 
   const SnapshotImage image = PersistAccess::export_service(service, false);
-  save_snapshot(out, image);
+  save_snapshot(out, image, req.options.jobs);
   const std::uint64_t bytes = file_size_bytes(out);
 
   if (stats_mode == "json") {
@@ -435,6 +444,7 @@ int cmd_build(const FlagParser& p) {
     p.fail("--stats must be plain or json");  // fail before the build runs
   }
   BuildRequest req = base_request(g, p, 2);
+  req.options.jobs = static_cast<unsigned>(p.get_uint("jobs", 0, 0, 256));
   if (p.has("sources")) {
     req.sources = parse_uint_list(p, p.get("sources"), ",",
                                   "malformed --sources (expected v1,v2,...)");
@@ -801,6 +811,8 @@ int cmd_serve(const FlagParser& p) {
   config.cache_capacity = p.get_uint("cache-capacity", 256);
   config.weight_seed = p.get_uint("seed", 1);
   config.lazy_build = p.get_switch("lazy", true);
+  config.build_jobs =
+      static_cast<unsigned>(p.get_uint("build-jobs", 0, 0, 256));
 
   const unsigned threads =
       static_cast<unsigned>(p.get_uint("threads", 1, 1, 256));
